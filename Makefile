@@ -1,0 +1,27 @@
+.PHONY: all build test bench doc examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every experiment table (DESIGN.md index E1..E11, T1)
+bench:
+	dune exec bench/main.exe
+
+doc:
+	dune build @doc
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/tradeoff_explorer.exe
+	dune exec examples/weak_memory_tour.exe
+	dune exec examples/counting_service.exe
+	dune exec examples/lower_bound_lab.exe
+	dune exec examples/fence_synthesizer.exe
+
+clean:
+	dune clean

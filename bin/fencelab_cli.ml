@@ -1,0 +1,257 @@
+(* fencelab — command-line front end.
+
+   Subcommands:
+     locks            list available lock algorithms
+     passage          fence/RMR cost of one uncontended passage
+     sweep            GT_f tradeoff sweep (Equation 2)
+     check            exhaustive mutual-exclusion check (+ counterexample)
+     stress           randomized stress test
+     litmus           reachable litmus outcomes per memory model
+     encode           run the Section 5 encoder on a permutation        *)
+
+open Cmdliner
+open Memsim
+
+let model_conv =
+  let parse s =
+    match Memory_model.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Fmt.str "unknown memory model %S" s))
+  in
+  Arg.conv (parse, Memory_model.pp)
+
+let model_t =
+  Arg.(
+    value
+    & opt model_conv Memory_model.Pso
+    & info [ "m"; "model" ] ~docv:"MODEL" ~doc:"Memory model: SC, TSO, PSO or RMO.")
+
+let lock_conv =
+  let parse s =
+    match Locks.Registry.find s with
+    | Some f -> Ok (s, f)
+    | None ->
+        Error
+          (`Msg
+             (Fmt.str "unknown lock %S (have: %s)" s
+                (String.concat ", " Locks.Registry.names)))
+  in
+  Arg.conv (parse, fun ppf (s, _) -> Fmt.string ppf s)
+
+let lock_t =
+  Arg.(
+    required
+    & pos 0 (some lock_conv) None
+    & info [] ~docv:"LOCK" ~doc:"Lock algorithm (see $(b,fencelab locks)).")
+
+let nprocs_t =
+  Arg.(value & opt int 4 & info [ "n"; "nprocs" ] ~docv:"N" ~doc:"Process count.")
+
+(* Surface algorithm preconditions (e.g. Peterson is 2-process) and
+   scheduler stalls as clean CLI errors rather than backtraces. *)
+let protect f =
+  try f () with
+  | Invalid_argument msg -> `Error (false, msg)
+  | Memsim.Scheduler.Stuck (_, msg) -> `Error (false, msg)
+
+let locks_cmd =
+  let run () =
+    List.iter print_endline Locks.Registry.names;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "locks" ~doc:"List available lock algorithms")
+    Term.(ret (const run $ const ()))
+
+let passage_cmd =
+  let run (name, factory) model nprocs =
+   protect @@ fun () ->
+    ignore name;
+    let c = Fencelab.Experiment.passage_cost ~model factory ~nprocs in
+    Fmt.pr
+      "%s n=%d %a: fences=%d rmr=%d (dsm %d, cc %d) f(log(r/f)+1)=%.2f \
+       log2(n)=%.2f@."
+      c.Fencelab.Experiment.lock_name nprocs Memory_model.pp model
+      c.Fencelab.Experiment.fences c.Fencelab.Experiment.rmr
+      c.Fencelab.Experiment.rmr_dsm c.Fencelab.Experiment.rmr_cc
+      c.Fencelab.Experiment.product
+      (Fencelab.Tradeoff.floor_log_n ~nprocs);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "passage" ~doc:"Fence/RMR cost of one uncontended lock passage")
+    Term.(ret (const run $ lock_t $ model_t $ nprocs_t))
+
+let sweep_cmd =
+  let run nprocs =
+   protect @@ fun () ->
+    let max_f =
+      int_of_float (ceil (Fencelab.Tradeoff.floor_log_n ~nprocs))
+    in
+    let rows =
+      List.map
+        (fun f ->
+          let c =
+            Fencelab.Experiment.passage_cost ~model:Memory_model.Pso
+              (Locks.Gt.lock ~height:f) ~nprocs
+          in
+          [
+            string_of_int f;
+            c.Fencelab.Experiment.lock_name;
+            string_of_int c.Fencelab.Experiment.fences;
+            string_of_int c.Fencelab.Experiment.rmr;
+            Fmt.str "%.1f" c.Fencelab.Experiment.product;
+          ])
+        (List.init (max 1 max_f) (fun i -> i + 1))
+    in
+    Fencelab.Report.print
+      ~headers:[ "f"; "lock"; "fences"; "rmr"; "f(log(r/f)+1)" ]
+      rows;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"GT_f tradeoff sweep at a given process count")
+    Term.(ret (const run $ nprocs_t))
+
+let check_cmd =
+  let trace_t =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the counterexample trace.")
+  in
+  let rounds_t =
+    Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"R" ~doc:"Passages per process.")
+  in
+  let max_states_t =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "max-states" ] ~docv:"K" ~doc:"State cap for exploration.")
+  in
+  let run (name, factory) model nprocs rounds max_states trace =
+   protect @@ fun () ->
+    ignore name;
+    let v =
+      Verify.Mutex_check.check ~rounds ~max_states ~model factory ~nprocs
+    in
+    Fmt.pr "%a@." Verify.Mutex_check.pp_verdict v;
+    (match (trace, v.Verify.Mutex_check.me_violation) with
+    | true, Some path ->
+        let t, _ = Verify.Mutex_check.replay ~model factory ~nprocs ~rounds path in
+        List.iter (fun s -> Fmt.pr "  %a@." Step.pp s) t
+    | _ -> ());
+    if v.Verify.Mutex_check.holds then `Ok () else `Error (false, "check failed")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Exhaustive mutual-exclusion / deadlock check")
+    Term.(
+      ret (const run $ lock_t $ model_t $ nprocs_t $ rounds_t $ max_states_t $ trace_t))
+
+let stress_cmd =
+  let seeds_t =
+    Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"K" ~doc:"Number of seeded runs.")
+  in
+  let rounds_t =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc:"Passages per process.")
+  in
+  let run (name, factory) model nprocs seeds rounds =
+   protect @@ fun () ->
+    ignore name;
+    let r = Verify.Stress.run ~seeds ~rounds ~model factory ~nprocs in
+    Fmt.pr "%a@." Verify.Stress.pp_report r;
+    if r.Verify.Stress.failures = [] then `Ok ()
+    else `Error (false, "stress failures")
+  in
+  Cmd.v (Cmd.info "stress" ~doc:"Randomized stress test")
+    Term.(ret (const run $ lock_t $ model_t $ nprocs_t $ seeds_t $ rounds_t))
+
+let obstruction_cmd =
+  let max_states_t =
+    Arg.(
+      value
+      & opt int 500_000
+      & info [ "max-states" ] ~docv:"K" ~doc:"State cap for exploration.")
+  in
+  let run (name, factory) model nprocs max_states =
+   protect @@ fun () ->
+    ignore name;
+    let v = Verify.Obstruction.check ~max_states ~model factory ~nprocs in
+    Fmt.pr "%a@." Verify.Obstruction.pp_verdict v;
+    if v.Verify.Obstruction.holds then `Ok ()
+    else `Error (false, "not obstruction-free")
+  in
+  Cmd.v
+    (Cmd.info "obstruction"
+       ~doc:"Check weak obstruction-freedom (the paper's Section 2 property)")
+    Term.(ret (const run $ lock_t $ model_t $ nprocs_t $ max_states_t))
+
+let litmus_cmd =
+  let test_t =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TEST" ~doc:"Test name.")
+  in
+  let run test =
+    let tests =
+      match test with
+      | None -> Litmus.Cases.all
+      | Some name -> (
+          match
+            List.find_opt
+              (fun t -> String.lowercase_ascii t.Litmus.Test.name = String.lowercase_ascii name)
+              Litmus.Cases.all
+          with
+          | Some t -> [ t ]
+          | None -> [])
+    in
+    if tests = [] then `Error (false, "unknown litmus test")
+    else begin
+      List.iter
+        (fun t ->
+          List.iter
+            (fun model ->
+              let r = Litmus.Test.run t ~model in
+              Fmt.pr "%a@." Litmus.Test.pp_run r)
+            Memory_model.all)
+        tests;
+      `Ok ()
+    end
+  in
+  Cmd.v (Cmd.info "litmus" ~doc:"Reachable litmus outcomes per memory model")
+    Term.(ret (const run $ test_t))
+
+let encode_cmd =
+  let pi_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pi" ] ~docv:"DIGITS" ~doc:"Permutation as digits, e.g. 2031.")
+  in
+  let run (name, factory) nprocs pi =
+   protect @@ fun () ->
+    ignore name;
+    let pi =
+      match pi with
+      | Some s -> Array.init (String.length s) (fun i -> Char.code s.[i] - Char.code '0')
+      | None -> Fencelab.Experiment.random_permutation ~seed:0 nprocs
+    in
+    let n = Array.length pi in
+    let _, cinit =
+      Objects.Count.configure factory ~model:Memory_model.Pso ~nprocs:n
+    in
+    let r = Encoding.Encoder.encode ~cinit ~pi () in
+    Fmt.pr "%a@." Encoding.Bound.pp_report (Encoding.Bound.report_of r);
+    for p = 0 to n - 1 do
+      Fmt.pr "p%d: %a@." p Encoding.Cstack.pp
+        (Option.value ~default:Encoding.Cstack.empty
+           (Pid.Map.find_opt p r.Encoding.Encoder.stacks))
+    done;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Run the Section 5 encoder on a permutation")
+    Term.(ret (const run $ lock_t $ nprocs_t $ pi_t))
+
+let () =
+  let doc = "the fence/RMR tradeoff laboratory (PODC'15 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "fencelab" ~doc)
+          [
+            locks_cmd; passage_cmd; sweep_cmd; check_cmd; stress_cmd;
+            obstruction_cmd; litmus_cmd; encode_cmd;
+          ]))

@@ -1,0 +1,48 @@
+(* Tradeoff explorer: walk the GT_f family between the Bakery lock
+   (f=1: constant fences, linear RMRs) and the tournament tree
+   (f=log n: logarithmic both) and watch Equation (2) hold.
+
+   Also answers the practical question the tradeoff raises: if a fence
+   costs X times an RMR on your machine, which height should you pick?
+
+   $ dune exec examples/tradeoff_explorer.exe [n]                       *)
+
+open Memsim
+open Fencelab
+
+let () =
+  let n =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 128
+  in
+  Fmt.pr "GT_f sweep for n = %d (PSO, uncontended passage)@.@." n;
+  let max_f = int_of_float (ceil (Tradeoff.floor_log_n ~nprocs:n)) in
+  let rows =
+    List.map
+      (fun f ->
+        let c =
+          Experiment.passage_cost ~model:Memory_model.Pso
+            (Locks.Gt.lock ~height:f) ~nprocs:n
+        in
+        [
+          Report.icol f;
+          c.Experiment.lock_name;
+          Report.icol c.Experiment.fences;
+          Report.icol c.Experiment.rmr;
+          Report.fcol (Tradeoff.gt_rmrs ~nprocs:n ~height:f);
+          Report.fcol c.Experiment.product;
+        ])
+      (List.init max_f (fun i -> i + 1))
+  in
+  Report.print
+    ~headers:[ "f"; "lock"; "fences"; "rmr"; "predicted r"; "f(log(r/f)+1)" ]
+    rows;
+  Fmt.pr
+    "@.The product column hovers around log2 n = %.1f at every height: the \
+     lower bound of Theorem 4.2 is tight along the whole curve.@.@."
+    (Tradeoff.floor_log_n ~nprocs:n);
+  List.iter
+    (fun ratio ->
+      Fmt.pr
+        "if a fence costs %3.0fx an RMR, pick f = %d@." ratio
+        (Tradeoff.optimal_height ~nprocs:n ~fence_cost:ratio ~rmr_cost:1.))
+    [ 1.; 4.; 16.; 64. ]

@@ -1,0 +1,52 @@
+(* A guided tour of the memory models: run the litmus tests and print
+   the reachable outcomes per model, then show the same separation
+   biting a real lock — Peterson with batched doorway writes is correct
+   under TSO and breaks under PSO, with the counterexample trace.
+
+   $ dune exec examples/weak_memory_tour.exe                            *)
+
+open Memsim
+
+let () =
+  Fmt.pr "Part 1: litmus tests — what can each memory model observe?@.";
+  List.iter
+    (fun t ->
+      Fmt.pr "@.%s (%s)@." t.Litmus.Test.name t.Litmus.Test.description;
+      List.iter
+        (fun model ->
+          let r = Litmus.Test.run t ~model in
+          Fmt.pr "  %-4s: %a@."
+            (Memory_model.to_string model)
+            Fmt.(list ~sep:(any " | ") Litmus.Test.pp_outcome)
+            r.Litmus.Test.outcomes)
+        Memory_model.all)
+    [ Litmus.Cases.sb; Litmus.Cases.mp; Litmus.Cases.mp_fenced ];
+
+  Fmt.pr
+    "@.Part 2: the same write-reordering gap breaks a lock.@.\
+     peterson-batched does both doorway writes and then ONE fence —@.\
+     enough under TSO (FIFO buffers), fatal under PSO:@.";
+  List.iter
+    (fun model ->
+      let v =
+        Verify.Mutex_check.check ~model
+          (Locks.Peterson.lock_with ~style:`Batched)
+          ~nprocs:2
+      in
+      Fmt.pr "@.  %a@." Verify.Mutex_check.pp_verdict v;
+      match v.Verify.Mutex_check.me_violation with
+      | None -> ()
+      | Some path ->
+          let trace, _ =
+            Verify.Mutex_check.replay ~model
+              (Locks.Peterson.lock_with ~style:`Batched)
+              ~nprocs:2 ~rounds:1 path
+          in
+          Fmt.pr "  counterexample (%d steps):@." (List.length path);
+          List.iter (fun s -> Fmt.pr "    %a@." Step.pp s) trace)
+    [ Memory_model.Tso; Memory_model.Pso ];
+
+  Fmt.pr
+    "@.This is the paper's separation, operationally: under TSO a lock can \
+     batch its writes behind O(1) fences; under PSO the tradeoff forces \
+     f(log(r/f)+1) = Omega(log n).@."

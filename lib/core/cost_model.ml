@@ -1,0 +1,64 @@
+(** Machine cost models: turn step censuses into simulated latencies.
+
+    The tradeoff is about {e trading}: whether to buy fewer fences at
+    the price of more RMRs depends on what each costs on a given
+    machine. A cost model assigns latencies to fences, RMRs and local
+    steps; {!latency} prices a counter record, and {!best_height}
+    empirically picks the cheapest [GT_f] by measuring each height —
+    the measured counterpart of {!Tradeoff.optimal_height}'s analytic
+    answer. *)
+
+open Memsim
+
+type t = {
+  label : string;
+  fence : float;  (** cost of a fence, in units of a local step *)
+  rmr : float;  (** cost of a remote access *)
+  local : float;  (** cost of a local step *)
+}
+
+(** Three representative machines: fences cheap (aggressive
+    speculation), balanced, and fences dear (deep store buffers /
+    global barrier). *)
+let presets =
+  [
+    { label = "fence=rmr"; fence = 50.; rmr = 50.; local = 1. };
+    { label = "fence=4*rmr"; fence = 200.; rmr = 50.; local = 1. };
+    { label = "fence=16*rmr"; fence = 800.; rmr = 50.; local = 1. };
+  ]
+
+(** Simulated latency of a counter record under the model. Local steps
+    are everything that is neither a fence nor remote; strong
+    primitives already count as one fence plus (when remote) one RMR. *)
+let latency t (c : Metrics.counters) =
+  let locals = c.Metrics.steps - c.Metrics.fences - c.Metrics.rmr in
+  (float_of_int c.Metrics.fences *. t.fence)
+  +. (float_of_int c.Metrics.rmr *. t.rmr)
+  +. (float_of_int (max 0 locals) *. t.local)
+
+(** Price one uncontended passage of a lock. *)
+let passage_latency t ~model factory ~nprocs =
+  let c = Experiment.passage_cost ~model factory ~nprocs in
+  latency t
+    {
+      Metrics.zero with
+      Metrics.fences = c.Experiment.fences;
+      rmr = c.Experiment.rmr;
+      steps = c.Experiment.fences + c.Experiment.rmr;
+    }
+
+(** Cheapest [GT_f] height under the cost model, by measurement. *)
+let best_height t ~model ~nprocs =
+  let max_f =
+    max 1 (int_of_float (ceil (Tradeoff.floor_log_n ~nprocs)))
+  in
+  let rec go best best_cost f =
+    if f > max_f then (best, best_cost)
+    else
+      let cost =
+        passage_latency t ~model (Locks.Gt.lock ~height:f) ~nprocs
+      in
+      if cost < best_cost then go f cost (f + 1) else go best best_cost (f + 1)
+  in
+  let c1 = passage_latency t ~model (Locks.Gt.lock ~height:1) ~nprocs in
+  go 1 c1 2

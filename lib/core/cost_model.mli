@@ -1,0 +1,16 @@
+(** Machine cost models: price fences vs RMRs and pick the cheapest
+    point on the GT_f curve — the "trading" in the paper's title made
+    actionable. *)
+
+open Memsim
+
+type t = { label : string; fence : float; rmr : float; local : float }
+
+val presets : t list
+val latency : t -> Metrics.counters -> float
+
+val passage_latency :
+  t -> model:Memory_model.t -> Locks.Lock.factory -> nprocs:int -> float
+
+(** Cheapest GT height and its cost, by measurement. *)
+val best_height : t -> model:Memory_model.t -> nprocs:int -> int * float

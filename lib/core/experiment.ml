@@ -1,0 +1,204 @@
+(** Experiment drivers — one per row of DESIGN.md's experiment index.
+
+    Everything here is deterministic: sequential executions for the
+    uncontended per-passage costs the paper quotes (E2–E4), seeded
+    permutations for the encoding experiments (E1/E6), bounded
+    exhaustive exploration for the litmus and correctness experiments
+    (E7/E8). Benches and the CLI only format what these return. *)
+
+open Memsim
+
+(* ------------------------------------------------------------------ *)
+(* Per-passage lock costs (E2, E3, E4)                                  *)
+(* ------------------------------------------------------------------ *)
+
+type passage_cost = {
+  lock_name : string;
+  nprocs : int;
+  fences : int;  (** max fences of any process for one passage *)
+  rmr : int;  (** max combined-model RMRs (the paper's r) *)
+  rmr_dsm : int;
+  rmr_cc : int;
+  product : float;  (** f·(log2(r/f)+1), Equation (1)'s left side *)
+}
+
+(** Uncontended per-passage cost: all processes execute one passage,
+    one after another; report the worst process (the paper's per-passage
+    worst case; under sequential execution later processes pay the most
+    because earlier ones dirtied the registers). *)
+let passage_cost ~model (factory : Locks.Lock.factory) ~nprocs : passage_cost =
+  let builder = Layout.Builder.create ~nprocs in
+  let lock = factory builder ~nprocs in
+  let layout = Layout.Builder.freeze builder in
+  let programs =
+    Array.init nprocs (fun p -> Locks.Lock.passages lock p ~rounds:1)
+  in
+  let cfg = Config.make ~model ~layout programs in
+  let _, final = Scheduler.sequential cfg in
+  let worst =
+    List.fold_left
+      (fun acc p ->
+        let c = Metrics.of_pid final.Config.metrics p in
+        {
+          acc with
+          fences = max acc.fences c.Metrics.fences;
+          rmr = max acc.rmr c.Metrics.rmr;
+          rmr_dsm = max acc.rmr_dsm c.Metrics.rmr_dsm;
+          rmr_cc = max acc.rmr_cc c.Metrics.rmr_cc;
+        })
+      {
+        lock_name = lock.Locks.Lock.name;
+        nprocs;
+        fences = 0;
+        rmr = 0;
+        rmr_dsm = 0;
+        rmr_cc = 0;
+        product = 0.;
+      }
+      (List.init nprocs Fun.id)
+  in
+  { worst with product = Tradeoff.product ~fences:worst.fences ~rmrs:worst.rmr }
+
+(** Contended per-passage cost: every process performs [rounds]
+    passages under the seeded random scheduler; report mean fences and
+    RMRs per passage across all processes. *)
+let contended_cost ?(rounds = 4) ?(seed = 42) ~model
+    (factory : Locks.Lock.factory) ~nprocs : float * float =
+  let builder = Layout.Builder.create ~nprocs in
+  let lock = factory builder ~nprocs in
+  let layout = Layout.Builder.freeze builder in
+  let programs =
+    Array.init nprocs (fun p -> Locks.Lock.passages lock p ~rounds)
+  in
+  let cfg = Config.make ~model ~layout programs in
+  let _, final = Scheduler.random ~seed cfg in
+  let total = Metrics.total final.Config.metrics in
+  let passages = float_of_int (nprocs * rounds) in
+  ( float_of_int total.Metrics.fences /. passages,
+    float_of_int total.Metrics.rmr /. passages )
+
+(* ------------------------------------------------------------------ *)
+(* Encoding experiments (E1, E6)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let random_permutation ~seed n =
+  let rng = Random.State.make [| seed; n; 0xfe27 |] in
+  let a = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+type encoding_point = {
+  nprocs : int;
+  samples : int;
+  max_bits : int;  (** worst measured code length over the sampled π *)
+  mean_bits : float;
+  max_formula : float;  (** worst β(log(ρ/β)+1) *)
+  log2_fact : float;
+  beta : int;  (** β of the worst-bits sample *)
+  rho : int;
+  census : Encoding.Bound.census;  (** census of the worst-bits sample *)
+}
+
+(** Encode [samples] seeded random permutations of the Count algorithm
+    over [factory] and aggregate the measured code lengths (E1) and the
+    command census (E6). *)
+let encoding_point ?(samples = 5) ~model (factory : Locks.Lock.factory)
+    ~nprocs () : encoding_point =
+  let worst = ref None in
+  let sum_bits = ref 0 and max_bits = ref 0 and max_formula = ref 0. in
+  for seed = 0 to samples - 1 do
+    let pi = random_permutation ~seed nprocs in
+    let _, cinit = Objects.Count.configure factory ~model ~nprocs in
+    let r = Encoding.Encoder.encode ~cinit ~pi () in
+    let rep = Encoding.Bound.report_of r in
+    sum_bits := !sum_bits + rep.Encoding.Bound.bits;
+    if rep.Encoding.Bound.bits > !max_bits then begin
+      max_bits := rep.Encoding.Bound.bits;
+      worst := Some rep
+    end;
+    max_formula := Float.max !max_formula rep.Encoding.Bound.formula
+  done;
+  let w = Option.get !worst in
+  {
+    nprocs;
+    samples;
+    max_bits = !max_bits;
+    mean_bits = float_of_int !sum_bits /. float_of_int samples;
+    max_formula = !max_formula;
+    log2_fact = Encoding.Bound.log2_factorial nprocs;
+    beta = w.Encoding.Bound.beta;
+    rho = w.Encoding.Bound.rho;
+    census = w.Encoding.Bound.census;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Litmus matrix (E7)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type litmus_cell = { reachable : bool; states : int }
+
+(** For every test × model: is the test's characteristic weak outcome
+    reachable? *)
+let litmus_matrix ?max_states () :
+    (Litmus.Test.t * (Memory_model.t * litmus_cell) list) list =
+  List.map
+    (fun t ->
+      ( t,
+        List.map
+          (fun model ->
+            let r = Litmus.Test.run ?max_states t ~model in
+            ( model,
+              {
+                reachable =
+                  Litmus.Test.admits r (Litmus.Cases.interesting_outcome t);
+                states = r.Litmus.Test.stats.Explore.states;
+              } ))
+          Memory_model.all ))
+    Litmus.Cases.all
+
+(* ------------------------------------------------------------------ *)
+(* Correctness / ablation matrix (E8)                                   *)
+(* ------------------------------------------------------------------ *)
+
+type ablation_row = {
+  variant : string;
+  verdicts : (Memory_model.t * Verify.Mutex_check.verdict) list;
+}
+
+let bakery_ablation ?(nprocs = 2) ?(rounds = 1) ?max_states () :
+    ablation_row list =
+  List.map
+    (fun spec ->
+      {
+        variant = "bakery-" ^ spec.Locks.Variants.label;
+        verdicts =
+          List.map
+            (fun model ->
+              ( model,
+                Verify.Mutex_check.check ?max_states ~rounds ~model
+                  (Locks.Variants.bakery_variant spec)
+                  ~nprocs ))
+            Memory_model.all;
+      })
+    Locks.Variants.all_specs
+
+let peterson_styles ?(rounds = 1) ?max_states () : ablation_row list =
+  List.map
+    (fun style ->
+      {
+        variant = "peterson-" ^ Locks.Peterson.style_name style;
+        verdicts =
+          List.map
+            (fun model ->
+              ( model,
+                Verify.Mutex_check.check ?max_states ~rounds ~model
+                  (Locks.Peterson.lock_with ~style)
+                  ~nprocs:2 ))
+            Memory_model.all;
+      })
+    [ `Per_write; `Batched; `Unfenced ]

@@ -1,0 +1,64 @@
+(** Experiment drivers — one per row of DESIGN.md's experiment index.
+    Deterministic throughout: sequential executions for uncontended
+    per-passage costs (E2–E4), seeded permutations for the encoding
+    experiments (E1/E6), bounded exhaustive exploration for litmus and
+    correctness (E7/E8). *)
+
+open Memsim
+
+type passage_cost = {
+  lock_name : string;
+  nprocs : int;
+  fences : int;  (** max fences of any process for one passage *)
+  rmr : int;  (** max combined-model RMRs (the paper's r) *)
+  rmr_dsm : int;
+  rmr_cc : int;
+  product : float;  (** Equation (1)'s left side *)
+}
+
+(** Uncontended per-passage cost (worst process, sequential run). *)
+val passage_cost :
+  model:Memory_model.t -> Locks.Lock.factory -> nprocs:int -> passage_cost
+
+(** Mean (fences, RMRs) per passage under the seeded random scheduler. *)
+val contended_cost :
+  ?rounds:int -> ?seed:int -> model:Memory_model.t -> Locks.Lock.factory ->
+  nprocs:int -> float * float
+
+(** Seeded Fisher–Yates permutation of [0..n-1]. *)
+val random_permutation : seed:int -> int -> int array
+
+type encoding_point = {
+  nprocs : int;
+  samples : int;
+  max_bits : int;
+  mean_bits : float;
+  max_formula : float;
+  log2_fact : float;
+  beta : int;  (** β of the worst-bits sample *)
+  rho : int;
+  census : Encoding.Bound.census;
+}
+
+(** Encode [samples] seeded permutations of Count over the lock and
+    aggregate code lengths (E1) and the command census (E6). *)
+val encoding_point :
+  ?samples:int -> model:Memory_model.t -> Locks.Lock.factory -> nprocs:int ->
+  unit -> encoding_point
+
+type litmus_cell = { reachable : bool; states : int }
+
+(** Per test × model: is the characteristic weak outcome reachable? *)
+val litmus_matrix :
+  ?max_states:int -> unit ->
+  (Litmus.Test.t * (Memory_model.t * litmus_cell) list) list
+
+type ablation_row = {
+  variant : string;
+  verdicts : (Memory_model.t * Verify.Mutex_check.verdict) list;
+}
+
+val bakery_ablation :
+  ?nprocs:int -> ?rounds:int -> ?max_states:int -> unit -> ablation_row list
+
+val peterson_styles : ?rounds:int -> ?max_states:int -> unit -> ablation_row list

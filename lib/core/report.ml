@@ -1,0 +1,38 @@
+(** Minimal fixed-width table rendering for experiment output. *)
+
+type align = L | R
+
+let render ?(align : align list option) ~headers rows =
+  let ncols = List.length headers in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | Some _ | None -> List.init ncols (fun i -> if i = 0 then L else R)
+  in
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map String.length headers)
+      rows
+  in
+  let pad a w s =
+    let d = w - String.length s in
+    if d <= 0 then s
+    else
+      match a with
+      | L -> s ^ String.make d ' '
+      | R -> String.make d ' ' ^ s
+  in
+  let line row =
+    String.concat "  "
+      (List.map2 (fun (a, w) c -> pad a w c)
+         (List.combine aligns widths)
+         row)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line headers :: sep :: List.map line rows)
+
+let print ?align ~headers rows = print_endline (render ?align ~headers rows)
+
+let fcol f = Fmt.str "%.1f" f
+let icol = string_of_int

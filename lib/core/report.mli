@@ -1,0 +1,12 @@
+(** Fixed-width table rendering for experiment output. *)
+
+type align = L | R
+
+(** Render a table; default alignment is left for the first column,
+    right elsewhere. *)
+val render : ?align:align list -> headers:string list -> string list list -> string
+
+val print : ?align:align list -> headers:string list -> string list list -> unit
+
+val fcol : float -> string
+val icol : int -> string

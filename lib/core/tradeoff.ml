@@ -1,0 +1,49 @@
+(** The fence/RMR tradeoff, analytically (Equations 1 and 2).
+
+    The paper's lower bound: any ordering algorithm has executions in
+    which some process pays [f·(log2(r/f) + 1) ∈ Ω(log n)], where f is
+    its fences and r its RMRs for one passage. The matching upper bound
+    is the [GT_f] family with [f] fences (×4 for Bakery's constant) and
+    [O(f·n^(1/f))] RMRs. These helpers evaluate both sides so benches
+    can print predicted-vs-measured columns. *)
+
+let log2 x = log x /. log 2.
+
+(** Left-hand side of Equation (1) for one passage. *)
+let product ~fences ~rmrs =
+  if fences = 0 then 0.
+  else
+    float_of_int fences
+    *. (log2 (max 1. (float_of_int rmrs /. float_of_int fences)) +. 1.)
+
+(** The bound's right-hand side, up to its constant: [log2 n]. *)
+let floor_log_n ~nprocs = log2 (float_of_int nprocs)
+
+(** Predicted RMRs per passage for [GT_f] (Equation 2): [f · n^(1/f)],
+    up to the Bakery node constant. *)
+let gt_rmrs ~nprocs ~height =
+  float_of_int height
+  *. (float_of_int nprocs ** (1. /. float_of_int height))
+
+(** Is [(fences, rmrs)] consistent with the lower bound for [nprocs],
+    allowing slack factor [c]? Used by property tests: no measured
+    passage of a correct ordering algorithm may fall below the bound by
+    more than the constant the theorem hides. *)
+let respects_lower_bound ?(c = 0.25) ~nprocs ~fences ~rmrs () =
+  product ~fences ~rmrs >= (c *. floor_log_n ~nprocs) -. 1e-9
+
+(** Smallest f in [1 .. log n] minimising a weighted cost
+    [f·fence_cost + r(f)·rmr_cost] under the Equation-2 frontier —
+    the "how many fences should I buy" helper the tradeoff implies. *)
+let optimal_height ~nprocs ~fence_cost ~rmr_cost =
+  let max_f = max 1 (int_of_float (ceil (log2 (float_of_int nprocs)))) in
+  let cost f =
+    (float_of_int f *. fence_cost) +. (gt_rmrs ~nprocs ~height:f *. rmr_cost)
+  in
+  let rec go best best_cost f =
+    if f > max_f then best
+    else
+      let c = cost f in
+      if c < best_cost then go f c (f + 1) else go best best_cost (f + 1)
+  in
+  go 1 (cost 1) 2

@@ -1,0 +1,21 @@
+(** The fence/RMR tradeoff, analytically (Equations 1 and 2). *)
+
+(** Left-hand side of Equation (1) for one passage:
+    [f·(log2(r/f) + 1)]. *)
+val product : fences:int -> rmrs:int -> float
+
+(** The bound's right-hand side up to its constant: [log2 n]. *)
+val floor_log_n : nprocs:int -> float
+
+(** Predicted RMRs per passage for [GT_f] (Equation 2): [f·n^(1/f)]. *)
+val gt_rmrs : nprocs:int -> height:int -> float
+
+(** Is the point consistent with the lower bound, with slack factor [c]
+    (default 0.25) standing in for the theorem's hidden constant? *)
+val respects_lower_bound :
+  ?c:float -> nprocs:int -> fences:int -> rmrs:int -> unit -> bool
+
+(** Height in [1 .. log n] minimising
+    [f·fence_cost + f·n^(1/f)·rmr_cost] — which tradeoff point to buy
+    given machine costs. *)
+val optimal_height : nprocs:int -> fence_cost:float -> rmr_cost:float -> int

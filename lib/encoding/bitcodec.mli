@@ -1,0 +1,42 @@
+(** Bit-level serialization of command stacks: 3-bit command tags plus
+    Elias-γ parameters, so experiments measure the actual code length
+    B(E_π) against [log2 n!]. *)
+
+type writer
+
+val writer : unit -> writer
+val put_bit : writer -> bool -> unit
+val put_bits : writer -> int -> width:int -> unit
+val bit_length : writer -> int
+
+type bits = { data : Bytes.t; nbits : int }
+
+val finish : writer -> bits
+
+type reader
+
+val reader : bits -> reader
+
+(** Raises [Invalid_argument] past the end. *)
+val get_bit : reader -> bool
+
+val get_bits : reader -> width:int -> int
+
+(** Elias-γ code of [v ≥ 1]. *)
+val put_gamma : writer -> int -> unit
+
+val get_gamma : reader -> int
+
+(** Length in bits of γ(v): [2⌊log2 v⌋ + 1]. *)
+val gamma_length : int -> int
+
+val put_command : writer -> Command.t -> unit
+val get_command : reader -> Command.t
+
+(** Serialize the stacks of all [nprocs] processes. *)
+val encode_stacks : nprocs:int -> Cstack.t Memsim.Pid.Map.t -> bits
+
+val decode_stacks : nprocs:int -> bits -> Cstack.t Memsim.Pid.Map.t
+
+(** Code length in bits — the measured B(E_π). *)
+val code_length : nprocs:int -> Cstack.t Memsim.Pid.Map.t -> int

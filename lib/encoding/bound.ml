@@ -1,0 +1,102 @@
+(** Quantities of Theorem 4.2 and the per-execution census of Table 1.
+
+    For an encoded execution we report: β (fences), ρ (combined RMRs),
+    the command census (how many of each command, sum of parameter
+    values — the proof needs #commands ∈ O(β) and Σ values ∈ O(ρ)), the
+    measured bit length of the serialized stacks, the analytic form
+    [β·(log2(ρ/β)+1)], and the information-theoretic floor [log2 n!]
+    that at least one permutation's code must reach. *)
+
+open Memsim
+
+type census = {
+  proceeds : int;
+  commits : int;
+  hidden : int;  (** wait-hidden-commit commands *)
+  read_finish : int;
+  local_finish : int;
+  total_commands : int;  (** m_π *)
+  total_value : int;  (** v_π = Σ val(cmd) *)
+}
+
+let census_of_stacks stacks : census =
+  let z =
+    {
+      proceeds = 0;
+      commits = 0;
+      hidden = 0;
+      read_finish = 0;
+      local_finish = 0;
+      total_commands = 0;
+      total_value = 0;
+    }
+  in
+  Pid.Map.fold
+    (fun _ stack acc ->
+      List.fold_left
+        (fun acc c ->
+          let acc =
+            {
+              acc with
+              total_commands = acc.total_commands + 1;
+              total_value = acc.total_value + Command.value c;
+            }
+          in
+          match c with
+          | Command.Proceed -> { acc with proceeds = acc.proceeds + 1 }
+          | Command.Commit -> { acc with commits = acc.commits + 1 }
+          | Command.Wait_hidden_commit _ -> { acc with hidden = acc.hidden + 1 }
+          | Command.Wait_read_finish _ ->
+              { acc with read_finish = acc.read_finish + 1 }
+          | Command.Wait_local_finish _ ->
+              { acc with local_finish = acc.local_finish + 1 })
+        acc (Cstack.to_list stack))
+    stacks z
+
+let pp_census ppf c =
+  Fmt.pf ppf
+    "commands=%d (proceed %d, commit %d, hidden %d, read-fin %d, local-fin %d) \
+     Σval=%d"
+    c.total_commands c.proceeds c.commits c.hidden c.read_finish c.local_finish
+    c.total_value
+
+type report = {
+  nprocs : int;
+  beta : int;  (** fences in E_π *)
+  rho : int;  (** combined-model RMRs in E_π *)
+  census : census;
+  bits : int;  (** measured code length B(E_π) *)
+  formula : float;  (** β·(log2(ρ/β) + 1) *)
+  log2_fact : float;  (** log2 n! *)
+}
+
+let log2 x = log x /. log 2.
+
+let log2_factorial n =
+  let rec go acc k = if k <= 1 then acc else go (acc +. log2 (float_of_int k)) (k - 1) in
+  go 0. n
+
+let formula ~beta ~rho =
+  if beta = 0 then 0.
+  else
+    float_of_int beta
+    *. (log2 (max 1. (float_of_int rho /. float_of_int beta)) +. 1.)
+
+let report_of (r : Encoder.result) : report =
+  let nprocs = Config.nprocs r.Encoder.final in
+  let beta = Metrics.beta r.Encoder.final.Config.metrics in
+  let rho = Metrics.rho r.Encoder.final.Config.metrics in
+  {
+    nprocs;
+    beta;
+    rho;
+    census = census_of_stacks r.Encoder.stacks;
+    bits = Bitcodec.code_length ~nprocs r.Encoder.stacks;
+    formula = formula ~beta ~rho;
+    log2_fact = log2_factorial nprocs;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "n=%d β=%d ρ=%d bits=%d β(log(ρ/β)+1)=%.1f log2(n!)=%.1f | %a" r.nprocs
+    r.beta r.rho r.bits r.formula r.log2_fact pp_census r.census

@@ -1,0 +1,30 @@
+(** Quantities of Theorem 4.2 and the per-execution command census of
+    Table 1. *)
+
+type census = {
+  proceeds : int;
+  commits : int;
+  hidden : int;
+  read_finish : int;
+  local_finish : int;
+  total_commands : int;  (** m_π *)
+  total_value : int;  (** v_π = Σ val(cmd) *)
+}
+
+val census_of_stacks : Cstack.t Memsim.Pid.Map.t -> census
+val pp_census : census Fmt.t
+
+type report = {
+  nprocs : int;
+  beta : int;  (** fences in E_π *)
+  rho : int;  (** combined-model RMRs in E_π *)
+  census : census;
+  bits : int;  (** measured code length B(E_π) *)
+  formula : float;  (** β·(log2(ρ/β) + 1) *)
+  log2_fact : float;  (** log2 n! *)
+}
+
+val log2_factorial : int -> float
+val formula : beta:int -> rho:int -> float
+val report_of : Encoder.result -> report
+val pp_report : report Fmt.t

@@ -1,0 +1,57 @@
+(** The five commands of the lower-bound encoding (Table 1 / Section 5.1).
+
+    An execution [E_π] is encoded as one command stack per process; the
+    decoder interprets stacks against configurations to reconstruct the
+    execution, and the encoder grows stacks bottom-up. The [S] sets of
+    the wait commands are {e runtime} decoder state (they start empty
+    and collect the processes being waited for); only the integer
+    parameter is part of the code, which is why {!val:value} and the bit
+    codec look at [k] alone. *)
+
+type t =
+  | Proceed
+      (** let the process take steps until it is poised at a fence with
+          a non-empty write buffer (or at its return) *)
+  | Commit  (** commit the rest of the write batch *)
+  | Wait_hidden_commit of int
+      (** [k] writes of this process's batch are to be committed right
+          before earlier processes overwrite them (hidden commits) *)
+  | Wait_read_finish of int * Memsim.Pid.Set.t
+      (** wait for [k] earlier processes that read registers this
+          process is about to write, then commit *)
+  | Wait_local_finish of int * Memsim.Pid.Set.t
+      (** before the first step: wait for [k] earlier processes that
+          access this process's memory segment to finish *)
+
+(** The value of a command — the quantity the lower bound sums: 1 for
+    the parameterless commands, [k] for the parameterized ones. *)
+let value = function
+  | Proceed | Commit -> 1
+  | Wait_hidden_commit k | Wait_read_finish (k, _) | Wait_local_finish (k, _) ->
+      k
+
+(** Structural equality ignoring the runtime [S] sets — the notion under
+    which a decoded stack matches its encoded form. *)
+let same_code a b =
+  match (a, b) with
+  | Proceed, Proceed | Commit, Commit -> true
+  | Wait_hidden_commit j, Wait_hidden_commit k -> j = k
+  | Wait_read_finish (j, _), Wait_read_finish (k, _) -> j = k
+  | Wait_local_finish (j, _), Wait_local_finish (k, _) -> j = k
+  | ( ( Proceed | Commit | Wait_hidden_commit _ | Wait_read_finish _
+      | Wait_local_finish _ ),
+      _ ) ->
+      false
+
+let pp ppf = function
+  | Proceed -> Fmt.string ppf "proceed"
+  | Commit -> Fmt.string ppf "commit"
+  | Wait_hidden_commit k -> Fmt.pf ppf "wait-hidden-commit(%d)" k
+  | Wait_read_finish (k, s) ->
+      Fmt.pf ppf "wait-read-finish(%d,{%a})" k
+        (Fmt.list ~sep:Fmt.comma Memsim.Pid.pp)
+        (Memsim.Pid.Set.elements s)
+  | Wait_local_finish (k, s) ->
+      Fmt.pf ppf "wait-local-finish(%d,{%a})" k
+        (Fmt.list ~sep:Fmt.comma Memsim.Pid.pp)
+        (Memsim.Pid.Set.elements s)

@@ -1,0 +1,19 @@
+(** The five commands of the lower-bound encoding (Table 1 /
+    Section 5.1). The [S] sets of the wait commands are runtime decoder
+    state; only the integer parameter is part of the code. *)
+
+type t =
+  | Proceed
+  | Commit
+  | Wait_hidden_commit of int
+  | Wait_read_finish of int * Memsim.Pid.Set.t
+  | Wait_local_finish of int * Memsim.Pid.Set.t
+
+(** 1 for the parameterless commands, [k] for the parameterized ones —
+    the quantity the lower bound sums. *)
+val value : t -> int
+
+(** Equality ignoring the runtime [S] sets. *)
+val same_code : t -> t -> bool
+
+val pp : t Fmt.t

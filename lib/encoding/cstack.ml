@@ -1,0 +1,36 @@
+(** Command stacks.
+
+    The decoder pops and pushes at the {e top}; the encoder appends new
+    commands at the {e bottom} (the inductive construction of Section
+    5.2 extends the future of a process's behaviour). Stacks are short
+    — O(fences of one process) — so a list with [push_bottom] as append
+    is the right representation. *)
+
+type t = Command.t list  (** head = top *)
+
+let empty : t = []
+let is_empty (t : t) = t = []
+let top = function [] -> None | c :: _ -> Some c
+
+let pop = function
+  | [] -> invalid_arg "Cstack.pop: empty stack"
+  | c :: rest -> (c, rest)
+
+let push c (t : t) : t = c :: t
+let push_bottom c (t : t) : t = t @ [ c ]
+let size = List.length
+let to_list (t : t) = t
+let of_list (l : Command.t list) : t = l
+
+(** Sum of command values — the stack's contribution to the v_π of
+    Section 5.3.4. *)
+let value (t : t) = List.fold_left (fun acc c -> acc + Command.value c) 0 t
+
+(** Replace the top element (which must exist) by [c]. *)
+let replace_top c (t : t) : t =
+  match t with
+  | [] -> invalid_arg "Cstack.replace_top: empty stack"
+  | _ :: rest -> c :: rest
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") Command.pp) t

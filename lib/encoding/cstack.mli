@@ -1,0 +1,28 @@
+(** Command stacks: the decoder pops/pushes at the top, the encoder
+    appends at the bottom. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val top : t -> Command.t option
+
+(** Raises [Invalid_argument] on an empty stack. *)
+val pop : t -> Command.t * t
+
+val push : Command.t -> t -> t
+val push_bottom : Command.t -> t -> t
+val size : t -> int
+
+(** Top first. *)
+val to_list : t -> Command.t list
+
+val of_list : Command.t list -> t
+
+(** Sum of command values. *)
+val value : t -> int
+
+(** Replace the top element (which must exist). *)
+val replace_top : Command.t -> t -> t
+
+val pp : t Fmt.t

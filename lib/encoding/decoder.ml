@@ -1,0 +1,233 @@
+(** The decoder: from command stacks to an execution (Section 5.1).
+
+    An extended configuration [Γ = (C; St_0 .. St_{n-1})] determines an
+    execution [E(Γ)] one step at a time. Processes are classified as
+
+    - {e finished} — in a final state;
+    - {e commit enabled} — top of stack is [commit], poised at a fence,
+      buffer non-empty;
+    - {e non-commit enabled} — top of stack is [proceed], the process
+      would reach a final state running alone (the solo-termination side
+      condition that keeps executions finite), and its next operation is
+      a read/write (spins are reads), a fence over an empty buffer, or a
+      return whose value equals the number of finished processes;
+    - {e waiting} — everything else.
+
+    Decoding rule D1 serves commit-enabled processes (possibly
+    redirecting the commit to a process whose [wait-hidden-commit] wants
+    its write hidden under the imminent overwrite), D2 serves the
+    smallest non-commit-enabled process with an operation step, and D3
+    ends the execution when everyone is waiting or finished. The rules
+    also maintain the wait commands' [S] sets, which record which
+    processes are being waited for. *)
+
+open Memsim
+
+type ext = { cfg : Config.t; stacks : Cstack.t Pid.Map.t }
+
+let make cfg stacks = { cfg; stacks }
+let empty_stacks = Pid.Map.empty
+
+let stack ext p =
+  match Pid.Map.find_opt p ext.stacks with None -> Cstack.empty | Some s -> s
+
+let set_stack ext p s = { ext with stacks = Pid.Map.add p s ext.stacks }
+let top ext p = Cstack.top (stack ext p)
+
+let pids ext = List.init (Config.nprocs ext.cfg) Fun.id
+
+let is_commit_enabled ext p =
+  (match top ext p with Some Command.Commit -> true | _ -> false)
+  && Config.next_kind ext.cfg p = Program.Op_fence
+  && not (Wbuf.is_empty (Config.wbuf ext.cfg p))
+
+let is_non_commit_enabled ext p =
+  (match top ext p with Some Command.Proceed -> true | _ -> false)
+  && (match Config.next_kind ext.cfg p with
+     | Program.Op_read | Op_write | Op_spin -> true
+     | Op_return r -> r = Config.nb_final ext.cfg
+     | Op_fence -> Wbuf.is_empty (Config.wbuf ext.cfg p)
+     | Op_cas ->
+         (* the paper's class has no strong primitives; a cas would need
+            its own commit discipline, so we refuse to decode it *)
+         invalid_arg "Decoder: cas in an encoded program"
+     | Op_done -> false)
+  && Exec.terminates_solo ext.cfg p
+
+(* Smallest pid satisfying [f]. *)
+let min_pid ext f = List.find_opt (f ext) (pids ext)
+
+(* D1c / D2d bookkeeping: process [actor] accessed a register in
+   [owner]'s segment; if [owner] waits on local finishes, extend S. *)
+let note_segment_access ext ~owner ~actor =
+  if Pid.equal owner actor then ext
+  else
+    match top ext owner with
+    | Some (Command.Wait_local_finish (k, s)) ->
+        set_stack ext owner
+          (Cstack.replace_top
+             (Command.Wait_local_finish (k, Pid.Set.add actor s))
+             (stack ext owner))
+    | _ -> ext
+
+(** One decoding step. [None] means rule D3: the execution has ended. *)
+let step ext : (Step.t list * ext) option =
+  match min_pid ext is_commit_enabled with
+  | Some p ->
+      (* Rule D1: a commit step. *)
+      let wb_p = Config.wbuf ext.cfg p in
+      let r =
+        match Wbuf.smallest_reg wb_p with
+        | Some r -> r
+        | None -> assert false
+      in
+      let hider =
+        min_pid ext (fun ext q ->
+            (match top ext q with
+            | Some (Command.Wait_hidden_commit k) -> k > 0
+            | _ -> false)
+            && Wbuf.mem (Config.wbuf ext.cfg q) r)
+      in
+      let actor = match hider with Some q -> q | None -> p in
+      let wb_before_size = Wbuf.size (Config.wbuf ext.cfg actor) in
+      let steps, cfg = Exec.exec_elt ext.cfg (actor, Some r) in
+      let ext = { ext with cfg } in
+      (* D1a: the batch of [p] is fully committed *)
+      let ext =
+        if hider = None && wb_before_size = 1 then
+          match Cstack.pop (stack ext p) with
+          | Command.Commit, rest -> set_stack ext p rest
+          | c, _ ->
+              Fmt.invalid_arg "Decoder D1a: expected commit on top, got %a"
+                Command.pp c
+        else ext
+      in
+      (* D1b: one hidden commit served *)
+      let ext =
+        match hider with
+        | None -> ext
+        | Some q -> (
+            match Cstack.pop (stack ext q) with
+            | Command.Wait_hidden_commit k, rest ->
+                set_stack ext q
+                  (if k - 1 > 0 then
+                     Cstack.push (Command.Wait_hidden_commit (k - 1)) rest
+                   else rest)
+            | c, _ ->
+                Fmt.invalid_arg
+                  "Decoder D1b: expected wait-hidden-commit on top, got %a"
+                  Command.pp c)
+      in
+      (* D1c: the commit touched someone's local segment *)
+      let owner = Layout.owner ext.cfg.Config.layout r in
+      let ext =
+        if owner = Layout.no_owner then ext
+        else note_segment_access ext ~owner ~actor
+      in
+      Some (steps, ext)
+  | None -> (
+      match min_pid ext is_non_commit_enabled with
+      | None -> None (* Rule D3 *)
+      | Some p ->
+          (* Rule D2: an operation step by [p]. *)
+          let cfg_before = ext.cfg in
+          let steps, cfg = Exec.exec_elt ext.cfg (p, None) in
+          let ext = { ext with cfg } in
+          (* D2a: pop proceed once [p] is poised at a fence or return *)
+          let ext =
+            match Config.next_kind ext.cfg p with
+            | Program.Op_fence | Op_return _ | Op_done ->
+                let c, rest = Cstack.pop (stack ext p) in
+                assert (c = Command.Proceed);
+                set_stack ext p rest
+            | Op_read | Op_write | Op_spin | Op_cas -> ext
+          in
+          let model_step =
+            match List.filter Step.is_model_step steps with
+            | [ s ] -> Some s
+            | [] -> None
+            | _ -> assert false
+          in
+          let ext =
+            match model_step with
+            | Some (Step.Return _) ->
+                (* D2b: p finished; release every process waiting on it *)
+                List.fold_left
+                  (fun ext q ->
+                    if Pid.equal q p then ext
+                    else
+                      match top ext q with
+                      | Some (Command.Wait_read_finish (k, s))
+                        when Pid.Set.mem p s ->
+                          let _, rest = Cstack.pop (stack ext q) in
+                          set_stack ext q
+                            (if k - 1 > 0 then
+                               Cstack.push (Command.Wait_read_finish (k - 1, s))
+                                 rest
+                             else rest)
+                      | Some (Command.Wait_local_finish (k, s))
+                        when Pid.Set.mem p s ->
+                          let _, rest = Cstack.pop (stack ext q) in
+                          set_stack ext q
+                            (if k - 1 > 0 then
+                               Cstack.push (Command.Wait_local_finish (k - 1, s))
+                                 rest
+                             else rest)
+                      | _ -> ext)
+                  ext (pids ext)
+            | Some (Step.Read { reg; from_wbuf = false; _ }) ->
+                (* D2c: q is about to write a register p just read *)
+                let ext =
+                  List.fold_left
+                    (fun ext q ->
+                      if Pid.equal q p then ext
+                      else
+                        match top ext q with
+                        | Some (Command.Wait_read_finish (k, s))
+                          when Wbuf.mem (Config.wbuf cfg_before q) reg ->
+                            set_stack ext q
+                              (Cstack.replace_top
+                                 (Command.Wait_read_finish (k, Pid.Set.add p s))
+                                 (stack ext q))
+                        | _ -> ext)
+                    ext (pids ext)
+                in
+                (* D2d: p read from someone's local segment *)
+                let owner = Layout.owner ext.cfg.Config.layout reg in
+                if owner = Layout.no_owner then ext
+                else note_segment_access ext ~owner ~actor:p
+            | Some
+                ( Step.Read _ | Step.Write _ | Step.Fence _ | Step.Commit _
+                | Step.Cas _ | Step.Rmw _ | Step.Note _ )
+            | None ->
+                ext
+          in
+          Some (steps, ext))
+
+exception Diverged of ext
+
+(** Decode to completion (rule D3). Returns the trace, the final
+    extended configuration, and — when [watch] is given — the length of
+    the trace prefix [E*] ending where [watch]'s stack is empty for the
+    first time. Raises [Diverged] after [max_steps] decoding steps. *)
+let run ?(max_steps = 5_000_000) ?watch ext :
+    Trace.t * ext * int option =
+  let watch_hit = ref None in
+  let check_watch ext len =
+    match watch with
+    | Some w when !watch_hit = None && Cstack.is_empty (stack ext w) ->
+        watch_hit := Some len
+    | _ -> ()
+  in
+  check_watch ext 0;
+  let rec go acc len budget ext =
+    if budget <= 0 then raise (Diverged ext)
+    else
+      match step ext with
+      | None -> (List.rev acc, ext, !watch_hit)
+      | Some (steps, ext) ->
+          let len = len + List.length (List.filter Step.is_model_step steps) in
+          check_watch ext len;
+          go (List.rev_append steps acc) len (budget - 1) ext
+  in
+  go [] 0 max_steps ext

@@ -1,0 +1,28 @@
+(** The decoder (Section 5.1): from command stacks to an execution, via
+    rules D1 (commit steps, possibly redirected to hide a later
+    process's writes), D2 (operation steps of the smallest non-commit
+    enabled process) and D3 (end). *)
+
+open Memsim
+
+type ext = { cfg : Config.t; stacks : Cstack.t Pid.Map.t }
+
+val make : Config.t -> Cstack.t Pid.Map.t -> ext
+val empty_stacks : Cstack.t Pid.Map.t
+val stack : ext -> Pid.t -> Cstack.t
+val top : ext -> Pid.t -> Command.t option
+
+(** Classifications of Section 5.1 (exposed for tests). *)
+val is_commit_enabled : ext -> Pid.t -> bool
+
+val is_non_commit_enabled : ext -> Pid.t -> bool
+
+(** One decoding step; [None] is rule D3 (execution over). *)
+val step : ext -> (Step.t list * ext) option
+
+exception Diverged of ext
+
+(** Decode to completion. With [watch], also report the length of the
+    trace prefix [E*] ending where [watch]'s stack is empty for the
+    first time (counted in model steps). *)
+val run : ?max_steps:int -> ?watch:Pid.t -> ext -> Trace.t * ext * int option

@@ -1,0 +1,22 @@
+(** The classic litmus tests (SB, MP, LB, 2+2W and fenced variants).
+    See the implementation header for the expected separations, which
+    experiment E7 verifies mechanically. *)
+
+val sb : Test.t
+val sb_fenced : Test.t
+val mp : Test.t
+val mp_fenced : Test.t
+val two_plus_two_w : Test.t
+val lb : Test.t
+
+(** 4 threads; forbidden in every write-buffer model (multi-copy
+    atomicity). *)
+val iriw : Test.t
+
+(** Same-location coherence; backwards read order forbidden everywhere. *)
+val corr : Test.t
+
+val all : Test.t list
+
+(** The weak outcome each test is "about", for report tables. *)
+val interesting_outcome : Test.t -> Test.outcome

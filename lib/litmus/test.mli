@@ -1,0 +1,34 @@
+(** Litmus-test harness: exhaustive outcome enumeration per memory
+    model — the operational content of "separating memory models". *)
+
+open Memsim
+
+type t = {
+  name : string;
+  description : string;
+  nregs : int;  (** shared registers [x0..], all initially 0 *)
+  programs : Reg.t array -> Program.t array;
+  observed : Reg.t array -> Reg.t list;  (** registers in the outcome *)
+}
+
+type outcome = { returns : int list; finals : int list }
+
+val pp_outcome : outcome Fmt.t
+
+type run = {
+  test : t;
+  model : Memory_model.t;
+  outcomes : outcome list;  (** sorted *)
+  stats : Explore.stats;
+}
+
+val configure : t -> model:Memory_model.t -> Reg.t array * Config.t
+
+(** Enumerate all reachable outcomes under the model. *)
+val run : ?max_states:int -> t -> model:Memory_model.t -> run
+
+val admits : run -> outcome -> bool
+val pp_run : run Fmt.t
+
+(** Outcomes of [weaker] not reachable under [stronger]. *)
+val separation : stronger:run -> weaker:run -> outcome list

@@ -1,0 +1,112 @@
+(** Anderson's array-based queue lock, built on fetch-and-add.
+
+    Each acquire draws a ticket with [faa] (implicit barrier) and spins
+    on slot [ticket mod n]; release passes the baton to the next slot.
+    O(1) fences and O(1) RMRs per passage under CC accounting — like
+    {!Clh}, the strong-primitive escape from the read/write tradeoff.
+
+    Slots carry {e monotone baton values} (the ticket number + 1) rather
+    than booleans, and release performs a {e single} write. The naive
+    boolean version (reset own slot, set next slot) is broken under PSO:
+    the two release commits can reorder across a successor's whole
+    passage and a delayed reset can erase a freshly planted baton — our
+    exhaustive checker finds that deadlock at n=2 (see test
+    ["anderson boolean variant deadlocks under PSO"]); monotone values
+    make late commits harmless. *)
+
+open Memsim
+open Program
+
+type t = {
+  next_ticket : Reg.t;
+  slots : Reg.t array;  (** slot s holds the highest baton planted: the
+                            ticket+1 of the passage it admits *)
+  my_ticket : Reg.t array;  (** per-process stash (own segment), ticket+1 *)
+}
+
+let alloc builder ~nprocs =
+  (* slot 0 starts with the baton for ticket 0 *)
+  let slots =
+    Array.init nprocs (fun i ->
+        Layout.Builder.alloc builder
+          ~name:(Fmt.str "anderson.slot[%d]" i)
+          ~owner:Layout.no_owner
+          ~init:(if i = 0 then 1 else 0))
+  in
+  {
+    next_ticket =
+      Layout.Builder.alloc builder ~name:"anderson.ticket"
+        ~owner:Layout.no_owner ~init:0;
+    slots;
+    my_ticket =
+      Layout.Builder.alloc_array builder ~name:"anderson.myticket" ~len:nprocs
+        ~owner:(fun p -> p)
+        ~init:0;
+  }
+
+let acquire t p : unit m =
+  let n = Array.length t.slots in
+  let* ticket = faa t.next_ticket ~add:1 in
+  let* () = write t.my_ticket.(p) (ticket + 1) in
+  let* _ = await t.slots.(ticket mod n) (fun v -> v = ticket + 1) in
+  return ()
+
+let release t p : unit m =
+  let n = Array.length t.slots in
+  let* stash = read t.my_ticket.(p) in
+  let ticket = stash - 1 in
+  let* () = write t.slots.((ticket + 1) mod n) (ticket + 2) in
+  fence
+
+let lock : Lock.factory =
+ fun builder ~nprocs ->
+  let t = alloc builder ~nprocs in
+  {
+    Lock.name = "anderson";
+    nprocs;
+    intended_model = Memory_model.Rmo;
+    acquire = acquire t;
+    release = release t;
+  }
+
+(** The naive boolean-baton variant (reset own slot, set the next one):
+    correct under TSO, deadlocks under PSO — kept as an E8-style
+    regression subject. *)
+let boolean_variant : Lock.factory =
+ fun builder ~nprocs ->
+  let slots =
+    Array.init nprocs (fun i ->
+        Layout.Builder.alloc builder
+          ~name:(Fmt.str "anderson-bool.slot[%d]" i)
+          ~owner:Layout.no_owner
+          ~init:(if i = 0 then 1 else 0))
+  in
+  let next_ticket =
+    Layout.Builder.alloc builder ~name:"anderson-bool.ticket"
+      ~owner:Layout.no_owner ~init:0
+  in
+  let my_slot =
+    Layout.Builder.alloc_array builder ~name:"anderson-bool.myslot" ~len:nprocs
+      ~owner:(fun p -> p)
+      ~init:0
+  in
+  let n = nprocs in
+  {
+    Lock.name = "anderson-boolean";
+    nprocs;
+    intended_model = Memory_model.Tso;
+    acquire =
+      (fun p ->
+        let* ticket = faa next_ticket ~add:1 in
+        let slot = ticket mod n in
+        let* () = write my_slot.(p) (slot + 1) in
+        let* _ = await slots.(slot) (fun v -> v = 1) in
+        return ());
+    release =
+      (fun p ->
+        let* stash = read my_slot.(p) in
+        let slot = stash - 1 in
+        let* () = write slots.(slot) 0 in
+        let* () = write slots.((slot + 1) mod n) 1 in
+        fence);
+  }

@@ -1,0 +1,10 @@
+(** Anderson's array-based queue lock over fetch-and-add: O(1) fences
+    and O(1) RMRs per passage. Slots carry monotone baton values; see
+    the implementation header for why the boolean version breaks under
+    PSO. *)
+
+val lock : Lock.factory
+
+(** The naive boolean-baton variant: correct under TSO, deadlocks under
+    PSO (write reordering erases a freshly planted baton). *)
+val boolean_variant : Lock.factory

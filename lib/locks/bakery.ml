@@ -1,0 +1,103 @@
+(** Lamport's Bakery lock — Algorithm 1 of the paper.
+
+    One extreme of the fence/RMR tradeoff: a passage costs a constant
+    number of fences (three in acquire, one in release, each placed
+    right after a write exactly as in the paper's listing, so the
+    algorithm is correct even under RMO) but Θ(n) RMRs, since the
+    doorway scans every other process's ticket and the wait loop reads
+    every other process's registers.
+
+    The core is exposed as a reusable {e node} over [k] slots so that
+    the generalized tournament {!Gt} can mount [Bakery[n^(1/f)]]
+    instances at its tree nodes (Figure 1 of the paper). *)
+
+open Memsim
+open Program
+
+type node = {
+  choosing : Reg.t array;  (** the paper's [C[0..k-1]] *)
+  ticket : Reg.t array;  (** the paper's [T[0..k-1]] *)
+}
+
+let nslots node = Array.length node.choosing
+
+(** Allocate a [k]-slot bakery node. [owner s] is the memory segment
+    that slot [s]'s registers live in: the owning process for a
+    top-level bakery, {!Memsim.Layout.no_owner} for interior tournament
+    nodes shared by whole subtrees. *)
+let alloc builder ~name ~slots ~owner =
+  {
+    choosing =
+      Layout.Builder.alloc_array builder ~name:(name ^ ".C") ~len:slots ~owner
+        ~init:0;
+    ticket =
+      Layout.Builder.alloc_array builder ~name:(name ^ ".T") ~len:slots ~owner
+        ~init:0;
+  }
+
+(* max of T[0..k-1], read one register at a time *)
+let max_ticket node : int m =
+  let rec scan j acc =
+    if j = nslots node then return acc
+    else
+      let* v = read node.ticket.(j) in
+      scan (j + 1) (max acc v)
+  in
+  scan 0 0
+
+let fence_if b : unit m = if b then fence else return ()
+
+(** [acquire_slot node slot] with the paper's three acquire fences; the
+    [?fences] triple lets the E8 ablation drop individual ones (Bakery
+    is the paper's example of a constant-fence algorithm, and each of
+    its fences is load-bearing under write reordering).
+
+    Note on the paper's listing: Algorithm 1 as printed performs
+    [write(C[i],0)] on line 6 {e before} [write(T[i],tmp)] on line 7.
+    That order is a typo — it breaks mutual exclusion even under SC
+    (with the choosing flag already cleared and the ticket not yet
+    published, a competitor reads [C[i]=0, T[i]=0], takes an equal
+    ticket, and the index tie-break admits both; our model checker
+    produces the 2-process counterexample mechanically, see test
+    [paper_listing_order_is_a_typo]). We therefore use Lamport's
+    original order — publish the ticket, then clear the choosing flag —
+    which has the same fence and RMR counts. *)
+let acquire_slot ?(fences = (true, true, true)) node slot : unit m =
+  let f1, f2, f3 = fences in
+  let* () = write node.choosing.(slot) 1 in
+  let* () = fence_if f1 in
+  let* m = max_ticket node in
+  let tkt = m + 1 in
+  let* () = write node.ticket.(slot) tkt in
+  let* () = fence_if f2 in
+  let* () = write node.choosing.(slot) 0 in
+  let* () = fence_if f3 in
+  let rec wait j =
+    if j = nslots node then return ()
+    else if j = slot then wait (j + 1)
+    else
+      let* _ = await node.choosing.(j) (fun v -> v = 0) in
+      let* _ =
+        await node.ticket.(j) (fun v ->
+            v = 0 || tkt < v || (tkt = v && slot < j))
+      in
+      wait (j + 1)
+  in
+  wait 0
+
+let release_slot ?(fenced = true) node slot : unit m =
+  let* () = write node.ticket.(slot) 0 in
+  fence_if fenced
+
+(** The paper's n-process Bakery lock: slot [i] belongs to process [i],
+    and [C[i]], [T[i]] live in process [i]'s memory segment. *)
+let lock : Lock.factory =
+ fun builder ~nprocs ->
+  let node = alloc builder ~name:"bakery" ~slots:nprocs ~owner:(fun s -> s) in
+  {
+    Lock.name = "bakery";
+    nprocs;
+    intended_model = Memory_model.Rmo;
+    acquire = (fun p -> acquire_slot node p);
+    release = (fun p -> release_slot node p);
+  }

@@ -1,0 +1,35 @@
+(** Lamport's Bakery lock — Algorithm 1 of the paper: Θ(1) fences and
+    Θ(n) RMRs per passage, correct under RMO.
+
+    Exposed as a reusable [k]-slot {e node} so the generalized
+    tournament {!Gt} can mount [Bakery[n^(1/f)]] instances at its tree
+    nodes.
+
+    Note: the paper's listing clears the choosing flag {e before}
+    publishing the ticket (lines 6/7) — a typo that breaks mutual
+    exclusion even under SC; we use Lamport's original order (see the
+    implementation comment and test
+    ["paper listing order is a typo"]). *)
+
+open Memsim
+
+type node = { choosing : Reg.t array; ticket : Reg.t array }
+
+val nslots : node -> int
+
+(** Allocate a [slots]-slot bakery node; [owner s] is the segment slot
+    [s]'s registers live in. *)
+val alloc :
+  Layout.Builder.builder -> name:string -> slots:int -> owner:(int -> Pid.t) ->
+  node
+
+(** Acquire slot [slot]. The [fences] triple enables the E8 ablation:
+    fence 1 follows the choosing-flag write (a store→load guard),
+    fence 2 the ticket write, fence 3 the flag clear. *)
+val acquire_slot : ?fences:bool * bool * bool -> node -> int -> unit Program.m
+
+val release_slot : ?fenced:bool -> node -> int -> unit Program.m
+
+(** The paper's n-process Bakery: slot [i] = process [i], registers in
+    process [i]'s segment. *)
+val lock : Lock.factory

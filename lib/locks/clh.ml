@@ -1,0 +1,89 @@
+(** The CLH queue lock (Craig; Landin & Hagersten), built on
+    fetch-and-store.
+
+    The strong-primitive counterpoint to the paper's read/write locks:
+    one [swap] per acquire (implicit barrier), a single-register local
+    spin on the predecessor's node, and one fenced write to release —
+    O(1) fences and O(1) RMRs per passage under the CC accounting. The
+    paper's tradeoff does not apply (it covers read/write algorithms;
+    with comparison primitives the Ω(log n) RMR bound of [GHHW12] is
+    escaped by [swap], which is not a comparison primitive).
+
+    Node recycling follows the classical scheme: after releasing, a
+    process adopts its predecessor's node for its next passage. The
+    per-process node pointer and predecessor are stashed in registers
+    of the process's own segment — reads of them store-forward or hit
+    the local segment, so the stash is cost-free, faithfully playing
+    the role of thread-local variables. *)
+
+open Memsim
+open Program
+
+type t = {
+  tail : Reg.t;  (** holds the node id last enqueued *)
+  granted : Reg.t array;  (** per node: 1 = release granted to successor *)
+  my_node : Reg.t array;  (** per process: current node id (own segment) *)
+  my_pred : Reg.t array;  (** per process: predecessor node id *)
+}
+
+let alloc builder ~nprocs =
+  (* n+1 nodes: one per process plus the sentinel, which starts granted *)
+  let granted =
+    Array.init (nprocs + 1) (fun i ->
+        Layout.Builder.alloc builder
+          ~name:(Fmt.str "clh.granted[%d]" i)
+          ~owner:Layout.no_owner
+          ~init:(if i = nprocs then 1 else 0))
+  in
+  {
+    tail =
+      Layout.Builder.alloc builder ~name:"clh.tail" ~owner:Layout.no_owner
+        ~init:nprocs (* the sentinel node, already granted *);
+    granted;
+    my_node =
+      Layout.Builder.alloc_array builder ~name:"clh.node" ~len:nprocs
+        ~owner:(fun p -> p)
+        ~init:0;
+    my_pred =
+      Layout.Builder.alloc_array builder ~name:"clh.pred" ~len:nprocs
+        ~owner:(fun p -> p)
+        ~init:0;
+  }
+
+(* The sentinel starts granted; every process's initial node is its own
+   pid, and node ids are stored +1 so the all-zero initial stash can be
+   distinguished (stash holds node+1; 0 means "use my pid"). *)
+let node_of_stash p stash = if stash = 0 then p else stash - 1
+
+let acquire t p : unit m =
+  let* stash = read t.my_node.(p) in
+  let mynode = node_of_stash p stash in
+  (* mark my node as not-granted; the swap below carries the barrier
+     that publishes it together with enqueueing *)
+  let* () = write t.granted.(mynode) 0 in
+  let* pred = swap t.tail mynode in
+  let* () = write t.my_pred.(p) (pred + 1) in
+  let* _ = await t.granted.(pred) (fun v -> v = 1) in
+  return ()
+
+let release t p : unit m =
+  let* stash = read t.my_node.(p) in
+  let mynode = node_of_stash p stash in
+  let* pred_stash = read t.my_pred.(p) in
+  let pred = pred_stash - 1 in
+  let* () = write t.granted.(mynode) 1 in
+  let* () = fence in
+  (* adopt the predecessor's node for the next passage *)
+  let* () = write t.my_node.(p) (pred + 1) in
+  return ()
+
+let lock : Lock.factory =
+ fun builder ~nprocs ->
+  let t = alloc builder ~nprocs in
+  {
+    Lock.name = "clh";
+    nprocs;
+    intended_model = Memory_model.Rmo;
+    acquire = acquire t;
+    release = release t;
+  }

@@ -1,0 +1,5 @@
+(** The CLH queue lock over fetch-and-store: O(1) fences and O(1) RMRs
+    per passage — the strong-primitive counterpoint to the read/write
+    tradeoff. *)
+
+val lock : Lock.factory

@@ -1,0 +1,73 @@
+(** The Filter lock (Peterson's n-process generalization).
+
+    A deliberately {e suboptimal} point for the experiments: n-1 levels,
+    each with two fenced doorway writes and a scan of every other
+    process's level — Θ(n) fences {e and} Θ(n²) reads per passage, so
+    its tradeoff product [f(log(r/f)+1)] sits far above the Ω(log n)
+    floor. Equation (1) is a lower bound, not a prescription; the bench
+    tables use the filter lock to show the gap between "satisfies the
+    bound" and "is optimal".
+
+    Each level spins with one multi-register round over all other
+    processes' level variables plus the level's victim variable. *)
+
+open Memsim
+open Program
+
+type t = { level : Reg.t array; victim : Reg.t array; nprocs : int }
+
+let alloc builder ~nprocs =
+  {
+    level =
+      Layout.Builder.alloc_array builder ~name:"filter.level" ~len:nprocs
+        ~owner:(fun p -> p)
+        ~init:0;
+    victim =
+      Layout.Builder.alloc_array builder ~name:"filter.victim" ~len:nprocs
+        ~owner:(fun _ -> Layout.no_owner)
+        ~init:(-1);
+    nprocs;
+  }
+
+let acquire t p : unit m =
+  let others = List.init t.nprocs Fun.id |> List.filter (fun q -> q <> p) in
+  let rec climb l =
+    if l >= t.nprocs then return ()
+    else
+      let* () = write t.level.(p) l in
+      let* () = fence in
+      let* () = write t.victim.(l) p in
+      let* () = fence in
+      (* wait until every other process is below level l, or we are no
+         longer the victim at l — one atomic-round spin over the other
+         processes' levels and victim[l] (rounds are fine-grained; see
+         {!Memsim.Program.Spinv}) *)
+      let regs = List.map (fun q -> t.level.(q)) others @ [ t.victim.(l) ] in
+      let* _ =
+        await_many regs (fun vs ->
+            let rec split acc = function
+              | [ v ] -> (List.rev acc, v)
+              | x :: rest -> split (x :: acc) rest
+              | [] -> assert false
+            in
+            let levels, victim = split [] vs in
+            victim <> p || List.for_all (fun lv -> lv < l) levels)
+      in
+      climb (l + 1)
+  in
+  climb 1
+
+let release t p : unit m =
+  let* () = write t.level.(p) 0 in
+  fence
+
+let lock : Lock.factory =
+ fun builder ~nprocs ->
+  let t = alloc builder ~nprocs in
+  {
+    Lock.name = "filter";
+    nprocs;
+    intended_model = Memory_model.Rmo;
+    acquire = acquire t;
+    release = release t;
+  }

@@ -1,0 +1,5 @@
+(** The Filter lock (n-process Peterson): Θ(n) fences and Θ(n²) reads
+    per passage — a deliberately suboptimal tradeoff point used to show
+    Equation (1) is a floor, not a frontier. *)
+
+val lock : Lock.factory

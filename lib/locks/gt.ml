@@ -1,0 +1,91 @@
+(** The generalized tournament lock [GT_f] (Section 3, Figure 1).
+
+    A tree of height [f] with branching factor [b = ⌈n^(1/f)⌉]; the [n]
+    leaves are statically assigned to processes. Each internal node
+    carries a [Bakery[b]] instance; to win the lock a process wins the
+    bakery in each of the [f] nodes along its leaf-to-root path, taking
+    the slot of the child it arrives from.
+
+    Per passage this costs [Θ(f)] fences (four per node — the Bakery
+    constant) and [O(f · n^(1/f))] RMRs, which matches the paper's lower
+    bound [f·(log(r/f)+1) ∈ Ω(log n)] for every [1 ≤ f ≤ log n]:
+    [GT_1] is the Bakery lock and [GT_{log n}] the binary tournament
+    tree. *)
+
+open Memsim
+open Program
+
+let ipow b e =
+  let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+  go 1 e
+
+(** Smallest branching factor [b ≥ 2] with [b^f ≥ n]. *)
+let branching ~nprocs ~height =
+  let rec go b = if ipow b height >= nprocs then b else go (b + 1) in
+  go 2
+
+type t = {
+  height : int;
+  branch : int;
+  nodes : (int * int, Bakery.node) Hashtbl.t;  (** (depth, index) → node *)
+}
+
+(* Node index and slot of process [p] at depth [d] (root = depth 0). *)
+let position t p ~depth =
+  let below = ipow t.branch (t.height - depth) in
+  (p / below, p / (below / t.branch) mod t.branch)
+
+let node t ~depth ~index = Hashtbl.find t.nodes (depth, index)
+
+let make builder ~nprocs ~height =
+  if height < 1 then Fmt.invalid_arg "Gt.make: height %d" height;
+  let branch = if nprocs <= 1 then 2 else branching ~nprocs ~height in
+  let t = { height; branch; nodes = Hashtbl.create 64 } in
+  (* allocate only the nodes some process actually visits, in a
+     deterministic order *)
+  for d = 0 to height - 1 do
+    for p = 0 to nprocs - 1 do
+      let index, _ = position t p ~depth:d in
+      if not (Hashtbl.mem t.nodes (d, index)) then
+        Hashtbl.add t.nodes (d, index)
+          (Bakery.alloc builder
+             ~name:(Fmt.str "gt.%d.%d" d index)
+             ~slots:branch
+             ~owner:(fun _ -> Layout.no_owner))
+    done
+  done;
+  t
+
+let acquire t p : unit m =
+  (* deepest node first *)
+  let rec go = function
+    | [] -> return ()
+    | d :: rest ->
+        let index, slot = position t p ~depth:d in
+        let* () = Bakery.acquire_slot (node t ~depth:d ~index) slot in
+        go rest
+  in
+  go (List.init t.height (fun i -> t.height - 1 - i))
+
+let release t p : unit m =
+  (* root first (reverse acquisition order) *)
+  let rec go d =
+    if d = t.height then return ()
+    else
+      let index, slot = position t p ~depth:d in
+      let* () = Bakery.release_slot (node t ~depth:d ~index) slot in
+      go (d + 1)
+  in
+  go 0
+
+(** [lock ~height] is the [GT_height] factory. *)
+let lock ~height : Lock.factory =
+ fun builder ~nprocs ->
+  let t = make builder ~nprocs ~height in
+  {
+    Lock.name = Fmt.str "gt[f=%d,b=%d]" height t.branch;
+    nprocs;
+    intended_model = Memory_model.Rmo;
+    acquire = acquire t;
+    release = release t;
+  }

@@ -1,0 +1,25 @@
+(** The generalized tournament lock [GT_f] (Section 3, Figure 1): a
+    tree of height [f], branching [⌈n^(1/f)⌉], with a Bakery lock per
+    node — [Θ(f)] fences and [O(f·n^(1/f))] RMRs per passage, matching
+    the lower bound at every [1 ≤ f ≤ log n]. *)
+
+open Memsim
+
+val ipow : int -> int -> int
+
+(** Smallest branching factor [b ≥ 2] with [b^height ≥ nprocs]. *)
+val branching : nprocs:int -> height:int -> int
+
+type t
+
+val make : Layout.Builder.builder -> nprocs:int -> height:int -> t
+
+(** Node index and slot of process [p] at tree depth [depth] (root =
+    0). Exposed for structural tests. *)
+val position : t -> Pid.t -> depth:int -> int * int
+
+val acquire : t -> Pid.t -> unit Program.m
+val release : t -> Pid.t -> unit Program.m
+
+(** [lock ~height] is the [GT_height] factory. *)
+val lock : height:int -> Lock.factory

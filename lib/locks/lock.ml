@@ -1,0 +1,55 @@
+(** Lock interface.
+
+    A lock (Section 3) supports [Acquire] and [Release] and must satisfy
+    mutual exclusion, deadlock-freedom and finite exit. A lock value
+    packages the two methods as program fragments for a fixed process
+    universe; its shared registers were allocated against the
+    {!Memsim.Layout.Builder} passed to its factory, so several locks (or
+    a lock plus application state) can coexist in one layout.
+
+    [intended_model] records the weakest memory model the algorithm is
+    designed for: the paper's read/write locks order everything with
+    explicit fences and are correct even under RMO, whereas e.g. the
+    write-batched TSO lock relies on FIFO commits and is expected to
+    break under PSO (that breakage is itself one of our experiments). *)
+
+open Memsim
+
+type t = {
+  name : string;
+  nprocs : int;
+  intended_model : Memory_model.t;
+  acquire : Pid.t -> unit Program.m;
+  release : Pid.t -> unit Program.m;
+}
+
+(** A factory allocates the lock's registers and closes over them. *)
+type factory = Layout.Builder.builder -> nprocs:int -> t
+
+(** [passage lock p ~cs ~returns] is the standard experiment program:
+    acquire, run the critical section [cs] bracketed by the labels
+    ["cs:enter"]/["cs:exit"] that the checkers watch, release, return
+    [returns]. *)
+let passage lock p ~cs ~returns : Program.t =
+  let open Program in
+  run_unit ~returns
+    (let* () = lock.acquire p in
+     let* () = label "cs:enter" in
+     let* () = cs in
+     let* () = label "cs:exit" in
+     lock.release p)
+
+(** [passages lock p ~rounds] loops [rounds] empty critical sections —
+    the workload for stress tests and contended benchmarks. *)
+let passages lock p ~rounds : Program.t =
+  let open Program in
+  let rec go i =
+    if i = 0 then return 0
+    else
+      let* () = lock.acquire p in
+      let* () = label "cs:enter" in
+      let* () = label "cs:exit" in
+      let* () = lock.release p in
+      go (i - 1)
+  in
+  run (go rounds)

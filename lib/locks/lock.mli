@@ -1,0 +1,27 @@
+(** Lock interface (Section 3): [Acquire]/[Release] as program
+    fragments over a fixed process universe, packaged with the weakest
+    memory model the algorithm is designed for. *)
+
+open Memsim
+
+type t = {
+  name : string;
+  nprocs : int;
+  intended_model : Memory_model.t;
+      (** weakest model the algorithm is correct under; fence-stripped
+          variants record the model their breakage demonstrates *)
+  acquire : Pid.t -> unit Program.m;
+  release : Pid.t -> unit Program.m;
+}
+
+(** A factory allocates the lock's registers against the given builder
+    and closes over them. *)
+type factory = Layout.Builder.builder -> nprocs:int -> t
+
+(** One passage: acquire, run [cs] bracketed by the ["cs:enter"] /
+    ["cs:exit"] labels the checkers watch, release, return [returns]. *)
+val passage :
+  t -> Pid.t -> cs:unit Program.m -> returns:int -> Program.t
+
+(** [rounds] empty-bodied passages — the workload for benchmarks. *)
+val passages : t -> Pid.t -> rounds:int -> Program.t

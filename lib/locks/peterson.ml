@@ -1,0 +1,76 @@
+(** Peterson's two-process lock, in three fence styles.
+
+    Not used by the paper's constructions (its tournament nodes are
+    two-slot Bakery locks) but the cleanest subject for memory-model
+    separation, which is experiment E8:
+
+    - [`Per_write] — a fence after {e each} doorway write. Write commit
+      order is then program order and mutual exclusion holds under any
+      model, like the paper's Bakery; this is the RMO-safe version.
+    - [`Batched] — both doorway writes, then a {e single} fence. Under
+      TSO the FIFO buffer still commits [flag] before [victim], and the
+      fence gives the store→load ordering the scan needs, so the lock
+      is correct; under PSO the two commits can swap, and the classic
+      both-enter interleaving goes through ([victim=0] lands, p1 runs
+      its whole doorway and sees [flag[0]=0], then [flag[0]=1] lands
+      and p0 sees [victim=1 ≠ 0]). One algorithm, safe on TSO, broken
+      on PSO — the operational miniature of the paper's separation
+      between models that preserve write order and those that don't.
+    - [`Unfenced] — no fences at all: broken under every buffered
+      model (the store→load relaxation alone suffices), correct only
+      under SC.
+
+    The model checker ({!Verify.Mutex_check}) confirms each of these
+    claims exhaustively. *)
+
+open Memsim
+open Program
+
+type style = [ `Per_write | `Batched | `Unfenced ]
+
+let style_name = function
+  | `Per_write -> "per-write"
+  | `Batched -> "batched"
+  | `Unfenced -> "unfenced"
+
+type regs = { flag : Reg.t array; victim : Reg.t }
+
+let alloc builder ~name ~owner =
+  {
+    flag = Layout.Builder.alloc_array builder ~name:(name ^ ".flag") ~len:2 ~owner ~init:0;
+    victim =
+      Layout.Builder.alloc builder ~name:(name ^ ".victim")
+        ~owner:Layout.no_owner ~init:(-1);
+  }
+
+let acquire ~style r me : unit m =
+  let other = 1 - me in
+  let* () = write r.flag.(me) 1 in
+  let* () = (match style with `Per_write -> fence | `Batched | `Unfenced -> return ()) in
+  let* () = write r.victim me in
+  let* () = (match style with `Per_write | `Batched -> fence | `Unfenced -> return ()) in
+  let* _ = await2 r.flag.(other) r.victim (fun fl v -> fl = 0 || v <> me) in
+  return ()
+
+let release ~style r me : unit m =
+  let* () = write r.flag.(me) 0 in
+  match style with `Per_write | `Batched -> fence | `Unfenced -> return ()
+
+let lock_with ~style : Lock.factory =
+ fun builder ~nprocs ->
+  if nprocs <> 2 then Fmt.invalid_arg "Peterson.lock: %d processes" nprocs;
+  let r = alloc builder ~name:"peterson" ~owner:(fun s -> s) in
+  {
+    Lock.name = "peterson-" ^ style_name style;
+    nprocs;
+    intended_model =
+      (match style with
+      | `Per_write -> Memory_model.Rmo
+      | `Batched -> Memory_model.Tso
+      | `Unfenced -> Memory_model.Sc);
+    acquire = acquire ~style r;
+    release = release ~style r;
+  }
+
+(** The RMO-safe default. *)
+let lock : Lock.factory = lock_with ~style:`Per_write

@@ -1,0 +1,26 @@
+(** Peterson's two-process lock in three fence styles — the cleanest
+    memory-model separation subject (experiment E8):
+
+    - [`Per_write]: fence after each doorway write; correct under RMO.
+    - [`Batched]: both writes, one fence; correct under TSO (FIFO
+      commits preserve flag-before-victim), broken under PSO — the
+      operational miniature of the paper's TSO/PSO separation.
+    - [`Unfenced]: correct only under SC. *)
+
+open Memsim
+
+type style = [ `Per_write | `Batched | `Unfenced ]
+
+val style_name : style -> string
+
+type regs = { flag : Reg.t array; victim : Reg.t }
+
+val alloc :
+  Layout.Builder.builder -> name:string -> owner:(int -> Pid.t) -> regs
+
+val acquire : style:style -> regs -> int -> unit Program.m
+val release : style:style -> regs -> int -> unit Program.m
+val lock_with : style:style -> Lock.factory
+
+(** The RMO-safe default ([`Per_write]). *)
+val lock : Lock.factory

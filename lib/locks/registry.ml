@@ -1,0 +1,32 @@
+(** Name-indexed registry of every lock the experiments exercise; the
+    CLI and benches look algorithms up here so that all tools agree on
+    spelling and parameters. *)
+
+let fixed =
+  [
+    ("bakery", Bakery.lock);
+    ("tournament", Tournament.lock);
+    ("ttas", Ttas.lock);
+    ("clh", Clh.lock);
+    ("anderson", Anderson.lock);
+    ("anderson-boolean", Anderson.boolean_variant);
+    ("filter", Filter.lock);
+    ("peterson", Peterson.lock);
+    ("peterson-batched", Peterson.lock_with ~style:`Batched);
+    ("peterson-unfenced", Peterson.lock_with ~style:`Unfenced);
+  ]
+
+(** [find name] resolves a fixed lock or the parametric family
+    ["gt:<height>"]. *)
+let find name : Lock.factory option =
+  match List.assoc_opt name fixed with
+  | Some f -> Some f
+  | None -> (
+      match String.split_on_char ':' name with
+      | [ "gt"; h ] -> (
+          match int_of_string_opt h with
+          | Some h when h >= 1 -> Some (Gt.lock ~height:h)
+          | Some _ | None -> None)
+      | _ -> None)
+
+let names = List.map fst fixed @ [ "gt:<height>" ]

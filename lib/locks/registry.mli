@@ -1,0 +1,6 @@
+(** Name-indexed registry of every lock the experiments exercise. *)
+
+(** Fixed names plus the parametric family ["gt:<height>"]. *)
+val find : string -> Lock.factory option
+
+val names : string list

@@ -1,0 +1,14 @@
+(** The binary tournament-tree lock [YA95] — the other extreme of the
+    tradeoff: [Θ(log n)] fences and [Θ(log n)] RMRs per passage. As the
+    paper notes, this is exactly [GT_{log n}] (a tree of two-process
+    Bakery locks), so we instantiate {!Gt} at full height. *)
+
+let height ~nprocs =
+  let rec go h c = if c >= nprocs then h else go (h + 1) (c * 2) in
+  go 1 2
+
+let lock : Lock.factory =
+ fun builder ~nprocs ->
+  let f = if nprocs <= 2 then 1 else height ~nprocs in
+  let t = (Gt.lock ~height:f) builder ~nprocs in
+  { t with Lock.name = Fmt.str "tournament[f=%d]" f }

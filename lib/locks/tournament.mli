@@ -1,0 +1,5 @@
+(** The binary tournament-tree lock [YA95] = [GT_{log n}]: Θ(log n)
+    fences and Θ(log n) RMRs per passage. *)
+
+val height : nprocs:int -> int
+val lock : Lock.factory

@@ -1,0 +1,5 @@
+(** Test-and-test-and-set lock over [cas] — the strong-primitive
+    baseline (the Section 6 remark: the tradeoff extends to comparison
+    primitives; their barrier cost lives inside the primitive). *)
+
+val lock : Lock.factory

@@ -1,0 +1,13 @@
+(** Fence-ablation variants of the Bakery lock for experiment E8: which
+    of the four fences is load-bearing under which memory model? *)
+
+type spec = {
+  label : string;
+  fences : bool * bool * bool;  (** acquire fences 1–3 *)
+  release_fenced : bool;
+}
+
+(** [full], [no-f1], [no-f2], [no-f3], [no-release-fence], [unfenced]. *)
+val all_specs : spec list
+
+val bakery_variant : spec -> Lock.factory

@@ -1,0 +1,167 @@
+(** System configurations.
+
+    A configuration comprises the state of each process (its program
+    continuation and write buffer), each register, and the bookkeeping
+    needed to classify steps as local or remote (per-process known-value
+    caches for the CC rule; the last committer of each register for the
+    commit rule). Everything is immutable, so a configuration doubles as
+    a free snapshot — the Section 5 machinery and the model checker rely
+    on cheap speculative execution from saved configurations. *)
+
+module Int_set = Set.Make (Int)
+
+type pstate = {
+  prog : Program.t;
+  wb : Wbuf.t;
+  known : Int_set.t Reg.Map.t;
+      (** CC cache: values this process has written to, or read from,
+          each register. A read of [r] returning a known value is a
+          cache hit (the paper's read-locality rule). *)
+  last_read : (Reg.t * int) option;
+      (** last step was a read of this register returning this value;
+          used by spin detection (a repeat read of an unchanged register
+          is a semantic self-loop). Reset by any other step. *)
+  obs : int list;
+      (** reversed log of every value this process has observed (read
+          results; cas reads and outcomes). Programs are deterministic,
+          so the observation log determines the process's entire local
+          state — the model checker uses it as a sound state key. *)
+  ops : int;
+      (** number of operation steps this process has executed (not
+          counting commits, which are system steps). Together with [obs]
+          this pins the exact program position: between observations a
+          deterministic program runs a fixed sequence of non-observing
+          ops (writes, fences, returns), which [obs] alone cannot see. *)
+}
+
+type t = {
+  model : Memory_model.t;
+  layout : Layout.t;
+  mem : int Reg.Map.t;  (** committed values; absent = initial value *)
+  procs : pstate Pid.Map.t;
+  last_committer : Pid.t Reg.Map.t;
+      (** who committed to each register last (commit-locality rule) *)
+  metrics : Metrics.t;
+}
+
+let initial_pstate prog =
+  { prog; wb = Wbuf.empty; known = Reg.Map.empty; last_read = None; obs = []; ops = 0 }
+
+(** [make ~model ~layout programs] builds the initial configuration
+    [C_init]: process [p] runs [programs.(p)], all buffers empty, all
+    registers at their layout-declared initial values. *)
+let make ~model ~layout programs =
+  let nprocs = Layout.nprocs layout in
+  if Array.length programs <> nprocs then
+    Fmt.invalid_arg "Config.make: %d programs for %d processes"
+      (Array.length programs) nprocs;
+  let procs =
+    Array.to_list programs
+    |> List.mapi (fun p prog -> (p, initial_pstate prog))
+    |> List.to_seq |> Pid.Map.of_seq
+  in
+  {
+    model;
+    layout;
+    mem = Reg.Map.empty;
+    procs;
+    last_committer = Reg.Map.empty;
+    metrics = Metrics.empty;
+  }
+
+let nprocs t = Layout.nprocs t.layout
+
+let pstate t p =
+  match Pid.Map.find_opt p t.procs with
+  | Some st -> st
+  | None -> Fmt.invalid_arg "Config.pstate: unknown process %d" p
+
+let set_pstate t p st = { t with procs = Pid.Map.add p st t.procs }
+
+(** Committed value of register [r]. *)
+let read_mem t r =
+  match Reg.Map.find_opt r t.mem with
+  | Some v -> v
+  | None -> Layout.init t.layout r
+
+let wbuf t p = (pstate t p).wb
+let program t p = (pstate t p).prog
+let next_kind t p = Program.next_kind (program t p)
+let is_final t p = Program.is_done (Program.skip_labels ~emit:ignore (program t p))
+
+let final_value t p =
+  Program.final_value (Program.skip_labels ~emit:ignore (program t p))
+
+(** Number of processes in a final state — [NbFinal(C)] in the paper,
+    which gates return steps in the decoder. *)
+let nb_final t =
+  Pid.Map.fold (fun _ st acc -> if Program.is_done st.prog then acc + 1 else acc)
+    t.procs 0
+
+let all_final t = nb_final t = nprocs t
+
+(** All processes final {e and} all write buffers drained: nothing can
+    change memory any more. The model checker only treats quiescent
+    states as terminal, since a final process's leftover buffered
+    writes can still be committed by the system. *)
+let quiescent t =
+  all_final t && Pid.Map.for_all (fun _ st -> Wbuf.is_empty st.wb) t.procs
+
+let known_values st r =
+  match Reg.Map.find_opt r st.known with
+  | Some s -> s
+  | None -> Int_set.empty
+
+let learn st r v =
+  { st with known = Reg.Map.add r (Int_set.add v (known_values st r)) st.known }
+
+(** Locality of a read of [r] by [p] returning [v] from shared memory. *)
+let read_locality t p r v =
+  let st = pstate t p in
+  {
+    Step.dsm_local = Layout.is_local t.layout p r;
+    cc_local = Int_set.mem v (known_values st r);
+  }
+
+(** Locality of a commit to [r] by [p]: local on the CC side iff [p] was
+    the last process to commit to [r]. *)
+let commit_locality t p r =
+  {
+    Step.dsm_local = Layout.is_local t.layout p r;
+    cc_local =
+      (match Reg.Map.find_opt r t.last_committer with
+      | Some q -> Pid.equal q p
+      | None -> false);
+  }
+
+let bump p f t = { t with metrics = Metrics.update t.metrics p f }
+
+let charge_rmr (loc : Step.locality) (c : Metrics.counters) =
+  {
+    c with
+    Metrics.rmr = (c.Metrics.rmr + if Step.is_rmr loc then 1 else 0);
+    rmr_dsm = (c.Metrics.rmr_dsm + if loc.Step.dsm_local then 0 else 1);
+    rmr_cc = (c.Metrics.rmr_cc + if loc.Step.cc_local then 0 else 1);
+  }
+
+let pp_mem ppf t =
+  let bindings = Reg.Map.bindings t.mem in
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:Fmt.comma (fun ppf (r, v) ->
+         Fmt.pf ppf "%a=%d" (Layout.pp_reg t.layout) r v))
+    bindings
+
+let pp ppf t =
+  Fmt.pf ppf "mem=%a@," pp_mem t;
+  Pid.Map.iter
+    (fun p st ->
+      Fmt.pf ppf "p%a: wb=%a %s@," Pid.pp p Wbuf.pp st.wb
+        (match Program.next_kind st.prog with
+        | Program.Op_done -> "final"
+        | Op_return v -> Fmt.str "ret(%d)" v
+        | Op_read -> "@read"
+        | Op_write -> "@write"
+        | Op_fence -> "@fence"
+        | Op_cas -> "@cas"
+        | Op_spin -> "@spin"))
+    t.procs

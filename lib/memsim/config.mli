@@ -1,0 +1,80 @@
+(** System configurations: the state of every process (program
+    continuation, write buffer), every register, and the bookkeeping
+    that classifies steps as local or remote. Immutable throughout, so
+    a configuration doubles as a free snapshot for speculative
+    execution. *)
+
+module Int_set : Set.S with type elt = int
+
+type pstate = {
+  prog : Program.t;
+  wb : Wbuf.t;
+  known : Int_set.t Reg.Map.t;
+      (** CC cache: values this process has written to, or read from,
+          each register (the paper's read-locality rule) *)
+  last_read : (Reg.t * int) option;
+      (** gate for spin blocking: last step was a read of this register
+          returning this value *)
+  obs : int list;
+      (** reversed log of observed values; programs are deterministic,
+          so together with [ops] this pins the local state — the model
+          checker's state key *)
+  ops : int;  (** operation steps executed (commits excluded) *)
+}
+
+type t = {
+  model : Memory_model.t;
+  layout : Layout.t;
+  mem : int Reg.Map.t;  (** committed values; absent = initial *)
+  procs : pstate Pid.Map.t;
+  last_committer : Pid.t Reg.Map.t;
+      (** who committed to each register last (commit-locality rule) *)
+  metrics : Metrics.t;
+}
+
+(** [make ~model ~layout programs] is the initial configuration
+    [C_init]. *)
+val make : model:Memory_model.t -> layout:Layout.t -> Program.t array -> t
+
+val nprocs : t -> int
+val pstate : t -> Pid.t -> pstate
+val set_pstate : t -> Pid.t -> pstate -> t
+
+(** Committed value of a register. *)
+val read_mem : t -> Reg.t -> int
+
+val wbuf : t -> Pid.t -> Wbuf.t
+val program : t -> Pid.t -> Program.t
+val next_kind : t -> Pid.t -> Program.op_kind
+val is_final : t -> Pid.t -> bool
+val final_value : t -> Pid.t -> int option
+
+(** Number of processes in a final state — [NbFinal(C)], which gates
+    return steps in the decoder. *)
+val nb_final : t -> int
+
+val all_final : t -> bool
+
+(** All processes final {e and} all buffers drained: nothing can change
+    memory any more. *)
+val quiescent : t -> bool
+
+val known_values : pstate -> Reg.t -> Int_set.t
+
+(** Record that the process has observed/produced value [v] at [r]. *)
+val learn : pstate -> Reg.t -> int -> pstate
+
+(** Locality of a read of [r] by [p] returning [v] from shared memory. *)
+val read_locality : t -> Pid.t -> Reg.t -> int -> Step.locality
+
+(** Locality of a commit to [r] by [p]. *)
+val commit_locality : t -> Pid.t -> Reg.t -> Step.locality
+
+(** Update process [p]'s metric counters. *)
+val bump : Pid.t -> (Metrics.counters -> Metrics.counters) -> t -> t
+
+(** Charge the RMR counters according to a step's locality. *)
+val charge_rmr : Step.locality -> Metrics.counters -> Metrics.counters
+
+val pp_mem : t Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,419 @@
+(** The executor: the paper's [Exec_A(C; σ)] function (Section 2).
+
+    A schedule element is a pair [(p, R)] with [R ∈ R ∪ {⊥}] and is
+    interpreted against a configuration as follows:
+
+    + if [R ≠ ⊥] and the model currently allows committing [p]'s
+      buffered write to [R], the step is that commit;
+    + otherwise, if [p] is poised at a [fence()] (or a [cas], which
+      carries an implicit barrier) and its buffer is non-empty, the
+      step is a {e forced} commit — of the write to the smallest
+      buffered register under an unordered (PSO/RMO) buffer, per the
+      paper, or of the FIFO head under TSO;
+    + otherwise the step is [p]'s next operation (read, write, fence,
+      cas or return).
+
+    Under [Sc] a write commits at the write step itself (the element
+    yields a write step immediately followed by its commit), so buffers
+    are always empty and schedules degenerate to process choices.
+
+    Reads are served from the process's own buffer when it holds a
+    pending write to the register (store forwarding), from committed
+    memory otherwise; only the latter can be remote.
+
+    [Label]s in programs are consumed transparently before dispatch and
+    surface as costless {!Step.Note}s. *)
+
+type elt = Pid.t * Reg.t option
+
+let pp_elt ppf ((p, r) : elt) =
+  match r with
+  | None -> Fmt.pf ppf "(p%a,⊥)" Pid.pp p
+  | Some r -> Fmt.pf ppf "(p%a,%a)" Pid.pp p Reg.pp r
+
+(* Commit the pending write to [r] from [p]'s buffer. *)
+let commit_write cfg p r =
+  let st = Config.pstate cfg p in
+  match Wbuf.take st.wb r with
+  | None -> Fmt.invalid_arg "Exec.commit_write: no pending write to %d" r
+  | Some (v, wb') ->
+      let loc = Config.commit_locality cfg p r in
+      let cfg = Config.set_pstate cfg p { st with wb = wb'; last_read = None } in
+      let cfg =
+        {
+          cfg with
+          Config.mem = Reg.Map.add r v cfg.Config.mem;
+          last_committer = Reg.Map.add r p cfg.Config.last_committer;
+        }
+      in
+      let cfg =
+        Config.bump p
+          (fun c ->
+            Config.charge_rmr loc
+              { c with Metrics.commits = c.Metrics.commits + 1; steps = c.Metrics.steps + 1 })
+          cfg
+      in
+      (Step.Commit { p; reg = r; value = v; loc }, cfg)
+
+(* The value a read of [r] by [p] would return right now: store
+   forwarding from [p]'s own buffer under a buffered model, committed
+   memory otherwise. *)
+let visible_value cfg p r =
+  let buffered = Memory_model.buffered cfg.Config.model in
+  match (if buffered then Wbuf.find (Config.wbuf cfg p) r else None) with
+  | Some v -> (v, true)
+  | None -> (Config.read_mem cfg r, false)
+
+(* Execute a read of [r] returning [v]; [from_wbuf] tells where it was
+   served. [prog'] is the continuation to install. *)
+let read_step cfg p r ~prog' =
+  let st = Config.pstate cfg p in
+  let v, from_wbuf = visible_value cfg p r in
+  let loc =
+    if from_wbuf then { Step.dsm_local = true; cc_local = true }
+    else Config.read_locality cfg p r v
+  in
+  let st =
+    Config.learn
+      { st with prog = prog' v; last_read = Some (r, v); obs = v :: st.obs }
+      r v
+  in
+  let cfg = Config.set_pstate cfg p st in
+  let cfg =
+    Config.bump p
+      (fun c ->
+        let c =
+          {
+            c with
+            Metrics.reads = c.Metrics.reads + 1;
+            steps = c.Metrics.steps + 1;
+          }
+        in
+        if from_wbuf then
+          { c with Metrics.reads_from_wbuf = c.Metrics.reads_from_wbuf + 1 }
+        else Config.charge_rmr loc c)
+      cfg
+  in
+  (Step.Read { p; reg = r; value = v; from_wbuf; loc }, cfg)
+
+(* Strong read-modify-write primitives (swap, faa): like cas, they act
+   on committed memory behind an implicit barrier (the executor forces
+   the buffer empty before dispatching here) and charge commit
+   locality. *)
+let rmw_step cfg p (st : Config.pstate) r ~op ~arg ~k =
+  assert (Wbuf.is_empty st.Config.wb);
+  let read = Config.read_mem cfg r in
+  let wrote = match op with `Swap -> arg | `Faa -> read + arg in
+  let loc = Config.commit_locality cfg p r in
+  let st = Config.learn (Config.learn st r read) r wrote in
+  let st = { st with prog = k read; last_read = None; obs = read :: st.obs } in
+  let cfg = Config.set_pstate cfg p st in
+  let cfg =
+    {
+      cfg with
+      Config.mem = Reg.Map.add r wrote cfg.Config.mem;
+      last_committer = Reg.Map.add r p cfg.Config.last_committer;
+    }
+  in
+  let cfg =
+    Config.bump p
+      (fun c ->
+        Config.charge_rmr loc
+          {
+            c with
+            Metrics.cas = c.Metrics.cas + 1;
+            fences = c.Metrics.fences + 1;
+            steps = c.Metrics.steps + 1;
+          })
+      cfg
+  in
+  (Step.Rmw { p; reg = r; op; arg; read; wrote; loc }, cfg)
+
+(* One operation step of [p] (labels already skipped). Returns [None]
+   when [p] has no step to take: it is final, or blocked on a spin whose
+   register still holds the value it last observed. *)
+let op_step cfg p prog =
+  let st = Config.pstate cfg p in
+  match (prog : Program.t) with
+  | Program.Done _ -> None
+  | Label _ -> assert false
+  | Ret v ->
+      let cfg = Config.set_pstate cfg p { st with prog = Program.Done v; last_read = None } in
+      let cfg =
+        Config.bump p
+          (fun c -> { c with Metrics.returns = c.Metrics.returns + 1; steps = c.Metrics.steps + 1 })
+          cfg
+      in
+      Some (Step.Return { p; value = v }, cfg)
+  | Read (r, k) -> Some (read_step cfg p r ~prog':k)
+  | Spin (r, pred, k) ->
+      let v, _ = visible_value cfg p r in
+      if pred v then Some (read_step cfg p r ~prog':k)
+      else begin
+        match st.last_read with
+        | Some (r', v') when Reg.equal r r' && v = v' ->
+            (* blocked: the register still holds the value this process
+               already observed; a re-read is a cache hit and a no-op *)
+            None
+        | Some _ | None ->
+            (* observe the (new) unsatisfying value: a real read step
+               that leaves the process poised at the same spin *)
+            Some (read_step cfg p r ~prog':(fun _ -> prog))
+      end
+  | Spinv (regs, prev, pred, k) ->
+      let visible = List.map (fun r -> fst (visible_value cfg p r)) regs in
+      if prev = Some visible then None (* blocked: a round would replay *)
+      else begin
+        (* unroll one round into ordinary fine-grained reads; execute
+           the first of them now *)
+        let rec round acc = function
+          | [] ->
+              let vs = List.rev acc in
+              if pred vs then k vs else Program.Spinv (regs, Some vs, pred, k)
+          | r :: rest -> Program.Read (r, fun v -> round (v :: acc) rest)
+        in
+        match round [] regs with
+        | Program.Read (r, k') -> Some (read_step cfg p r ~prog':k')
+        | _ -> invalid_arg "Exec: Spinv over no registers"
+      end
+  | Write (r, v, k) ->
+      if Memory_model.buffered cfg.Config.model then begin
+        let wb = Memory_model.buffer_write cfg.Config.model st.wb r v in
+        let st = Config.learn { st with prog = k (); wb; last_read = None } r v in
+        let cfg = Config.set_pstate cfg p st in
+        let cfg =
+          Config.bump p
+            (fun c -> { c with Metrics.writes = c.Metrics.writes + 1; steps = c.Metrics.steps + 1 })
+            cfg
+        in
+        Some (Step.Write { p; reg = r; value = v }, cfg)
+      end
+      else begin
+        (* SC: the write is immediately committed. We account it like a
+           write step whose value lands in memory at once, charging
+           commit locality — so SC algorithms still pay DSM RMRs for
+           writing remote registers, as in the classical literature. *)
+        let loc = Config.commit_locality cfg p r in
+        let st = Config.learn { st with prog = k (); last_read = None } r v in
+        let cfg = Config.set_pstate cfg p st in
+        let cfg =
+          {
+            cfg with
+            Config.mem = Reg.Map.add r v cfg.Config.mem;
+            last_committer = Reg.Map.add r p cfg.Config.last_committer;
+          }
+        in
+        let cfg =
+          Config.bump p
+            (fun c ->
+              Config.charge_rmr loc
+                {
+                  c with
+                  Metrics.writes = c.Metrics.writes + 1;
+                  commits = c.Metrics.commits + 1;
+                  steps = c.Metrics.steps + 1;
+                })
+            cfg
+        in
+        Some (Step.Commit { p; reg = r; value = v; loc }, cfg)
+      end
+  | Fence k ->
+      assert (Wbuf.is_empty st.wb);
+      let st = { st with prog = k (); last_read = None } in
+      let cfg = Config.set_pstate cfg p st in
+      let cfg =
+        Config.bump p
+          (fun c -> { c with Metrics.fences = c.Metrics.fences + 1; steps = c.Metrics.steps + 1 })
+          cfg
+      in
+      Some (Step.Fence { p }, cfg)
+  | Cas (r, expect, update, k) ->
+      assert (Wbuf.is_empty st.wb);
+      let read = Config.read_mem cfg r in
+      let success = read = expect in
+      let loc = Config.commit_locality cfg p r in
+      let st = Config.learn st r read in
+      let st =
+        {
+          st with
+          prog = k success;
+          last_read = None;
+          obs = (if success then 1 else 0) :: read :: st.obs;
+        }
+      in
+      let st = if success then Config.learn st r update else st in
+      let cfg = Config.set_pstate cfg p st in
+      let cfg =
+        if success then
+          {
+            cfg with
+            Config.mem = Reg.Map.add r update cfg.Config.mem;
+            last_committer = Reg.Map.add r p cfg.Config.last_committer;
+          }
+        else cfg
+      in
+      let cfg =
+        Config.bump p
+          (fun c ->
+            Config.charge_rmr loc
+              {
+                c with
+                Metrics.cas = c.Metrics.cas + 1;
+                (* a cas carries an implicit full barrier; counting it as a
+                   fence keeps comparisons with read/write algorithms fair
+                   and matches the paper's remark that strong primitives
+                   "also incur significant overhead". *)
+                fences = c.Metrics.fences + 1;
+                steps = c.Metrics.steps + 1;
+              })
+          cfg
+      in
+      Some (Step.Cas { p; reg = r; expect; update; read; success; loc }, cfg)
+  | Swap (r, arg, k) -> Some (rmw_step cfg p st r ~op:`Swap ~arg ~k)
+  | Faa (r, arg, k) -> Some (rmw_step cfg p st r ~op:`Faa ~arg ~k)
+
+(* Skip labels of [p], collecting costless note steps. *)
+let consume_labels cfg p =
+  let notes = ref [] in
+  let st = Config.pstate cfg p in
+  let prog =
+    Program.skip_labels
+      ~emit:(fun s -> notes := Step.Note { p; text = s } :: !notes)
+      st.prog
+  in
+  let cfg =
+    if !notes = [] then cfg else Config.set_pstate cfg p { st with prog }
+  in
+  (List.rev !notes, prog, cfg)
+
+(** Consume pending labels of every process, returning the notes. The
+    model checker normalizes states this way so that annotation
+    boundaries never split semantically identical states. *)
+let flush_labels cfg : Step.t list * Config.t =
+  let n = Config.nprocs cfg in
+  let rec go p acc cfg =
+    if p >= n then (List.rev acc, cfg)
+    else
+      let notes, _, cfg = consume_labels cfg p in
+      go (p + 1) (List.rev_append notes acc) cfg
+  in
+  go 0 [] cfg
+
+(** Whether [p] must commit before doing anything else: poised at a
+    fence (or cas) with a non-empty buffer. *)
+let forced_commit_pending cfg p =
+  let _, prog, _ = consume_labels cfg p in
+  (not (Wbuf.is_empty (Config.wbuf cfg p)))
+  &&
+  match Program.next_kind prog with
+  | Program.Op_fence | Program.Op_cas -> true
+  | Op_read | Op_write | Op_spin | Op_return _ | Op_done -> false
+
+(** Execute one schedule element. Returns the steps it produced (empty
+    when the element is a no-op, e.g. names a finished process) and the
+    successor configuration. *)
+let exec_elt cfg ((p, r) : elt) : Step.t list * Config.t =
+  let notes, prog, cfg = consume_labels cfg p in
+  let wb = Config.wbuf cfg p in
+  let explicit_commit =
+    match r with
+    | Some r
+      when List.exists (Reg.equal r)
+             (Memory_model.commit_candidates cfg.Config.model wb) ->
+        Some r
+    | Some _ | None -> None
+  in
+  match explicit_commit with
+  | Some r ->
+      (* commits are system steps: they remain possible even after the
+         process reached its final state with a non-empty buffer (only
+         programs that fence before returning are guaranteed an empty
+         buffer at return, and our ablations deliberately break that) *)
+      let step, cfg = commit_write cfg p r in
+      (notes @ [ step ], cfg)
+  | None ->
+      if Program.is_done prog then (notes, cfg)
+      else (
+        let forced =
+          match Program.next_kind prog with
+          | Program.Op_fence | Program.Op_cas ->
+              if Wbuf.is_empty wb then None
+              else Memory_model.forced_commit_reg cfg.Config.model wb
+          | Op_read | Op_write | Op_spin | Op_return _ | Op_done -> None
+        in
+        match forced with
+        | Some r ->
+            let step, cfg = commit_write cfg p r in
+            (notes @ [ step ], cfg)
+        | None -> (
+            match op_step cfg p prog with
+            | None -> (notes, cfg)
+            | Some (step, cfg) ->
+                let st = Config.pstate cfg p in
+                let cfg = Config.set_pstate cfg p { st with ops = st.ops + 1 } in
+                (notes @ [ step ], cfg)))
+
+(** Run a whole schedule, accumulating the trace. *)
+let exec cfg (sched : elt list) : Step.t list * Config.t =
+  let rec go acc cfg = function
+    | [] -> (List.rev acc, cfg)
+    | e :: rest ->
+        let steps, cfg = exec_elt cfg e in
+        go (List.rev_append steps acc) cfg rest
+  in
+  go [] cfg sched
+
+(** All schedule elements that would produce a step for [p] right now:
+    the op element plus one commit element per committable register. *)
+let enabled_elts cfg p : elt list =
+  if Config.is_final cfg p then []
+  else
+    let commits =
+      Memory_model.commit_candidates cfg.Config.model (Config.wbuf cfg p)
+      |> List.map (fun r -> (p, Some r))
+    in
+    (p, None) :: commits
+
+(** Run process [p] alone until it reaches a final state, with forced
+    commits at fences per the executor rule. Returns [Some (steps,
+    config)] on termination, [None] if [p] blocks (a spin that no solo
+    schedule can satisfy — its own commits cannot change what it sees,
+    thanks to store forwarding) or exceeds [fuel].
+
+    This implements the decoder's side condition "[p] enters a final
+    state in every [p]-only execution from [C]": with spins primitive,
+    solo termination is independent of the solo schedule chosen, so
+    running the canonical one decides it. *)
+let run_solo ?(fuel = 1_000_000) cfg p : (Step.t list * Config.t) option =
+  let rec go acc fuel cfg =
+    if Config.is_final cfg p then Some (List.rev acc, cfg)
+    else if fuel <= 0 then None
+    else
+      let steps, cfg' = exec_elt cfg (p, None) in
+      if List.exists Step.is_model_step steps then
+        go (List.rev_append steps acc) (fuel - 1) cfg'
+      else if Config.is_final cfg' p then Some (List.rev acc, cfg')
+      else None (* blocked on a spin: no solo schedule can unblock it *)
+  in
+  go [] fuel cfg
+
+(** Does [p] terminate when run alone from [cfg]? *)
+let terminates_solo ?fuel cfg p = Option.is_some (run_solo ?fuel cfg p)
+
+(** Is [p] currently blocked: not final, poised at a spin whose register
+    still holds the unsatisfying value [p] already observed, with no
+    forced commit pending? A blocked process's [(p, ⊥)] element is a
+    no-op until someone commits to the spun-on register. *)
+let is_blocked cfg p =
+  let _, prog, cfg = consume_labels cfg p in
+  match (prog : Program.t) with
+  | Program.Spin (r, pred, _) -> (
+      let v, _ = visible_value cfg p r in
+      (not (pred v))
+      &&
+      match (Config.pstate cfg p).Config.last_read with
+      | Some (r', v') -> Reg.equal r r' && v = v'
+      | None -> false)
+  | Program.Spinv (regs, prev, _, _) ->
+      prev = Some (List.map (fun r -> fst (visible_value cfg p r)) regs)
+  | Done _ | Ret _ | Read _ | Write _ | Fence _ | Cas _ | Swap _ | Faa _ | Label _ -> false

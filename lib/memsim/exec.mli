@@ -1,0 +1,41 @@
+(** The executor: the paper's [Exec_A(C; σ)] function (Section 2).
+
+    A schedule element [(p, R)] with [R ∈ R ∪ {⊥}] is interpreted as:
+    the commit of [p]'s buffered write to [R] when the model allows it;
+    otherwise a forced commit if [p] is poised at a fence (or cas) over
+    a non-empty buffer; otherwise [p]'s next operation step. See the
+    implementation header for the full rules. *)
+
+type elt = Pid.t * Reg.t option
+
+val pp_elt : elt Fmt.t
+
+(** Execute one element. Returns the steps produced (empty when the
+    element is a no-op) and the successor configuration. *)
+val exec_elt : Config.t -> elt -> Step.t list * Config.t
+
+(** Run a whole schedule, accumulating the trace. *)
+val exec : Config.t -> elt list -> Step.t list * Config.t
+
+(** All elements that would produce a step for [p] right now. *)
+val enabled_elts : Config.t -> Pid.t -> elt list
+
+(** Consume pending labels of every process, returning the notes. The
+    model checker normalizes states this way. *)
+val flush_labels : Config.t -> Step.t list * Config.t
+
+(** Is [p] poised at a fence (or cas) with a non-empty buffer? *)
+val forced_commit_pending : Config.t -> Pid.t -> bool
+
+(** Run [p] alone to a final state (forced commits at fences). [None]
+    if [p] blocks on a spin no solo schedule can satisfy, or exceeds
+    [fuel]. Implements the decoder's solo-termination side condition. *)
+val run_solo : ?fuel:int -> Config.t -> Pid.t -> (Step.t list * Config.t) option
+
+val terminates_solo : ?fuel:int -> Config.t -> Pid.t -> bool
+
+(** Is [p] blocked: poised at a spin whose register(s) still hold the
+    unsatisfying values it already observed? A blocked process's
+    [(p, ⊥)] element is a no-op until someone commits to a spun-on
+    register. *)
+val is_blocked : Config.t -> Pid.t -> bool

@@ -1,0 +1,161 @@
+(** Bounded-exhaustive state-space exploration.
+
+    Explores {e every} interleaving of op steps and commit steps from a
+    configuration, deduplicating states. Used to (a) verify mutual
+    exclusion and deadlock-freedom of locks for small process counts,
+    (b) find counterexample schedules for fence-stripped algorithms
+    under weak models, and (c) enumerate the reachable outcomes of
+    litmus tests per memory model — the operational "separation" of
+    SC ⊊ TSO ⊊ PSO.
+
+    Soundness of deduplication: programs are deterministic, so a
+    process's local state is a function of its observation log; the
+    state key therefore consists of committed memory, and per process
+    its observation log, write-buffer contents, last-read pair (which
+    gates spin blocking) and final value. Metrics and the last-committer
+    table affect only accounting, not future behaviour, and are excluded.
+    Spins are primitive (see {!Program.Spin}), so spin loops contribute
+    no unbounded obs growth and the reachable space of terminating
+    algorithms is finite.
+
+    The caller may thread a {e monitor} over the steps of each explored
+    edge (e.g. tracking critical-section occupancy from [Note] steps).
+    The monitor state must be a function of the state key — true for
+    anything derived from program positions — otherwise deduplication
+    could skip monitor transitions. *)
+
+type stats = {
+  states : int;  (** distinct states visited *)
+  transitions : int;
+  truncated : bool;  (** a bound was hit; absence of violations is then
+                         only valid up to the bound *)
+}
+
+type 'm violation = {
+  message : string;
+  path : Exec.elt list;  (** schedule from the root reproducing it *)
+  monitor : 'm;
+}
+
+type 'm result = {
+  stats : stats;
+  violations : 'm violation list;  (** in discovery order, capped *)
+  deadlocks : Exec.elt list list;  (** paths to stuck non-final states *)
+}
+
+let state_key cfg =
+  let mem = Reg.Map.bindings cfg.Config.mem in
+  let procs =
+    Pid.Map.bindings cfg.Config.procs
+    |> List.map (fun (p, (st : Config.pstate)) ->
+           ( p,
+             st.obs,
+             st.ops,
+             List.map (fun (e : Wbuf.entry) -> (e.reg, e.value)) (Wbuf.entries st.wb),
+             st.last_read,
+             (match st.prog with Program.Done v -> Some v | _ -> None) ))
+  in
+  (* marshalled to a flat string: the generic Hashtbl.hash only samples
+     the first few nodes of a deep structure, which collapses thousands
+     of distinct states onto one bucket; string keys hash on full
+     content *)
+  Marshal.to_string (mem, procs) []
+
+(* Schedule elements that can produce a model step right now. *)
+let successor_elts cfg : Exec.elt list =
+  let n = Config.nprocs cfg in
+  let rec go p acc =
+    if p < 0 then acc
+    else
+      let commits =
+        Memory_model.commit_candidates cfg.Config.model (Config.wbuf cfg p)
+        |> List.map (fun r -> (p, Some r))
+      in
+      let ops =
+        if Config.is_final cfg p || Exec.is_blocked cfg p then []
+        else [ (p, None) ]
+      in
+      go (p - 1) (ops @ commits @ acc)
+  in
+  go (n - 1) []
+
+let dfs (type m) ?(max_states = 1_000_000) ?(max_depth = 100_000)
+    ?(max_violations = 3) ?(check = fun (_ : Config.t) -> None)
+    ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
+    ?(on_final = fun (_ : Config.t) (_ : m) -> ()) (cfg0 : Config.t) :
+    m result =
+  let visited : (_, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let states = ref 0 and transitions = ref 0 and truncated = ref false in
+  let violations = ref [] and deadlocks = ref [] in
+  let record_violation v =
+    if List.length !violations < max_violations then
+      violations := !violations @ [ v ]
+  in
+  let monitor_steps m steps =
+    List.fold_left
+      (fun acc s -> match acc with Error _ -> acc | Ok m -> monitor m s)
+      (Ok m) steps
+  in
+  let rec go cfg m path depth =
+    if !states >= max_states || List.length !violations >= max_violations then
+      truncated := true
+    else begin
+      (* normalize: consume pending labels so annotation boundaries do
+         not split states, feeding the notes to the monitor *)
+      let notes, cfg = Exec.flush_labels cfg in
+      match monitor_steps m notes with
+      | Error message ->
+          record_violation { message; path = List.rev path; monitor = m }
+      | Ok m ->
+          let key = state_key cfg in
+          if not (Hashtbl.mem visited key) then begin
+            Hashtbl.add visited key ();
+            incr states;
+            (match check cfg with
+            | Some message ->
+                record_violation { message; path = List.rev path; monitor = m }
+            | None -> ());
+            if Config.quiescent cfg then on_final cfg m
+            else if depth >= max_depth then truncated := true
+            else begin
+              let elts = successor_elts cfg in
+              if elts = [] then deadlocks := List.rev path :: !deadlocks
+              else
+                List.iter
+                  (fun elt ->
+                    incr transitions;
+                    let steps, cfg' = Exec.exec_elt cfg elt in
+                    match monitor_steps m steps with
+                    | Error message ->
+                        record_violation
+                          { message; path = List.rev (elt :: path); monitor = m }
+                    | Ok m' -> go cfg' m' (elt :: path) (depth + 1))
+                  elts
+            end
+          end
+    end
+  in
+  go cfg0 init [] 0;
+  {
+    stats = { states = !states; transitions = !transitions; truncated = !truncated };
+    violations = !violations;
+    deadlocks = !deadlocks;
+  }
+
+(** Exploration without a monitor: just reachability. *)
+let dfs_plain ?max_states ?max_depth ?on_final cfg =
+  let on_final = Option.map (fun f cfg (_ : unit) -> f cfg) on_final in
+  dfs ?max_states ?max_depth ~monitor:(fun () _ -> Ok ()) ~init:() ?on_final cfg
+
+(** Collect the set of reachable final-configuration observations, where
+    [observe] projects whatever the caller cares about (e.g. final
+    register values for a litmus test). *)
+let reachable_outcomes ?max_states ?max_depth ~observe cfg =
+  let outcomes = Hashtbl.create 16 in
+  let result =
+    dfs_plain ?max_states ?max_depth
+      ~on_final:(fun final -> Hashtbl.replace outcomes (observe final) ())
+      cfg
+  in
+  let all = Hashtbl.fold (fun k () acc -> k :: acc) outcomes [] in
+  (List.sort compare all, result)

@@ -1,0 +1,68 @@
+(** Bounded-exhaustive state-space exploration with sound
+    deduplication: every interleaving of op and commit steps, states
+    keyed on committed memory plus per-process observation logs (a
+    process's local state is a function of its observations, programs
+    being deterministic). Spins are primitive, so state spaces of
+    terminating algorithms are finite. *)
+
+type stats = {
+  states : int;  (** distinct states visited *)
+  transitions : int;
+  truncated : bool;
+      (** a bound was hit; absence of violations then only holds up to
+          the bound *)
+}
+
+type 'm violation = {
+  message : string;
+  path : Exec.elt list;  (** schedule from the root reproducing it *)
+  monitor : 'm;
+}
+
+type 'm result = {
+  stats : stats;
+  violations : 'm violation list;  (** discovery order, capped *)
+  deadlocks : Exec.elt list list;  (** paths to stuck non-final states *)
+}
+
+(** Serializable state key (exposed for tests). *)
+val state_key : Config.t -> string
+
+(** Elements that can produce a model step right now, including commits
+    of finished processes' leftover buffers. *)
+val successor_elts : Config.t -> Exec.elt list
+
+(** Depth-first exploration. The [monitor] folds over every step of
+    every explored edge (e.g. tracking critical-section occupancy from
+    notes); its state must be a function of the state key, or
+    deduplication could skip transitions. [check] is an invariant
+    evaluated once per distinct state; returning [Some msg] records a
+    violation with the reproducing schedule. [on_final] fires once per
+    distinct quiescent state. *)
+val dfs :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_violations:int ->
+  ?check:(Config.t -> string option) ->
+  monitor:('m -> Step.t -> ('m, string) Stdlib.result) ->
+  init:'m ->
+  ?on_final:(Config.t -> 'm -> unit) ->
+  Config.t ->
+  'm result
+
+(** Exploration without a monitor. *)
+val dfs_plain :
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?on_final:(Config.t -> unit) ->
+  Config.t ->
+  unit result
+
+(** Set of reachable quiescent-state projections under [observe],
+    sorted, plus the exploration result. *)
+val reachable_outcomes :
+  ?max_states:int ->
+  ?max_depth:int ->
+  observe:(Config.t -> 'a) ->
+  Config.t ->
+  'a list * unit result

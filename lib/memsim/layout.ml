@@ -1,0 +1,83 @@
+(** Memory layout: register allocation, segment ownership, initial values.
+
+    The paper partitions the register set into [n] memory segments
+    [R_0 .. R_{n-1}], one local to each process (the DSM side of the
+    combined DSM+CC model). Registers that belong to no process — e.g.
+    the internal nodes of a tournament tree, which should be remote to
+    every contender — are given the pseudo-owner {!no_owner}.
+
+    A layout is built imperatively with {!Builder} while an algorithm
+    allocates its shared variables, then frozen into an immutable
+    {!t} used by the executor. *)
+
+type info = {
+  name : string;  (** human-readable name, e.g. ["C[3]"] *)
+  owner : Pid.t;  (** owning segment, or {!no_owner} *)
+  init : int;  (** initial value of the register *)
+}
+
+type t = {
+  nprocs : int;
+  infos : info array;  (** indexed by register id *)
+}
+
+(** Pseudo-owner for registers local to no process: every access to such
+    a register is to a non-local segment. *)
+let no_owner : Pid.t = -1
+
+let nregs t = Array.length t.infos
+
+let info t r =
+  if r < 0 || r >= Array.length t.infos then
+    Fmt.invalid_arg "Layout.info: unknown register %d" r;
+  t.infos.(r)
+
+let owner t r = (info t r).owner
+let name t r = (info t r).name
+let init t r = (info t r).init
+let nprocs t = t.nprocs
+
+(** [is_local t p r] is true iff [r] lies in process [p]'s memory
+    segment. *)
+let is_local t p r = Pid.equal (owner t r) p
+
+let pp_reg t ppf r = Fmt.string ppf (name t r)
+
+module Builder = struct
+  type builder = {
+    nprocs : int;
+    mutable rev_infos : info list;
+    mutable next : int;
+  }
+
+  let create ~nprocs =
+    if nprocs <= 0 then Fmt.invalid_arg "Layout.Builder.create: nprocs %d" nprocs;
+    { nprocs; rev_infos = []; next = 0 }
+
+  let alloc b ~name ~owner ~init =
+    if owner <> no_owner && (owner < 0 || owner >= b.nprocs) then
+      Fmt.invalid_arg "Layout.Builder.alloc: owner %d out of range" owner;
+    let r = b.next in
+    b.next <- b.next + 1;
+    b.rev_infos <- { name; owner; init } :: b.rev_infos;
+    r
+
+  (** Allocate an array of registers [name[0] .. name[k-1]], the [i]-th
+      owned by [owner i]. *)
+  let alloc_array b ~name ~len ~owner ~init =
+    Array.init len (fun i ->
+        alloc b ~name:(Fmt.str "%s[%d]" name i) ~owner:(owner i) ~init)
+
+  let freeze b =
+    { nprocs = b.nprocs; infos = Array.of_list (List.rev b.rev_infos) }
+end
+
+(** Convenience: a flat layout of [k] anonymous shared registers named
+    [x0 .. x{k-1}], owned by nobody, initialised to [0]. Used by litmus
+    tests and unit tests. *)
+let flat ~nprocs ~nregs:k =
+  let b = Builder.create ~nprocs in
+  for i = 0 to k - 1 do
+    ignore (Builder.alloc b ~name:(Fmt.str "x%d" i) ~owner:no_owner ~init:0)
+  done;
+  Builder.freeze b

@@ -1,0 +1,60 @@
+(** Memory layout: register allocation, segment ownership, initial
+    values.
+
+    The paper partitions the register set into [n] memory segments
+    [R_0 .. R_{n-1}], one local to each process (the DSM side of the
+    combined DSM+CC model). Registers that belong to no process — e.g.
+    the interior nodes of a tournament tree — carry the pseudo-owner
+    {!no_owner} and are remote to everyone on the DSM axis.
+
+    A layout is built imperatively with {!Builder} while an algorithm
+    allocates its shared variables, then frozen into an immutable {!t}
+    used by the executor. *)
+
+type info = {
+  name : string;  (** human-readable name, e.g. ["C[3]"] *)
+  owner : Pid.t;  (** owning segment, or {!no_owner} *)
+  init : int;  (** initial value of the register *)
+}
+
+type t
+
+(** Pseudo-owner for registers local to no process. *)
+val no_owner : Pid.t
+
+val nregs : t -> int
+val nprocs : t -> int
+
+(** Metadata of a register. Raises [Invalid_argument] on unknown ids. *)
+val info : t -> Reg.t -> info
+
+val owner : t -> Reg.t -> Pid.t
+val name : t -> Reg.t -> string
+val init : t -> Reg.t -> int
+
+(** [is_local t p r] is true iff [r] lies in process [p]'s segment. *)
+val is_local : t -> Pid.t -> Reg.t -> bool
+
+val pp_reg : t -> Reg.t Fmt.t
+
+module Builder : sig
+  type builder
+
+  val create : nprocs:int -> builder
+
+  (** Allocate one register. [owner] must be a valid pid or
+      {!no_owner}. *)
+  val alloc : builder -> name:string -> owner:Pid.t -> init:int -> Reg.t
+
+  (** Allocate registers [name[0] .. name[len-1]], the [i]-th owned by
+      [owner i]. *)
+  val alloc_array :
+    builder -> name:string -> len:int -> owner:(int -> Pid.t) -> init:int ->
+    Reg.t array
+
+  val freeze : builder -> t
+end
+
+(** A flat layout of [nregs] anonymous registers [x0 ..], owned by
+    nobody, initialised to 0 — for litmus tests and unit tests. *)
+val flat : nprocs:int -> nregs:int -> t

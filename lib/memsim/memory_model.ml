@@ -1,0 +1,72 @@
+(** Memory models as write-buffer disciplines.
+
+    The paper proves its tradeoff for models that allow write
+    reordering (PSO, RMO) and contrasts them with TSO, where writes
+    drain in program order, and SC, where there is no buffering at all.
+    We realise each model as a policy over {!Wbuf}:
+
+    - {!Sc}: writes commit at the write step; the buffer is always empty.
+    - {!Tso}: FIFO buffer; only the head may commit; reads forward from
+      the buffer. Read-after-write to a different location may still be
+      reordered (the read executes while the write sits buffered), which
+      is exactly TSO's one relaxation.
+    - {!Pso}: the paper's unordered buffer; any pending write may commit
+      at any time (write-write reordering).
+    - {!Rmo}: treated identically to {!Pso} on the write side. The
+      paper's lower bound needs only write reordering ("in RMO or even
+      PSO"), and its operational model is the PSO buffer; RMO's
+      additional read reordering is not exercised by any algorithm or
+      bound here. Kept as a distinct constructor so reports label runs
+      honestly. *)
+
+type t = Sc | Tso | Pso | Rmo
+
+let all = [ Sc; Tso; Pso; Rmo ]
+
+let to_string = function
+  | Sc -> "SC"
+  | Tso -> "TSO"
+  | Pso -> "PSO"
+  | Rmo -> "RMO"
+
+let pp = Fmt.of_to_string to_string
+
+let of_string = function
+  | "SC" | "sc" -> Some Sc
+  | "TSO" | "tso" -> Some Tso
+  | "PSO" | "pso" -> Some Pso
+  | "RMO" | "rmo" -> Some Rmo
+  | _ -> None
+
+let equal (a : t) b = a = b
+
+(** Does the model buffer writes at all? *)
+let buffered = function Sc -> false | Tso | Pso | Rmo -> true
+
+(** Does the model allow writes to different locations to commit out of
+    program order? This is the property the paper's tradeoff hinges on. *)
+let reorders_writes = function Sc | Tso -> false | Pso | Rmo -> true
+
+(** Insert a write into the buffer under this model's discipline.
+    Unused for [Sc] (the executor commits directly). *)
+let buffer_write t wb r v =
+  match t with
+  | Sc -> wb (* never called; Sc writes bypass the buffer *)
+  | Tso -> Wbuf.write_fifo wb r v
+  | Pso | Rmo -> Wbuf.write_replace wb r v
+
+(** Registers whose pending write may be committed right now. *)
+let commit_candidates t wb =
+  match t with
+  | Sc -> []
+  | Tso -> ( match Wbuf.head wb with None -> [] | Some e -> [ e.Wbuf.reg ])
+  | Pso | Rmo -> Reg.Set.elements (Wbuf.regs wb)
+
+(** The register the executor must commit when the process is poised at
+    a fence with a non-empty buffer: the smallest buffered register for
+    unordered buffers (the paper's rule), the FIFO head for TSO. *)
+let forced_commit_reg t wb =
+  match t with
+  | Sc -> None
+  | Tso -> Option.map (fun e -> e.Wbuf.reg) (Wbuf.head wb)
+  | Pso | Rmo -> Wbuf.smallest_reg wb

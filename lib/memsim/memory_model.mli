@@ -1,0 +1,37 @@
+(** Memory models as write-buffer disciplines.
+
+    - {!Sc}: writes commit at the write step; no buffering.
+    - {!Tso}: FIFO buffer, head-only commits, store forwarding — the
+      only relaxation is a read passing an earlier buffered write.
+    - {!Pso}: the paper's unordered buffer; any pending write may
+      commit at any time (write-write reordering).
+    - {!Rmo}: treated identically to {!Pso} on the write side; the
+      paper's lower bound needs only write reordering ("in RMO or even
+      PSO") and its operational model is the PSO buffer. Kept distinct
+      so reports label runs honestly. *)
+
+type t = Sc | Tso | Pso | Rmo
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val pp : t Fmt.t
+val equal : t -> t -> bool
+
+(** Does the model buffer writes at all? *)
+val buffered : t -> bool
+
+(** May writes to different locations commit out of program order? The
+    property the paper's tradeoff hinges on. *)
+val reorders_writes : t -> bool
+
+(** Insert a write under this model's discipline (unused for [Sc]). *)
+val buffer_write : t -> Wbuf.t -> Reg.t -> int -> Wbuf.t
+
+(** Registers whose pending write may commit right now. *)
+val commit_candidates : t -> Wbuf.t -> Reg.t list
+
+(** The register the executor commits when the process is poised at a
+    fence over a non-empty buffer: smallest buffered register for
+    unordered buffers (the paper's rule), the FIFO head for TSO. *)
+val forced_commit_reg : t -> Wbuf.t -> Reg.t option

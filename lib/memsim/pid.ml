@@ -1,0 +1,18 @@
+(** Process identifiers [0 .. n-1].
+
+    The lower-bound construction distinguishes a process's {e identifier}
+    (its position in the ID order, used by the decoder to break ties)
+    from its {e position in the permutation} π; both are plain integers
+    but we keep the identifier type abstract-ish behind this module to
+    make signatures self-documenting. *)
+
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp = Fmt.int
+let to_int p = p
+let of_int p = p
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)

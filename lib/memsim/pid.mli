@@ -1,0 +1,18 @@
+(** Process identifiers [0 .. n-1].
+
+    The lower-bound construction distinguishes a process's
+    {e identifier} (used by the decoder to break ties) from its
+    {e position in the permutation} π; both are plain integers but the
+    module keeps signatures self-documenting. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+val to_int : t -> int
+val of_int : int -> t
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

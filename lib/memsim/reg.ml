@@ -1,0 +1,19 @@
+(** Shared registers.
+
+    Registers are drawn from a totally ordered set (the paper takes
+    [R = N]); we use dense integer identifiers handed out by
+    {!Layout.Builder}. The total order on registers matters
+    operationally: when a process is poised at a fence with a non-empty
+    write buffer, the executor commits the buffered write with the
+    {e smallest} register identifier (Section 2 of the paper). *)
+
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp = Fmt.int
+let to_int r = r
+let of_int r = r
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)

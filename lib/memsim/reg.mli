@@ -1,0 +1,20 @@
+(** Shared registers.
+
+    Registers are drawn from a totally ordered set (the paper takes
+    [R = N]); identifiers are dense integers handed out by
+    {!Layout.Builder}. The total order matters operationally: when a
+    process is poised at a fence with a non-empty write buffer, the
+    executor commits the buffered write with the smallest register
+    identifier (Section 2 of the paper). *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+val to_int : t -> int
+val of_int : int -> t
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

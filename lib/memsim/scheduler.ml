@@ -1,0 +1,137 @@
+(** Online schedulers.
+
+    A scheduler repeatedly chooses the next schedule element given the
+    current configuration; it is how examples, stress tests and
+    benchmarks drive executions. Three adversaries matter for the
+    paper's phenomena:
+
+    - {!sequential}: processes run one after another — this is the
+      uncontended regime in which the per-passage fence/RMR counts of
+      Section 3 are quoted (the Bakery "reads a linear number of
+      locations even when the process runs alone").
+    - {!lazy_commit}: issues voluntary commits only when nothing else
+      can move, so writes linger in buffers as long as possible — the
+      maximal-reordering adversary the lower bound exploits.
+    - {!random}: a seeded mix of op steps and voluntary commits, for
+      stress testing.
+
+    All schedulers respect the model's liveness assumption that a
+    buffered write may always eventually be committed by the system, so
+    an algorithm that is deadlock-free in the paper's model terminates
+    under each of them. They are deterministic given their parameters
+    (the random one is seeded), so every run is replayable. *)
+
+exception Stuck of Config.t * string
+
+let alive cfg =
+  let n = Config.nprocs cfg in
+  let rec go p acc =
+    if p < 0 then acc
+    else go (p - 1) (if Config.is_final cfg p then acc else p :: acc)
+  in
+  go (n - 1) []
+
+let all_pids cfg = List.init (Config.nprocs cfg) Fun.id
+
+(** Run every process to completion, in pid order, each alone. Raises
+    [Stuck] if some process cannot finish solo (e.g. it waits on a
+    process that never ran). Returns the trace and final configuration. *)
+let sequential ?fuel cfg : Trace.t * Config.t =
+  let n = Config.nprocs cfg in
+  let rec go p acc cfg =
+    if p >= n then (acc, cfg)
+    else
+      match Exec.run_solo ?fuel cfg p with
+      | None -> raise (Stuck (cfg, Fmt.str "process %d does not terminate solo" p))
+      | Some (steps, cfg) -> go (p + 1) (acc @ steps) cfg
+  in
+  go 0 [] cfg
+
+(* Commit one buffered write per process that has one (including final
+   processes — commits are system steps); returns whether any commit
+   happened. Models the system's eventual draining of buffers when
+   every process is blocked. *)
+let drain_once acc cfg =
+  List.fold_left
+    (fun (acc, cfg, any) p ->
+      match Memory_model.commit_candidates cfg.Config.model (Config.wbuf cfg p) with
+      | [] -> (acc, cfg, any)
+      | r :: _ ->
+          let steps, cfg = Exec.exec_elt cfg (p, Some r) in
+          (List.rev_append steps acc, cfg, any || steps <> []))
+    (acc, cfg, false) (all_pids cfg)
+
+(** Give each alive process [quantum] op elements in rotation, issuing
+    voluntary commits only when no process can take an op step. *)
+let lazy_commit ?(quantum = 1) ?(max_rounds = 1_000_000) cfg : Trace.t * Config.t =
+  let rec go rounds acc cfg =
+    if Config.quiescent cfg then (List.rev acc, cfg)
+    else if rounds <= 0 then
+      raise (Stuck (cfg, "lazy_commit: round budget exhausted"))
+    else
+      let acc, cfg, progressed =
+        List.fold_left
+          (fun (acc, cfg, progressed) p ->
+            let rec quanta q (acc, cfg, progressed) =
+              if q = 0 || Config.is_final cfg p || Exec.is_blocked cfg p then
+                (acc, cfg, progressed)
+              else
+                let steps, cfg = Exec.exec_elt cfg (p, None) in
+                let moved = List.exists Step.is_model_step steps in
+                quanta (q - 1) (List.rev_append steps acc, cfg, progressed || moved)
+            in
+            quanta quantum (acc, cfg, progressed))
+          (acc, cfg, false) (alive cfg)
+      in
+      if progressed then go (rounds - 1) acc cfg
+      else
+        let acc, cfg, committed = drain_once acc cfg in
+        if committed then go (rounds - 1) acc cfg
+        else raise (Stuck (cfg, "lazy_commit: all processes blocked (deadlock)"))
+  in
+  go max_rounds [] cfg
+
+(** Seeded random scheduler. [commit_bias] is the probability that a
+    process with a non-empty buffer is asked to commit a (uniformly
+    chosen committable) write rather than take an op step; low bias
+    keeps buffers full and maximises reordering. *)
+let random ?(seed = 0) ?(commit_bias = 0.3) ?(max_elts = 1_000_000) cfg :
+    Trace.t * Config.t =
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let rec go budget acc cfg =
+    if Config.quiescent cfg then (List.rev acc, cfg)
+    else if budget <= 0 then raise (Stuck (cfg, "random: element budget exhausted"))
+    else
+      (* a process is actionable if it can take an op step or commit;
+         final processes remain actionable while their buffer drains *)
+      let actionable =
+        List.filter
+          (fun p ->
+            ((not (Config.is_final cfg p)) && not (Exec.is_blocked cfg p))
+            || Memory_model.commit_candidates cfg.Config.model (Config.wbuf cfg p)
+               <> [])
+          (all_pids cfg)
+      in
+      match actionable with
+      | [] -> raise (Stuck (cfg, "random: all processes blocked (deadlock)"))
+      | _ ->
+          let p = List.nth actionable (Random.State.int rng (List.length actionable)) in
+          let candidates =
+            Memory_model.commit_candidates cfg.Config.model (Config.wbuf cfg p)
+          in
+          let must_commit = Exec.is_blocked cfg p || Config.is_final cfg p in
+          let elt =
+            if
+              candidates <> []
+              && (must_commit || Random.State.float rng 1.0 < commit_bias)
+            then
+              ( p,
+                Some
+                  (List.nth candidates (Random.State.int rng (List.length candidates)))
+              )
+            else (p, None)
+          in
+          let steps, cfg = Exec.exec_elt cfg elt in
+          go (budget - 1) (List.rev_append steps acc) cfg
+  in
+  go max_elts [] cfg

@@ -1,0 +1,28 @@
+(** Online schedulers: deterministic (seeded) drivers for executions.
+
+    All schedulers respect the model's liveness assumption that a
+    buffered write may always eventually be committed by the system, so
+    algorithms that are deadlock-free in the paper's model terminate
+    under each of them. *)
+
+exception Stuck of Config.t * string
+
+(** Processes not yet in a final state, ascending. *)
+val alive : Config.t -> Pid.t list
+
+val all_pids : Config.t -> Pid.t list
+
+(** Run every process to completion, in pid order, each alone — the
+    uncontended regime of the Section 3 per-passage costs. Raises
+    [Stuck] if some process cannot finish solo. *)
+val sequential : ?fuel:int -> Config.t -> Trace.t * Config.t
+
+(** Round-robin op steps with voluntary commits only when nothing else
+    can move — the maximal-reordering adversary. *)
+val lazy_commit : ?quantum:int -> ?max_rounds:int -> Config.t -> Trace.t * Config.t
+
+(** Seeded random scheduler. [commit_bias] is the probability that a
+    process with a non-empty buffer commits rather than steps. *)
+val random :
+  ?seed:int -> ?commit_bias:float -> ?max_elts:int -> Config.t ->
+  Trace.t * Config.t

@@ -1,0 +1,92 @@
+(** Execution traces: step sequences with query helpers.
+
+    The Section 5 encoder repeatedly asks structural questions of a
+    (prefix of a) trace — which processes read a given register from
+    shared memory, who committed where, when a process's stack emptied —
+    so the helpers here are deliberately trace-algebraic rather than
+    streaming. *)
+
+type t = Step.t list
+
+let empty : t = []
+let steps (t : t) = t
+let length (t : t) = List.length (List.filter Step.is_model_step t)
+let by_pid p (t : t) = List.filter (fun s -> Pid.equal (Step.pid s) p) t
+
+let pp ppf (t : t) = Fmt.pf ppf "@[<v>%a@]" (Fmt.list Step.pp) t
+
+(** Processes (other than [p]) that access process [p]'s local memory
+    segment during the trace: a read of [r ∈ R_p] served from shared
+    memory, or a commit to [r ∈ R_p]. This is the paper's "accesses
+    process q's local memory" and feeds [wait-local-finish]. *)
+let segment_accessors layout ~segment_of (t : t) : Pid.Set.t =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Step.Read { p; reg; from_wbuf = false; _ }
+        when (not (Pid.equal p segment_of)) && Layout.is_local layout segment_of reg ->
+          Pid.Set.add p acc
+      | Step.Commit { p; reg; _ }
+        when (not (Pid.equal p segment_of)) && Layout.is_local layout segment_of reg ->
+          Pid.Set.add p acc
+      | Step.Cas { p; reg; _ }
+        when (not (Pid.equal p segment_of)) && Layout.is_local layout segment_of reg ->
+          Pid.Set.add p acc
+      | Step.Rmw { p; reg; _ }
+        when (not (Pid.equal p segment_of)) && Layout.is_local layout segment_of reg ->
+          Pid.Set.add p acc
+      | Step.Read _ | Step.Commit _ | Step.Cas _ | Step.Rmw _ | Step.Write _ | Step.Fence _
+      | Step.Return _ | Step.Note _ ->
+          acc)
+    Pid.Set.empty t
+
+(** Registers from [regs] to which some process in [among] commits a
+    write during the trace. *)
+let committed_regs ~among (regs : Reg.Set.t) (t : t) : Reg.Set.t =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Step.Commit { p; reg; _ } when Pid.Set.mem p among && Reg.Set.mem reg regs ->
+          Reg.Set.add reg acc
+      | Step.Rmw { p; reg; _ } when Pid.Set.mem p among && Reg.Set.mem reg regs ->
+          Reg.Set.add reg acc
+      | Step.Read _ | Step.Commit _ | Step.Cas _ | Step.Rmw _ | Step.Write _ | Step.Fence _
+      | Step.Return _ | Step.Note _ ->
+          acc)
+    Reg.Set.empty t
+
+(** Processes in [among] that read (from shared memory) at least one
+    register of [regs] during the trace. *)
+let shared_readers ~among (regs : Reg.Set.t) (t : t) : Pid.Set.t =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Step.Read { p; reg; from_wbuf = false; _ }
+        when Pid.Set.mem p among && Reg.Set.mem reg regs ->
+          Pid.Set.add p acc
+      | Step.Rmw { p; reg; _ } when Pid.Set.mem p among && Reg.Set.mem reg regs ->
+          Pid.Set.add p acc
+      | Step.Read _ | Step.Commit _ | Step.Cas _ | Step.Rmw _ | Step.Write _ | Step.Fence _
+      | Step.Return _ | Step.Note _ ->
+          acc)
+    Pid.Set.empty t
+
+(** Return values, indexed by process. *)
+let returns (t : t) : (Pid.t * int) list =
+  List.filter_map
+    (function Step.Return { p; value } -> Some (p, value) | _ -> None)
+    t
+
+let count f (t : t) = List.length (List.filter f t)
+
+let fences_of p (t : t) =
+  count (function Step.Fence { p = q } -> Pid.equal p q | _ -> false) t
+
+let rmrs_of p (t : t) =
+  count
+    (function
+      | Step.Read { p = q; loc; _ } | Step.Commit { p = q; loc; _ }
+      | Step.Cas { p = q; loc; _ } | Step.Rmw { p = q; loc; _ } ->
+          Pid.equal p q && Step.is_rmr loc
+      | Step.Write _ | Step.Fence _ | Step.Return _ | Step.Note _ -> false)
+    t

@@ -1,0 +1,34 @@
+(** Execution traces: step sequences with the structural queries the
+    Section 5 encoder asks (who read what from shared memory, who
+    committed where, segment accesses). *)
+
+type t = Step.t list
+
+val empty : t
+val steps : t -> Step.t list
+
+(** Number of model steps (notes excluded). *)
+val length : t -> int
+
+val by_pid : Pid.t -> t -> t
+val pp : t Fmt.t
+
+(** Processes other than [segment_of] that access [segment_of]'s local
+    memory segment (shared-memory read, commit or cas of a register in
+    it) — the paper's "accesses process q's local memory", feeding
+    [wait-local-finish]. *)
+val segment_accessors : Layout.t -> segment_of:Pid.t -> t -> Pid.Set.t
+
+(** Registers from [regs] committed to by some process in [among]. *)
+val committed_regs : among:Pid.Set.t -> Reg.Set.t -> t -> Reg.Set.t
+
+(** Processes in [among] that read (from shared memory) at least one
+    register of [regs]. *)
+val shared_readers : among:Pid.Set.t -> Reg.Set.t -> t -> Pid.Set.t
+
+(** Return steps, in order. *)
+val returns : t -> (Pid.t * int) list
+
+val count : (Step.t -> bool) -> t -> int
+val fences_of : Pid.t -> t -> int
+val rmrs_of : Pid.t -> t -> int

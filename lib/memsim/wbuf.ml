@@ -1,0 +1,69 @@
+(** Per-process write buffers.
+
+    The paper's model (Section 2) equips each process with an
+    {e unordered} write buffer [WB_p ⊆ R × D] without duplicates: a
+    [write(R,x)] replaces any pending write to [R]. That is the PSO/RMO
+    buffer. For TSO we additionally need a FIFO discipline {e with}
+    duplicates (coalescing a newer store into an older slot would break
+    TSO's store ordering), so the representation keeps insertion order
+    and each memory model interprets it through {!Memory_model}.
+
+    The buffer is immutable; the executor threads it through
+    configurations so snapshots are free. *)
+
+type entry = { reg : Reg.t; value : int }
+
+type t = entry list
+(** Oldest first. Invariant maintained by [write_replace]: at most one
+    entry per register. [write_fifo] may create duplicates. *)
+
+let empty : t = []
+let is_empty (t : t) = t = []
+let size (t : t) = List.length t
+
+(** Newest pending value for [r], if any — the value a read by the owner
+    must return (store forwarding), under every buffered model. *)
+let find (t : t) r =
+  let rec last acc = function
+    | [] -> acc
+    | e :: rest -> last (if Reg.equal e.reg r then Some e.value else acc) rest
+  in
+  last None t
+
+let mem (t : t) r = Option.is_some (find t r)
+
+(** Unordered-buffer write: replace any pending write to the same
+    register (the paper's [WB_p - {(R,_)} ∪ {(R,x)}]). *)
+let write_replace (t : t) r v =
+  let t = List.filter (fun e -> not (Reg.equal e.reg r)) t in
+  t @ [ { reg = r; value = v } ]
+
+(** FIFO write: append, keeping duplicates, for TSO. *)
+let write_fifo (t : t) r v = t @ [ { reg = r; value = v } ]
+
+(** Oldest entry, for TSO head-only commits. *)
+let head (t : t) = match t with [] -> None | e :: _ -> Some e
+
+(** Remove the oldest entry for [r] and return its value. Under the
+    no-duplicate invariant this is the unique entry. *)
+let take (t : t) r =
+  let rec go acc = function
+    | [] -> None
+    | e :: rest ->
+        if Reg.equal e.reg r then Some (e.value, List.rev_append acc rest)
+        else go (e :: acc) rest
+  in
+  go [] t
+
+(** Distinct registers with a pending write, in increasing register
+    order (the executor needs the smallest). *)
+let regs (t : t) =
+  List.fold_left (fun s e -> Reg.Set.add e.reg s) Reg.Set.empty t
+
+let smallest_reg (t : t) = Reg.Set.min_elt_opt (regs t)
+let entries (t : t) = t
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:Fmt.comma (fun ppf e -> Fmt.pf ppf "%a:=%d" Reg.pp e.reg e.value))
+    t

@@ -1,0 +1,43 @@
+(** Per-process write buffers (Section 2).
+
+    The paper's PSO/RMO buffer is an {e unordered} set [WB_p ⊆ R × D]
+    without duplicates — [write_replace]. TSO needs a FIFO queue with
+    duplicates — [write_fifo] — since coalescing a newer store into an
+    older slot would break store ordering. The representation is shared;
+    {!Memory_model} picks the discipline. Buffers are immutable. *)
+
+type entry = { reg : Reg.t; value : int }
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val size : t -> int
+
+(** Newest pending value for a register — what a read by the owner must
+    return (store forwarding). *)
+val find : t -> Reg.t -> int option
+
+val mem : t -> Reg.t -> bool
+
+(** Unordered-buffer write: replaces any pending write to the register. *)
+val write_replace : t -> Reg.t -> int -> t
+
+(** FIFO write: appends, keeping duplicates. *)
+val write_fifo : t -> Reg.t -> int -> t
+
+(** Oldest entry, for TSO head-only commits. *)
+val head : t -> entry option
+
+(** Remove the oldest entry for the register and return its value. *)
+val take : t -> Reg.t -> (int * t) option
+
+(** Distinct registers with a pending write. *)
+val regs : t -> Reg.Set.t
+
+val smallest_reg : t -> Reg.t option
+
+(** Entries, oldest first. *)
+val entries : t -> entry list
+
+val pp : t Fmt.t

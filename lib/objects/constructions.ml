@@ -1,0 +1,71 @@
+(** Ordering algorithms from object families (Section 4).
+
+    The full version of the paper shows that a queue, a counter, or a
+    fetch-and-increment object yields an ordering algorithm, so the
+    fence/RMR tradeoff applies to implementations of all of them. These
+    are those reductions, concretely:
+
+    - {!via_counter}: Count itself — read, add one, return the old
+      value (the k-th process through the critical section returns k);
+    - {!via_fai}: one [fetch_add], return the previous value;
+    - {!via_queue}: the queue starts holding [0 .. n-1] in order; each
+      process dequeues once and returns what it got — the k-th dequeue
+      returns k.
+
+    Each construction produces the initial configuration in which every
+    process runs the algorithm once — the execution shape of Theorem
+    4.2 — so the Section 5 encoder runs over any of them. *)
+
+open Memsim
+open Program
+
+type t = {
+  name : string;
+  cinit : Config.t;  (** every process runs the ordering algorithm once *)
+}
+
+let via_counter (factory : Locks.Lock.factory) ~model ~nprocs : t =
+  let _, cinit = Count.configure factory ~model ~nprocs in
+  { name = "count"; cinit }
+
+let via_fai (factory : Locks.Lock.factory) ~model ~nprocs : t =
+  let builder = Layout.Builder.create ~nprocs in
+  let f = Fai.lock_based factory builder ~nprocs in
+  let layout = Layout.Builder.freeze builder in
+  let programs = Array.init nprocs (fun p -> Fai.ordering_program f p) in
+  { name = "fetch-and-increment"; cinit = Config.make ~model ~layout programs }
+
+let via_queue (factory : Locks.Lock.factory) ~model ~nprocs : t =
+  let builder = Layout.Builder.create ~nprocs in
+  let lock = factory builder ~nprocs in
+  (* a queue whose slots are pre-filled with 0..n-1 via initial values:
+     slot i holds i+1 (0 is reserved for "empty" in the return path),
+     head = 0, tail = n *)
+  let slots =
+    Array.init nprocs (fun i ->
+        Layout.Builder.alloc builder
+          ~name:(Fmt.str "oq.slot[%d]" i)
+          ~owner:Layout.no_owner ~init:(i + 1))
+  in
+  let head = Layout.Builder.alloc builder ~name:"oq.head" ~owner:Layout.no_owner ~init:0 in
+  let layout = Layout.Builder.freeze builder in
+  let program p =
+    run
+      (let* () = lock.Locks.Lock.acquire p in
+       let* () = label "cs:enter" in
+       let* hd = read head in
+       let* v = read slots.(hd mod nprocs) in
+       let* () = write head (hd + 1) in
+       let* () = fence in
+       let* () = label "cs:exit" in
+       let* () = lock.Locks.Lock.release p in
+       return (v - 1))
+  in
+  { name = "queue"; cinit = Config.make ~model ~layout (Array.init nprocs program) }
+
+let all factory ~model ~nprocs =
+  [
+    via_counter factory ~model ~nprocs;
+    via_fai factory ~model ~nprocs;
+    via_queue factory ~model ~nprocs;
+  ]

@@ -1,0 +1,17 @@
+(** Ordering algorithms from the Section 4 object families (counter,
+    fetch-and-increment, queue): each yields a configuration in which
+    every process accesses the object once and the k-th process through
+    returns k — the execution shape of Theorem 4.2, consumable by the
+    Section 5 encoder. *)
+
+open Memsim
+
+type t = {
+  name : string;
+  cinit : Config.t;  (** every process runs the ordering algorithm once *)
+}
+
+val via_counter : Locks.Lock.factory -> model:Memory_model.t -> nprocs:int -> t
+val via_fai : Locks.Lock.factory -> model:Memory_model.t -> nprocs:int -> t
+val via_queue : Locks.Lock.factory -> model:Memory_model.t -> nprocs:int -> t
+val all : Locks.Lock.factory -> model:Memory_model.t -> nprocs:int -> t list

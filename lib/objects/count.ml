@@ -1,0 +1,46 @@
+(** The [Count] ordering algorithm (Section 4).
+
+    Each process acquires a lock, reads a shared register [C]
+    (initially 0), writes back [C+1] followed by a fence, releases the
+    lock, and returns the value it read. The sequence of return values
+    over any complete execution is a permutation of [0..n-1] paired with
+    the order in which processes went through the critical section —
+    which makes [Count] {e ordering} in the sense of Definition 4.1 and
+    the vehicle for the lower bound: its fence/RMR cost is that of one
+    lock passage plus a constant.
+
+    The factory wraps {e any} lock, so the tradeoff experiments run
+    [Count] over Bakery, over [GT_f] and over the tournament tree. *)
+
+open Memsim
+open Program
+
+type t = {
+  lock : Locks.Lock.t;
+  c : Reg.t;
+  program : Pid.t -> Program.t;  (** the full Count run for a process *)
+}
+
+let make (factory : Locks.Lock.factory) builder ~nprocs : t =
+  let lock = factory builder ~nprocs in
+  let c = Layout.Builder.alloc builder ~name:"count.C" ~owner:Layout.no_owner ~init:0 in
+  let program p =
+    run
+      (let* () = lock.Locks.Lock.acquire p in
+       let* () = label "cs:enter" in
+       let* v = read c in
+       let* () = write c (v + 1) in
+       let* () = fence in
+       let* () = label "cs:exit" in
+       let* () = lock.Locks.Lock.release p in
+       return v)
+  in
+  { lock; c; program }
+
+(** Build the standard Count configuration: every process runs the
+    algorithm once (the execution shape of Theorem 4.2). *)
+let configure (factory : Locks.Lock.factory) ~model ~nprocs : t * Config.t =
+  let builder = Layout.Builder.create ~nprocs in
+  let t = make factory builder ~nprocs in
+  let layout = Layout.Builder.freeze builder in
+  (t, Config.make ~model ~layout (Array.init nprocs t.program))

@@ -1,0 +1,19 @@
+(** The [Count] ordering algorithm (Section 4): read a shared register
+    inside the critical section, write back +1 with a fence, return the
+    value read. Ordering in the sense of Definition 4.1; its fence/RMR
+    cost is one passage of the underlying lock plus O(1). *)
+
+open Memsim
+
+type t = {
+  lock : Locks.Lock.t;
+  c : Reg.t;
+  program : Pid.t -> Program.t;  (** the full Count run for a process *)
+}
+
+val make : Locks.Lock.factory -> Layout.Builder.builder -> nprocs:int -> t
+
+(** Standard configuration: every process runs the algorithm once — the
+    execution shape of Theorem 4.2. *)
+val configure :
+  Locks.Lock.factory -> model:Memory_model.t -> nprocs:int -> t * Config.t

@@ -1,0 +1,53 @@
+(** A lock-protected shared counter.
+
+    The full version of the paper shows that counters (like queues and
+    fetch-and-increment) can be used to build ordering algorithms, so
+    the tradeoff covers their read/write implementations too. This is
+    the straightforward lock-based construction: [increment] returns
+    the pre-increment value, [get] reads without mutating. The
+    per-operation fence/RMR cost is one lock passage plus O(1). *)
+
+open Memsim
+open Program
+
+type t = { lock : Locks.Lock.t; value : Reg.t }
+
+let make (factory : Locks.Lock.factory) builder ~nprocs : t =
+  let lock = factory builder ~nprocs in
+  let value =
+    Layout.Builder.alloc builder ~name:"counter.value" ~owner:Layout.no_owner
+      ~init:0
+  in
+  { lock; value }
+
+(** Atomically add [by] (default 1); evaluates to the previous value. *)
+let increment ?(by = 1) t p : int m =
+  let* () = t.lock.Locks.Lock.acquire p in
+  let* () = label "cs:enter" in
+  let* v = read t.value in
+  let* () = write t.value (v + by) in
+  let* () = fence in
+  let* () = label "cs:exit" in
+  let* () = t.lock.Locks.Lock.release p in
+  return v
+
+(** A snapshot read (still serialized through the lock, so it
+    linearizes with increments). *)
+let get t p : int m =
+  let* () = t.lock.Locks.Lock.acquire p in
+  let* v = read t.value in
+  let* () = t.lock.Locks.Lock.release p in
+  return v
+
+(** A wait-free CAS-based fetch-and-add for comparison with the
+    lock-based construction (Section 6's comparison-primitive remark). *)
+let cas_counter builder =
+  Layout.Builder.alloc builder ~name:"counter.cas" ~owner:Layout.no_owner ~init:0
+
+let cas_increment reg : int m =
+  let rec retry () =
+    let* v = read reg in
+    let* ok = cas reg ~expect:v ~update:(v + 1) in
+    if ok then return v else retry ()
+  in
+  retry ()

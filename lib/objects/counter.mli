@@ -1,0 +1,17 @@
+(** Lock-protected shared counter (one of the Section 4 object
+    families), plus a CAS-based fetch-and-add for comparison. *)
+
+open Memsim
+
+type t = { lock : Locks.Lock.t; value : Reg.t }
+
+val make : Locks.Lock.factory -> Layout.Builder.builder -> nprocs:int -> t
+
+(** Atomically add [by] (default 1); evaluates to the previous value. *)
+val increment : ?by:int -> t -> Pid.t -> int Program.m
+
+(** Serialized read. *)
+val get : t -> Pid.t -> int Program.m
+
+val cas_counter : Layout.Builder.builder -> Reg.t
+val cas_increment : Reg.t -> int Program.m

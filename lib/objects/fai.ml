@@ -1,0 +1,34 @@
+(** Fetch-and-increment built three ways, for the ordering reductions of
+    Section 4 and the comparison-primitive benchmarks:
+
+    - {!lock_based}: Count's increment under any read/write lock —
+      subject to the paper's fence/RMR tradeoff;
+    - {!cas_based}: retry loop over [cas] — the strong-primitive
+      escape hatch, whose barrier cost lives inside the primitive;
+    - both expose the same [fetch_add] shape so workloads swap them
+      freely. *)
+
+open Memsim
+open Program
+
+type t = { fetch_add : Pid.t -> int m; name : string }
+
+let lock_based (factory : Locks.Lock.factory) builder ~nprocs : t =
+  let counter = Counter.make factory builder ~nprocs in
+  {
+    name = "fai-lock-" ^ counter.Counter.lock.Locks.Lock.name;
+    fetch_add = (fun p -> Counter.increment counter p);
+  }
+
+let cas_based builder : t =
+  let reg = Counter.cas_counter builder in
+  { name = "fai-cas"; fetch_add = (fun _p -> Counter.cas_increment reg) }
+
+(** Wrap a fetch-and-increment into an ordering algorithm à la Count:
+    every process performs one [fetch_add] and returns the value —
+    Definition 4.1 asks exactly that the k-th distinct finisher return
+    k. *)
+let ordering_program t p : Program.t =
+  run
+    (let* v = t.fetch_add p in
+     return v)

@@ -1,0 +1,13 @@
+(** Fetch-and-increment, lock-based and CAS-based, behind one
+    interface — the Section 4 ordering reductions and the Section 6
+    comparison-primitive benchmarks. *)
+
+open Memsim
+
+type t = { fetch_add : Pid.t -> int Program.m; name : string }
+
+val lock_based : Locks.Lock.factory -> Layout.Builder.builder -> nprocs:int -> t
+val cas_based : Layout.Builder.builder -> t
+
+(** One [fetch_add], returning the value — an ordering algorithm. *)
+val ordering_program : t -> Pid.t -> Program.t

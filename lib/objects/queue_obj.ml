@@ -1,0 +1,73 @@
+(** A lock-protected bounded FIFO queue.
+
+    One of the object families the tradeoff covers. Backed by a
+    circular array of registers plus head/tail cursors, all protected
+    by the supplied lock; [enqueue]/[dequeue] each cost one lock
+    passage plus O(1) fences and RMRs on top.
+
+    [dequeue] is non-blocking: it returns [None] on an empty queue
+    rather than waiting, so the object is total and usable in
+    terminating model-checked workloads. *)
+
+open Memsim
+open Program
+
+type t = {
+  lock : Locks.Lock.t;
+  slots : Reg.t array;
+  head : Reg.t;  (** next slot to dequeue *)
+  tail : Reg.t;  (** next slot to enqueue *)
+}
+
+let capacity t = Array.length t.slots
+
+let make (factory : Locks.Lock.factory) builder ~nprocs ~capacity : t =
+  if capacity <= 0 then Fmt.invalid_arg "Queue_obj.make: capacity %d" capacity;
+  let lock = factory builder ~nprocs in
+  let slots =
+    Layout.Builder.alloc_array builder ~name:"queue.slot" ~len:capacity
+      ~owner:(fun _ -> Layout.no_owner)
+      ~init:0
+  in
+  let head = Layout.Builder.alloc builder ~name:"queue.head" ~owner:Layout.no_owner ~init:0 in
+  let tail = Layout.Builder.alloc builder ~name:"queue.tail" ~owner:Layout.no_owner ~init:0 in
+  { lock; slots; head; tail }
+
+(* read the slot register selected by a cursor value *)
+let slot t cursor = t.slots.(cursor mod capacity t)
+
+(** Enqueue [v]; evaluates to [false] if the queue was full. *)
+let enqueue t p v : bool m =
+  let* () = t.lock.Locks.Lock.acquire p in
+  let* () = label "cs:enter" in
+  let* tl = read t.tail in
+  let* hd = read t.head in
+  let* ok =
+    if tl - hd >= capacity t then return false
+    else
+      let* () = write (slot t tl) v in
+      let* () = write t.tail (tl + 1) in
+      let* () = fence in
+      return true
+  in
+  let* () = label "cs:exit" in
+  let* () = t.lock.Locks.Lock.release p in
+  return ok
+
+(** Dequeue; evaluates to [Some v] or [None] if empty. *)
+let dequeue t p : int option m =
+  let* () = t.lock.Locks.Lock.acquire p in
+  let* () = label "cs:enter" in
+  let* hd = read t.head in
+  let* tl = read t.tail in
+  let* out =
+    if hd >= tl then return None
+    else
+      let* v = read (slot t hd) in
+      let* () = write t.head (hd + 1) in
+      let* () = fence in
+      return (Some v)
+  in
+  let* () = label "cs:exit" in
+  let* () = t.lock.Locks.Lock.release p in
+  return out

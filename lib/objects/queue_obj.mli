@@ -1,0 +1,22 @@
+(** Lock-protected bounded FIFO queue (one of the Section 4 object
+    families). [dequeue] is total: it returns [None] on empty rather
+    than waiting. *)
+
+open Memsim
+
+type t = {
+  lock : Locks.Lock.t;
+  slots : Reg.t array;
+  head : Reg.t;
+  tail : Reg.t;
+}
+
+val capacity : t -> int
+
+val make :
+  Locks.Lock.factory -> Layout.Builder.builder -> nprocs:int -> capacity:int -> t
+
+(** Evaluates to [false] if the queue was full. *)
+val enqueue : t -> Pid.t -> int -> bool Program.m
+
+val dequeue : t -> Pid.t -> int option Program.m

@@ -1,0 +1,41 @@
+(** Exhaustive verification of lock properties at small scope: mutual
+    exclusion (label monitor + lost-update oracle on a critical-section
+    counter), deadlock-freedom, and termination, with counterexample
+    schedules on failure. *)
+
+open Memsim
+
+type verdict = {
+  lock_name : string;
+  model : Memory_model.t;
+  nprocs : int;
+  rounds : int;
+  holds : bool;
+  me_violation : Exec.elt list option;  (** schedule reaching an overlap *)
+  deadlock : Exec.elt list option;
+  lost_update : bool;
+  stats : Explore.stats;
+}
+
+val pp_verdict : verdict Fmt.t
+
+(** Critical-section occupancy monitor over ["cs:enter"]/["cs:exit"]
+    notes; errors on overlap. *)
+val cs_monitor : Pid.Set.t -> Step.t -> (Pid.Set.t, string) result
+
+(** The standard checking workload: [rounds] passages per process, each
+    critical section incrementing a shared counter. Returns the lock,
+    the counter register, and the initial configuration. *)
+val workload :
+  model:Memory_model.t -> Locks.Lock.factory -> nprocs:int -> rounds:int ->
+  Locks.Lock.t * Reg.t * Config.t
+
+val check :
+  ?rounds:int -> ?max_states:int -> ?max_depth:int -> model:Memory_model.t ->
+  Locks.Lock.factory -> nprocs:int -> verdict
+
+(** Replay a counterexample schedule into a step trace (pending labels
+    flushed). *)
+val replay :
+  model:Memory_model.t -> Locks.Lock.factory -> nprocs:int -> rounds:int ->
+  Exec.elt list -> Trace.t * Config.t

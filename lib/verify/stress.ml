@@ -1,0 +1,63 @@
+(** Randomized stress testing for process counts beyond exhaustive
+    reach: run many seeded random schedules, folding the critical-
+    section monitor over each trace and flagging violations, deadlocks
+    (a scheduler that cannot make progress) and wrong return values. *)
+
+open Memsim
+
+type report = {
+  lock_name : string;
+  model : Memory_model.t;
+  nprocs : int;
+  rounds : int;
+  seeds : int;
+  failures : (int * string) list;  (** (seed, message) *)
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "%-24s %-4s n=%d rounds=%d seeds=%d: %s" r.lock_name
+    (Memory_model.to_string r.model)
+    r.nprocs r.rounds r.seeds
+    (match r.failures with
+    | [] -> "OK"
+    | (seed, msg) :: _ ->
+        Fmt.str "%d FAILURES (first: seed %d, %s)" (List.length r.failures) seed msg)
+
+let monitor_trace trace =
+  List.fold_left
+    (fun acc step ->
+      match acc with
+      | Error _ -> acc
+      | Ok occ -> Mutex_check.cs_monitor occ step)
+    (Ok Pid.Set.empty) trace
+
+let run ?(seeds = 50) ?(rounds = 3) ?(commit_bias = 0.3) ~model factory ~nprocs
+    : report =
+  let name = ref "" in
+  let failures = ref [] in
+  for seed = 0 to seeds - 1 do
+    let lock, counter, cfg = Mutex_check.workload ~model factory ~nprocs ~rounds in
+    name := lock.Locks.Lock.name;
+    match Scheduler.random ~seed ~commit_bias cfg with
+    | exception Scheduler.Stuck (_, msg) ->
+        failures := (seed, "stuck: " ^ msg) :: !failures
+    | trace, final ->
+        (match monitor_trace trace with
+        | Error msg -> failures := (seed, msg) :: !failures
+        | Ok _ -> ());
+        if not (Config.all_final final) then
+          failures := (seed, "did not terminate") :: !failures
+        else if Config.read_mem final counter <> nprocs * rounds then
+          failures :=
+            (seed, Fmt.str "lost update: counter %d, expected %d"
+                     (Config.read_mem final counter) (nprocs * rounds))
+            :: !failures
+  done;
+  {
+    lock_name = !name;
+    model;
+    nprocs;
+    rounds;
+    seeds;
+    failures = List.rev !failures;
+  }

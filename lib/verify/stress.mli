@@ -1,0 +1,22 @@
+(** Randomized stress testing for process counts beyond exhaustive
+    reach: seeded random schedules, CS-overlap monitor, termination and
+    lost-update oracles. *)
+
+open Memsim
+
+type report = {
+  lock_name : string;
+  model : Memory_model.t;
+  nprocs : int;
+  rounds : int;
+  seeds : int;
+  failures : (int * string) list;  (** (seed, message) *)
+}
+
+val pp_report : report Fmt.t
+
+val monitor_trace : Trace.t -> (Pid.Set.t, string) result
+
+val run :
+  ?seeds:int -> ?rounds:int -> ?commit_bias:float -> model:Memory_model.t ->
+  Locks.Lock.factory -> nprocs:int -> report

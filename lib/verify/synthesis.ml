@@ -1,0 +1,166 @@
+(** Fence synthesis: which subsets of an algorithm's fences keep it
+    correct under a given memory model?
+
+    The tradeoff prices fences; this tool finds where they can be
+    saved. Given a family of lock variants indexed by a fence subset
+    (each fence site on or off), it model-checks every subset under a
+    model and reports the {e minimal} correct subsets (no correct
+    subset is strictly contained in them). Applied to the Bakery lock
+    this derives the E8 ablation table automatically and shows, e.g.,
+    that under TSO only fence 1 (the store→load guard) is needed while
+    PSO additionally demands fence 2 (the ticket-publication
+    write→write guard), and that f3 and the release fence are
+    safety-redundant everywhere. *)
+
+open Memsim
+
+type site = { name : string; index : int }
+
+type family = {
+  family_name : string;
+  sites : site list;
+  instantiate : bool array -> Locks.Lock.factory;
+      (** [instantiate mask]: the variant keeping exactly the fences
+          with [mask.(site.index)] set *)
+}
+
+(** The Bakery lock's four fence sites. *)
+let bakery_family : family =
+  let sites =
+    [
+      { name = "f1 (after C:=1)"; index = 0 };
+      { name = "f2 (after T:=tkt)"; index = 1 };
+      { name = "f3 (after C:=0)"; index = 2 };
+      { name = "release"; index = 3 };
+    ]
+  in
+  {
+    family_name = "bakery";
+    sites;
+    instantiate =
+      (fun mask ->
+        Locks.Variants.bakery_variant
+          {
+            Locks.Variants.label =
+              String.concat ""
+                (List.map
+                   (fun s -> if mask.(s.index) then "1" else "0")
+                   sites);
+            fences = (mask.(0), mask.(1), mask.(2));
+            release_fenced = mask.(3);
+          });
+  }
+
+(** Peterson's three fence sites (doorway write 1, doorway write 2,
+    release). *)
+let peterson_family : family =
+  let sites =
+    [
+      { name = "after flag:=1"; index = 0 };
+      { name = "after victim:=me"; index = 1 };
+      { name = "release"; index = 2 };
+    ]
+  in
+  {
+    family_name = "peterson";
+    sites;
+    instantiate =
+      (fun mask builder ~nprocs ->
+        let open Program in
+        if nprocs <> 2 then invalid_arg "peterson_family: nprocs";
+        let r = Locks.Peterson.alloc builder ~name:"synth" ~owner:(fun s -> s) in
+        let fence_if b : unit Program.m =
+          if b then Program.fence else Program.return ()
+        in
+        {
+          Locks.Lock.name = "peterson-synth";
+          nprocs;
+          intended_model = Memory_model.Sc;
+          acquire =
+            (fun me ->
+              let other = 1 - me in
+              let* () = write r.Locks.Peterson.flag.(me) 1 in
+              let* () = fence_if mask.(0) in
+              let* () = write r.Locks.Peterson.victim me in
+              let* () = fence_if mask.(1) in
+              let* _ =
+                await2 r.Locks.Peterson.flag.(other) r.Locks.Peterson.victim
+                  (fun fl v -> fl = 0 || v <> me)
+              in
+              return ());
+          release =
+            (fun me ->
+              let* () = write r.Locks.Peterson.flag.(me) 0 in
+              fence_if mask.(2));
+        });
+  }
+
+type result = {
+  family_name : string;
+  model : Memory_model.t;
+  nprocs : int;
+  correct : bool list list;  (** all correct masks (as site lists) *)
+  minimal : bool list list;  (** the inclusion-minimal correct masks *)
+  checked : int;
+}
+
+let subsets n =
+  let rec go i acc =
+    if i = 1 lsl n then List.rev acc
+    else go (i + 1) (Array.init n (fun b -> i land (1 lsl b) <> 0) :: acc)
+  in
+  go 0 []
+
+let dominated ~by mask =
+  (* [by] ⊆ [mask] pointwise *)
+  List.for_all2 (fun a b -> (not a) || b) by mask
+
+(** Exhaustively check every fence subset of [family] under [model];
+    return the correct subsets and the minimal ones. *)
+let synthesize ?(rounds = 1) ?(max_states = 400_000) ~model
+    (family : family) ~nprocs : result =
+  let nsites = List.length family.sites in
+  let masks = subsets nsites in
+  let correct =
+    List.filter_map
+      (fun mask ->
+        let v =
+          Mutex_check.check ~rounds ~max_states ~model
+            (family.instantiate mask) ~nprocs
+        in
+        if v.Mutex_check.holds then Some (Array.to_list mask) else None)
+      masks
+  in
+  let minimal =
+    List.filter
+      (fun mask ->
+        not
+          (List.exists
+             (fun other -> other <> mask && dominated ~by:other mask)
+             correct))
+      correct
+  in
+  {
+    family_name = family.family_name;
+    model;
+    nprocs;
+    correct;
+    minimal;
+    checked = List.length masks;
+  }
+
+let pp_mask sites ppf mask =
+  let kept =
+    List.filter_map
+      (fun (s, b) -> if b then Some s.name else None)
+      (List.combine sites mask)
+  in
+  if kept = [] then Fmt.string ppf "(no fences)"
+  else Fmt.pf ppf "{%s}" (String.concat ", " kept)
+
+let pp_result sites ppf r =
+  Fmt.pf ppf "%s under %a (n=%d, %d subsets checked): %d correct, minimal: %a"
+    r.family_name Memory_model.pp r.model r.nprocs r.checked
+    (List.length r.correct)
+    (Fmt.list ~sep:(Fmt.any " | ") (pp_mask sites))
+    r.minimal

@@ -1,0 +1,32 @@
+(** Fence synthesis: exhaustively model-check every fence subset of a
+    parametric algorithm and report the inclusion-minimal correct
+    subsets per memory model — the automated form of the E8 ablation. *)
+
+open Memsim
+
+type site = { name : string; index : int }
+
+type family = {
+  family_name : string;
+  sites : site list;
+  instantiate : bool array -> Locks.Lock.factory;
+}
+
+val bakery_family : family
+val peterson_family : family
+
+type result = {
+  family_name : string;
+  model : Memory_model.t;
+  nprocs : int;
+  correct : bool list list;
+  minimal : bool list list;
+  checked : int;
+}
+
+val synthesize :
+  ?rounds:int -> ?max_states:int -> model:Memory_model.t -> family ->
+  nprocs:int -> result
+
+val pp_mask : site list -> bool list Fmt.t
+val pp_result : site list -> result Fmt.t

@@ -1,0 +1,26 @@
+(* Test runner: one Alcotest binary aggregating every suite.
+
+   `dune runtest` executes quick tests; slow (exhaustive-exploration)
+   cases are included too — the whole run is sized to stay in CI
+   territory (~a minute). *)
+
+let () =
+  Alcotest.run "fencelab"
+    [
+      Test_wbuf.suite;
+      Test_layout.suite;
+      Test_exec.suite;
+      Test_semantics.suite;
+      Test_metrics.suite;
+      Test_scheduler.suite;
+      Test_explore.suite;
+      Test_litmus.suite;
+      Test_locks.suite;
+      Test_gt.suite;
+      Test_synthesis.suite;
+      Test_objects.suite;
+      Test_decoder.suite;
+      Test_encoding.suite;
+      Test_lemma51.suite;
+      Test_tradeoff.suite;
+    ]

@@ -1,0 +1,184 @@
+(* Decoder rules (Section 5.1) probed directly on crafted extended
+   configurations: classification of processes, the hidden-commit
+   redirect of rule D1, proceed popping (D2a), and return-driven
+   release of waiters (D2b). *)
+
+open Memsim
+open Program
+
+let mk_config progs =
+  let nprocs = List.length progs in
+  Config.make ~model:Memory_model.Pso
+    ~layout:(Layout.flat ~nprocs ~nregs:4)
+    (Array.of_list progs)
+
+let stacks_of l =
+  List.fold_left
+    (fun (i, m) cmds -> (i + 1, Pid.Map.add i (Encoding.Cstack.of_list cmds) m))
+    (0, Pid.Map.empty) l
+  |> snd
+
+(* a process that writes reg 0, fences, returns 0 *)
+let writer_prog v =
+  run (let* () = write 0 v in let* () = fence in return 0)
+
+let classification_basics () =
+  let cfg = mk_config [ writer_prog 7 ] in
+  (* before the write: proceed on top, next is a write, solo-terminates *)
+  let ext = Encoding.Decoder.make cfg (stacks_of [ [ Encoding.Command.Proceed ] ]) in
+  Alcotest.(check bool) "non-commit enabled at write" true
+    (Encoding.Decoder.is_non_commit_enabled ext 0);
+  Alcotest.(check bool) "not commit enabled" false
+    (Encoding.Decoder.is_commit_enabled ext 0);
+  (* after the write: poised at fence with a pending write *)
+  let _, cfg' = Exec.exec_elt cfg (0, None) in
+  let ext = Encoding.Decoder.make cfg' (stacks_of [ [ Encoding.Command.Commit ] ]) in
+  Alcotest.(check bool) "commit enabled at fence+buffer" true
+    (Encoding.Decoder.is_commit_enabled ext 0);
+  let ext' =
+    Encoding.Decoder.make cfg' (stacks_of [ [ Encoding.Command.Proceed ] ])
+  in
+  Alcotest.(check bool) "proceed does not commit-enable" false
+    (Encoding.Decoder.is_commit_enabled ext' 0);
+  Alcotest.(check bool) "fence over non-empty buffer is not proceedable" false
+    (Encoding.Decoder.is_non_commit_enabled ext' 0)
+
+let return_gated_by_nbfinal () =
+  (* a process poised to return 1 while nothing has finished: not
+     schedulable (the decoder aligns returns with NbFinal) *)
+  let cfg = mk_config [ Program.Ret 1; Program.Ret 0 ] in
+  let ext =
+    Encoding.Decoder.make cfg
+      (stacks_of [ [ Encoding.Command.Proceed ]; [ Encoding.Command.Proceed ] ])
+  in
+  Alcotest.(check bool) "ret 1 blocked while NbFinal=0" false
+    (Encoding.Decoder.is_non_commit_enabled ext 0);
+  Alcotest.(check bool) "ret 0 allowed" true
+    (Encoding.Decoder.is_non_commit_enabled ext 1)
+
+let spinning_process_is_waiting () =
+  (* a spinner that cannot finish solo is 'waiting' even with proceed on
+     top: the solo-termination side condition *)
+  let cfg =
+    mk_config [ run (let* _ = await 0 (fun v -> v = 1) in return 0) ]
+  in
+  let ext = Encoding.Decoder.make cfg (stacks_of [ [ Encoding.Command.Proceed ] ]) in
+  Alcotest.(check bool) "not schedulable" false
+    (Encoding.Decoder.is_non_commit_enabled ext 0)
+
+let d1_redirects_to_hidden_commit () =
+  (* p0 is commit enabled on reg 0; p1 holds a buffered write to reg 0
+     under wait-hidden-commit(1): rule D1 commits p1's write first *)
+  let cfg = mk_config [ writer_prog 10; writer_prog 20 ] in
+  let _, cfg = Exec.exec cfg [ (0, None); (1, None) ] in
+  let ext =
+    Encoding.Decoder.make cfg
+      (stacks_of
+         [
+           [ Encoding.Command.Commit ];
+           [ Encoding.Command.Wait_hidden_commit 1 ];
+         ])
+  in
+  match Encoding.Decoder.step ext with
+  | Some (steps, ext') ->
+      (match List.filter Step.is_model_step steps with
+      | [ Step.Commit { p; value; _ } ] ->
+          Alcotest.(check int) "p1 commits (hidden)" 1 p;
+          Alcotest.(check int) "p1's value" 20 value
+      | _ -> Alcotest.fail "expected a commit step");
+      (* p1's wait-hidden-commit is consumed *)
+      Alcotest.(check bool) "stack popped" true
+        (Encoding.Cstack.is_empty (Encoding.Decoder.stack ext' 1));
+      (* next decoder step: p0's own (visible) commit overwrites *)
+      (match Encoding.Decoder.step ext' with
+      | Some (steps, _) -> (
+          match List.filter Step.is_model_step steps with
+          | [ Step.Commit { p; value; _ } ] ->
+              Alcotest.(check int) "p0 commits" 0 p;
+              Alcotest.(check int) "overwrites with its value" 10 value
+          | _ -> Alcotest.fail "expected p0's commit")
+      | None -> Alcotest.fail "decoder ended early")
+  | None -> Alcotest.fail "decoder ended immediately"
+
+let d2a_pops_proceed_at_fence () =
+  let cfg = mk_config [ writer_prog 7 ] in
+  let ext =
+    Encoding.Decoder.make cfg (stacks_of [ [ Encoding.Command.Proceed ] ])
+  in
+  match Encoding.Decoder.step ext with
+  | Some (_, ext') ->
+      (* after the write the process is poised at its fence: proceed is
+         popped and, with an empty stack, the process is waiting *)
+      Alcotest.(check bool) "stack empty" true
+        (Encoding.Cstack.is_empty (Encoding.Decoder.stack ext' 0));
+      Alcotest.(check bool) "execution ends (D3)" true
+        (Encoding.Decoder.step ext' = None)
+  | None -> Alcotest.fail "expected a step"
+
+let d2b_releases_waiters_on_return () =
+  (* p0 returns; p1 waits on wait-read-finish(1, {p0}): the command is
+     popped when p0's return step executes *)
+  let cfg = mk_config [ Program.Ret 0; writer_prog 3 ] in
+  let _, cfg = Exec.exec cfg [ (1, None) ] in
+  (* p1 poised at fence, buffered write *)
+  let ext =
+    Encoding.Decoder.make cfg
+      (stacks_of
+         [
+           [ Encoding.Command.Proceed ];
+           [
+             Encoding.Command.Wait_read_finish (1, Pid.Set.singleton 0);
+             Encoding.Command.Commit;
+           ];
+         ])
+  in
+  match Encoding.Decoder.step ext with
+  | Some (steps, ext') ->
+      (match List.filter Step.is_model_step steps with
+      | [ Step.Return { p; _ } ] -> Alcotest.(check int) "p0 returned" 0 p
+      | _ -> Alcotest.fail "expected p0's return");
+      (match Encoding.Decoder.top ext' 1 with
+      | Some Encoding.Command.Commit -> ()
+      | c ->
+          Alcotest.failf "wait-read-finish should be popped, top is %a"
+            Fmt.(option Encoding.Command.pp)
+            c);
+      (* and p1 is now commit enabled: the batch can go out *)
+      Alcotest.(check bool) "p1 commit enabled" true
+        (Encoding.Decoder.is_commit_enabled ext' 1)
+  | None -> Alcotest.fail "decoder ended immediately"
+
+let full_decode_of_solo_writer () =
+  (* a full hand-written code for one process: proceed (write), commit,
+     proceed (fence), proceed (return) — D2a consumes one proceed at
+     the fence boundary and one at the return, as Lemma 5.11 counts *)
+  let cfg = mk_config [ writer_prog 9 ] in
+  let stacks =
+    stacks_of
+      [
+        [
+          Encoding.Command.Proceed; Encoding.Command.Commit;
+          Encoding.Command.Proceed; Encoding.Command.Proceed;
+        ];
+      ]
+  in
+  let trace, ext, _ = Encoding.Decoder.run (Encoding.Decoder.make cfg stacks) in
+  Alcotest.(check bool) "finished" true (Config.is_final ext.Encoding.Decoder.cfg 0);
+  Alcotest.(check int) "memory" 9 (Config.read_mem ext.Encoding.Decoder.cfg 0);
+  Alcotest.(check int) "steps: write commit fence return" 4 (Trace.length trace)
+
+let suite =
+  ( "decoder",
+    [
+      Alcotest.test_case "classification basics" `Quick classification_basics;
+      Alcotest.test_case "returns gated by NbFinal" `Quick return_gated_by_nbfinal;
+      Alcotest.test_case "spinners are waiting" `Quick spinning_process_is_waiting;
+      Alcotest.test_case "D1 redirects to hidden commits" `Quick
+        d1_redirects_to_hidden_commit;
+      Alcotest.test_case "D2a pops proceed at the fence" `Quick
+        d2a_pops_proceed_at_fence;
+      Alcotest.test_case "D2b releases waiters on return" `Quick
+        d2b_releases_waiters_on_return;
+      Alcotest.test_case "full decode of a solo writer" `Quick
+        full_decode_of_solo_writer;
+    ] )

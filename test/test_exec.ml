@@ -1,0 +1,371 @@
+(* Executor semantics: the operational rules of Section 2, one by one. *)
+
+open Memsim
+open Program
+
+(* A tiny universe: [nregs] anonymous shared registers, programs given
+   as fragments. Register i is owned by process i when [owned]. *)
+let config ?(owned = false) ~model ~nregs progs =
+  let nprocs = List.length progs in
+  let layout =
+    if owned then begin
+      let b = Layout.Builder.create ~nprocs in
+      for i = 0 to nregs - 1 do
+        ignore
+          (Layout.Builder.alloc b ~name:(Fmt.str "x%d" i)
+             ~owner:(if i < nprocs then i else Layout.no_owner)
+             ~init:0)
+      done;
+      Layout.Builder.freeze b
+    end
+    else Layout.flat ~nprocs ~nregs
+  in
+  Config.make ~model ~layout (Array.of_list progs)
+
+let kind_name = function
+  | Step.Read _ -> "read"
+  | Step.Write _ -> "write"
+  | Step.Fence _ -> "fence"
+  | Step.Commit _ -> "commit"
+  | Step.Cas _ -> "cas"
+  | Step.Rmw { op = `Swap; _ } -> "swap"
+  | Step.Rmw { op = `Faa; _ } -> "faa"
+  | Step.Return _ -> "return"
+  | Step.Note _ -> "note"
+
+let kinds steps = List.map kind_name steps
+
+let sc_write_is_immediate () =
+  let cfg =
+    config ~model:Memory_model.Sc ~nregs:1
+      [ run (let* () = write 0 42 in return 0) ]
+  in
+  let steps, cfg = Exec.exec_elt cfg (0, None) in
+  Alcotest.(check (list string)) "one commit step" [ "commit" ] (kinds steps);
+  Alcotest.(check int) "memory updated" 42 (Config.read_mem cfg 0);
+  Alcotest.(check bool) "buffer empty" true (Wbuf.is_empty (Config.wbuf cfg 0))
+
+let pso_write_is_buffered () =
+  let cfg =
+    config ~model:Memory_model.Pso ~nregs:1
+      [
+        run (let* () = write 0 42 in let* v = read 0 in return v);
+        run (let* v = read 0 in return v);
+      ]
+  in
+  let steps, cfg = Exec.exec_elt cfg (0, None) in
+  Alcotest.(check (list string)) "write step" [ "write" ] (kinds steps);
+  Alcotest.(check int) "memory unchanged" 0 (Config.read_mem cfg 0);
+  (* other process still reads the initial value *)
+  let steps, cfg = Exec.exec_elt cfg (1, None) in
+  (match steps with
+  | [ Step.Read { value; from_wbuf; _ } ] ->
+      Alcotest.(check int) "p1 sees old value" 0 value;
+      Alcotest.(check bool) "from memory" false from_wbuf
+  | _ -> Alcotest.fail "expected read");
+  (* the writer forwards from its own buffer *)
+  let steps, _ = Exec.exec_elt cfg (0, None) in
+  match steps with
+  | [ Step.Read { value; from_wbuf; _ } ] ->
+      Alcotest.(check int) "store forwarding" 42 value;
+      Alcotest.(check bool) "from wbuf" true from_wbuf
+  | _ -> Alcotest.fail "expected read"
+
+let fence_forces_commits_smallest_first () =
+  let cfg =
+    config ~model:Memory_model.Pso ~nregs:3
+      [
+        run
+          (let* () = write 2 1 in
+           let* () = write 0 1 in
+           let* () = write 1 1 in
+           let* () = fence in
+           return 0);
+      ]
+  in
+  let sched = [ (0, None); (0, None); (0, None) ] in
+  let _, cfg = Exec.exec cfg sched in
+  (* poised at fence with 3 buffered writes: op elements now commit in
+     register order, then execute the fence *)
+  let committed = ref [] in
+  let cfg = ref cfg in
+  for _ = 1 to 4 do
+    let steps, cfg' = Exec.exec_elt !cfg (0, None) in
+    cfg := cfg';
+    List.iter
+      (fun s ->
+        match s with
+        | Step.Commit { reg; _ } -> committed := !committed @ [ reg ]
+        | _ -> ())
+      steps
+  done;
+  Alcotest.(check (list int)) "smallest register first" [ 0; 1; 2 ] !committed;
+  Alcotest.(check int) "fences counted" 1
+    (Metrics.of_pid !cfg.Config.metrics 0).Metrics.fences
+
+let tso_commits_fifo () =
+  let cfg =
+    config ~model:Memory_model.Tso ~nregs:3
+      [
+        run
+          (let* () = write 2 1 in
+           let* () = write 0 1 in
+           let* () = fence in
+           return 0);
+      ]
+  in
+  let _, cfg = Exec.exec cfg [ (0, None); (0, None) ] in
+  let steps, cfg = Exec.exec_elt cfg (0, None) in
+  (match steps with
+  | [ Step.Commit { reg; _ } ] -> Alcotest.(check int) "head (reg 2) first" 2 reg
+  | _ -> Alcotest.fail "expected commit");
+  (* explicit commit of a non-head register is refused: falls through
+     to the forced commit of the head *)
+  let steps, _ = Exec.exec_elt cfg (0, Some 5) in
+  match steps with
+  | [ Step.Commit { reg; _ } ] -> Alcotest.(check int) "still fifo" 0 reg
+  | _ -> Alcotest.fail "expected commit"
+
+let explicit_commit_element () =
+  let cfg =
+    config ~model:Memory_model.Pso ~nregs:2
+      [
+        run
+          (let* () = write 1 7 in
+           let* () = write 0 8 in
+           let* v = read 1 in
+           return v);
+      ]
+  in
+  let _, cfg = Exec.exec cfg [ (0, None); (0, None) ] in
+  let steps, cfg = Exec.exec_elt cfg (0, Some 1) in
+  (match steps with
+  | [ Step.Commit { reg; value; _ } ] ->
+      Alcotest.(check int) "chosen register" 1 reg;
+      Alcotest.(check int) "value" 7 value
+  | _ -> Alcotest.fail "expected commit");
+  Alcotest.(check int) "committed" 7 (Config.read_mem cfg 1)
+
+let spin_blocks_and_unblocks () =
+  let cfg =
+    config ~model:Memory_model.Pso ~nregs:1
+      [
+        run (let* v = await 0 (fun v -> v = 1) in return v);
+        run (let* () = write 0 1 in let* () = fence in return 0);
+      ]
+  in
+  (* first observation: a real (failing) read step *)
+  let steps, cfg = Exec.exec_elt cfg (0, None) in
+  Alcotest.(check (list string)) "failing observation" [ "read" ] (kinds steps);
+  (* now blocked: no step at all *)
+  let steps, cfg = Exec.exec_elt cfg (0, None) in
+  Alcotest.(check (list string)) "blocked" [] (kinds steps);
+  Alcotest.(check bool) "is_blocked" true (Exec.is_blocked cfg 0);
+  (* p1 writes and commits; p0 unblocks *)
+  let _, cfg = Exec.exec cfg [ (1, None); (1, Some 0) ] in
+  Alcotest.(check bool) "unblocked" false (Exec.is_blocked cfg 0);
+  let steps, _ = Exec.exec_elt cfg (0, None) in
+  match steps with
+  | [ Step.Read { value; _ } ] -> Alcotest.(check int) "satisfied" 1 value
+  | _ -> Alcotest.fail "expected read"
+
+let spinv_round_is_fine_grained () =
+  let cfg =
+    config ~model:Memory_model.Pso ~nregs:2
+      [
+        run
+          (let* v, w = await2 0 1 (fun a b -> a = 1 && b = 1) in
+           return (v + w));
+        run
+          (let* () = write 0 1 in
+           let* () = fence in
+           let* () = write 1 1 in
+           let* () = fence in
+           return 0);
+      ]
+  in
+  (* one failing round = two separate read steps *)
+  let s1, cfg = Exec.exec_elt cfg (0, None) in
+  let s2, cfg = Exec.exec_elt cfg (0, None) in
+  Alcotest.(check (list string)) "two reads" [ "read"; "read" ] (kinds (s1 @ s2));
+  (* round failed with (0,0); now blocked *)
+  Alcotest.(check bool) "blocked after failed round" true (Exec.is_blocked cfg 0);
+  (* p1 publishes reg0 only; p0 re-rounds and blocks again on (1,0) *)
+  let _, cfg = Exec.exec cfg [ (1, None); (1, None) ] in
+  Alcotest.(check bool) "unblocked by change" false (Exec.is_blocked cfg 0);
+  let _, cfg = Exec.exec cfg [ (0, None); (0, None) ] in
+  Alcotest.(check bool) "blocked on new observation" true (Exec.is_blocked cfg 0);
+  (* p1 executes its pending fence, writes reg1, commits it; the next
+     round satisfies the predicate *)
+  let _, cfg =
+    Exec.exec cfg
+      [ (1, None) (* fence *); (1, None) (* write reg1 *); (1, None)
+        (* forced commit *); (0, None); (0, None); (0, None) ]
+  in
+  Alcotest.(check (option int)) "returned sum" (Some 2) (Config.final_value cfg 0)
+
+let labels_are_free () =
+  let cfg =
+    config ~model:Memory_model.Pso ~nregs:1
+      [
+        run
+          (let* () = label "hello" in
+           let* () = write 0 1 in
+           let* () = label "mid" in
+           let* () = fence in
+           return 0);
+      ]
+  in
+  let steps, cfg = Exec.exec_elt cfg (0, None) in
+  Alcotest.(check (list string)) "note then write" [ "note"; "write" ] (kinds steps);
+  let c = Metrics.of_pid cfg.Config.metrics 0 in
+  Alcotest.(check int) "notes cost no steps" 1 c.Metrics.steps
+
+let finished_process_can_still_commit () =
+  let cfg =
+    config ~model:Memory_model.Pso ~nregs:1
+      [ run (let* () = write 0 9 in return 0) ]
+  in
+  let _, cfg = Exec.exec cfg [ (0, None); (0, None) ] in
+  Alcotest.(check bool) "final" true (Config.is_final cfg 0);
+  Alcotest.(check bool) "not quiescent" false (Config.quiescent cfg);
+  let steps, cfg = Exec.exec_elt cfg (0, Some 0) in
+  Alcotest.(check (list string)) "system commit" [ "commit" ] (kinds steps);
+  Alcotest.(check int) "landed" 9 (Config.read_mem cfg 0);
+  Alcotest.(check bool) "quiescent now" true (Config.quiescent cfg);
+  (* but an op element for a finished process is a no-op *)
+  let steps, _ = Exec.exec_elt cfg (0, None) in
+  Alcotest.(check (list string)) "no-op" [] (kinds steps)
+
+let cas_semantics () =
+  let cfg =
+    config ~model:Memory_model.Pso ~nregs:2
+      [
+        run
+          (let* () = write 1 5 in
+           let* ok1 = cas 0 ~expect:0 ~update:10 in
+           let* ok2 = cas 0 ~expect:0 ~update:20 in
+           return ((if ok1 then 1 else 0) + if ok2 then 2 else 0));
+      ]
+  in
+  (* the cas is poised behind a buffered write: it must drain first *)
+  let _, cfg = Exec.exec cfg [ (0, None) ] in
+  let steps, cfg = Exec.exec_elt cfg (0, None) in
+  Alcotest.(check (list string)) "drain before cas" [ "commit" ] (kinds steps);
+  let steps, cfg = Exec.exec_elt cfg (0, None) in
+  (match steps with
+  | [ Step.Cas { success; read; _ } ] ->
+      Alcotest.(check bool) "first cas succeeds" true success;
+      Alcotest.(check int) "read initial" 0 read
+  | _ -> Alcotest.fail "expected cas");
+  Alcotest.(check int) "cas wrote" 10 (Config.read_mem cfg 0);
+  let steps, cfg = Exec.exec_elt cfg (0, None) in
+  (match steps with
+  | [ Step.Cas { success; read; _ } ] ->
+      Alcotest.(check bool) "second cas fails" false success;
+      Alcotest.(check int) "read current" 10 read
+  | _ -> Alcotest.fail "expected cas");
+  let _, cfg = Exec.exec cfg [ (0, None) ] in
+  Alcotest.(check (option int)) "return packs results" (Some 1)
+    (Config.final_value cfg 0);
+  let c = Metrics.of_pid cfg.Config.metrics 0 in
+  Alcotest.(check int) "each cas counts a fence" 2 c.Metrics.fences;
+  Alcotest.(check int) "cas counter" 2 c.Metrics.cas
+
+let swap_and_faa_semantics () =
+  let cfg =
+    config ~model:Memory_model.Pso ~nregs:2
+      [
+        run
+          (let* () = write 1 5 in
+           (* the swap must drain the buffered write first *)
+           let* old = swap 0 7 in
+           let* prev = faa 0 ~add:10 in
+           let* now = read 0 in
+           return ((old * 10000) + (prev * 100) + now));
+      ]
+  in
+  let _, cfg = Exec.exec cfg [ (0, None) ] in
+  let steps, cfg = Exec.exec_elt cfg (0, None) in
+  Alcotest.(check (list string)) "drain before swap" [ "commit" ] (kinds steps);
+  let steps, cfg = Exec.exec_elt cfg (0, None) in
+  Alcotest.(check (list string)) "swap" [ "swap" ] (kinds steps);
+  Alcotest.(check int) "swap installed" 7 (Config.read_mem cfg 0);
+  let steps, cfg = Exec.exec_elt cfg (0, None) in
+  Alcotest.(check (list string)) "faa" [ "faa" ] (kinds steps);
+  Alcotest.(check int) "faa added" 17 (Config.read_mem cfg 0);
+  let _, cfg = Exec.exec cfg [ (0, None); (0, None) ] in
+  (* old=0, prev=7, now=17 *)
+  Alcotest.(check (option int)) "values returned" (Some 717)
+    (Config.final_value cfg 0);
+  let c = Metrics.of_pid cfg.Config.metrics 0 in
+  Alcotest.(check int) "each rmw counts a fence" 2 c.Metrics.fences;
+  Alcotest.(check int) "rmw census" 2 c.Metrics.cas
+
+let run_solo_terminates_and_blocks () =
+  let cfg =
+    config ~model:Memory_model.Pso ~nregs:2
+      [
+        run
+          (let* () = write 0 1 in
+           let* () = fence in
+           let* v = read 0 in
+           return v);
+        run (let* _ = await 1 (fun v -> v = 1) in return 0);
+      ]
+  in
+  (match Exec.run_solo cfg 0 with
+  | Some (_, final) ->
+      Alcotest.(check (option int)) "solo return" (Some 1)
+        (Config.final_value final 0)
+  | None -> Alcotest.fail "p0 should terminate solo");
+  Alcotest.(check bool) "spinner never finishes solo" false
+    (Exec.terminates_solo cfg 1)
+
+let execution_is_deterministic () =
+  let make () =
+    config ~model:Memory_model.Pso ~nregs:2
+      [
+        run
+          (let* () = write 0 1 in
+           let* v = read 1 in
+           let* () = fence in
+           return v);
+        run
+          (let* () = write 1 2 in
+           let* v = read 0 in
+           let* () = fence in
+           return v);
+      ]
+  in
+  let sched =
+    [ (0, None); (1, None); (0, None); (1, None); (0, Some 0); (1, None);
+      (0, None); (1, None); (0, None); (1, None) ]
+  in
+  let t1, c1 = Exec.exec (make ()) sched in
+  let t2, c2 = Exec.exec (make ()) sched in
+  Alcotest.(check int) "same trace length" (List.length t1) (List.length t2);
+  Alcotest.(check bool) "same final memory" true
+    (Reg.Map.equal Int.equal c1.Config.mem c2.Config.mem)
+
+let suite =
+  ( "exec",
+    [
+      Alcotest.test_case "SC writes commit immediately" `Quick sc_write_is_immediate;
+      Alcotest.test_case "PSO writes are buffered" `Quick pso_write_is_buffered;
+      Alcotest.test_case "fence forces commits, smallest reg first" `Quick
+        fence_forces_commits_smallest_first;
+      Alcotest.test_case "TSO commits in FIFO order" `Quick tso_commits_fifo;
+      Alcotest.test_case "explicit commit element" `Quick explicit_commit_element;
+      Alcotest.test_case "spin blocks and unblocks" `Quick spin_blocks_and_unblocks;
+      Alcotest.test_case "multi-register spin rounds" `Quick spinv_round_is_fine_grained;
+      Alcotest.test_case "labels cost nothing" `Quick labels_are_free;
+      Alcotest.test_case "finished process can still commit" `Quick
+        finished_process_can_still_commit;
+      Alcotest.test_case "cas drains, fences, and swaps" `Quick cas_semantics;
+      Alcotest.test_case "swap and faa semantics" `Quick swap_and_faa_semantics;
+      Alcotest.test_case "run_solo terminates / blocks" `Quick
+        run_solo_terminates_and_blocks;
+      Alcotest.test_case "execution is deterministic" `Quick
+        execution_is_deterministic;
+    ] )

@@ -1,0 +1,98 @@
+(* Structural properties of the GT_f tree (Figure 1): branching factor,
+   leaf assignment, path consistency. *)
+
+open Memsim
+
+let branching_is_minimal () =
+  (* smallest b >= 2 with b^f >= n *)
+  Alcotest.(check int) "n=64 f=2" 8 (Locks.Gt.branching ~nprocs:64 ~height:2);
+  Alcotest.(check int) "n=64 f=3" 4 (Locks.Gt.branching ~nprocs:64 ~height:3);
+  Alcotest.(check int) "n=64 f=6" 2 (Locks.Gt.branching ~nprocs:64 ~height:6);
+  Alcotest.(check int) "n=1000 f=3" 10 (Locks.Gt.branching ~nprocs:1000 ~height:3);
+  Alcotest.(check int) "n=1025 f=10" 3 (Locks.Gt.branching ~nprocs:1025 ~height:10);
+  Alcotest.(check int) "n=3 f=2" 2 (Locks.Gt.branching ~nprocs:3 ~height:2)
+
+let ipow_basics () =
+  Alcotest.(check int) "2^10" 1024 (Locks.Gt.ipow 2 10);
+  Alcotest.(check int) "x^0" 1 (Locks.Gt.ipow 7 0);
+  Alcotest.(check int) "1^k" 1 (Locks.Gt.ipow 1 5)
+
+let positions_are_consistent () =
+  (* a process's node at depth d is the parent of its node at depth
+     d+1, and its slot is the child index it arrives from *)
+  let b = Layout.Builder.create ~nprocs:27 in
+  let t = Locks.Gt.make b ~nprocs:27 ~height:3 in
+  for p = 0 to 26 do
+    for d = 0 to 1 do
+      let parent_index, _ = Locks.Gt.position t p ~depth:d in
+      let child_index, _ = Locks.Gt.position t p ~depth:(d + 1) in
+      Alcotest.(check int)
+        (Fmt.str "p%d depth %d: parent of child" p d)
+        parent_index (child_index / 3);
+      let _, slot = Locks.Gt.position t p ~depth:d in
+      Alcotest.(check int)
+        (Fmt.str "p%d depth %d: slot = child index mod b" p d)
+        (child_index mod 3) slot
+    done
+  done
+
+let distinct_leaves () =
+  (* deepest-level (node, slot) pairs are distinct across processes:
+     each process has its own leaf entry point *)
+  let b = Layout.Builder.create ~nprocs:16 in
+  let t = Locks.Gt.make b ~nprocs:16 ~height:4 in
+  let leaves = List.init 16 (fun p -> Locks.Gt.position t p ~depth:3) in
+  Alcotest.(check int) "all distinct" 16
+    (List.length (List.sort_uniq compare leaves))
+
+let height_of_tournament () =
+  Alcotest.(check int) "n=2" 1 (Locks.Tournament.height ~nprocs:2);
+  Alcotest.(check int) "n=3" 2 (Locks.Tournament.height ~nprocs:3);
+  Alcotest.(check int) "n=8" 3 (Locks.Tournament.height ~nprocs:8);
+  Alcotest.(check int) "n=9" 4 (Locks.Tournament.height ~nprocs:9)
+
+let enabled_elts_shape () =
+  let open Program in
+  let layout = Layout.flat ~nprocs:1 ~nregs:2 in
+  let cfg =
+    Config.make ~model:Memory_model.Pso ~layout
+      [| run (let* () = write 0 1 in let* () = write 1 2 in let* () = fence in return 0) |]
+  in
+  Alcotest.(check int) "initially just the op element" 1
+    (List.length (Exec.enabled_elts cfg 0));
+  let _, cfg = Exec.exec cfg [ (0, None); (0, None) ] in
+  (* two buffered writes: op element + two commit elements *)
+  Alcotest.(check int) "op + 2 commits" 3 (List.length (Exec.enabled_elts cfg 0));
+  Alcotest.(check bool) "forced commit pending" true
+    (Exec.forced_commit_pending cfg 0)
+
+let trace_helpers () =
+  let open Program in
+  let layout = Layout.flat ~nprocs:2 ~nregs:1 in
+  let cfg =
+    Config.make ~model:Memory_model.Pso ~layout
+      [|
+        run (let* () = write 0 1 in let* () = fence in return 0);
+        run (let* v = read 0 in return v);
+      |]
+  in
+  let trace, _ =
+    Exec.exec cfg [ (1, None); (0, None); (0, None); (0, None); (0, None); (1, None) ]
+  in
+  Alcotest.(check int) "p0's fences" 1 (Trace.fences_of 0 trace);
+  Alcotest.(check int) "p1's rmrs" 1 (Trace.rmrs_of 1 trace);
+  Alcotest.(check int) "p0's steps" 4 (Trace.length (Trace.by_pid 0 trace));
+  Alcotest.(check (list (pair int int))) "returns in order" [ (0, 0); (1, 0) ]
+    (Trace.returns trace)
+
+let suite =
+  ( "gt structure",
+    [
+      Alcotest.test_case "branching is minimal" `Quick branching_is_minimal;
+      Alcotest.test_case "ipow" `Quick ipow_basics;
+      Alcotest.test_case "positions are consistent" `Quick positions_are_consistent;
+      Alcotest.test_case "distinct leaves" `Quick distinct_leaves;
+      Alcotest.test_case "tournament height" `Quick height_of_tournament;
+      Alcotest.test_case "enabled elements" `Quick enabled_elts_shape;
+      Alcotest.test_case "trace helpers" `Quick trace_helpers;
+    ] )

@@ -1,0 +1,69 @@
+(* Layout and memory-model policy tests. *)
+
+open Memsim
+
+let builder_allocates_densely () =
+  let b = Layout.Builder.create ~nprocs:3 in
+  let r0 = Layout.Builder.alloc b ~name:"a" ~owner:0 ~init:7 in
+  let arr = Layout.Builder.alloc_array b ~name:"v" ~len:3 ~owner:Fun.id ~init:0 in
+  let layout = Layout.Builder.freeze b in
+  Alcotest.(check int) "first register" 0 r0;
+  Alcotest.(check (list int)) "array ids" [ 1; 2; 3 ] (Array.to_list arr);
+  Alcotest.(check int) "nregs" 4 (Layout.nregs layout);
+  Alcotest.(check string) "array names" "v[2]" (Layout.name layout arr.(2));
+  Alcotest.(check int) "init" 7 (Layout.init layout r0);
+  Alcotest.(check bool) "ownership" true (Layout.is_local layout 1 arr.(1));
+  Alcotest.(check bool) "other segment" false (Layout.is_local layout 0 arr.(1))
+
+let no_owner_is_remote_to_all () =
+  let b = Layout.Builder.create ~nprocs:2 in
+  let r = Layout.Builder.alloc b ~name:"shared" ~owner:Layout.no_owner ~init:0 in
+  let layout = Layout.Builder.freeze b in
+  Alcotest.(check bool) "p0" false (Layout.is_local layout 0 r);
+  Alcotest.(check bool) "p1" false (Layout.is_local layout 1 r)
+
+let invalid_args () =
+  Alcotest.check_raises "bad owner" (Invalid_argument "Layout.Builder.alloc: owner 5 out of range")
+    (fun () ->
+      let b = Layout.Builder.create ~nprocs:2 in
+      ignore (Layout.Builder.alloc b ~name:"x" ~owner:5 ~init:0));
+  Alcotest.check_raises "bad nprocs"
+    (Invalid_argument "Layout.Builder.create: nprocs 0") (fun () ->
+      ignore (Layout.Builder.create ~nprocs:0))
+
+let model_policies () =
+  Alcotest.(check bool) "SC unbuffered" false (Memory_model.buffered Memory_model.Sc);
+  Alcotest.(check bool) "TSO buffered" true (Memory_model.buffered Memory_model.Tso);
+  Alcotest.(check bool) "TSO keeps write order" false
+    (Memory_model.reorders_writes Memory_model.Tso);
+  Alcotest.(check bool) "PSO reorders writes" true
+    (Memory_model.reorders_writes Memory_model.Pso);
+  (* candidates *)
+  let b = Wbuf.write_fifo (Wbuf.write_fifo Wbuf.empty 5 1) 2 1 in
+  Alcotest.(check (list int)) "TSO head-only" [ 5 ]
+    (Memory_model.commit_candidates Memory_model.Tso b);
+  Alcotest.(check (list int)) "PSO all regs" [ 2; 5 ]
+    (Memory_model.commit_candidates Memory_model.Pso b);
+  Alcotest.(check (option int)) "PSO forced = smallest" (Some 2)
+    (Memory_model.forced_commit_reg Memory_model.Pso b);
+  Alcotest.(check (option int)) "TSO forced = head" (Some 5)
+    (Memory_model.forced_commit_reg Memory_model.Tso b)
+
+let model_names () =
+  List.iter
+    (fun m ->
+      Alcotest.(check (option string))
+        "round trip" (Some (Memory_model.to_string m))
+        (Option.map Memory_model.to_string
+           (Memory_model.of_string (Memory_model.to_string m))))
+    Memory_model.all
+
+let suite =
+  ( "layout & models",
+    [
+      Alcotest.test_case "builder allocates densely" `Quick builder_allocates_densely;
+      Alcotest.test_case "no_owner is remote to all" `Quick no_owner_is_remote_to_all;
+      Alcotest.test_case "invalid arguments" `Quick invalid_args;
+      Alcotest.test_case "model policies" `Quick model_policies;
+      Alcotest.test_case "model names round trip" `Quick model_names;
+    ] )

@@ -1,0 +1,201 @@
+(* Structural properties of the encoding — Lemma 5.1 beyond the (I1),
+   (I2) checks the encoder itself asserts, plus Lemma 5.11's
+   stack-size-vs-fences inequality, validated on real encodings over
+   several locks and permutations. *)
+
+open Memsim
+
+let lock name = Option.get (Locks.Registry.find name)
+
+let encodings =
+  lazy
+    (List.concat_map
+       (fun (lock_name, n, seeds) ->
+         List.map
+           (fun seed ->
+             let pi = Fencelab.Experiment.random_permutation ~seed n in
+             let _, cinit =
+               Objects.Count.configure (lock lock_name)
+                 ~model:Memory_model.Pso ~nprocs:n
+             in
+             (lock_name, cinit, Encoding.Encoder.encode ~cinit ~pi ()))
+           seeds)
+       [ ("bakery", 6, [ 0; 1 ]); ("tournament", 6, [ 2; 3 ]); ("gt:2", 8, [ 4 ]) ])
+
+let stacks_of (r : Encoding.Encoder.result) p =
+  Option.value ~default:Encoding.Cstack.empty
+    (Pid.Map.find_opt p r.Encoding.Encoder.stacks)
+
+let i4_wait_local_finish_only_at_top () =
+  (* (I4): each stack has at most one wait-local-finish, at the top *)
+  List.iter
+    (fun (name, _, r) ->
+      Pid.Map.iter
+        (fun p stack ->
+          let cmds = Encoding.Cstack.to_list stack in
+          let locals =
+            List.filter
+              (function Encoding.Command.Wait_local_finish _ -> true | _ -> false)
+              cmds
+          in
+          Alcotest.(check bool)
+            (Fmt.str "%s p%d: at most one" name p)
+            true
+            (List.length locals <= 1);
+          match cmds with
+          | [] -> ()
+          | _ :: rest ->
+              Alcotest.(check bool)
+                (Fmt.str "%s p%d: none below top" name p)
+                true
+                (List.for_all
+                   (function
+                     | Encoding.Command.Wait_local_finish _ -> false
+                     | _ -> true)
+                   rest))
+        r.Encoding.Encoder.stacks)
+    (Lazy.force encodings)
+
+let i10_command_adjacency () =
+  (* (I10): reading top→bottom, the command right below a
+     wait-read-finish is commit; below a wait-hidden-commit is
+     wait-read-finish, proceed or commit; below a commit is proceed *)
+  let ok_below above below =
+    match (above, below) with
+    | Encoding.Command.Wait_read_finish _, Encoding.Command.Commit -> true
+    | Encoding.Command.Wait_read_finish _, _ -> false
+    | ( Encoding.Command.Wait_hidden_commit _,
+        ( Encoding.Command.Wait_read_finish _ | Encoding.Command.Proceed
+        | Encoding.Command.Commit ) ) ->
+        true
+    | Encoding.Command.Wait_hidden_commit _, _ -> false
+    | Encoding.Command.Commit, Encoding.Command.Proceed -> true
+    | Encoding.Command.Commit, _ -> false
+    | (Encoding.Command.Proceed | Encoding.Command.Wait_local_finish _), _ ->
+        true
+  in
+  List.iter
+    (fun (name, _, r) ->
+      Pid.Map.iter
+        (fun p stack ->
+          let rec walk = function
+            | a :: (b :: _ as rest) ->
+                Alcotest.(check bool)
+                  (Fmt.str "%s p%d: %a above %a" name p Encoding.Command.pp a
+                     Encoding.Command.pp b)
+                  true (ok_below a b);
+                walk rest
+            | [ _ ] | [] -> ()
+          in
+          walk (Encoding.Cstack.to_list stack))
+        r.Encoding.Encoder.stacks)
+    (Lazy.force encodings)
+
+let lemma_5_11_stack_size_vs_fences () =
+  (* each process's fence count is at least ⌈(|S|-1)/4⌉ - 3 *)
+  List.iter
+    (fun (name, _, r) ->
+      let n = Config.nprocs r.Encoding.Encoder.final in
+      for p = 0 to n - 1 do
+        let size = Encoding.Cstack.size (stacks_of r p) in
+        let fences =
+          (Metrics.of_pid r.Encoding.Encoder.final.Config.metrics p).Metrics.fences
+        in
+        Alcotest.(check bool)
+          (Fmt.str "%s p%d: fences %d vs stack %d" name p fences size)
+          true
+          (fences >= ((size - 1 + 3) / 4) - 3)
+      done)
+    (Lazy.force encodings)
+
+let i7_projection_property () =
+  (* (I7): decoding only the stacks of the first k+1 permutation
+     positions yields exactly E_i projected on those processes — the
+     "unawareness of later processes" at the heart of the ordering
+     argument *)
+  List.iter
+    (fun (name, cinit, r) ->
+      let pi = r.Encoding.Encoder.pi in
+      let n = Array.length pi in
+      let full = List.filter Step.is_model_step r.Encoding.Encoder.trace in
+      for k = 0 to n - 1 do
+        let keep =
+          Array.to_list (Array.sub pi 0 (k + 1)) |> Pid.Set.of_list
+        in
+        let truncated_stacks =
+          Pid.Map.filter (fun p _ -> Pid.Set.mem p keep) r.Encoding.Encoder.stacks
+        in
+        let trace_k, _, _ =
+          Encoding.Decoder.run (Encoding.Decoder.make cinit truncated_stacks)
+        in
+        let trace_k = List.filter Step.is_model_step trace_k in
+        let projected =
+          List.filter (fun s -> Pid.Set.mem (Step.pid s) keep) full
+        in
+        Alcotest.(check int)
+          (Fmt.str "%s k=%d: same length" name k)
+          (List.length projected) (List.length trace_k);
+        Alcotest.(check bool)
+          (Fmt.str "%s k=%d: same steps" name k)
+          true
+          (List.for_all2
+             (fun a b ->
+               (* structural equality is fine: steps are pure data *)
+               a = b)
+             projected trace_k)
+      done)
+    (Lazy.force encodings)
+
+let lemmas_5_3_and_5_7_charging_bounds () =
+  (* Lemma 5.3: if V is the sum of wait-read-finish values, the
+     execution has ≥ ⌈V/2⌉ remote steps. Lemma 5.7: with V1 the sum of
+     wait-hidden-commit values and V2 of wait-local-finish values, it
+     has ≥ max(V1/2, V2) remote steps. Remote steps are the combined
+     DSM+CC RMRs (ρ). *)
+  List.iter
+    (fun (name, _, r) ->
+      let census = Encoding.Bound.census_of_stacks r.Encoding.Encoder.stacks in
+      ignore census;
+      let sum_values pred =
+        Pid.Map.fold
+          (fun _ stack acc ->
+            List.fold_left
+              (fun acc c -> if pred c then acc + Encoding.Command.value c else acc)
+              acc
+              (Encoding.Cstack.to_list stack))
+          r.Encoding.Encoder.stacks 0
+      in
+      let v =
+        sum_values (function Encoding.Command.Wait_read_finish _ -> true | _ -> false)
+      in
+      let v1 =
+        sum_values (function Encoding.Command.Wait_hidden_commit _ -> true | _ -> false)
+      in
+      let v2 =
+        sum_values (function Encoding.Command.Wait_local_finish _ -> true | _ -> false)
+      in
+      let rho = Metrics.rho r.Encoding.Encoder.final.Config.metrics in
+      Alcotest.(check bool)
+        (Fmt.str "%s: Lemma 5.3 (rho %d >= %d/2)" name rho v)
+        true
+        (rho >= (v + 1) / 2);
+      Alcotest.(check bool)
+        (Fmt.str "%s: Lemma 5.7 (rho %d >= max(%d/2, %d))" name rho v1 v2)
+        true
+        (rho >= max (v1 / 2) v2))
+    (Lazy.force encodings)
+
+let suite =
+  ( "lemma 5.1",
+    [
+      Alcotest.test_case "(I4) wait-local-finish only at top" `Quick
+        i4_wait_local_finish_only_at_top;
+      Alcotest.test_case "(I10) command adjacency discipline" `Quick
+        i10_command_adjacency;
+      Alcotest.test_case "Lemma 5.11: fences bound stack sizes" `Quick
+        lemma_5_11_stack_size_vs_fences;
+      Alcotest.test_case "(I7) projection/unawareness property" `Slow
+        i7_projection_property;
+      Alcotest.test_case "Lemmas 5.3/5.7: charging bounds" `Quick
+        lemmas_5_3_and_5_7_charging_bounds;
+    ] )

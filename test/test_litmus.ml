@@ -1,0 +1,148 @@
+(* Litmus tests: exact reachable-outcome sets per memory model. These
+   pin the operational separation SC ⊊ TSO ⊊ PSO that experiment E7
+   reports (title claim of the paper, made mechanical). *)
+
+open Memsim
+
+let returns_of run =
+  List.map (fun (o : Litmus.Test.outcome) -> o.Litmus.Test.returns)
+    run.Litmus.Test.outcomes
+
+let finals_of run =
+  List.map (fun (o : Litmus.Test.outcome) -> o.Litmus.Test.finals)
+    run.Litmus.Test.outcomes
+
+let check_returns test model expected =
+  let r = Litmus.Test.run test ~model in
+  Alcotest.(check (list (list int)))
+    (Fmt.str "%s/%a returns" test.Litmus.Test.name Memory_model.pp model)
+    (List.sort compare expected) (returns_of r)
+
+let sb_exact () =
+  (* thread returns: what each read saw *)
+  check_returns Litmus.Cases.sb Memory_model.Sc [ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ];
+  List.iter
+    (fun m ->
+      check_returns Litmus.Cases.sb m
+        [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ])
+    [ Memory_model.Tso; Memory_model.Pso; Memory_model.Rmo ]
+
+let sb_fenced_restores_sc () =
+  List.iter
+    (fun m ->
+      check_returns Litmus.Cases.sb_fenced m [ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ])
+    Memory_model.all
+
+let mp_exact () =
+  (* thread 1 returns 10*flag + data *)
+  List.iter
+    (fun m -> check_returns Litmus.Cases.mp m [ [ 0; 0 ]; [ 0; 1 ]; [ 0; 11 ] ])
+    [ Memory_model.Sc; Memory_model.Tso ];
+  List.iter
+    (fun m ->
+      check_returns Litmus.Cases.mp m [ [ 0; 0 ]; [ 0; 1 ]; [ 0; 10 ]; [ 0; 11 ] ])
+    [ Memory_model.Pso; Memory_model.Rmo ]
+
+let mp_fence_restores_tso () =
+  List.iter
+    (fun m ->
+      check_returns Litmus.Cases.mp_fenced m [ [ 0; 0 ]; [ 0; 1 ]; [ 0; 11 ] ])
+    Memory_model.all
+
+let two_plus_two_w_exact () =
+  let both_one run = List.mem [ 1; 1 ] (finals_of run) in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Fmt.str "2+2W %a forbids x=y=1" Memory_model.pp m)
+        false
+        (both_one (Litmus.Test.run Litmus.Cases.two_plus_two_w ~model:m)))
+    [ Memory_model.Sc; Memory_model.Tso ];
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Fmt.str "2+2W %a admits x=y=1" Memory_model.pp m)
+        true
+        (both_one (Litmus.Test.run Litmus.Cases.two_plus_two_w ~model:m)))
+    [ Memory_model.Pso; Memory_model.Rmo ]
+
+let lb_forbidden_everywhere () =
+  List.iter
+    (fun m ->
+      let r = Litmus.Test.run Litmus.Cases.lb ~model:m in
+      Alcotest.(check bool)
+        (Fmt.str "LB %a" Memory_model.pp m)
+        false
+        (List.mem [ 1; 1 ] (returns_of r)))
+    Memory_model.all
+
+let strictly_coarser_models_see_more () =
+  (* outcome sets are monotone: SC ⊆ TSO ⊆ PSO for every test *)
+  List.iter
+    (fun t ->
+      let sc = Litmus.Test.run t ~model:Memory_model.Sc in
+      let tso = Litmus.Test.run t ~model:Memory_model.Tso in
+      let pso = Litmus.Test.run t ~model:Memory_model.Pso in
+      let subset a b =
+        List.for_all (fun o -> List.mem o b.Litmus.Test.outcomes) a.Litmus.Test.outcomes
+      in
+      Alcotest.(check bool)
+        (t.Litmus.Test.name ^ ": SC ⊆ TSO") true (subset sc tso);
+      Alcotest.(check bool)
+        (t.Litmus.Test.name ^ ": TSO ⊆ PSO") true (subset tso pso))
+    Litmus.Cases.all
+
+let iriw_forbidden_multi_copy_atomic () =
+  (* write-buffer models are multi-copy atomic: once committed, a write
+     is visible to everyone; two fenced readers can never disagree on
+     the order of two independent writes *)
+  List.iter
+    (fun m ->
+      let r = Litmus.Test.run Litmus.Cases.iriw ~model:m in
+      Alcotest.(check bool)
+        (Fmt.str "IRIW %a" Memory_model.pp m)
+        false
+        (Litmus.Test.admits r (Litmus.Cases.interesting_outcome Litmus.Cases.iriw)))
+    Memory_model.all
+
+let corr_coherence_holds () =
+  (* per-location coherence: a reader never sees 2 then 1, and the
+     final value is always the program-last write *)
+  List.iter
+    (fun m ->
+      let r = Litmus.Test.run Litmus.Cases.corr ~model:m in
+      Alcotest.(check bool)
+        (Fmt.str "CoRR %a backwards read" Memory_model.pp m)
+        false
+        (Litmus.Test.admits r (Litmus.Cases.interesting_outcome Litmus.Cases.corr));
+      List.iter
+        (fun (o : Litmus.Test.outcome) ->
+          Alcotest.(check (list int)) "final is last write" [ 2 ] o.Litmus.Test.finals)
+        r.Litmus.Test.outcomes)
+    Memory_model.all
+
+let separation_helper () =
+  let tso = Litmus.Test.run Litmus.Cases.mp ~model:Memory_model.Tso in
+  let pso = Litmus.Test.run Litmus.Cases.mp ~model:Memory_model.Pso in
+  let extra = Litmus.Test.separation ~stronger:tso ~weaker:pso in
+  Alcotest.(check int) "MP: exactly one PSO-only outcome" 1 (List.length extra)
+
+let suite =
+  ( "litmus",
+    [
+      Alcotest.test_case "SB exact outcome sets" `Quick sb_exact;
+      Alcotest.test_case "SB+fences restores SC" `Quick sb_fenced_restores_sc;
+      Alcotest.test_case "MP exact outcome sets" `Quick mp_exact;
+      Alcotest.test_case "MP+fence restores TSO behaviour" `Quick
+        mp_fence_restores_tso;
+      Alcotest.test_case "2+2W separates write reordering" `Quick
+        two_plus_two_w_exact;
+      Alcotest.test_case "LB forbidden in write-buffer models" `Quick
+        lb_forbidden_everywhere;
+      Alcotest.test_case "outcome sets are monotone in the model" `Quick
+        strictly_coarser_models_see_more;
+      Alcotest.test_case "IRIW forbidden (multi-copy atomicity)" `Quick
+        iriw_forbidden_multi_copy_atomic;
+      Alcotest.test_case "CoRR coherence holds" `Quick corr_coherence_holds;
+      Alcotest.test_case "separation helper" `Quick separation_helper;
+    ] )

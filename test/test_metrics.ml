@@ -1,0 +1,164 @@
+(* RMR accounting: the paper's combined DSM+CC locality rules, case by
+   case (Section 2, "Each step in an execution E will be defined as
+   either local or remote"). *)
+
+open Memsim
+open Program
+
+let mk progs =
+  let nprocs = List.length progs in
+  let b = Layout.Builder.create ~nprocs in
+  (* register 0 owned by p0; register 1 owned by nobody *)
+  ignore (Layout.Builder.alloc b ~name:"mine" ~owner:0 ~init:0);
+  ignore (Layout.Builder.alloc b ~name:"shared" ~owner:Layout.no_owner ~init:0);
+  Config.make ~model:Memory_model.Pso
+    ~layout:(Layout.Builder.freeze b)
+    (Array.of_list progs)
+
+let rmr cfg p = (Metrics.of_pid cfg.Config.metrics p).Metrics.rmr
+
+let own_segment_reads_are_free () =
+  let cfg = mk [ run (let* _ = read 0 in let* _ = read 0 in return 0) ] in
+  let _, cfg = Exec.exec cfg [ (0, None); (0, None); (0, None) ] in
+  Alcotest.(check int) "no RMRs in own segment" 0 (rmr cfg 0)
+
+let first_remote_read_is_rmr_then_cached () =
+  let cfg =
+    mk
+      [
+        run (let* _ = read 1 in let* _ = read 1 in let* _ = read 1 in return 0);
+      ]
+  in
+  let _, cfg = Exec.exec cfg [ (0, None); (0, None); (0, None); (0, None) ] in
+  Alcotest.(check int) "one miss, then cache hits" 1 (rmr cfg 0)
+
+let invalidation_recharges () =
+  let cfg =
+    mk
+      [
+        run
+          (let* _ = read 1 in
+           (* p1 will commit 5 here *)
+           let* _ = await 1 (fun v -> v = 5) in
+           let* _ = read 1 in
+           return 0);
+        run (let* () = write 1 5 in let* () = fence in return 0);
+      ]
+  in
+  let sched =
+    [ (0, None) (* read 0: RMR *); (1, None); (1, None) (* commit+fence *);
+      (1, None) (* fence *); (0, None) (* read 5: RMR *); (0, None)
+      (* re-read 5: cached *); (0, None) ]
+  in
+  let _, cfg = Exec.exec cfg sched in
+  Alcotest.(check int) "two distinct values = two RMRs" 2 (rmr cfg 0)
+
+let known_own_write_makes_read_local () =
+  (* p0 writes 7 to the shared register (learning the value), p1
+     overwrites with 7 too; p0's later read returns a value it knows *)
+  let cfg =
+    mk
+      [
+        run
+          (let* () = write 1 7 in
+           let* () = fence in
+           let* _ = read 1 in
+           return 0);
+      ]
+  in
+  let _, cfg =
+    Exec.exec cfg [ (0, None); (0, None); (0, None); (0, None) ]
+  in
+  (* write itself: local; commit: RMR (first committer); read of 7:
+     known value => local *)
+  Alcotest.(check int) "only the commit is remote" 1 (rmr cfg 0)
+
+let commit_locality_last_committer () =
+  let cfg =
+    mk
+      [
+        run
+          (let* () = write 1 1 in
+           let* () = fence in
+           let* () = write 1 2 in
+           let* () = fence in
+           return 0);
+        run (let* () = write 1 9 in let* () = fence in return 0);
+      ]
+  in
+  (* p0 commits twice consecutively: second is local (still the last
+     committer) *)
+  let _, cfg1 =
+    Exec.exec cfg [ (0, None); (0, None); (0, None); (0, None); (0, None) ]
+  in
+  Alcotest.(check int) "consecutive commits: 1 RMR" 1 (rmr cfg1 0);
+  (* interleave p1's commit between p0's: both of p0's commits now remote *)
+  let _, cfg2 =
+    Exec.exec cfg
+      [ (0, None); (0, None) (* commit 1 *); (1, None); (1, None)
+        (* p1 commit *); (1, None); (0, None) (* fence *); (0, None);
+        (0, None) (* commit 2 *); (0, None) ]
+  in
+  Alcotest.(check int) "interleaved committer invalidates" 2 (rmr cfg2 0)
+
+let dsm_vs_cc_vs_combined () =
+  (* p1 reads p0's register twice: dsm counts both, cc counts the first,
+     combined counts only accesses remote in both senses *)
+  let cfg =
+    mk [ Program.Done 0; run (let* _ = read 0 in let* _ = read 0 in return 0) ]
+  in
+  let _, cfg = Exec.exec cfg [ (1, None); (1, None); (1, None) ] in
+  let c = Metrics.of_pid cfg.Config.metrics 1 in
+  Alcotest.(check int) "dsm: both reads" 2 c.Metrics.rmr_dsm;
+  Alcotest.(check int) "cc: first read only" 1 c.Metrics.rmr_cc;
+  Alcotest.(check int) "combined: first read only" 1 c.Metrics.rmr;
+  (* a local-segment read that misses the cache charges cc but not
+     combined *)
+  let cfg =
+    mk [ run (let* _ = read 0 in return 0) ]
+  in
+  let _, cfg = Exec.exec cfg [ (0, None); (0, None) ] in
+  let c = Metrics.of_pid cfg.Config.metrics 0 in
+  Alcotest.(check int) "cc misses own segment too" 1 c.Metrics.rmr_cc;
+  Alcotest.(check int) "combined is zero" 0 c.Metrics.rmr
+
+let beta_rho_totals () =
+  let cfg =
+    mk
+      [
+        run (let* () = write 1 1 in let* () = fence in return 0);
+        run (let* _ = read 1 in let* () = fence in return 0);
+      ]
+  in
+  let _, cfg =
+    Exec.exec cfg
+      [ (0, None); (0, None); (0, None); (1, None); (1, None); (1, None) ]
+  in
+  Alcotest.(check int) "beta = total fences" 2 (Metrics.beta cfg.Config.metrics);
+  Alcotest.(check int) "rho = total RMRs" 2 (Metrics.rho cfg.Config.metrics)
+
+let counter_algebra () =
+  let a = { Metrics.zero with Metrics.reads = 3; rmr = 2 } in
+  let b = { Metrics.zero with Metrics.reads = 1; rmr = 1; fences = 4 } in
+  let s = Metrics.add a b in
+  Alcotest.(check int) "add reads" 4 s.Metrics.reads;
+  Alcotest.(check int) "add fences" 4 s.Metrics.fences;
+  let d = Metrics.sub s b in
+  Alcotest.(check int) "sub restores" 3 d.Metrics.reads;
+  Alcotest.(check int) "sub rmr" 2 d.Metrics.rmr
+
+let suite =
+  ( "metrics",
+    [
+      Alcotest.test_case "own-segment reads are free" `Quick own_segment_reads_are_free;
+      Alcotest.test_case "first remote read is an RMR, then cached" `Quick
+        first_remote_read_is_rmr_then_cached;
+      Alcotest.test_case "invalidation recharges" `Quick invalidation_recharges;
+      Alcotest.test_case "known own write makes read local" `Quick
+        known_own_write_makes_read_local;
+      Alcotest.test_case "commit locality = last committer" `Quick
+        commit_locality_last_committer;
+      Alcotest.test_case "dsm vs cc vs combined" `Quick dsm_vs_cc_vs_combined;
+      Alcotest.test_case "beta/rho totals" `Quick beta_rho_totals;
+      Alcotest.test_case "counter algebra" `Quick counter_algebra;
+    ] )

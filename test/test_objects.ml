@@ -1,0 +1,263 @@
+(* Ordering objects (Section 4): Count is ordering, counters count,
+   queues are FIFO, fetch-and-increment hands out unique values. *)
+
+open Memsim
+open Program
+
+let lock name = Option.get (Locks.Registry.find name)
+
+let all_permutations n =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) l)))
+          l
+  in
+  perms (List.init n Fun.id)
+
+let count_is_ordering_sequentially () =
+  (* Definition 4.1's sequential consequence, checked for EVERY
+     permutation at n=4 and over two different locks *)
+  List.iter
+    (fun lock_name ->
+      List.iter
+        (fun pi ->
+          let _, cinit =
+            Objects.Count.configure (lock lock_name) ~model:Memory_model.Pso
+              ~nprocs:4
+          in
+          let o = Objects.Ordering.check_sequential cinit pi in
+          Alcotest.(check bool)
+            (Fmt.str "%s π=%a" lock_name Fmt.(list ~sep:comma int) pi)
+            true o.Objects.Ordering.ordering_holds)
+        (all_permutations 4))
+    [ "bakery"; "tournament" ]
+
+let count_returns_permutation_concurrently () =
+  (* under arbitrary schedules the return values are always a
+     permutation of 0..n-1 *)
+  List.iter
+    (fun seed ->
+      let _, cinit =
+        Objects.Count.configure (lock "gt:2") ~model:Memory_model.Pso ~nprocs:6
+      in
+      let _, final = Scheduler.random ~seed cinit in
+      Alcotest.(check bool)
+        (Fmt.str "seed %d" seed)
+        true
+        (Objects.Ordering.returns_are_permutation final))
+    (List.init 10 Fun.id)
+
+let counter_counts () =
+  let nprocs = 5 and per_proc = 3 in
+  let builder = Layout.Builder.create ~nprocs in
+  let counter = Objects.Counter.make (lock "bakery") builder ~nprocs in
+  let layout = Layout.Builder.freeze builder in
+  let program p =
+    run
+      (let rec go i acc =
+         if i = 0 then return acc
+         else
+           let* v = Objects.Counter.increment counter p in
+           go (i - 1) (acc + v)
+       in
+       go per_proc 0)
+  in
+  let cfg =
+    Config.make ~model:Memory_model.Pso ~layout (Array.init nprocs program)
+  in
+  let _, final = Scheduler.random ~seed:3 cfg in
+  (* read back the counter *)
+  Alcotest.(check int) "total increments" (nprocs * per_proc)
+    (Config.read_mem final counter.Objects.Counter.value);
+  (* sum of all returned pre-values = 0 + 1 + ... + (nprocs*per_proc - 1) *)
+  let expected = (nprocs * per_proc * ((nprocs * per_proc) - 1)) / 2 in
+  let got =
+    List.init nprocs (fun p -> Option.get (Config.final_value final p))
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "every value handed out once" expected got
+
+let queue_is_fifo_under_contention () =
+  let nprocs = 4 in
+  let builder = Layout.Builder.create ~nprocs in
+  let q = Objects.Queue_obj.make (lock "tournament") builder ~nprocs ~capacity:8 in
+  let layout = Layout.Builder.freeze builder in
+  (* producers 0,1 each enqueue two stamped items; consumers 2,3 dequeue
+     two each *)
+  let producer p =
+    run
+      (let* _ = Objects.Queue_obj.enqueue q p ((10 * p) + 1) in
+       let* _ = Objects.Queue_obj.enqueue q p ((10 * p) + 2) in
+       return 0)
+  in
+  let consumer p =
+    run
+      (let rec pop acc k =
+         if k = 0 then return acc
+         else
+           let* item = Objects.Queue_obj.dequeue q p in
+           match item with
+           | Some v -> pop ((acc * 100) + v) (k - 1)
+           | None -> pop acc k (* empty; retry *)
+       in
+       pop 0 2)
+  in
+  let cfg =
+    Config.make ~model:Memory_model.Pso ~layout
+      [| producer 0; producer 1; consumer 2; consumer 3 |]
+  in
+  let _, final = Scheduler.random ~seed:11 ~max_elts:200_000 cfg in
+  (* per-producer order must be preserved: for each producer, item .1
+     is dequeued before item .2. Decode consumers' digests. *)
+  let digests =
+    [ Option.get (Config.final_value final 2); Option.get (Config.final_value final 3) ]
+  in
+  let dequeued =
+    List.concat_map (fun d -> [ d / 100; d mod 100 ]) digests
+    |> List.filter (fun v -> v > 0)
+  in
+  Alcotest.(check int) "all four items consumed" 4 (List.length dequeued);
+  (* FIFO is checked per consumer digest: items from the same producer
+     must come out in production order *)
+  List.iter
+    (fun d ->
+      let a = d / 100 and b = d mod 100 in
+      if a / 10 = b / 10 && a > 0 && b > 0 then
+        Alcotest.(check bool) "same producer implies order" true (a < b))
+    digests
+
+let queue_capacity_and_emptiness () =
+  let builder = Layout.Builder.create ~nprocs:1 in
+  let q = Objects.Queue_obj.make (lock "bakery") builder ~nprocs:1 ~capacity:2 in
+  let layout = Layout.Builder.freeze builder in
+  let program =
+    run
+      (let* a = Objects.Queue_obj.enqueue q 0 1 in
+       let* b = Objects.Queue_obj.enqueue q 0 2 in
+       let* c = Objects.Queue_obj.enqueue q 0 3 in
+       (* full *)
+       let* x = Objects.Queue_obj.dequeue q 0 in
+       let* y = Objects.Queue_obj.dequeue q 0 in
+       let* z = Objects.Queue_obj.dequeue q 0 in
+       (* empty *)
+       let bit v = if v then 1 else 0 in
+       let num = function Some v -> v | None -> 9 in
+       return
+         ((bit a * 1_000_000) + (bit b * 100_000) + (bit c * 10_000)
+         + (num x * 1_000) + (num y * 100) + (num z * 10)))
+  in
+  let cfg = Config.make ~model:Memory_model.Pso ~layout [| program |] in
+  let _, final = Scheduler.sequential cfg in
+  (* a=1 b=1 c=0(full) x=1 y=2 z=9(empty) *)
+  Alcotest.(check (option int)) "encoded behaviour" (Some 1_101_290)
+    (Config.final_value final 0)
+
+let fai_variants_agree () =
+  List.iter
+    (fun make ->
+      let nprocs = 4 in
+      let builder = Layout.Builder.create ~nprocs in
+      let fai : Objects.Fai.t = make builder ~nprocs in
+      let layout = Layout.Builder.freeze builder in
+      let cfg =
+        Config.make ~model:Memory_model.Pso ~layout
+          (Array.init nprocs (fun p -> Objects.Fai.ordering_program fai p))
+      in
+      let _, final = Scheduler.random ~seed:2 cfg in
+      Alcotest.(check bool)
+        (fai.Objects.Fai.name ^ " hands out 0..n-1")
+        true
+        (Objects.Ordering.returns_are_permutation final))
+    [
+      (fun b ~nprocs -> Objects.Fai.lock_based (lock "bakery") b ~nprocs);
+      (fun b ~nprocs ->
+        ignore nprocs;
+        Objects.Fai.cas_based b);
+    ]
+
+let constructions_are_ordering () =
+  (* the Section 4 reductions: counter-, F&I- and queue-based ordering
+     algorithms all satisfy the sequential consequence of Definition
+     4.1, over two different locks *)
+  List.iter
+    (fun lock_name ->
+      List.iter
+        (fun seed ->
+          let pi =
+            Array.to_list (Fencelab.Experiment.random_permutation ~seed 5)
+          in
+          List.iter
+            (fun (c : Objects.Constructions.t) ->
+              let o =
+                Objects.Ordering.check_sequential c.Objects.Constructions.cinit
+                  pi
+              in
+              Alcotest.(check bool)
+                (Fmt.str "%s over %s seed %d" c.Objects.Constructions.name
+                   lock_name seed)
+                true o.Objects.Ordering.ordering_holds)
+            (Objects.Constructions.all (lock lock_name)
+               ~model:Memory_model.Pso ~nprocs:5))
+        [ 0; 1; 2 ])
+    [ "bakery"; "gt:2" ]
+
+let constructions_order_concurrently () =
+  List.iter
+    (fun (c : Objects.Constructions.t) ->
+      List.iter
+        (fun seed ->
+          let _, final =
+            Scheduler.random ~seed c.Objects.Constructions.cinit
+          in
+          Alcotest.(check bool)
+            (Fmt.str "%s seed %d" c.Objects.Constructions.name seed)
+            true
+            (Objects.Ordering.returns_are_permutation final))
+        [ 0; 1; 2; 3 ])
+    (Objects.Constructions.all (lock "tournament") ~model:Memory_model.Pso
+       ~nprocs:6)
+
+let count_cost_is_one_passage_plus_constant () =
+  (* the paper: Count's fences/RMRs are asymptotically those of one
+     passage of its lock *)
+  let t, cinit =
+    Objects.Count.configure (lock "bakery") ~model:Memory_model.Pso ~nprocs:8
+  in
+  ignore t;
+  let _, final = Scheduler.sequential cinit in
+  let passage =
+    Fencelab.Experiment.passage_cost ~model:Memory_model.Pso (lock "bakery")
+      ~nprocs:8
+  in
+  let worst =
+    List.fold_left
+      (fun acc p -> max acc (Metrics.of_pid final.Config.metrics p).Metrics.fences)
+      0 (List.init 8 Fun.id)
+  in
+  Alcotest.(check int) "count fences = passage + 1"
+    (passage.Fencelab.Experiment.fences + 1)
+    worst
+
+let suite =
+  ( "objects",
+    [
+      Alcotest.test_case "Count is ordering (all π, n=4)" `Slow
+        count_is_ordering_sequentially;
+      Alcotest.test_case "Count returns a permutation concurrently" `Quick
+        count_returns_permutation_concurrently;
+      Alcotest.test_case "counter counts under contention" `Quick counter_counts;
+      Alcotest.test_case "queue FIFO under contention" `Quick
+        queue_is_fifo_under_contention;
+      Alcotest.test_case "queue capacity and emptiness" `Quick
+        queue_capacity_and_emptiness;
+      Alcotest.test_case "fetch-and-increment variants agree" `Quick
+        fai_variants_agree;
+      Alcotest.test_case "Count costs one passage + O(1)" `Quick
+        count_cost_is_one_passage_plus_constant;
+      Alcotest.test_case "Section 4 constructions are ordering" `Quick
+        constructions_are_ordering;
+      Alcotest.test_case "constructions order concurrently" `Quick
+        constructions_order_concurrently;
+    ] )

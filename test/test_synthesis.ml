@@ -1,0 +1,78 @@
+(* Fence synthesis: the minimal-fence staircase across memory models,
+   pinned as regressions (the automated generalization of E8). *)
+
+open Memsim
+
+let masks_of (r : Verify.Synthesis.result) = List.sort compare r.Verify.Synthesis.minimal
+
+let peterson_staircase () =
+  let syn model =
+    masks_of (Verify.Synthesis.synthesize ~model Verify.Synthesis.peterson_family ~nprocs:2)
+  in
+  (* SC: the empty set is the unique minimal solution *)
+  Alcotest.(check (list (list bool))) "SC" [ [ false; false; false ] ] (syn Memory_model.Sc);
+  (* TSO: exactly the store→load guard after the victim write *)
+  Alcotest.(check (list (list bool))) "TSO" [ [ false; true; false ] ] (syn Memory_model.Tso);
+  (* PSO/RMO: both doorway fences *)
+  Alcotest.(check (list (list bool))) "PSO" [ [ true; true; false ] ] (syn Memory_model.Pso);
+  Alcotest.(check (list (list bool))) "RMO" [ [ true; true; false ] ] (syn Memory_model.Rmo)
+
+let bakery_staircase () =
+  let syn model =
+    masks_of (Verify.Synthesis.synthesize ~model Verify.Synthesis.bakery_family ~nprocs:2)
+  in
+  Alcotest.(check (list (list bool))) "SC" [ [ false; false; false; false ] ]
+    (syn Memory_model.Sc);
+  (* TSO: two incomparable minimal placements — {f1,f2} and {f1,f3} *)
+  Alcotest.(check (list (list bool))) "TSO"
+    [ [ true; false; true; false ]; [ true; true; false; false ] ]
+    (syn Memory_model.Tso);
+  (* PSO: only {f1,f2} survives once writes reorder *)
+  Alcotest.(check (list (list bool))) "PSO" [ [ true; true; false; false ] ]
+    (syn Memory_model.Pso)
+
+let correct_sets_are_upward_closed () =
+  (* sanity of the search: any superset of a correct mask is correct *)
+  let r =
+    Verify.Synthesis.synthesize ~model:Memory_model.Pso
+      Verify.Synthesis.bakery_family ~nprocs:2
+  in
+  let correct = r.Verify.Synthesis.correct in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun c' ->
+          if List.for_all2 (fun a b -> (not a) || b) c c' then
+            Alcotest.(check bool) "superset correct" true (List.mem c' correct))
+        (List.map Array.to_list
+           (List.filter_map
+              (fun m ->
+                if List.length m = 4 then Some (Array.of_list m) else None)
+              correct)))
+    correct
+
+let models_need_monotonically_more () =
+  (* the number of correct subsets shrinks as the model weakens *)
+  let count fam model =
+    List.length
+      (Verify.Synthesis.synthesize ~model fam ~nprocs:2).Verify.Synthesis.correct
+  in
+  List.iter
+    (fun fam ->
+      let sc = count fam Memory_model.Sc in
+      let tso = count fam Memory_model.Tso in
+      let pso = count fam Memory_model.Pso in
+      Alcotest.(check bool) "SC >= TSO" true (sc >= tso);
+      Alcotest.(check bool) "TSO >= PSO" true (tso >= pso))
+    [ Verify.Synthesis.peterson_family; Verify.Synthesis.bakery_family ]
+
+let suite =
+  ( "synthesis",
+    [
+      Alcotest.test_case "peterson minimal-fence staircase" `Slow peterson_staircase;
+      Alcotest.test_case "bakery minimal-fence staircase" `Slow bakery_staircase;
+      Alcotest.test_case "correct sets are upward closed" `Slow
+        correct_sets_are_upward_closed;
+      Alcotest.test_case "weaker models need more fences" `Slow
+        models_need_monotonically_more;
+    ] )

@@ -1,0 +1,132 @@
+(* Analytic tradeoff helpers (Equations 1 and 2) and experiment
+   drivers. *)
+
+let product_basics () =
+  Alcotest.(check (float 1e-9)) "zero fences" 0. (Fencelab.Tradeoff.product ~fences:0 ~rmrs:10);
+  Alcotest.(check (float 1e-9)) "f=r" 4. (Fencelab.Tradeoff.product ~fences:4 ~rmrs:4);
+  (* bakery-like point: 4 fences, 2(n-1) RMRs at n=256 *)
+  let p = Fencelab.Tradeoff.product ~fences:4 ~rmrs:510 in
+  Alcotest.(check bool) "constant fences force big product" true (p > 30.)
+
+let product_monotone =
+  QCheck.Test.make ~name:"product is monotone in rmrs" ~count:300
+    QCheck.(pair (int_range 1 64) (pair (int_range 1 10_000) (int_range 1 10_000)))
+    (fun (f, (r1, r2)) ->
+      let lo = min r1 r2 and hi = max r1 r2 in
+      Fencelab.Tradeoff.product ~fences:f ~rmrs:lo
+      <= Fencelab.Tradeoff.product ~fences:f ~rmrs:hi +. 1e-9)
+
+let gt_prediction_endpoints () =
+  Alcotest.(check (float 1e-6)) "f=1 is n" 64.
+    (Fencelab.Tradeoff.gt_rmrs ~nprocs:64 ~height:1);
+  Alcotest.(check (float 1e-6)) "f=log n is 2 log n" 12.
+    (Fencelab.Tradeoff.gt_rmrs ~nprocs:64 ~height:6)
+
+let optimal_height_moves_with_fence_cost () =
+  let cheap = Fencelab.Tradeoff.optimal_height ~nprocs:1024 ~fence_cost:1. ~rmr_cost:1. in
+  let pricey =
+    Fencelab.Tradeoff.optimal_height ~nprocs:1024 ~fence_cost:200. ~rmr_cost:1.
+  in
+  Alcotest.(check bool) "expensive fences => flatter tree" true (pricey <= cheap);
+  Alcotest.(check bool) "cheap fences => taller tree" true (cheap > 1)
+
+let lower_bound_rejects_impossible_points () =
+  (* a constant-fence constant-RMR lock would beat the theorem even at
+     the loosest slack *)
+  Alcotest.(check bool) "(1, 8) at n=2^20 violates" false
+    (Fencelab.Tradeoff.respects_lower_bound ~nprocs:(1 lsl 20) ~fences:1
+       ~rmrs:8 ());
+  Alcotest.(check bool) "(4, 8) at n=4096 violates at c=0.75" false
+    (Fencelab.Tradeoff.respects_lower_bound ~c:0.75 ~nprocs:4096 ~fences:4
+       ~rmrs:8 ());
+  (* the real bakery point satisfies it comfortably *)
+  Alcotest.(check bool) "bakery point ok" true
+    (Fencelab.Tradeoff.respects_lower_bound ~c:0.75 ~nprocs:4096 ~fences:4
+       ~rmrs:8190 ())
+
+let random_permutation_is_permutation =
+  QCheck.Test.make ~name:"random_permutation produces permutations" ~count:200
+    QCheck.(pair (int_range 1 64) (int_range 0 1000))
+    (fun (n, seed) ->
+      let pi = Fencelab.Experiment.random_permutation ~seed n in
+      List.sort compare (Array.to_list pi) = List.init n Fun.id)
+
+let permutations_deterministic_per_seed () =
+  Alcotest.(check bool) "same seed" true
+    (Fencelab.Experiment.random_permutation ~seed:3 10
+    = Fencelab.Experiment.random_permutation ~seed:3 10)
+
+let contended_cost_runs () =
+  let fences, rmrs =
+    Fencelab.Experiment.contended_cost ~model:Memsim.Memory_model.Pso
+      (Option.get (Locks.Registry.find "bakery"))
+      ~nprocs:4
+  in
+  Alcotest.(check bool) "fences positive" true (fences >= 4.);
+  Alcotest.(check bool) "rmrs positive" true (rmrs > 0.)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let report_renders () =
+  let s =
+    Fencelab.Report.render ~headers:[ "a"; "long-header" ]
+      [ [ "x"; "1" ]; [ "yyyy"; "22" ] ]
+  in
+  Alcotest.(check int) "header + separator + 2 rows" 4
+    (List.length (String.split_on_char '\n' s));
+  Alcotest.(check bool) "contains data" true (contains s "yyyy")
+
+let cost_model_latency () =
+  let cm = { Fencelab.Cost_model.label = "t"; fence = 10.; rmr = 5.; local = 1. } in
+  let c =
+    {
+      Memsim.Metrics.zero with
+      Memsim.Metrics.fences = 2;
+      rmr = 3;
+      steps = 10 (* 5 local steps *);
+    }
+  in
+  Alcotest.(check (float 1e-9)) "latency" ((2. *. 10.) +. (3. *. 5.) +. 5.)
+    (Fencelab.Cost_model.latency cm c)
+
+let cost_model_best_height_matches_analytic () =
+  List.iter
+    (fun cm ->
+      let measured, _ =
+        Fencelab.Cost_model.best_height cm ~model:Memsim.Memory_model.Pso
+          ~nprocs:256
+      in
+      let analytic =
+        Fencelab.Tradeoff.optimal_height ~nprocs:256
+          ~fence_cost:cm.Fencelab.Cost_model.fence
+          ~rmr_cost:cm.Fencelab.Cost_model.rmr
+      in
+      Alcotest.(check bool)
+        (Fmt.str "%s: |measured %d - analytic %d| <= 1"
+           cm.Fencelab.Cost_model.label measured analytic)
+        true
+        (abs (measured - analytic) <= 1))
+    Fencelab.Cost_model.presets
+
+let suite =
+  ( "tradeoff",
+    [
+      Alcotest.test_case "product basics" `Quick product_basics;
+      QCheck_alcotest.to_alcotest product_monotone;
+      Alcotest.test_case "GT prediction endpoints" `Quick gt_prediction_endpoints;
+      Alcotest.test_case "optimal height moves with fence cost" `Quick
+        optimal_height_moves_with_fence_cost;
+      Alcotest.test_case "lower bound rejects impossible points" `Quick
+        lower_bound_rejects_impossible_points;
+      QCheck_alcotest.to_alcotest random_permutation_is_permutation;
+      Alcotest.test_case "permutations deterministic per seed" `Quick
+        permutations_deterministic_per_seed;
+      Alcotest.test_case "contended cost runs" `Quick contended_cost_runs;
+      Alcotest.test_case "report renders" `Quick report_renders;
+      Alcotest.test_case "cost model latency" `Quick cost_model_latency;
+      Alcotest.test_case "measured best height matches analytic" `Quick
+        cost_model_best_height_matches_analytic;
+    ] )

@@ -1,0 +1,101 @@
+(* Write-buffer unit and property tests. *)
+
+open Memsim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let empty_buffer () =
+  check "empty" true (Wbuf.is_empty Wbuf.empty);
+  check_int "size" 0 (Wbuf.size Wbuf.empty);
+  check "find" true (Wbuf.find Wbuf.empty 0 = None);
+  check "smallest" true (Wbuf.smallest_reg Wbuf.empty = None)
+
+let replace_semantics () =
+  let b = Wbuf.write_replace Wbuf.empty 3 10 in
+  let b = Wbuf.write_replace b 3 20 in
+  check_int "no duplicates" 1 (Wbuf.size b);
+  check "newest value" true (Wbuf.find b 3 = Some 20)
+
+let fifo_semantics () =
+  let b = Wbuf.write_fifo Wbuf.empty 3 10 in
+  let b = Wbuf.write_fifo b 5 1 in
+  let b = Wbuf.write_fifo b 3 20 in
+  check_int "duplicates kept" 3 (Wbuf.size b);
+  check "store forwarding sees newest" true (Wbuf.find b 3 = Some 20);
+  (match Wbuf.head b with
+  | Some e -> check_int "head is oldest" 3 e.Wbuf.reg
+  | None -> Alcotest.fail "head");
+  (* committing the head removes the OLD write, not the new one *)
+  match Wbuf.take b 3 with
+  | Some (v, b') ->
+      check_int "oldest value committed" 10 v;
+      check "newer write remains" true (Wbuf.find b' 3 = Some 20)
+  | None -> Alcotest.fail "take"
+
+let smallest_reg () =
+  let b = Wbuf.write_replace Wbuf.empty 7 1 in
+  let b = Wbuf.write_replace b 2 1 in
+  let b = Wbuf.write_replace b 5 1 in
+  check "smallest" true (Wbuf.smallest_reg b = Some 2)
+
+let take_missing () =
+  check "take missing" true (Wbuf.take Wbuf.empty 0 = None)
+
+(* properties *)
+
+let arb_ops =
+  QCheck.(list (pair (int_bound 7) (int_bound 100)))
+
+let prop_replace_no_duplicates =
+  QCheck.Test.make ~name:"write_replace keeps at most one entry per register"
+    ~count:500 arb_ops (fun ops ->
+      let b =
+        List.fold_left (fun b (r, v) -> Wbuf.write_replace b r v) Wbuf.empty ops
+      in
+      let regs = List.map (fun (e : Wbuf.entry) -> e.Wbuf.reg) (Wbuf.entries b) in
+      List.length regs = List.length (List.sort_uniq compare regs))
+
+let prop_find_is_last_write =
+  QCheck.Test.make ~name:"find returns the most recent write (both modes)"
+    ~count:500
+    QCheck.(pair bool arb_ops)
+    (fun (fifo, ops) ->
+      let write = if fifo then Wbuf.write_fifo else Wbuf.write_replace in
+      let b = List.fold_left (fun b (r, v) -> write b r v) Wbuf.empty ops in
+      List.for_all
+        (fun r ->
+          let expected =
+            List.fold_left
+              (fun acc (r', v) -> if r = r' then Some v else acc)
+              None ops
+          in
+          Wbuf.find b r = expected)
+        (List.init 8 Fun.id))
+
+let prop_fifo_take_order =
+  QCheck.Test.make ~name:"fifo commits drain in insertion order" ~count:500
+    arb_ops (fun ops ->
+      let b = List.fold_left (fun b (r, v) -> Wbuf.write_fifo b r v) Wbuf.empty ops in
+      let rec drain acc b =
+        match Wbuf.head b with
+        | None -> List.rev acc
+        | Some e -> (
+            match Wbuf.take b e.Wbuf.reg with
+            | Some (v, b') -> drain ((e.Wbuf.reg, v) :: acc) b'
+            | None -> assert false)
+      in
+      drain [] b = ops)
+
+let suite =
+  ( "wbuf",
+    [
+      Alcotest.test_case "empty buffer" `Quick empty_buffer;
+      Alcotest.test_case "replace semantics" `Quick replace_semantics;
+      Alcotest.test_case "fifo semantics" `Quick fifo_semantics;
+      Alcotest.test_case "smallest register" `Quick smallest_reg;
+      Alcotest.test_case "take missing" `Quick take_missing;
+      QCheck_alcotest.to_alcotest prop_replace_no_duplicates;
+      QCheck_alcotest.to_alcotest prop_find_is_last_write;
+      QCheck_alcotest.to_alcotest prop_fifo_take_order;
+    ] )
