@@ -1,4 +1,4 @@
-.PHONY: all build test bench doc examples clean
+.PHONY: all build test bench mc-smoke mc-bench doc examples clean
 
 all: build
 
@@ -8,9 +8,17 @@ build:
 test:
 	dune runtest
 
-# Regenerate every experiment table (DESIGN.md index E1..E11, T1)
+# Regenerate every experiment table (DESIGN.md index E1..E11, MC, T1)
 bench:
 	dune exec bench/main.exe
+
+# Fast agreement check of the multicore engine (also part of dune runtest)
+mc-smoke:
+	dune exec test/mc_smoke.exe
+
+# States/sec of the parallel engine by domain count; writes BENCH_mc.json
+mc-bench:
+	dune exec bench/main.exe -- MC
 
 doc:
 	dune build @doc

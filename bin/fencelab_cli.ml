@@ -47,6 +47,31 @@ let lock_t =
 let nprocs_t =
   Arg.(value & opt int 4 & info [ "n"; "nprocs" ] ~docv:"N" ~doc:"Process count.")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"J"
+        ~doc:
+          "Exploration domains: 0 (default) uses the sequential DFS, J >= 1 \
+           the parallel engine with J domains.")
+
+let por_t =
+  Arg.(
+    value
+    & flag
+    & info [ "por" ]
+        ~doc:
+          "Partial-order reduction (safe-step persistent sets); implies the \
+           parallel engine (1 domain unless $(b,--jobs) says otherwise).")
+
+(* --jobs/--por to an Mc engine selection: POR is an Mc feature, so
+   requesting it routes through the parallel engine even at J=1. *)
+let engine_of ~jobs ~por : Mc.engine =
+  if jobs >= 1 then `Parallel jobs
+  else if por then `Parallel 1
+  else `Dfs
+
 (* Surface algorithm preconditions (e.g. Peterson is 2-process) and
    scheduler stalls as clean CLI errors rather than backtraces. *)
 let protect f =
@@ -124,11 +149,13 @@ let check_cmd =
       & opt int 1_000_000
       & info [ "max-states" ] ~docv:"K" ~doc:"State cap for exploration.")
   in
-  let run (name, factory) model nprocs rounds max_states trace =
+  let run (name, factory) model nprocs rounds max_states trace jobs por =
    protect @@ fun () ->
     ignore name;
+    let engine = engine_of ~jobs ~por in
     let v =
-      Verify.Mutex_check.check ~rounds ~max_states ~model factory ~nprocs
+      Verify.Mutex_check.check ~rounds ~max_states ~engine ~por ~model factory
+        ~nprocs
     in
     Fmt.pr "%a@." Verify.Mutex_check.pp_verdict v;
     (match (trace, v.Verify.Mutex_check.me_violation) with
@@ -141,7 +168,9 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Exhaustive mutual-exclusion / deadlock check")
     Term.(
-      ret (const run $ lock_t $ model_t $ nprocs_t $ rounds_t $ max_states_t $ trace_t))
+      ret
+        (const run $ lock_t $ model_t $ nprocs_t $ rounds_t $ max_states_t
+       $ trace_t $ jobs_t $ por_t))
 
 let stress_cmd =
   let seeds_t =
@@ -185,7 +214,8 @@ let litmus_cmd =
   let test_t =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"TEST" ~doc:"Test name.")
   in
-  let run test =
+  let run test jobs por =
+    let engine = engine_of ~jobs ~por in
     let tests =
       match test with
       | None -> Litmus.Cases.all
@@ -204,7 +234,7 @@ let litmus_cmd =
         (fun t ->
           List.iter
             (fun model ->
-              let r = Litmus.Test.run t ~model in
+              let r = Litmus.Test.run ~engine ~por t ~model in
               Fmt.pr "%a@." Litmus.Test.pp_run r)
             Memory_model.all)
         tests;
@@ -212,7 +242,7 @@ let litmus_cmd =
     end
   in
   Cmd.v (Cmd.info "litmus" ~doc:"Reachable litmus outcomes per memory model")
-    Term.(ret (const run $ test_t))
+    Term.(ret (const run $ test_t $ jobs_t $ por_t))
 
 let encode_cmd =
   let pi_t =

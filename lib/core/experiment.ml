@@ -143,15 +143,17 @@ let encoding_point ?(samples = 5) ~model (factory : Locks.Lock.factory)
 type litmus_cell = { reachable : bool; states : int }
 
 (** For every test × model: is the test's characteristic weak outcome
-    reachable? *)
-let litmus_matrix ?max_states () :
+    reachable? [engine]/[por] select the exploration engine (see
+    {!Mc.run}); the outcome sets, hence every cell, are engine- and
+    reduction-invariant. *)
+let litmus_matrix ?max_states ?engine ?por () :
     (Litmus.Test.t * (Memory_model.t * litmus_cell) list) list =
   List.map
     (fun t ->
       ( t,
         List.map
           (fun model ->
-            let r = Litmus.Test.run ?max_states t ~model in
+            let r = Litmus.Test.run ?max_states ?engine ?por t ~model in
             ( model,
               {
                 reachable =
@@ -170,7 +172,7 @@ type ablation_row = {
   verdicts : (Memory_model.t * Verify.Mutex_check.verdict) list;
 }
 
-let bakery_ablation ?(nprocs = 2) ?(rounds = 1) ?max_states () :
+let bakery_ablation ?(nprocs = 2) ?(rounds = 1) ?max_states ?engine ?por () :
     ablation_row list =
   List.map
     (fun spec ->
@@ -180,7 +182,8 @@ let bakery_ablation ?(nprocs = 2) ?(rounds = 1) ?max_states () :
           List.map
             (fun model ->
               ( model,
-                Verify.Mutex_check.check ?max_states ~rounds ~model
+                Verify.Mutex_check.check ?max_states ?engine ?por ~rounds
+                  ~model
                   (Locks.Variants.bakery_variant spec)
                   ~nprocs ))
             Memory_model.all;

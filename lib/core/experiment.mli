@@ -48,9 +48,11 @@ val encoding_point :
 
 type litmus_cell = { reachable : bool; states : int }
 
-(** Per test × model: is the characteristic weak outcome reachable? *)
+(** Per test × model: is the characteristic weak outcome reachable?
+    [engine]/[por] select the exploration engine; every cell is engine-
+    and reduction-invariant. *)
 val litmus_matrix :
-  ?max_states:int -> unit ->
+  ?max_states:int -> ?engine:Mc.engine -> ?por:bool -> unit ->
   (Litmus.Test.t * (Memory_model.t * litmus_cell) list) list
 
 type ablation_row = {
@@ -59,6 +61,7 @@ type ablation_row = {
 }
 
 val bakery_ablation :
-  ?nprocs:int -> ?rounds:int -> ?max_states:int -> unit -> ablation_row list
+  ?nprocs:int -> ?rounds:int -> ?max_states:int ->
+  ?engine:Mc.engine -> ?por:bool -> unit -> ablation_row list
 
 val peterson_styles : ?rounds:int -> ?max_states:int -> unit -> ablation_row list

@@ -44,8 +44,12 @@ let configure test ~model =
   let regs = Array.init test.nregs Fun.id in
   (regs, Config.make ~model ~layout (test.programs regs))
 
-(** Enumerate all reachable outcomes of [test] under [model]. *)
-let run ?max_states test ~model : run =
+(** Enumerate all reachable outcomes of [test] under [model]. [engine]
+    selects the explorer ([`Dfs] default, [`Parallel j] for the
+    multicore engine); [por] enables partial-order reduction, which
+    preserves the outcome set (all quiescent states are still reached)
+    while visiting fewer states. *)
+let run ?max_states ?engine ?por test ~model : run =
   let regs, cfg = configure test ~model in
   let observe final =
     {
@@ -55,7 +59,9 @@ let run ?max_states test ~model : run =
       finals = List.map (Config.read_mem final) (test.observed regs);
     }
   in
-  let outcomes, result = Explore.reachable_outcomes ?max_states ~observe cfg in
+  let outcomes, result =
+    Mc.reachable_outcomes ?engine ?por ?max_states ~observe cfg
+  in
   { test; model; outcomes; stats = result.Explore.stats }
 
 (** Does [model] admit [outcome] for this test? *)

@@ -24,8 +24,13 @@ type run = {
 
 val configure : t -> model:Memory_model.t -> Reg.t array * Config.t
 
-(** Enumerate all reachable outcomes under the model. *)
-val run : ?max_states:int -> t -> model:Memory_model.t -> run
+(** Enumerate all reachable outcomes under the model. [engine] selects
+    the explorer ([`Dfs] default, [`Parallel j] for the multicore
+    engine); [por] preserves the outcome set while visiting fewer
+    states. *)
+val run :
+  ?max_states:int -> ?engine:Mc.engine -> ?por:bool ->
+  t -> model:Memory_model.t -> run
 
 val admits : run -> outcome -> bool
 val pp_run : run Fmt.t

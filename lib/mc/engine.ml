@@ -1,0 +1,286 @@
+(** The model-checking engine: work-sharing parallel exploration with
+    optional partial-order reduction, subsuming {!Memsim.Explore.dfs}
+    as its 1-domain special case.
+
+    Architecture:
+
+    - states are deduplicated on {!Fingerprint}s in a sharded
+      {!Visited} set — the atomic test-and-insert elects exactly one
+      domain to expand each distinct state and fire its hooks;
+    - each worker runs depth-first over a private stack of tasks
+      (configuration, monitor state, reversed path, depth) and offloads
+      surplus through the {!Frontier} whenever some worker is starved;
+    - with [por], each expansion first looks for a persistent-singleton
+      safe step ({!Por}); finding one prunes every sibling
+      interleaving;
+    - verdict paths are just the recorded [Exec.elt] schedules; they
+      replay deterministically via {!Replay} regardless of domain
+      count or visit order.
+
+    Parity with [Explore.dfs] ([`Parallel 1], [por:false]): same
+    states, transitions and verdicts on any run that completes within
+    its bounds — both expand every distinct state exactly once and
+    count one transition per successor element of each expanded state.
+    Once a bound truncates the run, visit {e order} determines which
+    part of the graph was seen, so truncated runs agree only on the
+    [truncated] flag.
+
+    Hooks under parallelism: [monitor] must be a pure function (it is
+    threaded through tasks on every domain); [check] must be pure;
+    [on_final] and violation recording are serialized internally, so
+    an [on_final] that mutates shared state needs no extra locking. *)
+
+open Memsim
+
+type engine = [ `Dfs | `Parallel of int ]
+
+type 'm task = {
+  cfg : Config.t;
+  m : 'm;
+  rev_path : Exec.elt list;  (** newest element first *)
+  depth : int;
+}
+
+let monitor_steps monitor m steps =
+  List.fold_left
+    (fun acc s -> match acc with Error _ -> acc | Ok m -> monitor m s)
+    (Ok m) steps
+
+(* How big a private stack may grow while some worker starves before
+   the owner shares everything but its working head. *)
+let share_keep = 1
+
+let run_parallel (type m) ~jobs ~por ~max_states ~max_depth ~max_violations
+    ~max_deadlocks ~(check : Config.t -> string option)
+    ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
+    ~(on_final : Config.t -> m -> unit) (cfg0 : Config.t) : m Explore.result =
+  if jobs < 1 then Fmt.invalid_arg "Mc.run: `Parallel %d" jobs;
+  let visited = Visited.create () in
+  let frontier : m task Frontier.t = Frontier.create () in
+  let states = Atomic.make 0 and transitions = Atomic.make 0 in
+  let truncated = Atomic.make false in
+  (* one mutex serializes the mutating hooks and verdict stores; they
+     fire far less often than states are expanded *)
+  let sync = Mutex.create () in
+  let violations = ref [] and nviolations = Atomic.make 0 in
+  let deadlocks = ref [] and ndeadlocks = ref 0 in
+  let worker_exn = Atomic.make None in
+  let record_violation v =
+    Mutex.lock sync;
+    if Atomic.get nviolations < max_violations then begin
+      Atomic.incr nviolations;
+      violations := !violations @ [ v ]
+    end;
+    Mutex.unlock sync
+  in
+  let record_deadlock path =
+    Mutex.lock sync;
+    if !ndeadlocks < max_deadlocks then begin
+      incr ndeadlocks;
+      deadlocks := path :: !deadlocks
+    end;
+    Mutex.unlock sync
+  in
+  (* Pick the edges to explore from a normalized state: all successor
+     elements, or a single safe step when POR finds one. Probing a
+     candidate means executing it; failed probes are recycled into the
+     full expansion so no element is executed twice. *)
+  let select_edges cfg elts =
+    let exec e = Exec.exec_elt cfg e in
+    if not por then List.map (fun e -> (e, exec e)) elts
+    else
+      let rec probe probed = function
+        | [] -> `Full probed
+        | p :: ps ->
+            let e : Exec.elt = (p, None) in
+            let ((_, cfg') as res) = exec e in
+            if Por.invisible_after cfg' p then `Ample (e, res)
+            else probe ((e, res) :: probed) ps
+      in
+      match probe [] (Por.ample_candidates cfg) with
+      | `Ample (e, res) -> [ (e, res) ]
+      | `Full probed ->
+          List.map
+            (fun e ->
+              match List.assoc_opt e probed with
+              | Some res -> (e, res)
+              | None -> (e, exec e))
+            elts
+  in
+  (* Expand one task: normalize, monitor the pending notes, claim the
+     state, fire hooks, execute and monitor every chosen edge. Returns
+     the child tasks in exploration order (first child first). Mirrors
+     Explore.dfs edge for edge. *)
+  let expand (t : m task) : m task list =
+    if
+      Atomic.get states >= max_states
+      || Atomic.get nviolations >= max_violations
+    then begin
+      Atomic.set truncated true;
+      Frontier.stop frontier;
+      []
+    end
+    else begin
+      let notes, cfg = Exec.flush_labels t.cfg in
+      match monitor_steps monitor t.m notes with
+      | Error message ->
+          record_violation
+            { Explore.message; path = List.rev t.rev_path; monitor = t.m };
+          []
+      | Ok m ->
+          if not (Visited.add visited (Fingerprint.of_config cfg)) then []
+          else begin
+            Atomic.incr states;
+            (match check cfg with
+            | Some message ->
+                record_violation
+                  { Explore.message; path = List.rev t.rev_path; monitor = m }
+            | None -> ());
+            if Config.quiescent cfg then begin
+              Mutex.lock sync;
+              (try on_final cfg m
+               with e ->
+                 Mutex.unlock sync;
+                 raise e);
+              Mutex.unlock sync;
+              []
+            end
+            else if t.depth >= max_depth then begin
+              Atomic.set truncated true;
+              []
+            end
+            else begin
+              let elts = Explore.successor_elts cfg in
+              if elts = [] then begin
+                record_deadlock (List.rev t.rev_path);
+                []
+              end
+              else
+                List.filter_map
+                  (fun (elt, (steps, cfg')) ->
+                    Atomic.incr transitions;
+                    match monitor_steps monitor m steps with
+                    | Error message ->
+                        record_violation
+                          {
+                            Explore.message;
+                            path = List.rev (elt :: t.rev_path);
+                            monitor = m;
+                          };
+                        None
+                    | Ok m' ->
+                        Some
+                          {
+                            cfg = cfg';
+                            m = m';
+                            rev_path = elt :: t.rev_path;
+                            depth = t.depth + 1;
+                          })
+                  (select_edges cfg elts)
+            end
+          end
+    end
+  in
+  (* Worker: private LIFO stack, children pushed first-child-on-top so
+     one domain walks the graph in Explore.dfs order; surplus beyond a
+     working head is shared whenever some worker is starved. *)
+  let rec worker local nlocal =
+    if Frontier.is_stopped frontier then ()
+    else
+      match local with
+      | [] -> (
+          match Frontier.next frontier with
+          | Some t -> worker [ t ] 1
+          | None -> ())
+      | t :: rest ->
+          let children = expand t in
+          let nchildren = List.length children in
+          Frontier.register frontier nchildren;
+          Frontier.complete frontier;
+          let local = children @ rest in
+          let nlocal = nlocal - 1 + nchildren in
+          if jobs > 1 && nlocal > share_keep && Frontier.starving frontier
+          then begin
+            let rec split i acc = function
+              | [] -> (List.rev acc, [])
+              | rest when i = 0 -> (List.rev acc, rest)
+              | x :: tl -> split (i - 1) (x :: acc) tl
+            in
+            let keep, surplus = split share_keep [] local in
+            Frontier.inject frontier surplus;
+            worker keep (min nlocal share_keep)
+          end
+          else worker local nlocal
+  in
+  let guarded_worker () =
+    try worker [] 0
+    with e ->
+      (* fail loudly but never leave sibling domains blocked *)
+      ignore (Atomic.compare_and_set worker_exn None (Some e));
+      Frontier.stop frontier
+  in
+  let root = { cfg = cfg0; m = init; rev_path = []; depth = 0 } in
+  Frontier.register frontier 1;
+  if jobs = 1 then (
+    (* run in the calling domain: deterministic Explore.dfs order *)
+    try worker [ root ] 1
+    with e ->
+      Frontier.stop frontier;
+      raise e)
+  else begin
+    Frontier.inject frontier [ root ];
+    let domains =
+      Array.init (jobs - 1) (fun _ -> Domain.spawn guarded_worker)
+    in
+    guarded_worker ();
+    Array.iter Domain.join domains;
+    match Atomic.get worker_exn with Some e -> raise e | None -> ()
+  end;
+  {
+    Explore.stats =
+      {
+        Explore.states = Atomic.get states;
+        transitions = Atomic.get transitions;
+        truncated = Atomic.get truncated;
+      };
+    violations = !violations;
+    deadlocks = !deadlocks;
+  }
+
+let run (type m) ?(engine : engine = `Dfs) ?(por = false)
+    ?(max_states = 1_000_000) ?(max_depth = 100_000) ?(max_violations = 3)
+    ?(max_deadlocks = max_int) ?(check = fun (_ : Config.t) -> None)
+    ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
+    ?(on_final = fun (_ : Config.t) (_ : m) -> ()) (cfg0 : Config.t) :
+    m Explore.result =
+  match engine with
+  | `Dfs ->
+      (* bit-compatible with the historical sequential checker; [por]
+         does not apply (use [`Parallel 1] for reduced sequential
+         exploration) *)
+      Explore.dfs ~max_states ~max_depth ~max_violations ~max_deadlocks ~check
+        ~monitor ~init ~on_final cfg0
+  | `Parallel jobs ->
+      run_parallel ~jobs ~por ~max_states ~max_depth ~max_violations
+        ~max_deadlocks ~check ~monitor ~init ~on_final cfg0
+
+(** Exploration without a monitor: just reachability. *)
+let run_plain ?engine ?por ?max_states ?max_depth ?max_deadlocks ?on_final cfg
+    =
+  let on_final = Option.map (fun f cfg (_ : unit) -> f cfg) on_final in
+  run ?engine ?por ?max_states ?max_depth ?max_deadlocks
+    ~monitor:(fun () _ -> Ok ())
+    ~init:() ?on_final cfg
+
+(** Reachable quiescent-state projections under [observe], sorted, plus
+    the exploration result. Mirrors {!Memsim.Explore.reachable_outcomes};
+    [on_final] mutation is serialized by the engine. *)
+let reachable_outcomes ?engine ?por ?max_states ?max_depth ~observe cfg =
+  let outcomes = Hashtbl.create 16 in
+  let result =
+    run_plain ?engine ?por ?max_states ?max_depth
+      ~on_final:(fun final -> Hashtbl.replace outcomes (observe final) ())
+      cfg
+  in
+  let all = Hashtbl.fold (fun k () acc -> k :: acc) outcomes [] in
+  (List.sort compare all, result)

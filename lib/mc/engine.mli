@@ -1,0 +1,52 @@
+(** Parallel, reduction-aware model-checking engine. [`Dfs] delegates
+    to the historical {!Memsim.Explore.dfs}; [`Parallel j] explores
+    with [j] domains over a fingerprint-sharded visited set, optionally
+    under partial-order reduction ([por], {!Por}). See the
+    implementation header for the parity guarantees with the sequential
+    checker and the thread-safety contract of the hooks. *)
+
+open Memsim
+
+type engine = [ `Dfs | `Parallel of int ]
+
+(** Drop-in counterpart of {!Memsim.Explore.dfs} (same hooks, bounds
+    and result type). [por] applies only to [`Parallel]; [check] and
+    [monitor] must be pure under [`Parallel]; [on_final] is serialized
+    internally. With [por] the states/transitions counts drop but all
+    deadlocks, quiescent states and note-driven monitor verdicts are
+    preserved. *)
+val run :
+  ?engine:engine ->
+  ?por:bool ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_violations:int ->
+  ?max_deadlocks:int ->
+  ?check:(Config.t -> string option) ->
+  monitor:('m -> Step.t -> ('m, string) Stdlib.result) ->
+  init:'m ->
+  ?on_final:(Config.t -> 'm -> unit) ->
+  Config.t ->
+  'm Explore.result
+
+(** Exploration without a monitor. *)
+val run_plain :
+  ?engine:engine ->
+  ?por:bool ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_deadlocks:int ->
+  ?on_final:(Config.t -> unit) ->
+  Config.t ->
+  unit Explore.result
+
+(** Reachable quiescent-state projections under [observe], sorted, plus
+    the exploration result. *)
+val reachable_outcomes :
+  ?engine:engine ->
+  ?por:bool ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  observe:(Config.t -> 'a) ->
+  Config.t ->
+  'a list * unit Explore.result

@@ -1,0 +1,53 @@
+(** Compact incremental state fingerprints.
+
+    The parallel checker deduplicates states on a 126-bit fingerprint
+    (two independent 63-bit lanes) of the {!Memsim.Statekey} component
+    stream, computed by folding the stream directly into the lanes —
+    no intermediate string or tuple spine is built, unlike the
+    sequential explorer's serialized key.
+
+    Trade-off: fingerprint equality is not key equality. Storing only
+    fingerprints makes the visited set small and cheap to shard, at the
+    cost of a collision probability. With two independently seeded and
+    independently mixed 63-bit lanes, a collision needs both lanes to
+    agree; for [k] distinct states the birthday bound gives roughly
+    [k^2 / 2^127] — about [1e-26] at a million states, far below the
+    chance of a cosmic-ray bit flip. A collision could only cause a
+    state to be wrongly treated as visited, i.e. under-exploration,
+    never a false violation. DESIGN.md discusses the soundness budget. *)
+
+type t = { a : int; b : int }
+
+(* Odd multiplicative constants that fit OCaml's 63-bit native int;
+   xor-shift + multiply rounds in the splitmix/murmur style. Not
+   cryptographic — an adversarially chosen program could in principle
+   engineer collisions, which is irrelevant here. *)
+let c1 = 0x2545F4914F6CDD1D
+let c2 = 0x1B8735939E3779B9
+let c3 = 0x27D4EB2F165667C5
+let c4 = 0x165667B19E3779F9
+
+let[@inline] mix ca cb h x =
+  let h = h lxor ((x + cb) * ca) in
+  let h = (h lxor (h lsr 29)) * cb in
+  h lxor (h lsr 32)
+
+let of_config cfg =
+  let a = ref 0x3C6EF372FE94F82A and b = ref 0x5851F42D4C957F2D in
+  Memsim.Statekey.iter cfg (fun x ->
+      a := mix c1 c2 !a x;
+      b := mix c3 c4 !b x);
+  { a = !a; b = !b }
+
+let equal x y = x.a = y.a && x.b = y.b
+let compare x y = if x.a <> y.a then Int.compare x.a y.a else Int.compare x.b y.b
+
+(** In-table hash: lane [a]. *)
+let hash x = x.a land max_int
+
+(** Shard index: lane [b], decorrelated from the in-table hash so a
+    shard's table does not degenerate into few buckets. [mask] must be
+    [2^k - 1]. *)
+let shard x ~mask = x.b land mask
+
+let pp ppf x = Fmt.pf ppf "%016x:%016x" x.a x.b

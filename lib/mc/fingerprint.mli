@@ -1,0 +1,21 @@
+(** 126-bit state fingerprints (two 63-bit lanes) folded incrementally
+    over the {!Memsim.Statekey} component stream — no intermediate
+    serialization. See the implementation header for the collision
+    budget. *)
+
+type t = { a : int; b : int }
+
+(** Fingerprint of a configuration's state-key components. *)
+val of_config : Memsim.Config.t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** In-table hash (lane [a]). *)
+val hash : t -> int
+
+(** Shard index (lane [b], decorrelated from {!hash}); [mask] must be
+    [2^k - 1]. *)
+val shard : t -> mask:int -> int
+
+val pp : t Fmt.t

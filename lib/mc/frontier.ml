@@ -1,0 +1,89 @@
+(** Work-sharing frontier for exploration across domains.
+
+    Each worker keeps a private LIFO stack of tasks (depth-first order,
+    good locality, no synchronization); this module provides the shared
+    side: an injection queue workers offload surplus into and idle
+    workers block on, plus distributed termination detection.
+
+    Termination: [pending] counts tasks that exist anywhere — private
+    stacks included. A worker {e registers} children before
+    {e completing} their parent, so [pending] can only reach zero when
+    no task exists and none can appear; the worker that drives it to
+    zero wakes every sleeper. [stop] is a hard abort for bound hits:
+    sleepers wake and everyone abandons whatever they still hold. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a Queue.t;
+  pending : int Atomic.t;
+  stopped : bool Atomic.t;
+  mutable waiting : int;  (** workers blocked in {!next}, under [lock] *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    queue = Queue.create ();
+    pending = Atomic.make 0;
+    stopped = Atomic.make false;
+    waiting = 0;
+  }
+
+(** Account for [n] newly created tasks. Must happen before the tasks
+    become visible (queued or kept) and before their parent is
+    {!complete}d. *)
+let register t n = ignore (Atomic.fetch_and_add t.pending n)
+
+(** A task finished expanding (its children, if any, are registered). *)
+let complete t =
+  if Atomic.fetch_and_add t.pending (-1) = 1 then begin
+    (* drove pending to zero: exploration is over, wake the sleepers *)
+    Mutex.lock t.lock;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock
+  end
+
+(** Share tasks into the injection queue (they must already be
+    registered). *)
+let inject t tasks =
+  Mutex.lock t.lock;
+  List.iter (fun x -> Queue.push x t.queue) tasks;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock
+
+(** Are any workers currently starved? Racy read, used only as a
+    sharing heuristic. *)
+let starving t = t.waiting > 0
+
+let stop t =
+  Atomic.set t.stopped true;
+  Mutex.lock t.lock;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock
+
+let is_stopped t = Atomic.get t.stopped
+
+(** Block until a shared task is available ([Some]) or exploration is
+    over — all tasks drained or {!stop} called ([None]). *)
+let next t =
+  Mutex.lock t.lock;
+  let rec wait () =
+    match Queue.take_opt t.queue with
+    | Some x ->
+        Mutex.unlock t.lock;
+        Some x
+    | None ->
+        if Atomic.get t.pending <= 0 || Atomic.get t.stopped then begin
+          Mutex.unlock t.lock;
+          None
+        end
+        else begin
+          t.waiting <- t.waiting + 1;
+          Condition.wait t.nonempty t.lock;
+          t.waiting <- t.waiting - 1;
+          wait ()
+        end
+  in
+  wait ()

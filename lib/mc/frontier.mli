@@ -1,0 +1,33 @@
+(** Shared side of work-sharing exploration: an injection queue plus
+    distributed termination detection. Workers keep private LIFO
+    stacks and offload surplus here; [pending] counts tasks anywhere
+    (private stacks included), so zero means exploration is over.
+    See the implementation header for the registration discipline. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Account for [n] newly created tasks — before they become visible
+    and before their parent is {!complete}d. *)
+val register : 'a t -> int -> unit
+
+(** A task finished expanding; wakes sleepers if this drained the last
+    one. *)
+val complete : 'a t -> unit
+
+(** Push registered tasks into the shared queue and wake sleepers. *)
+val inject : 'a t -> 'a list -> unit
+
+(** Racy "any worker starved?" hint for the sharing heuristic. *)
+val starving : 'a t -> bool
+
+(** Hard abort (bound hit): wakes everyone; {!next} then returns
+    [None]. *)
+val stop : 'a t -> unit
+
+val is_stopped : 'a t -> bool
+
+(** Block for a shared task; [None] when exploration is over (drained
+    or stopped). *)
+val next : 'a t -> 'a option

@@ -1,0 +1,23 @@
+(** [Mc] — the parallel, reduction-aware model checker.
+
+    Facade over the subsystem's pieces:
+
+    - {!Fingerprint}: 126-bit incremental state fingerprints over the
+      shared {!Memsim.Statekey} component stream;
+    - {!Visited}: sharded concurrent visited set;
+    - {!Frontier}: work-sharing queue + distributed termination;
+    - {!Por}: independence relation and safe-step selection;
+    - {!Replay}: deterministic counterexample replay;
+    - {!Engine} (included here): [Mc.run] and friends, mirroring
+      {!Memsim.Explore.dfs} behind an [?engine] parameter.
+
+    Entry points: [Mc.run ~engine:(`Parallel jobs) ~por:true ...],
+    [Mc.run_plain], [Mc.reachable_outcomes]. *)
+
+module Fingerprint = Fingerprint
+module Visited = Visited
+module Frontier = Frontier
+module Por = Por
+module Replay = Replay
+
+include Engine

@@ -1,0 +1,26 @@
+(** Deterministic counterexample replay.
+
+    The executor is a deterministic function of (configuration,
+    schedule), so a recorded [Exec.elt] path replays to the identical
+    state no matter which domain discovered it or in what order the
+    parallel frontier was drained — re-execution on a fresh root
+    configuration is the engine's determinism anchor, and what the
+    tests assert under 1, 2 and 4 domains. *)
+
+open Memsim
+
+(** Replay a schedule from a root configuration. Labels left pending at
+    the end (the explorer consumes them at state entry, before any
+    further element) are flushed so the trace carries the same notes
+    the monitor saw. *)
+let run (cfg : Config.t) (path : Exec.elt list) : Step.t list * Config.t =
+  let steps, cfg = Exec.exec cfg path in
+  let notes, cfg = Exec.flush_labels cfg in
+  (steps @ notes, cfg)
+
+(** Fold a monitor over a replayed trace: [Error msg] confirms the
+    violation the path was recorded for. *)
+let monitor_verdict ~monitor ~init steps =
+  List.fold_left
+    (fun acc s -> match acc with Error _ -> acc | Ok m -> monitor m s)
+    (Ok init) steps

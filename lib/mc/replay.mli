@@ -1,0 +1,16 @@
+(** Deterministic replay of recorded schedules on a fresh root
+    configuration — the parallel engine's determinism anchor. *)
+
+open Memsim
+
+(** Replay a schedule; trailing pending labels are flushed into the
+    trace. *)
+val run : Config.t -> Exec.elt list -> Step.t list * Config.t
+
+(** Fold a monitor over a replayed trace; [Error msg] confirms the
+    recorded violation. *)
+val monitor_verdict :
+  monitor:('m -> Step.t -> ('m, string) result) ->
+  init:'m ->
+  Step.t list ->
+  ('m, string) result

@@ -1,0 +1,59 @@
+(** Sharded concurrent visited set over state fingerprints.
+
+    A fixed power-of-two array of shards, each a mutex-protected hash
+    table. The shard index comes from fingerprint lane [b] and the
+    in-shard hash from lane [a], so the two are decorrelated. With many
+    more shards than domains, two domains rarely contend on the same
+    mutex and the critical section is a single hash-table probe —
+    "lock-free-ish" in effect if not in letter; a real lock-free table
+    would buy little here because insertion cost is dwarfed by
+    successor computation. *)
+
+module Tbl = Hashtbl.Make (struct
+  type t = Fingerprint.t
+
+  let equal = Fingerprint.equal
+  let hash = Fingerprint.hash
+end)
+
+type shard = { lock : Mutex.t; tbl : unit Tbl.t }
+type t = { shards : shard array; mask : int }
+
+let create ?(shards = 128) () =
+  if shards <= 0 || shards land (shards - 1) <> 0 then
+    Fmt.invalid_arg "Visited.create: %d shards (need a power of two)" shards;
+  {
+    shards =
+      Array.init shards (fun _ ->
+          { lock = Mutex.create (); tbl = Tbl.create 1024 });
+    mask = shards - 1;
+  }
+
+(** [add t fp] inserts [fp]; [true] iff it was not already present.
+    The test-and-insert is atomic per shard, so exactly one domain wins
+    each state — the winner expands it and fires the per-state hooks. *)
+let add t fp =
+  let s = t.shards.(Fingerprint.shard fp ~mask:t.mask) in
+  Mutex.lock s.lock;
+  let fresh = not (Tbl.mem s.tbl fp) in
+  if fresh then Tbl.add s.tbl fp ();
+  Mutex.unlock s.lock;
+  fresh
+
+let mem t fp =
+  let s = t.shards.(Fingerprint.shard fp ~mask:t.mask) in
+  Mutex.lock s.lock;
+  let r = Tbl.mem s.tbl fp in
+  Mutex.unlock s.lock;
+  r
+
+(** Total entries; takes each shard lock in turn, so only exact when
+    quiesced. *)
+let size t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n = Tbl.length s.tbl in
+      Mutex.unlock s.lock;
+      acc + n)
+    0 t.shards

@@ -1,0 +1,17 @@
+(** Sharded concurrent visited set over state fingerprints: a
+    power-of-two array of mutex-protected hash tables, shard index and
+    in-shard hash drawn from decorrelated fingerprint lanes. *)
+
+type t
+
+(** [create ?shards ()] — [shards] must be a power of two
+    (default 128). *)
+val create : ?shards:int -> unit -> t
+
+(** Atomic test-and-insert; [true] iff the fingerprint was new. *)
+val add : t -> Fingerprint.t -> bool
+
+val mem : t -> Fingerprint.t -> bool
+
+(** Total entries (exact only when no domain is inserting). *)
+val size : t -> int

@@ -43,23 +43,9 @@ type 'm result = {
   deadlocks : Exec.elt list list;  (** paths to stuck non-final states *)
 }
 
-let state_key cfg =
-  let mem = Reg.Map.bindings cfg.Config.mem in
-  let procs =
-    Pid.Map.bindings cfg.Config.procs
-    |> List.map (fun (p, (st : Config.pstate)) ->
-           ( p,
-             st.obs,
-             st.ops,
-             List.map (fun (e : Wbuf.entry) -> (e.reg, e.value)) (Wbuf.entries st.wb),
-             st.last_read,
-             (match st.prog with Program.Done v -> Some v | _ -> None) ))
-  in
-  (* marshalled to a flat string: the generic Hashtbl.hash only samples
-     the first few nodes of a deep structure, which collapses thousands
-     of distinct states onto one bucket; string keys hash on full
-     content *)
-  Marshal.to_string (mem, procs) []
+(* The key components live in Statekey, shared with the parallel
+   checker's fingerprinting; here we only need the serialized form. *)
+let state_key = Statekey.to_string
 
 (* Schedule elements that can produce a model step right now. *)
 let successor_elts cfg : Exec.elt list =
@@ -80,16 +66,26 @@ let successor_elts cfg : Exec.elt list =
   go (n - 1) []
 
 let dfs (type m) ?(max_states = 1_000_000) ?(max_depth = 100_000)
-    ?(max_violations = 3) ?(check = fun (_ : Config.t) -> None)
+    ?(max_violations = 3) ?(max_deadlocks = max_int)
+    ?(check = fun (_ : Config.t) -> None)
     ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
     ?(on_final = fun (_ : Config.t) (_ : m) -> ()) (cfg0 : Config.t) :
     m result =
   let visited : (_, unit) Hashtbl.t = Hashtbl.create 4096 in
   let states = ref 0 and transitions = ref 0 and truncated = ref false in
-  let violations = ref [] and deadlocks = ref [] in
+  let violations = ref [] and deadlocks = ref [] and ndeadlocks = ref 0 in
   let record_violation v =
     if List.length !violations < max_violations then
       violations := !violations @ [ v ]
+  in
+  let record_deadlock path =
+    (* capped like violations: a large truncated run can reach stuck
+       states from an unbounded number of paths, and each path retains
+       its whole schedule *)
+    if !ndeadlocks < max_deadlocks then begin
+      incr ndeadlocks;
+      deadlocks := path :: !deadlocks
+    end
   in
   let monitor_steps m steps =
     List.fold_left
@@ -119,7 +115,7 @@ let dfs (type m) ?(max_states = 1_000_000) ?(max_depth = 100_000)
             else if depth >= max_depth then truncated := true
             else begin
               let elts = successor_elts cfg in
-              if elts = [] then deadlocks := List.rev path :: !deadlocks
+              if elts = [] then record_deadlock (List.rev path)
               else
                 List.iter
                   (fun elt ->

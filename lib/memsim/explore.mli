@@ -25,7 +25,9 @@ type 'm result = {
   deadlocks : Exec.elt list list;  (** paths to stuck non-final states *)
 }
 
-(** Serializable state key (exposed for tests). *)
+(** Serializable state key (exposed for tests); alias of
+    {!Statekey.to_string}, which enumerates the key components shared
+    with the parallel checker's fingerprinting. *)
 val state_key : Config.t -> string
 
 (** Elements that can produce a model step right now, including commits
@@ -38,11 +40,14 @@ val successor_elts : Config.t -> Exec.elt list
     deduplication could skip transitions. [check] is an invariant
     evaluated once per distinct state; returning [Some msg] records a
     violation with the reproducing schedule. [on_final] fires once per
-    distinct quiescent state. *)
+    distinct quiescent state. [max_deadlocks] caps how many deadlock
+    paths are retained (each keeps its whole schedule; the default
+    keeps every one, the historical behaviour). *)
 val dfs :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_violations:int ->
+  ?max_deadlocks:int ->
   ?check:(Config.t -> string option) ->
   monitor:('m -> Step.t -> ('m, string) Stdlib.result) ->
   init:'m ->

@@ -1,0 +1,77 @@
+(** Canonical state-key components for the model checkers.
+
+    Deduplication soundness (see {!Explore}): programs are
+    deterministic, so a process's local state is a function of its
+    observation log; a sound state key is the committed memory plus,
+    per process, its observation log, op count, write-buffer contents
+    (in buffer order — FIFO order is semantic under TSO), last-read
+    pair (which gates spin blocking) and final value. Metrics, the
+    CC known-value caches and the last-committer table affect only
+    accounting and locality classification of {e future} steps'
+    costs, never which steps exist, and are excluded.
+
+    This module is the single place that enumerates those components.
+    Both consumers go through {!iter}, which feeds the key as a flat,
+    self-delimiting stream of integers without building intermediate
+    lists or tuples (the old key re-allocated a tuple spine per process
+    per visit):
+
+    - {!to_string} serializes the stream into a byte string, the key of
+      the sequential {!Explore.dfs} hash table;
+    - [Mc.Fingerprint.of_config] folds the same stream into a compact
+      128-bit hash for the parallel checker's sharded visited set.
+
+    Injectivity of the stream (hence of [to_string]) on the component
+    tuple: fields are emitted in a fixed order and every variable-length
+    field is length-prefixed, so distinct component tuples yield
+    distinct streams and equal tuples equal streams — the equivalence
+    relation on configurations is exactly component equality, as with
+    the previous marshalled key. *)
+
+(* Tags keep option-shaped fields unambiguous. *)
+let tag_none = 0
+let tag_some = 1
+
+(** Feed the key components of [cfg] to [f] as a self-delimiting
+    integer stream. Allocation-free apart from the closure itself. *)
+let iter (cfg : Config.t) (f : int -> unit) =
+  f (Reg.Map.cardinal cfg.Config.mem);
+  Reg.Map.iter
+    (fun r v ->
+      f r;
+      f v)
+    cfg.Config.mem;
+  Pid.Map.iter
+    (fun p (st : Config.pstate) ->
+      f p;
+      f st.ops;
+      (match st.last_read with
+      | None -> f tag_none
+      | Some (r, v) ->
+          f tag_some;
+          f r;
+          f v);
+      (match st.prog with
+      | Program.Done v ->
+          f tag_some;
+          f v
+      | _ -> f tag_none);
+      let entries = Wbuf.entries st.wb in
+      f (List.length entries);
+      List.iter
+        (fun (e : Wbuf.entry) ->
+          f e.reg;
+          f e.value)
+        entries;
+      f (List.length st.obs);
+      List.iter f st.obs)
+    cfg.Config.procs
+
+(** Serialize the component stream into a flat byte string; full-content
+    hashing (the generic [Hashtbl.hash] only samples the first few nodes
+    of a deep structure, which collapses thousands of distinct states
+    onto one bucket — strings hash on every byte). *)
+let to_string cfg =
+  let b = Buffer.create 256 in
+  iter cfg (fun i -> Buffer.add_int64_le b (Int64.of_int i));
+  Buffer.contents b

@@ -1,0 +1,16 @@
+(** Canonical state-key components shared by the sequential explorer
+    and the parallel checker's fingerprinting. The key is the committed
+    memory plus, per process, observation log, op count, write-buffer
+    contents, last-read pair and final value — see the implementation
+    header for the soundness and injectivity arguments. *)
+
+(** Feed the key components of a configuration as a flat,
+    self-delimiting integer stream: fixed field order, variable-length
+    fields length-prefixed, so the stream is injective on the component
+    tuple. Allocates nothing but the closure. *)
+val iter : Config.t -> (int -> unit) -> unit
+
+(** The stream serialized to a byte string — the sequential explorer's
+    hash-table key. Equal configurations (componentwise) yield equal
+    strings; distinct ones distinct strings. *)
+val to_string : Config.t -> string

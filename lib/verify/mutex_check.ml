@@ -89,13 +89,16 @@ let workload ~model (factory : Locks.Lock.factory) ~nprocs ~rounds =
   let programs = Array.init nprocs program in
   (lock, counter, Config.make ~model ~layout programs)
 
-let check ?(rounds = 1) ?max_states ?max_depth ~model factory ~nprocs : verdict
-    =
+let check ?(rounds = 1) ?max_states ?max_depth ?(engine = `Dfs) ?(por = false)
+    ~model factory ~nprocs : verdict =
   let lock, counter, cfg = workload ~model factory ~nprocs ~rounds in
   let lost_update = ref false in
   let result =
-    Explore.dfs ?max_states ?max_depth ~max_violations:1 ~monitor:cs_monitor
-      ~init:Pid.Set.empty
+    (* `Dfs is the historical sequential explorer; `Parallel routes
+       through the Mc engine (the checker's monitor is note-driven, so
+       POR preserves its verdicts — see Mc.Por) *)
+    Mc.run ~engine ~por ?max_states ?max_depth ~max_violations:1
+      ~monitor:cs_monitor ~init:Pid.Set.empty
       ~on_final:(fun final _ ->
         if Config.read_mem final counter <> nprocs * rounds then
           lost_update := true)
@@ -128,6 +131,4 @@ let check ?(rounds = 1) ?max_states ?max_depth ~model factory ~nprocs : verdict
 let replay ~model factory ~nprocs ~rounds (path : Exec.elt list) :
     Trace.t * Config.t =
   let _, _, cfg = workload ~model factory ~nprocs ~rounds in
-  let steps, cfg = Exec.exec cfg path in
-  let notes, cfg = Exec.flush_labels cfg in
-  (steps @ notes, cfg)
+  Mc.Replay.run cfg path

@@ -30,8 +30,14 @@ val workload :
   model:Memory_model.t -> Locks.Lock.factory -> nprocs:int -> rounds:int ->
   Locks.Lock.t * Reg.t * Config.t
 
+(** [engine] selects the explorer: [`Dfs] (default) is the historical
+    sequential {!Memsim.Explore.dfs}; [`Parallel j] runs the [Mc]
+    engine over [j] domains, optionally with partial-order reduction
+    ([por]) — the occupancy monitor is note-driven, so POR preserves
+    its verdicts while visiting fewer states. *)
 val check :
-  ?rounds:int -> ?max_states:int -> ?max_depth:int -> model:Memory_model.t ->
+  ?rounds:int -> ?max_states:int -> ?max_depth:int ->
+  ?engine:Mc.engine -> ?por:bool -> model:Memory_model.t ->
   Locks.Lock.factory -> nprocs:int -> verdict
 
 (** Replay a counterexample schedule into a step trace (pending labels

@@ -23,4 +23,5 @@ let () =
       Test_encoding.suite;
       Test_lemma51.suite;
       Test_tradeoff.suite;
+      Test_mc.suite;
     ]

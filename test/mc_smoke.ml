@@ -1,0 +1,48 @@
+(* mc-smoke: a fast standalone check that the multicore engine paths
+   (domains, sharded visited set, work sharing, POR) actually run and
+   agree with the sequential explorer. Kept separate from the main
+   Alcotest binary so `make mc-smoke` has a sub-second entry point;
+   dune runtest executes both. *)
+
+open Memsim
+
+let fail fmt = Fmt.kstr (fun m -> prerr_endline ("FAIL " ^ m); exit 1) fmt
+
+let () =
+  (* one lock check across engines, POR on and off *)
+  let factory = Option.get (Locks.Registry.find "peterson") in
+  let model = Memory_model.Pso in
+  let reference = Verify.Mutex_check.check ~model factory ~nprocs:2 in
+  List.iter
+    (fun (engine, por) ->
+      let v = Verify.Mutex_check.check ~engine ~por ~model factory ~nprocs:2 in
+      if v.Verify.Mutex_check.holds <> reference.Verify.Mutex_check.holds then
+        fail "peterson verdict flipped (por=%b)" por;
+      if por then begin
+        if
+          v.Verify.Mutex_check.stats.Explore.states
+          > reference.Verify.Mutex_check.stats.Explore.states
+        then fail "POR grew the state space"
+      end
+      else if
+        v.Verify.Mutex_check.stats.Explore.states
+        <> reference.Verify.Mutex_check.stats.Explore.states
+      then
+        fail "engine state-count mismatch: dfs=%d mc=%d"
+          reference.Verify.Mutex_check.stats.Explore.states
+          v.Verify.Mutex_check.stats.Explore.states)
+    [ (`Parallel 1, false); (`Parallel 2, false); (`Parallel 2, true) ];
+  (* one litmus case across engines *)
+  let sb =
+    List.find (fun t -> t.Litmus.Test.name = "SB") Litmus.Cases.all
+  in
+  let r0 = Litmus.Test.run sb ~model:Memory_model.Tso in
+  let r1 = Litmus.Test.run ~engine:(`Parallel 2) sb ~model:Memory_model.Tso in
+  let r2 =
+    Litmus.Test.run ~engine:(`Parallel 2) ~por:true sb ~model:Memory_model.Tso
+  in
+  if r1.Litmus.Test.outcomes <> r0.Litmus.Test.outcomes then
+    fail "SB outcomes differ under the parallel engine";
+  if r2.Litmus.Test.outcomes <> r0.Litmus.Test.outcomes then
+    fail "SB outcomes differ under POR";
+  print_endline "mc-smoke OK"
