@@ -1,4 +1,4 @@
-.PHONY: all build test bench mc-smoke mc-bench doc examples clean
+.PHONY: all build test bench bench-smoke mc-smoke mc-bench doc examples clean
 
 all: build
 
@@ -19,6 +19,11 @@ mc-smoke:
 # States/sec of the parallel engine by domain count; writes BENCH_mc.json
 mc-bench:
 	dune exec bench/main.exe -- MC
+
+# Tiny capped MC bench run: exercises the whole bench path in seconds
+# without touching the committed BENCH_mc.json numbers
+bench-smoke:
+	BENCH_MC_CAP=20000 dune exec bench/main.exe -- MC
 
 doc:
 	dune build @doc

@@ -436,7 +436,17 @@ let mc () =
   section
     "MC: parallel model-checking engine — states/sec by domain count and \
      reduction (PSO mutual-exclusion checks, wall clock)";
-  let cap = 2_000_000 in
+  (* BENCH_MC_CAP shrinks the run for smoke testing (`make bench-smoke`);
+     capped runs never overwrite the committed BENCH_mc.json numbers. *)
+  let cap, capped =
+    match Sys.getenv_opt "BENCH_MC_CAP" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> (n, true)
+        | Some _ | None ->
+            Fmt.invalid_arg "BENCH_MC_CAP must be a positive integer: %S" s)
+    | None -> (2_000_000, false)
+  in
   let workloads = [ ("bakery", 3); ("tournament", 3); ("gt:2", 3) ] in
   let engines =
     [
@@ -488,19 +498,26 @@ let mc () =
   Report.print
     ~headers:[ "lock"; "n"; "engine"; "states"; "transitions"; "s"; "states/s" ]
     rows;
-  let oc = open_out "BENCH_mc.json" in
-  output_string oc
-    (Fmt.str "{\"cpus\": %d,\n \"runs\": [\n%s\n]}\n"
-       (Domain.recommended_domain_count ())
-       (String.concat ",\n" (List.rev !records)));
-  close_out oc;
-  Fmt.pr
-    "@.%d CPU(s) visible to the runtime; wrote BENCH_mc.json. Reading: the \
-     fingerprint engine beats the marshalling DFS even at j=1 (no \
-     per-state serialization); extra domains only pay off with >1 CPU — \
-     the states/s column scales with physical cores, not with j. POR rows \
-     visit strictly fewer states with identical verdicts.@."
-    (Domain.recommended_domain_count ())
+  if capped then
+    Fmt.pr
+      "@.Smoke run (BENCH_MC_CAP=%d): rates are not meaningful and \
+       BENCH_mc.json is left untouched.@."
+      cap
+  else begin
+    let oc = open_out "BENCH_mc.json" in
+    output_string oc
+      (Fmt.str "{\"cpus\": %d,\n \"runs\": [\n%s\n]}\n"
+         (Domain.recommended_domain_count ())
+         (String.concat ",\n" (List.rev !records)));
+    close_out oc;
+    Fmt.pr
+      "@.%d CPU(s) visible to the runtime; wrote BENCH_mc.json. Reading: \
+       the incremental-fingerprint engine beats the serializing DFS even \
+       at j=1; extra domains only pay off with >1 CPU — the states/s \
+       column scales with physical cores, not with j. POR rows visit \
+       strictly fewer states with identical verdicts.@."
+      (Domain.recommended_domain_count ())
+  end
 
 let timings () =
   section "T1: Bechamel micro-benchmarks (simulator throughput)";

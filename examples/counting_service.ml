@@ -43,7 +43,7 @@ let () =
 
   Fmt.pr "counting service over %s, %d workers (PSO):@." lock_name nprocs;
   for p = 0 to nprocs - 1 do
-    let c = Metrics.of_pid final.Config.metrics p in
+    let c = Metrics.of_pid (Config.metrics final) p in
     Fmt.pr "  worker %d got ticket %a (%d fences, %d RMRs)@." p
       Fmt.(option ~none:(any "-") int)
       (Config.final_value final p)

@@ -24,13 +24,13 @@ let () =
   let trace, final = Scheduler.random ~seed:1 cfg in
   Fmt.pr "execution finished: %d steps@." (Trace.length trace);
   for p = 0 to nprocs - 1 do
-    let c = Metrics.of_pid final.Config.metrics p in
+    let c = Metrics.of_pid (Config.metrics final) p in
     Fmt.pr "  p%d: %d fences, %d RMRs (paper's combined DSM+CC model)@." p
       c.Metrics.fences c.Metrics.rmr
   done;
 
   (* 4. The tradeoff (Equation 1): f(log2(r/f)+1) must be Ω(log n). *)
-  let c = Metrics.of_pid final.Config.metrics 0 in
+  let c = Metrics.of_pid (Config.metrics final) 0 in
   Fmt.pr "@.tradeoff product for p0: %.2f  (log2 n = %.2f)@."
     (Fencelab.Tradeoff.product ~fences:c.Metrics.fences ~rmrs:c.Metrics.rmr)
     (Fencelab.Tradeoff.floor_log_n ~nprocs);

@@ -38,7 +38,7 @@ let passage_cost ~model (factory : Locks.Lock.factory) ~nprocs : passage_cost =
   let worst =
     List.fold_left
       (fun acc p ->
-        let c = Metrics.of_pid final.Config.metrics p in
+        let c = Metrics.of_pid (Config.metrics final) p in
         {
           acc with
           fences = max acc.fences c.Metrics.fences;
@@ -72,7 +72,7 @@ let contended_cost ?(rounds = 4) ?(seed = 42) ~model
   in
   let cfg = Config.make ~model ~layout programs in
   let _, final = Scheduler.random ~seed cfg in
-  let total = Metrics.total final.Config.metrics in
+  let total = Metrics.total (Config.metrics final) in
   let passages = float_of_int (nprocs * rounds) in
   ( float_of_int total.Metrics.fences /. passages,
     float_of_int total.Metrics.rmr /. passages )

@@ -84,8 +84,8 @@ let formula ~beta ~rho =
 
 let report_of (r : Encoder.result) : report =
   let nprocs = Config.nprocs r.Encoder.final in
-  let beta = Metrics.beta r.Encoder.final.Config.metrics in
-  let rho = Metrics.rho r.Encoder.final.Config.metrics in
+  let beta = Metrics.beta (Config.metrics r.Encoder.final) in
+  let rho = Metrics.rho (Config.metrics r.Encoder.final) in
   {
     nprocs;
     beta;

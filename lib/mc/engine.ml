@@ -6,7 +6,10 @@
 
     - states are deduplicated on {!Fingerprint}s in a sharded
       {!Visited} set — the atomic test-and-insert elects exactly one
-      domain to expand each distinct state and fire its hooks;
+      domain to expand each distinct state and fire its hooks; each
+      task carries its fingerprint, updated in O(1) per edge from
+      [Exec.exec_elt_d]'s dirty report instead of recomputed per
+      state;
     - each worker runs depth-first over a private stack of tasks
       (configuration, monitor state, reversed path, depth) and offloads
       surplus through the {!Frontier} whenever some worker is starved;
@@ -36,15 +39,20 @@ type engine = [ `Dfs | `Parallel of int ]
 
 type 'm task = {
   cfg : Config.t;
+  fp : Fingerprint.t;  (** [Fingerprint.of_config cfg], carried incrementally *)
   m : 'm;
   rev_path : Exec.elt list;  (** newest element first *)
   depth : int;
 }
 
-let monitor_steps monitor m steps =
-  List.fold_left
-    (fun acc s -> match acc with Error _ -> acc | Ok m -> monitor m s)
-    (Ok m) steps
+(* Tail-recursive rather than a fold: no closure or interim [Ok] is
+   allocated on the per-edge path. *)
+let rec monitor_steps monitor m = function
+  | [] -> Ok m
+  | s :: rest -> (
+      match monitor m s with
+      | Ok m -> monitor_steps monitor m rest
+      | Error _ as e -> e)
 
 (* How big a private stack may grow while some worker starves before
    the owner shares everything but its working head. *)
@@ -81,31 +89,31 @@ let run_parallel (type m) ~jobs ~por ~max_states ~max_depth ~max_violations
     end;
     Mutex.unlock sync
   in
-  (* Pick the edges to explore from a normalized state: all successor
-     elements, or a single safe step when POR finds one. Probing a
-     candidate means executing it; failed probes are recycled into the
-     full expansion so no element is executed twice. *)
+  (* POR edge selection: a single safe step when one exists, the full
+     expansion otherwise. Probing a candidate means executing it;
+     failed probes are recycled into the full expansion so no element
+     is executed twice. Each edge carries its dirty report so child
+     fingerprints are O(1) updates. (Without POR the expansion loop
+     executes elements directly — every element is an edge.) *)
   let select_edges cfg elts =
-    let exec e = Exec.exec_elt cfg e in
-    if not por then List.map (fun e -> (e, exec e)) elts
-    else
-      let rec probe probed = function
+    let exec e = Exec.exec_elt_d cfg e in
+    (let rec probe probed = function
         | [] -> `Full probed
         | p :: ps ->
             let e : Exec.elt = (p, None) in
-            let ((_, cfg') as res) = exec e in
+            let ((_, cfg', _) as res) = exec e in
             if Por.invisible_after cfg' p then `Ample (e, res)
             else probe ((e, res) :: probed) ps
       in
-      match probe [] (Por.ample_candidates cfg) with
-      | `Ample (e, res) -> [ (e, res) ]
-      | `Full probed ->
-          List.map
-            (fun e ->
-              match List.assoc_opt e probed with
-              | Some res -> (e, res)
-              | None -> (e, exec e))
-            elts
+     match probe [] (Por.ample_candidates cfg) with
+     | `Ample (e, res) -> [ (e, res) ]
+     | `Full probed ->
+         List.map
+           (fun e ->
+             match List.assoc_opt e probed with
+             | Some res -> (e, res)
+             | None -> (e, exec e))
+           elts)
   in
   (* Expand one task: normalize, monitor the pending notes, claim the
      state, fire hooks, execute and monitor every chosen edge. Returns
@@ -121,14 +129,24 @@ let run_parallel (type m) ~jobs ~por ~max_states ~max_depth ~max_violations
       []
     end
     else begin
-      let notes, cfg = Exec.flush_labels t.cfg in
+      let notes, cfg, dirtied = Exec.flush_labels_d t.cfg in
+      (* carry the fingerprint across normalization: each flushed pid
+         changed its pstate exactly once, so folding per-pid updates
+         against the original/normalized pair is exact *)
+      let fp =
+        List.fold_left
+          (fun fp p ->
+            Fingerprint.update fp ~before:t.cfg ~after:cfg
+              { Exec.proc = Some p; mem = false })
+          t.fp dirtied
+      in
       match monitor_steps monitor t.m notes with
       | Error message ->
           record_violation
             { Explore.message; path = List.rev t.rev_path; monitor = t.m };
           []
       | Ok m ->
-          if not (Visited.add visited (Fingerprint.of_config cfg)) then []
+          if not (Visited.add visited fp) then []
           else begin
             Atomic.incr states;
             (match check cfg with
@@ -155,28 +173,44 @@ let run_parallel (type m) ~jobs ~por ~max_states ~max_depth ~max_violations
                 record_deadlock (List.rev t.rev_path);
                 []
               end
-              else
-                List.filter_map
-                  (fun (elt, (steps, cfg')) ->
-                    Atomic.incr transitions;
-                    match monitor_steps monitor m steps with
-                    | Error message ->
-                        record_violation
-                          {
-                            Explore.message;
-                            path = List.rev (elt :: t.rev_path);
-                            monitor = m;
-                          };
-                        None
-                    | Ok m' ->
-                        Some
-                          {
-                            cfg = cfg';
-                            m = m';
-                            rev_path = elt :: t.rev_path;
-                            depth = t.depth + 1;
-                          })
-                  (select_edges cfg elts)
+              else begin
+                let child elt (steps, cfg', d) =
+                  match monitor_steps monitor m steps with
+                  | Error message ->
+                      record_violation
+                        {
+                          Explore.message;
+                          path = List.rev (elt :: t.rev_path);
+                          monitor = m;
+                        };
+                      None
+                  | Ok m' ->
+                      Some
+                        {
+                          cfg = cfg';
+                          fp = Fingerprint.update fp ~before:cfg ~after:cfg' d;
+                          m = m';
+                          rev_path = elt :: t.rev_path;
+                          depth = t.depth + 1;
+                        }
+                in
+                (* one atomic add per expansion, not one per edge; in
+                   the common non-POR case every element is an edge, so
+                   no intermediate edge list is materialized *)
+                if not por then begin
+                  ignore
+                    (Atomic.fetch_and_add transitions (List.length elts));
+                  List.filter_map
+                    (fun elt -> child elt (Exec.exec_elt_d cfg elt))
+                    elts
+                end
+                else begin
+                  let edges = select_edges cfg elts in
+                  ignore
+                    (Atomic.fetch_and_add transitions (List.length edges));
+                  List.filter_map (fun (elt, res) -> child elt res) edges
+                end
+              end
             end
           end
     end
@@ -219,7 +253,15 @@ let run_parallel (type m) ~jobs ~por ~max_states ~max_depth ~max_violations
       ignore (Atomic.compare_and_set worker_exn None (Some e));
       Frontier.stop frontier
   in
-  let root = { cfg = cfg0; m = init; rev_path = []; depth = 0 } in
+  let root =
+    {
+      cfg = cfg0;
+      fp = Fingerprint.of_config cfg0;
+      m = init;
+      rev_path = [];
+      depth = 0;
+    }
+  in
   Frontier.register frontier 1;
   if jobs = 1 then (
     (* run in the calling domain: deterministic Explore.dfs order *)
@@ -228,12 +270,26 @@ let run_parallel (type m) ~jobs ~por ~max_states ~max_depth ~max_violations
       Frontier.stop frontier;
       raise e)
   else begin
-    Frontier.inject frontier [ root ];
-    let domains =
-      Array.init (jobs - 1) (fun _ -> Domain.spawn guarded_worker)
-    in
-    guarded_worker ();
-    Array.iter Domain.join domains;
+    (* Minor collections are stop-the-world across domains, and with
+       more domains than cores the rendezvous inherits scheduling
+       latency; a larger minor heap makes collections rarer, which is
+       where oversubscribed runs lose most of their time. Scoped to
+       the parallel section — restored before returning so sequential
+       callers keep the default locality-friendly nursery. *)
+    let gc = Gc.get () in
+    Gc.set
+      {
+        gc with
+        Gc.minor_heap_size = max gc.Gc.minor_heap_size (4 * 1024 * 1024);
+      };
+    let finally () = Gc.set gc in
+    Fun.protect ~finally (fun () ->
+        Frontier.inject frontier [ root ];
+        let domains =
+          Array.init (jobs - 1) (fun _ -> Domain.spawn guarded_worker)
+        in
+        guarded_worker ();
+        Array.iter Domain.join domains);
     match Atomic.get worker_exn with Some e -> raise e | None -> ()
   end;
   {

@@ -1,12 +1,19 @@
-(** 126-bit state fingerprints (two 63-bit lanes) folded incrementally
-    over the {!Memsim.Statekey} component stream — no intermediate
-    serialization. See the implementation header for the collision
-    budget. *)
+(** 126-bit state fingerprints (two 63-bit lanes), xor-composed from
+    the {!Memsim.Statekey} component hashes so they can be updated
+    incrementally from a step's dirty report. See the implementation
+    header for the collision budget. *)
 
 type t = { a : int; b : int }
 
 (** Fingerprint of a configuration's state-key components. *)
 val of_config : Memsim.Config.t -> t
+
+(** [update fp ~before ~after d] is [of_config after] computed in O(1),
+    given [fp = of_config before] and the dirty report [d] of the step
+    from [before] to [after] (from [Exec.exec_elt_d], or a
+    [flush_labels_d] pid folded one at a time). *)
+val update :
+  t -> before:Memsim.Config.t -> after:Memsim.Config.t -> Memsim.Exec.dirty -> t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

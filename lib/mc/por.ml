@@ -61,9 +61,7 @@ let footprint cfg ((p, reg) : Exec.elt) : footprint =
   let wb = Config.wbuf cfg p in
   let buffered = Memory_model.buffered cfg.Config.model in
   match reg with
-  | Some r when List.exists (Reg.equal r) (Memory_model.commit_candidates cfg.Config.model wb)
-    ->
-      write_fp r
+  | Some r when Memory_model.may_commit cfg.Config.model wb r -> write_fp r
   | Some _ | None -> (
       let forwarded r = buffered && Wbuf.find wb r <> None in
       let forced () =

@@ -6,9 +6,107 @@
     caches for the CC rule; the last committer of each register for the
     commit rule). Everything is immutable, so a configuration doubles as
     a free snapshot — the Section 5 machinery and the model checker rely
-    on cheap speculative execution from saved configurations. *)
+    on cheap speculative execution from saved configurations.
+
+    Hot-path bookkeeping: each process state carries two cached 63-bit
+    hash {e lanes} ([lka]/[lkb]) digesting exactly its state-key
+    components (see {!Statekey}), refreshed in O(|wb| + 1) by
+    {!set_pstate}; the observation log additionally keeps rolling lanes
+    so appending an observation is O(1) however long the log grows.
+    Committed memory is an int-array-backed {!Mem} value with xor-
+    composable (Zobrist) lanes of its own. Because the configuration is
+    persistent, an execution step refreshes the lanes of the {e one}
+    dirtied process while every other process shares its previous,
+    already-hashed state — this is the incremental-state-key contract
+    the model checker's fingerprinting builds on. *)
 
 module Int_set = Set.Make (Int)
+
+(** Committed memory: a copy-on-write int array behind the historical
+    map-like interface. [bound] distinguishes "committed at least once"
+    from "still at the layout initial value" — the distinction is part
+    of the state key (a commit of the initial value is an observable
+    event: it resets nobody's cache but does bump the key's memory
+    cardinality, exactly as the former [Reg.Map] binding did). The
+    [ha]/[hb] lanes xor one {!Keyhash} token per bound [(r, v)] entry,
+    maintained in O(1) per commit. *)
+module Mem = struct
+  type t = {
+    values : int array;  (** committed value, or the layout init *)
+    bound : Bytes.t;  (** [<> '\000'] once committed *)
+    card : int;  (** number of bound registers *)
+    ha : int;  (** xor of [Keyhash.token_a] over bound entries *)
+    hb : int;
+  }
+
+  let make layout =
+    let n = Layout.nregs layout in
+    {
+      values = Array.init n (Layout.init layout);
+      bound = Bytes.make n '\000';
+      card = 0;
+      ha = 0;
+      hb = 0;
+    }
+
+  let get t r = t.values.(r)
+  let is_bound t r = Bytes.get t.bound r <> '\000'
+  let cardinal t = t.card
+
+  let set t r v =
+    let values = Array.copy t.values in
+    let old = values.(r) in
+    values.(r) <- v;
+    let was = is_bound t r in
+    let bound =
+      if was then t.bound
+      else begin
+        let b = Bytes.copy t.bound in
+        Bytes.set b r '\001';
+        b
+      end
+    in
+    {
+      values;
+      bound;
+      card = (if was then t.card else t.card + 1);
+      ha =
+        t.ha
+        lxor (if was then Keyhash.token_a Keyhash.seed_a r old else 0)
+        lxor Keyhash.token_a Keyhash.seed_a r v;
+      hb =
+        t.hb
+        lxor (if was then Keyhash.token_b Keyhash.seed_b r old else 0)
+        lxor Keyhash.token_b Keyhash.seed_b r v;
+    }
+
+  (** Bound entries in increasing register order — the exact memory
+      part of the state key. *)
+  let iter_bound f t =
+    for r = 0 to Array.length t.values - 1 do
+      if is_bound t r then f r t.values.(r)
+    done
+
+  (** Incrementally maintained lanes. *)
+  let lanes t = (t.ha, t.hb)
+
+  (** The same lanes recomputed from the bound entries — the reference
+      the qcheck incrementality regression compares against. *)
+  let lanes_scratch t =
+    let ha = ref 0 and hb = ref 0 in
+    iter_bound
+      (fun r v ->
+        ha := !ha lxor Keyhash.token_a Keyhash.seed_a r v;
+        hb := !hb lxor Keyhash.token_b Keyhash.seed_b r v)
+      t;
+    (!ha, !hb)
+
+  (** Componentwise equality (bound set and committed values). *)
+  let equal a b =
+    a.card = b.card
+    && Bytes.equal a.bound b.bound
+    && a.values = b.values
+end
 
 type pstate = {
   prog : Program.t;
@@ -32,20 +130,123 @@ type pstate = {
           this pins the exact program position: between observations a
           deterministic program runs a fixed sequence of non-observing
           ops (writes, fences, returns), which [obs] alone cannot see. *)
+  obs_len : int;  (** [List.length obs], maintained at append *)
+  obs_ha : int;
+      (** rolling lane over [obs] (oldest observation folded first),
+          updated O(1) by {!observe} — the log itself never needs
+          re-walking *)
+  obs_hb : int;
+  mutable lka : int;
+      (** cached lane [a] over this process's full state-key component
+          (ops, last_read, final value, wb contents, obs); refreshed by
+          {!set_pstate}, so any pstate stored in a configuration is
+          consistent. Hand-built pstates may carry stale lanes until
+          they pass through {!set_pstate}/{!step}. Mutable purely so
+          {!refresh_lanes} can fill the lanes of a {e freshly built,
+          not yet shared} record without copying it again — every
+          writer owns the record it writes (and the fields are
+          immediates, so no write barrier); pstates stored in a
+          configuration are never mutated. *)
+  mutable lkb : int;
+  mutable ctr : Metrics.counters;
+      (** this process's complexity counters. Stored here rather than
+          in a separate per-configuration map so an execution step
+          updates one map, not two; accounting only — never a state-key
+          component (see {!Statekey}). Mutable under the same
+          fresh-record-only discipline as the lanes. *)
 }
 
 type t = {
   model : Memory_model.t;
   layout : Layout.t;
-  mem : int Reg.Map.t;  (** committed values; absent = initial value *)
-  procs : pstate Pid.Map.t;
-  last_committer : Pid.t Reg.Map.t;
-      (** who committed to each register last (commit-locality rule) *)
-  metrics : Metrics.t;
+  mem : Mem.t;  (** committed values; unbound = initial value *)
+  procs : pstate array;
+      (** index = pid (pids are dense [0 .. nprocs-1]). Copy-on-write,
+          like [Mem] — an installed slot is never mutated, so sharing a
+          configuration across exploration branches is safe. *)
+  last_committer : int array;
+      (** who committed to each register last (commit-locality rule);
+          [-1] = nobody yet. Copy-on-write, like [Mem]. *)
+  label_mask : int;
+      (** bit [min p 62] set when process [p] may be poised at a
+          [Label] — exact for [p < 62], sticky-conservative above (the
+          62nd bit, once set, stays). Lets label flushing skip the
+          per-process map lookups in the (overwhelmingly common)
+          no-label case. Derived from [procs]; not a key component. *)
 }
 
+(* Refresh the cached local-state lanes from the other fields. The obs
+   component enters through its rolling lanes, so this is O(|wb| + 1)
+   regardless of how long the observation log is. *)
+let refresh_lanes st =
+  let a = ref Keyhash.seed_a and b = ref Keyhash.seed_b in
+  let feed x =
+    a := Keyhash.mix_a !a x;
+    b := Keyhash.mix_b !b x
+  in
+  feed st.ops;
+  (match st.last_read with
+  | None -> feed 0
+  | Some (r, v) ->
+      feed 1;
+      feed r;
+      feed v);
+  (match st.prog with
+  | Program.Done v ->
+      feed 1;
+      feed v
+  | _ -> feed 0);
+  feed (Wbuf.size st.wb);
+  Wbuf.iter
+    (fun (e : Wbuf.entry) ->
+      feed e.reg;
+      feed e.value)
+    st.wb;
+  feed st.obs_len;
+  st.lka <- Keyhash.mix_a !a st.obs_ha;
+  st.lkb <- Keyhash.mix_b !b st.obs_hb;
+  st
+
+(** Recompute every cached lane from scratch — obs rolling lanes from
+    the raw [obs] list, then [lka]/[lkb]. The reference implementation
+    for the incrementality regression tests; never on the hot path. *)
+let scratch_lanes st =
+  let a = ref Keyhash.seed_a and b = ref Keyhash.seed_b in
+  List.iter
+    (fun v ->
+      a := Keyhash.mix_a !a v;
+      b := Keyhash.mix_b !b v)
+    (List.rev st.obs);
+  refresh_lanes
+    { st with obs_len = List.length st.obs; obs_ha = !a; obs_hb = !b }
+
+(* Label-mask maintenance: bit [min p 62] tracks whether [p] is poised
+   at a [Label]. For p < 62 the bit is exact (set and cleared); 62 and
+   above share the top bit, which is only ever set (sticky), keeping
+   the mask conservative. *)
+let label_bit p = 1 lsl (if p >= 62 then 62 else p)
+
+let mask_with mask p (prog : Program.t) =
+  match prog with
+  | Program.Label _ -> mask lor label_bit p
+  | _ -> if p >= 62 then mask else mask land lnot (label_bit p)
+
 let initial_pstate prog =
-  { prog; wb = Wbuf.empty; known = Reg.Map.empty; last_read = None; obs = []; ops = 0 }
+  refresh_lanes
+    {
+      prog;
+      wb = Wbuf.empty;
+      known = Reg.Map.empty;
+      last_read = None;
+      obs = [];
+      ops = 0;
+      obs_len = 0;
+      obs_ha = Keyhash.seed_a;
+      obs_hb = Keyhash.seed_b;
+      lka = 0;
+      lkb = 0;
+      ctr = Metrics.zero;
+    }
 
 (** [make ~model ~layout programs] builds the initial configuration
     [C_init]: process [p] runs [programs.(p)], all buffers empty, all
@@ -55,34 +256,78 @@ let make ~model ~layout programs =
   if Array.length programs <> nprocs then
     Fmt.invalid_arg "Config.make: %d programs for %d processes"
       (Array.length programs) nprocs;
-  let procs =
-    Array.to_list programs
-    |> List.mapi (fun p prog -> (p, initial_pstate prog))
-    |> List.to_seq |> Pid.Map.of_seq
-  in
+  let procs = Array.map initial_pstate programs in
+  let label_mask = ref 0 in
+  Array.iteri (fun p st -> label_mask := mask_with !label_mask p st.prog) procs;
   {
     model;
     layout;
-    mem = Reg.Map.empty;
+    mem = Mem.make layout;
     procs;
-    last_committer = Reg.Map.empty;
-    metrics = Metrics.empty;
+    last_committer = Array.make (Layout.nregs layout) (-1);
+    label_mask = !label_mask;
   }
+
+(** Per-process complexity counters, assembled from the process states
+    (where they live since the hot-path overhaul — one map update per
+    step instead of two). *)
+let metrics t : Metrics.t =
+  let m = ref Metrics.empty in
+  Array.iteri (fun p st -> m := Pid.Map.add p st.ctr !m) t.procs;
+  !m
 
 let nprocs t = Layout.nprocs t.layout
 
 let pstate t p =
-  match Pid.Map.find_opt p t.procs with
-  | Some st -> st
-  | None -> Fmt.invalid_arg "Config.pstate: unknown process %d" p
+  if p < 0 || p >= Array.length t.procs then
+    Fmt.invalid_arg "Config.pstate: unknown process %d" p
+  else t.procs.(p)
 
-let set_pstate t p st = { t with procs = Pid.Map.add p st t.procs }
+(* Copy-on-write slot update: never mutates the installed array. *)
+let with_proc t p st =
+  let procs = Array.copy t.procs in
+  procs.(p) <- st;
+  procs
+
+let set_pstate t p st =
+  {
+    t with
+    procs = with_proc t p (refresh_lanes st);
+    label_mask = mask_with t.label_mask p st.prog;
+  }
+
+(** Append an observation to the process's log, updating the rolling
+    lanes in O(1). The only way [obs] may grow. *)
+let observe st v =
+  {
+    st with
+    obs = v :: st.obs;
+    obs_len = st.obs_len + 1;
+    obs_ha = Keyhash.mix_a st.obs_ha v;
+    obs_hb = Keyhash.mix_b st.obs_hb v;
+  }
+
+(** [step t p ?commit st bump] applies one execution step of [p] in a
+    single pass: installs [st] (lanes refreshed), bumps [p]'s counters
+    once, and — when [commit = Some (r, v)] — lands [v] in committed
+    memory and records [p] as [r]'s last committer. One process-map
+    update and one metrics-map update per step, where the old executor
+    rebuilt the configuration record up to four times. *)
+let step t p ?commit st bump =
+  (* [st] is the caller's freshly built successor state: fill its
+     counters and lanes in place rather than copying it again *)
+  st.ctr <- bump st.ctr;
+  let procs = with_proc t p (refresh_lanes st) in
+  let label_mask = mask_with t.label_mask p st.prog in
+  match commit with
+  | None -> { t with procs; label_mask }
+  | Some (r, v) ->
+      let last_committer = Array.copy t.last_committer in
+      last_committer.(r) <- p;
+      { t with procs; label_mask; mem = Mem.set t.mem r v; last_committer }
 
 (** Committed value of register [r]. *)
-let read_mem t r =
-  match Reg.Map.find_opt r t.mem with
-  | Some v -> v
-  | None -> Layout.init t.layout r
+let read_mem t r = Mem.get t.mem r
 
 let wbuf t p = (pstate t p).wb
 let program t p = (pstate t p).prog
@@ -95,8 +340,9 @@ let final_value t p =
 (** Number of processes in a final state — [NbFinal(C)] in the paper,
     which gates return steps in the decoder. *)
 let nb_final t =
-  Pid.Map.fold (fun _ st acc -> if Program.is_done st.prog then acc + 1 else acc)
-    t.procs 0
+  Array.fold_left
+    (fun acc st -> if Program.is_done st.prog then acc + 1 else acc)
+    0 t.procs
 
 let all_final t = nb_final t = nprocs t
 
@@ -105,7 +351,16 @@ let all_final t = nb_final t = nprocs t
     states as terminal, since a final process's leftover buffered
     writes can still be committed by the system. *)
 let quiescent t =
-  all_final t && Pid.Map.for_all (fun _ st -> Wbuf.is_empty st.wb) t.procs
+  (* single short-circuiting pass: on the hot path almost every state
+     has a running process, and the loop bails at the first one *)
+  let n = Array.length t.procs in
+  let rec go p =
+    p >= n
+    ||
+    let st = t.procs.(p) in
+    Program.is_done st.prog && Wbuf.is_empty st.wb && go (p + 1)
+  in
+  go 0
 
 let known_values st r =
   match Reg.Map.find_opt r st.known with
@@ -113,11 +368,14 @@ let known_values st r =
   | None -> Int_set.empty
 
 let learn st r v =
-  { st with known = Reg.Map.add r (Int_set.add v (known_values st r)) st.known }
+  let s = known_values st r in
+  if Int_set.mem v s then st
+  else { st with known = Reg.Map.add r (Int_set.add v s) st.known }
 
-(** Locality of a read of [r] by [p] returning [v] from shared memory. *)
-let read_locality t p r v =
-  let st = pstate t p in
+(** Locality of a read of [r] by [p] (whose state is [st]) returning
+    [v] from shared memory. The caller passes the pstate it already
+    holds — the executor calls this once per read step. *)
+let read_locality t p st r v =
   {
     Step.dsm_local = Layout.is_local t.layout p r;
     cc_local = Int_set.mem v (known_values st r);
@@ -128,13 +386,14 @@ let read_locality t p r v =
 let commit_locality t p r =
   {
     Step.dsm_local = Layout.is_local t.layout p r;
-    cc_local =
-      (match Reg.Map.find_opt r t.last_committer with
-      | Some q -> Pid.equal q p
-      | None -> false);
+    cc_local = Pid.equal t.last_committer.(r) p;
   }
 
-let bump p f t = { t with metrics = Metrics.update t.metrics p f }
+(* Counters are not key components, so the cached lanes stay valid:
+   update the pstate directly, no refresh. *)
+let bump p f t =
+  let st = pstate t p in
+  { t with procs = with_proc t p { st with ctr = f st.ctr } }
 
 let charge_rmr (loc : Step.locality) (c : Metrics.counters) =
   {
@@ -145,15 +404,19 @@ let charge_rmr (loc : Step.locality) (c : Metrics.counters) =
   }
 
 let pp_mem ppf t =
-  let bindings = Reg.Map.bindings t.mem in
-  Fmt.pf ppf "{%a}"
-    (Fmt.list ~sep:Fmt.comma (fun ppf (r, v) ->
-         Fmt.pf ppf "%a=%d" (Layout.pp_reg t.layout) r v))
-    bindings
+  let first = ref true in
+  Fmt.pf ppf "{";
+  Mem.iter_bound
+    (fun r v ->
+      if not !first then Fmt.comma ppf ();
+      first := false;
+      Fmt.pf ppf "%a=%d" (Layout.pp_reg t.layout) r v)
+    t.mem;
+  Fmt.pf ppf "}"
 
 let pp ppf t =
   Fmt.pf ppf "mem=%a@," pp_mem t;
-  Pid.Map.iter
+  Array.iteri
     (fun p st ->
       Fmt.pf ppf "p%a: wb=%a %s@," Pid.pp p Wbuf.pp st.wb
         (match Program.next_kind st.prog with

@@ -2,9 +2,44 @@
     continuation, write buffer), every register, and the bookkeeping
     that classifies steps as local or remote. Immutable throughout, so
     a configuration doubles as a free snapshot for speculative
-    execution. *)
+    execution. Process states and committed memory carry cached hash
+    lanes over their state-key components, refreshed incrementally —
+    see the implementation header for the contract. *)
 
 module Int_set : Set.S with type elt = int
+
+(** Committed memory: copy-on-write int array with O(1) reads and
+    incrementally maintained key lanes. "Bound" = committed at least
+    once; an unbound register reads as its layout initial value, and
+    boundness is part of the state key (as the former map binding
+    was). *)
+module Mem : sig
+  type t
+
+  val make : Layout.t -> t
+  val get : t -> Reg.t -> int
+
+  (** Copy-on-write update; binds the register. *)
+  val set : t -> Reg.t -> int -> t
+
+  val is_bound : t -> Reg.t -> bool
+
+  (** Number of bound registers. *)
+  val cardinal : t -> int
+
+  (** Bound entries in increasing register order — the exact memory
+      part of the state key. *)
+  val iter_bound : (Reg.t -> int -> unit) -> t -> unit
+
+  (** Incrementally maintained xor-composed lanes over bound entries. *)
+  val lanes : t -> int * int
+
+  (** The same lanes recomputed from scratch (incrementality tests). *)
+  val lanes_scratch : t -> int * int
+
+  (** Componentwise equality (bound set and committed values). *)
+  val equal : t -> t -> bool
+end
 
 type pstate = {
   prog : Program.t;
@@ -20,25 +55,69 @@ type pstate = {
           so together with [ops] this pins the local state — the model
           checker's state key *)
   ops : int;  (** operation steps executed (commits excluded) *)
+  obs_len : int;  (** [List.length obs], maintained by {!observe} *)
+  obs_ha : int;  (** rolling lane over [obs], oldest first *)
+  obs_hb : int;
+  mutable lka : int;
+      (** cached lane over the full local key component; consistent for
+          any pstate stored in a configuration (refreshed by
+          {!set_pstate}/{!step}). Mutable so the refresh can fill a
+          freshly built record in place; pstates stored in a
+          configuration are never mutated. *)
+  mutable lkb : int;
+  mutable ctr : Metrics.counters;
+      (** this process's complexity counters; accounting only, never a
+          state-key component. Same fresh-record-only mutation
+          discipline as the lanes. *)
 }
 
 type t = {
   model : Memory_model.t;
   layout : Layout.t;
-  mem : int Reg.Map.t;  (** committed values; absent = initial *)
-  procs : pstate Pid.Map.t;
-  last_committer : Pid.t Reg.Map.t;
-      (** who committed to each register last (commit-locality rule) *)
-  metrics : Metrics.t;
+  mem : Mem.t;  (** committed values; unbound = initial *)
+  procs : pstate array;
+      (** index = pid (pids are dense [0 .. nprocs-1]); copy-on-write —
+          an installed slot is never mutated *)
+  last_committer : int array;
+      (** who committed to each register last (commit-locality rule);
+          [-1] = nobody. Copy-on-write — never mutated in place. *)
+  label_mask : int;
+      (** bit [min p 62] set when process [p] may be poised at a
+          [Label]; exact below 62, sticky-conservative above. An
+          accounting accelerator for label flushing — derived from
+          [procs], never part of the state key. *)
 }
 
 (** [make ~model ~layout programs] is the initial configuration
     [C_init]. *)
 val make : model:Memory_model.t -> layout:Layout.t -> Program.t array -> t
 
+(** Per-process complexity counters, assembled from the process states
+    (where they live, so an execution step updates one map, not two). *)
+val metrics : t -> Metrics.t
+
 val nprocs : t -> int
 val pstate : t -> Pid.t -> pstate
+
+(** Install a process state, refreshing its cached lanes. *)
 val set_pstate : t -> Pid.t -> pstate -> t
+
+(** Append an observation to the log, updating its rolling lanes in
+    O(1). The only way [obs] may grow. *)
+val observe : pstate -> int -> pstate
+
+(** [step t p ?commit st bump]: one execution step of [p] in a single
+    pass — install [st] (lanes refreshed), bump [p]'s counters with
+    [bump], and optionally commit [(r, v)] to memory, recording [p] as
+    last committer. *)
+val step :
+  t -> Pid.t -> ?commit:Reg.t * int -> pstate ->
+  (Metrics.counters -> Metrics.counters) -> t
+
+(** Recompute every cached lane of a pstate from scratch (obs rolling
+    lanes from the raw list, then [lka]/[lkb]) — the reference for the
+    incrementality regression tests. *)
+val scratch_lanes : pstate -> pstate
 
 (** Committed value of a register. *)
 val read_mem : t -> Reg.t -> int
@@ -64,8 +143,10 @@ val known_values : pstate -> Reg.t -> Int_set.t
 (** Record that the process has observed/produced value [v] at [r]. *)
 val learn : pstate -> Reg.t -> int -> pstate
 
-(** Locality of a read of [r] by [p] returning [v] from shared memory. *)
-val read_locality : t -> Pid.t -> Reg.t -> int -> Step.locality
+(** Locality of a read of [r] by [p] (whose state is [st]) returning
+    [v] from shared memory; the caller passes the pstate it already
+    holds. *)
+val read_locality : t -> Pid.t -> pstate -> Reg.t -> int -> Step.locality
 
 (** Locality of a commit to [r] by [p]. *)
 val commit_locality : t -> Pid.t -> Reg.t -> Step.locality

@@ -13,75 +13,96 @@
     + otherwise the step is [p]'s next operation (read, write, fence,
       cas or return).
 
-    Under [Sc] a write commits at the write step itself (the element
-    yields a write step immediately followed by its commit), so buffers
-    are always empty and schedules degenerate to process choices.
+    Under [Sc] a write commits at the write step itself: the element
+    yields a write step immediately followed by its commit — two model
+    steps in the trace and in the step census (the write and its
+    commit), exactly as one buffered write eventually costs two steps
+    under TSO/PSO — so buffers are always empty and schedules
+    degenerate to process choices.
 
     Reads are served from the process's own buffer when it holds a
     pending write to the register (store forwarding), from committed
     memory otherwise; only the latter can be remote.
 
     [Label]s in programs are consumed transparently before dispatch and
-    surface as costless {!Step.Note}s. *)
+    surface as costless {!Step.Note}s.
+
+    Every element touches at most one process's state and possibly
+    committed memory; [exec_elt_d] reports which ({!dirty}), so the
+    model checker can re-fingerprint only the changed components.
+    Steps go through {!Config.step}: one process-map update and one
+    metrics update per step, instead of the former
+    [set_pstate]/[bump]/[set_pstate] rebuild chain. *)
 
 type elt = Pid.t * Reg.t option
+
+(** Which state-key components executing an element changed: at most
+    one process's local state, and possibly committed memory. The
+    last-committer table and metrics also change but are not key
+    components. [proc = None] means the element was a no-op (and
+    [mem] is then [false]). *)
+type dirty = { proc : Pid.t option; mem : bool }
 
 let pp_elt ppf ((p, r) : elt) =
   match r with
   | None -> Fmt.pf ppf "(p%a,⊥)" Pid.pp p
   | Some r -> Fmt.pf ppf "(p%a,%a)" Pid.pp p Reg.pp r
 
-(* Commit the pending write to [r] from [p]'s buffer. *)
-let commit_write cfg p r =
-  let st = Config.pstate cfg p in
-  match Wbuf.take st.wb r with
+(* Commit the pending write to [r] from [p]'s buffer ([st] is [p]'s
+   current state, passed so the dispatcher's lookup is reused). *)
+let commit_write cfg p (st : Config.pstate) r =
+  match Wbuf.take st.Config.wb r with
   | None -> Fmt.invalid_arg "Exec.commit_write: no pending write to %d" r
   | Some (v, wb') ->
       let loc = Config.commit_locality cfg p r in
-      let cfg = Config.set_pstate cfg p { st with wb = wb'; last_read = None } in
       let cfg =
-        {
-          cfg with
-          Config.mem = Reg.Map.add r v cfg.Config.mem;
-          last_committer = Reg.Map.add r p cfg.Config.last_committer;
-        }
-      in
-      let cfg =
-        Config.bump p
+        Config.step cfg p ~commit:(r, v)
+          { st with Config.wb = wb'; last_read = None }
           (fun c ->
             Config.charge_rmr loc
-              { c with Metrics.commits = c.Metrics.commits + 1; steps = c.Metrics.steps + 1 })
-          cfg
+              {
+                c with
+                Metrics.commits = c.Metrics.commits + 1;
+                steps = c.Metrics.steps + 1;
+              })
       in
       (Step.Commit { p; reg = r; value = v; loc }, cfg)
 
 (* The value a read of [r] by [p] would return right now: store
    forwarding from [p]'s own buffer under a buffered model, committed
    memory otherwise. *)
-let visible_value cfg p r =
+let visible_value cfg (st : Config.pstate) r =
   let buffered = Memory_model.buffered cfg.Config.model in
-  match (if buffered then Wbuf.find (Config.wbuf cfg p) r else None) with
+  match (if buffered then Wbuf.find st.Config.wb r else None) with
   | Some v -> (v, true)
   | None -> (Config.read_mem cfg r, false)
 
 (* Execute a read of [r] returning [v]; [from_wbuf] tells where it was
    served. [prog'] is the continuation to install. *)
-let read_step cfg p r ~prog' =
-  let st = Config.pstate cfg p in
-  let v, from_wbuf = visible_value cfg p r in
+let read_step cfg p (st : Config.pstate) r ~prog' =
+  let v, from_wbuf = visible_value cfg st r in
   let loc =
     if from_wbuf then { Step.dsm_local = true; cc_local = true }
-    else Config.read_locality cfg p r v
+    else Config.read_locality cfg p st r v
   in
+  (* the record update and the observation-log append are fused into
+     one allocation (cf. {!Config.observe}, which this mirrors) *)
   let st =
     Config.learn
-      { st with prog = prog' v; last_read = Some (r, v); obs = v :: st.obs }
+      {
+        st with
+        Config.prog = prog' v;
+        last_read = Some (r, v);
+        ops = st.Config.ops + 1;
+        obs = v :: st.Config.obs;
+        obs_len = st.Config.obs_len + 1;
+        obs_ha = Keyhash.mix_a st.Config.obs_ha v;
+        obs_hb = Keyhash.mix_b st.Config.obs_hb v;
+      }
       r v
   in
-  let cfg = Config.set_pstate cfg p st in
   let cfg =
-    Config.bump p
-      (fun c ->
+    Config.step cfg p st (fun c ->
         let c =
           {
             c with
@@ -92,65 +113,82 @@ let read_step cfg p r ~prog' =
         if from_wbuf then
           { c with Metrics.reads_from_wbuf = c.Metrics.reads_from_wbuf + 1 }
         else Config.charge_rmr loc c)
-      cfg
   in
   (Step.Read { p; reg = r; value = v; from_wbuf; loc }, cfg)
 
 (* Strong read-modify-write primitives (swap, faa): like cas, they act
    on committed memory behind an implicit barrier (the executor forces
    the buffer empty before dispatching here) and charge commit
-   locality. *)
+   locality. Billed to the [rmw] counter — the [cas] counter is for
+   cas steps only, so swap/faa-based locks report honest censuses. *)
 let rmw_step cfg p (st : Config.pstate) r ~op ~arg ~k =
   assert (Wbuf.is_empty st.Config.wb);
   let read = Config.read_mem cfg r in
   let wrote = match op with `Swap -> arg | `Faa -> read + arg in
   let loc = Config.commit_locality cfg p r in
   let st = Config.learn (Config.learn st r read) r wrote in
-  let st = { st with prog = k read; last_read = None; obs = read :: st.obs } in
-  let cfg = Config.set_pstate cfg p st in
-  let cfg =
+  let st =
     {
-      cfg with
-      Config.mem = Reg.Map.add r wrote cfg.Config.mem;
-      last_committer = Reg.Map.add r p cfg.Config.last_committer;
+      st with
+      Config.prog = k read;
+      last_read = None;
+      ops = st.Config.ops + 1;
+      obs = read :: st.Config.obs;
+      obs_len = st.Config.obs_len + 1;
+      obs_ha = Keyhash.mix_a st.Config.obs_ha read;
+      obs_hb = Keyhash.mix_b st.Config.obs_hb read;
     }
   in
   let cfg =
-    Config.bump p
-      (fun c ->
+    Config.step cfg p ~commit:(r, wrote) st (fun c ->
         Config.charge_rmr loc
           {
             c with
-            Metrics.cas = c.Metrics.cas + 1;
+            Metrics.rmw = c.Metrics.rmw + 1;
             fences = c.Metrics.fences + 1;
             steps = c.Metrics.steps + 1;
           })
-      cfg
   in
   (Step.Rmw { p; reg = r; op; arg; read; wrote; loc }, cfg)
 
-(* One operation step of [p] (labels already skipped). Returns [None]
-   when [p] has no step to take: it is final, or blocked on a spin whose
-   register still holds the value it last observed. *)
-let op_step cfg p prog =
-  let st = Config.pstate cfg p in
+(* One operation step of [p] (labels already skipped; [st] is [p]'s
+   current state, [prog = st.prog]). Returns [None] when [p] has no
+   step to take: it is final, or blocked on a spin whose register
+   still holds the value it last observed. Otherwise the steps
+   produced, the successor, and whether committed memory changed. *)
+let op_step cfg p (st : Config.pstate) prog :
+    (Step.t list * Config.t * bool) option =
   match (prog : Program.t) with
   | Program.Done _ -> None
   | Label _ -> assert false
   | Ret v ->
-      let cfg = Config.set_pstate cfg p { st with prog = Program.Done v; last_read = None } in
-      let cfg =
-        Config.bump p
-          (fun c -> { c with Metrics.returns = c.Metrics.returns + 1; steps = c.Metrics.steps + 1 })
-          cfg
+      let st =
+        {
+          st with
+          Config.prog = Program.Done v;
+          last_read = None;
+          ops = st.Config.ops + 1;
+        }
       in
-      Some (Step.Return { p; value = v }, cfg)
-  | Read (r, k) -> Some (read_step cfg p r ~prog':k)
+      let cfg =
+        Config.step cfg p st (fun c ->
+            {
+              c with
+              Metrics.returns = c.Metrics.returns + 1;
+              steps = c.Metrics.steps + 1;
+            })
+      in
+      Some ([ Step.Return { p; value = v } ], cfg, false)
+  | Read (r, k) ->
+      let step, cfg = read_step cfg p st r ~prog':k in
+      Some ([ step ], cfg, false)
   | Spin (r, pred, k) ->
-      let v, _ = visible_value cfg p r in
-      if pred v then Some (read_step cfg p r ~prog':k)
+      let v, _ = visible_value cfg st r in
+      if pred v then
+        let step, cfg = read_step cfg p st r ~prog':k in
+        Some ([ step ], cfg, false)
       else begin
-        match st.last_read with
+        match st.Config.last_read with
         | Some (r', v') when Reg.equal r r' && v = v' ->
             (* blocked: the register still holds the value this process
                already observed; a re-read is a cache hit and a no-op *)
@@ -158,10 +196,11 @@ let op_step cfg p prog =
         | Some _ | None ->
             (* observe the (new) unsatisfying value: a real read step
                that leaves the process poised at the same spin *)
-            Some (read_step cfg p r ~prog':(fun _ -> prog))
+            let step, cfg = read_step cfg p st r ~prog':(fun _ -> prog) in
+            Some ([ step ], cfg, false)
       end
   | Spinv (regs, prev, pred, k) ->
-      let visible = List.map (fun r -> fst (visible_value cfg p r)) regs in
+      let visible = List.map (fun r -> fst (visible_value cfg st r)) regs in
       if prev = Some visible then None (* blocked: a round would replay *)
       else begin
         (* unroll one round into ordinary fine-grained reads; execute
@@ -173,87 +212,108 @@ let op_step cfg p prog =
           | r :: rest -> Program.Read (r, fun v -> round (v :: acc) rest)
         in
         match round [] regs with
-        | Program.Read (r, k') -> Some (read_step cfg p r ~prog':k')
+        | Program.Read (r, k') ->
+            let step, cfg = read_step cfg p st r ~prog':k' in
+            Some ([ step ], cfg, false)
         | _ -> invalid_arg "Exec: Spinv over no registers"
       end
   | Write (r, v, k) ->
       if Memory_model.buffered cfg.Config.model then begin
-        let wb = Memory_model.buffer_write cfg.Config.model st.wb r v in
-        let st = Config.learn { st with prog = k (); wb; last_read = None } r v in
-        let cfg = Config.set_pstate cfg p st in
-        let cfg =
-          Config.bump p
-            (fun c -> { c with Metrics.writes = c.Metrics.writes + 1; steps = c.Metrics.steps + 1 })
-            cfg
+        let wb = Memory_model.buffer_write cfg.Config.model st.Config.wb r v in
+        let st =
+          Config.learn
+            {
+              st with
+              Config.prog = k ();
+              wb;
+              last_read = None;
+              ops = st.Config.ops + 1;
+            }
+            r v
         in
-        Some (Step.Write { p; reg = r; value = v }, cfg)
+        let cfg =
+          Config.step cfg p st (fun c ->
+              {
+                c with
+                Metrics.writes = c.Metrics.writes + 1;
+                steps = c.Metrics.steps + 1;
+              })
+        in
+        Some ([ Step.Write { p; reg = r; value = v } ], cfg, false)
       end
       else begin
-        (* SC: the write is immediately committed. We account it like a
-           write step whose value lands in memory at once, charging
-           commit locality — so SC algorithms still pay DSM RMRs for
-           writing remote registers, as in the classical literature. *)
+        (* SC: the write is immediately committed — the element yields
+           the write step and its commit back to back, as the module
+           doc promises: two model steps in the trace and the census,
+           one write and one commit. Commit locality is charged (once),
+           so SC algorithms still pay DSM RMRs for writing remote
+           registers, as in the classical literature. *)
         let loc = Config.commit_locality cfg p r in
-        let st = Config.learn { st with prog = k (); last_read = None } r v in
-        let cfg = Config.set_pstate cfg p st in
-        let cfg =
-          {
-            cfg with
-            Config.mem = Reg.Map.add r v cfg.Config.mem;
-            last_committer = Reg.Map.add r p cfg.Config.last_committer;
-          }
+        let st =
+          Config.learn
+            {
+              st with
+              Config.prog = k ();
+              last_read = None;
+              ops = st.Config.ops + 1;
+            }
+            r v
         in
         let cfg =
-          Config.bump p
-            (fun c ->
+          Config.step cfg p ~commit:(r, v) st (fun c ->
               Config.charge_rmr loc
                 {
                   c with
                   Metrics.writes = c.Metrics.writes + 1;
                   commits = c.Metrics.commits + 1;
-                  steps = c.Metrics.steps + 1;
+                  steps = c.Metrics.steps + 2;
                 })
-            cfg
         in
-        Some (Step.Commit { p; reg = r; value = v; loc }, cfg)
+        Some
+          ( [
+              Step.Write { p; reg = r; value = v };
+              Step.Commit { p; reg = r; value = v; loc };
+            ],
+            cfg,
+            true )
       end
   | Fence k ->
-      assert (Wbuf.is_empty st.wb);
-      let st = { st with prog = k (); last_read = None } in
-      let cfg = Config.set_pstate cfg p st in
-      let cfg =
-        Config.bump p
-          (fun c -> { c with Metrics.fences = c.Metrics.fences + 1; steps = c.Metrics.steps + 1 })
-          cfg
+      assert (Wbuf.is_empty st.Config.wb);
+      let st =
+        { st with Config.prog = k (); last_read = None; ops = st.Config.ops + 1 }
       in
-      Some (Step.Fence { p }, cfg)
+      let cfg =
+        Config.step cfg p st (fun c ->
+            {
+              c with
+              Metrics.fences = c.Metrics.fences + 1;
+              steps = c.Metrics.steps + 1;
+            })
+      in
+      Some ([ Step.Fence { p } ], cfg, false)
   | Cas (r, expect, update, k) ->
-      assert (Wbuf.is_empty st.wb);
+      assert (Wbuf.is_empty st.Config.wb);
       let read = Config.read_mem cfg r in
       let success = read = expect in
       let loc = Config.commit_locality cfg p r in
       let st = Config.learn st r read in
       let st =
-        {
-          st with
-          prog = k success;
-          last_read = None;
-          obs = (if success then 1 else 0) :: read :: st.obs;
-        }
+        Config.observe
+          (Config.observe
+             {
+               st with
+               Config.prog = k success;
+               last_read = None;
+               ops = st.Config.ops + 1;
+             }
+             read)
+          (if success then 1 else 0)
       in
       let st = if success then Config.learn st r update else st in
-      let cfg = Config.set_pstate cfg p st in
       let cfg =
-        if success then
-          {
-            cfg with
-            Config.mem = Reg.Map.add r update cfg.Config.mem;
-            last_committer = Reg.Map.add r p cfg.Config.last_committer;
-          }
-        else cfg
-      in
-      let cfg =
-        Config.bump p
+        Config.step cfg p
+          ?commit:(if success then Some (r, update) else None)
+          st
           (fun c ->
             Config.charge_rmr loc
               {
@@ -266,74 +326,98 @@ let op_step cfg p prog =
                 fences = c.Metrics.fences + 1;
                 steps = c.Metrics.steps + 1;
               })
-          cfg
       in
-      Some (Step.Cas { p; reg = r; expect; update; read; success; loc }, cfg)
-  | Swap (r, arg, k) -> Some (rmw_step cfg p st r ~op:`Swap ~arg ~k)
-  | Faa (r, arg, k) -> Some (rmw_step cfg p st r ~op:`Faa ~arg ~k)
+      Some
+        ( [ Step.Cas { p; reg = r; expect; update; read; success; loc } ],
+          cfg,
+          success )
+  | Swap (r, arg, k) ->
+      let step, cfg = rmw_step cfg p st r ~op:`Swap ~arg ~k in
+      Some ([ step ], cfg, true)
+  | Faa (r, arg, k) ->
+      let step, cfg = rmw_step cfg p st r ~op:`Faa ~arg ~k in
+      Some ([ step ], cfg, true)
 
-(* Skip labels of [p], collecting costless note steps. *)
+(* Skip labels of [p], collecting costless note steps. Fast-pathed: no
+   closure or ref is allocated unless [p] is actually poised at a
+   label. *)
 let consume_labels cfg p =
-  let notes = ref [] in
   let st = Config.pstate cfg p in
-  let prog =
-    Program.skip_labels
-      ~emit:(fun s -> notes := Step.Note { p; text = s } :: !notes)
-      st.prog
-  in
-  let cfg =
-    if !notes = [] then cfg else Config.set_pstate cfg p { st with prog }
-  in
-  (List.rev !notes, prog, cfg)
+  match st.Config.prog with
+  | Program.Label _ ->
+      let notes = ref [] in
+      let prog =
+        Program.skip_labels
+          ~emit:(fun s -> notes := Step.Note { p; text = s } :: !notes)
+          st.Config.prog
+      in
+      let st = { st with Config.prog = prog } in
+      (List.rev !notes, st, Config.set_pstate cfg p st)
+  | _ -> ([], st, cfg)
 
-(** Consume pending labels of every process, returning the notes. The
-    model checker normalizes states this way so that annotation
-    boundaries never split semantically identical states. *)
+(** Consume pending labels of every process, returning the notes and
+    the processes whose state changed. The model checker normalizes
+    states this way so that annotation boundaries never split
+    semantically identical states; the dirtied-process list lets it
+    carry fingerprints across the normalization. *)
+let flush_labels_d cfg : Step.t list * Config.t * Pid.t list =
+  (* The label mask makes the dominant no-label case O(1) and lets the
+     general case probe only processes whose (exact, for p < 62) bit is
+     set. *)
+  if cfg.Config.label_mask = 0 then ([], cfg, [])
+  else
+    let n = Config.nprocs cfg in
+    let rec go p acc dirtied cfg =
+      if p >= n then (List.rev acc, cfg, List.rev dirtied)
+      else if
+        p < 62 && cfg.Config.label_mask land (1 lsl p) = 0
+      then go (p + 1) acc dirtied cfg
+      else
+        let notes, _, cfg = consume_labels cfg p in
+        go (p + 1)
+          (List.rev_append notes acc)
+          (if notes <> [] then p :: dirtied else dirtied)
+          cfg
+    in
+    go 0 [] [] cfg
+
 let flush_labels cfg : Step.t list * Config.t =
-  let n = Config.nprocs cfg in
-  let rec go p acc cfg =
-    if p >= n then (List.rev acc, cfg)
-    else
-      let notes, _, cfg = consume_labels cfg p in
-      go (p + 1) (List.rev_append notes acc) cfg
-  in
-  go 0 [] cfg
+  let notes, cfg, _ = flush_labels_d cfg in
+  (notes, cfg)
 
 (** Whether [p] must commit before doing anything else: poised at a
     fence (or cas) with a non-empty buffer. *)
 let forced_commit_pending cfg p =
-  let _, prog, _ = consume_labels cfg p in
+  let _, st, _ = consume_labels cfg p in
   (not (Wbuf.is_empty (Config.wbuf cfg p)))
   &&
-  match Program.next_kind prog with
+  match Program.next_kind st.Config.prog with
   | Program.Op_fence | Program.Op_cas -> true
   | Op_read | Op_write | Op_spin | Op_return _ | Op_done -> false
 
-(** Execute one schedule element. Returns the steps it produced (empty
-    when the element is a no-op, e.g. names a finished process) and the
-    successor configuration. *)
-let exec_elt cfg ((p, r) : elt) : Step.t list * Config.t =
-  let notes, prog, cfg = consume_labels cfg p in
-  let wb = Config.wbuf cfg p in
-  let explicit_commit =
-    match r with
-    | Some r
-      when List.exists (Reg.equal r)
-             (Memory_model.commit_candidates cfg.Config.model wb) ->
-        Some r
-    | Some _ | None -> None
+(** Execute one schedule element, reporting the steps produced, the
+    successor configuration and the dirtied key components. *)
+let exec_elt_d cfg ((p, r) : elt) : Step.t list * Config.t * dirty =
+  let notes, st, cfg = consume_labels cfg p in
+  let labeled = notes <> [] in
+  let prog = st.Config.prog in
+  let wb = st.Config.wb in
+  let noop () =
+    (notes, cfg, { proc = (if labeled then Some p else None); mem = false })
   in
-  match explicit_commit with
-  | Some r ->
-      (* commits are system steps: they remain possible even after the
-         process reached its final state with a non-empty buffer (only
-         programs that fence before returning are guaranteed an empty
-         buffer at return, and our ablations deliberately break that) *)
-      let step, cfg = commit_write cfg p r in
-      (notes @ [ step ], cfg)
-  | None ->
-      if Program.is_done prog then (notes, cfg)
-      else (
+  let with_commit r =
+    (* commits are system steps: they remain possible even after the
+       process reached its final state with a non-empty buffer (only
+       programs that fence before returning are guaranteed an empty
+       buffer at return, and our ablations deliberately break that) *)
+    let step, cfg = commit_write cfg p st r in
+    (notes @ [ step ], cfg, { proc = Some p; mem = true })
+  in
+  match r with
+  | Some r when Memory_model.may_commit cfg.Config.model wb r -> with_commit r
+  | Some _ | None -> (
+      if Program.is_done prog then noop ()
+      else
         let forced =
           match Program.next_kind prog with
           | Program.Op_fence | Program.Op_cas ->
@@ -342,16 +426,19 @@ let exec_elt cfg ((p, r) : elt) : Step.t list * Config.t =
           | Op_read | Op_write | Op_spin | Op_return _ | Op_done -> None
         in
         match forced with
-        | Some r ->
-            let step, cfg = commit_write cfg p r in
-            (notes @ [ step ], cfg)
+        | Some r -> with_commit r
         | None -> (
-            match op_step cfg p prog with
-            | None -> (notes, cfg)
-            | Some (step, cfg) ->
-                let st = Config.pstate cfg p in
-                let cfg = Config.set_pstate cfg p { st with ops = st.ops + 1 } in
-                (notes @ [ step ], cfg)))
+            match op_step cfg p st prog with
+            | None -> noop ()
+            | Some (steps, cfg, mem_dirty) ->
+                (notes @ steps, cfg, { proc = Some p; mem = mem_dirty })))
+
+(** Execute one schedule element. Returns the steps it produced (empty
+    when the element is a no-op, e.g. names a finished process) and the
+    successor configuration. *)
+let exec_elt cfg (e : elt) : Step.t list * Config.t =
+  let steps, cfg, _ = exec_elt_d cfg e in
+  (steps, cfg)
 
 (** Run a whole schedule, accumulating the trace. *)
 let exec cfg (sched : elt list) : Step.t list * Config.t =
@@ -405,15 +492,15 @@ let terminates_solo ?fuel cfg p = Option.is_some (run_solo ?fuel cfg p)
     forced commit pending? A blocked process's [(p, ⊥)] element is a
     no-op until someone commits to the spun-on register. *)
 let is_blocked cfg p =
-  let _, prog, cfg = consume_labels cfg p in
-  match (prog : Program.t) with
+  let _, st, cfg = consume_labels cfg p in
+  match (st.Config.prog : Program.t) with
   | Program.Spin (r, pred, _) -> (
-      let v, _ = visible_value cfg p r in
+      let v, _ = visible_value cfg st r in
       (not (pred v))
       &&
-      match (Config.pstate cfg p).Config.last_read with
+      match st.Config.last_read with
       | Some (r', v') -> Reg.equal r r' && v = v'
       | None -> false)
   | Program.Spinv (regs, prev, _, _) ->
-      prev = Some (List.map (fun r -> fst (visible_value cfg p r)) regs)
+      prev = Some (List.map (fun r -> fst (visible_value cfg st r)) regs)
   | Done _ | Ret _ | Read _ | Write _ | Fence _ | Cas _ | Swap _ | Faa _ | Label _ -> false

@@ -8,11 +8,23 @@
 
 type elt = Pid.t * Reg.t option
 
+(** Which state-key components executing an element changed: at most
+    one process's local state, and possibly committed memory
+    ([mem = true] implies [proc <> None]). The last-committer table
+    and metrics also change but are not key components. [proc = None]
+    means the element was a no-op. *)
+type dirty = { proc : Pid.t option; mem : bool }
+
 val pp_elt : elt Fmt.t
 
 (** Execute one element. Returns the steps produced (empty when the
     element is a no-op) and the successor configuration. *)
 val exec_elt : Config.t -> elt -> Step.t list * Config.t
+
+(** Like {!exec_elt}, additionally reporting which key components the
+    element dirtied, so callers can maintain state fingerprints
+    incrementally. *)
+val exec_elt_d : Config.t -> elt -> Step.t list * Config.t * dirty
 
 (** Run a whole schedule, accumulating the trace. *)
 val exec : Config.t -> elt list -> Step.t list * Config.t
@@ -23,6 +35,10 @@ val enabled_elts : Config.t -> Pid.t -> elt list
 (** Consume pending labels of every process, returning the notes. The
     model checker normalizes states this way. *)
 val flush_labels : Config.t -> Step.t list * Config.t
+
+(** Like {!flush_labels}, additionally reporting which processes'
+    states changed (in increasing pid order). *)
+val flush_labels_d : Config.t -> Step.t list * Config.t * Pid.t list
 
 (** Is [p] poised at a fence (or cas) with a non-empty buffer? *)
 val forced_commit_pending : Config.t -> Pid.t -> bool

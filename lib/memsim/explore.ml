@@ -16,7 +16,11 @@
     table affect only accounting, not future behaviour, and are excluded.
     Spins are primitive (see {!Program.Spin}), so spin loops contribute
     no unbounded obs growth and the reachable space of terminating
-    algorithms is finite.
+    algorithms is finite. Since the hot-path overhaul the key's
+    per-process part is carried by cached hash lanes ({!Statekey}), so
+    dedup is probabilistic with a ~2^-126 per-pair collision bound —
+    the budget DESIGN.md §6a accounts for — and a collision can only
+    prune (under-explore), never fabricate a violation.
 
     The caller may thread a {e monitor} over the steps of each explored
     edge (e.g. tracking critical-section occupancy from [Note] steps).
@@ -87,10 +91,12 @@ let dfs (type m) ?(max_states = 1_000_000) ?(max_depth = 100_000)
       deadlocks := path :: !deadlocks
     end
   in
-  let monitor_steps m steps =
-    List.fold_left
-      (fun acc s -> match acc with Error _ -> acc | Ok m -> monitor m s)
-      (Ok m) steps
+  let rec monitor_steps m = function
+    | [] -> Ok m
+    | s :: rest -> (
+        match monitor m s with
+        | Ok m -> monitor_steps m rest
+        | Error _ as e -> e)
   in
   let rec go cfg m path depth =
     if !states >= max_states || List.length !violations >= max_violations then

@@ -1,0 +1,47 @@
+(** Lane-mixing primitives shared by the incremental state key and the
+    model checker's fingerprints.
+
+    The state key of a configuration (see {!Statekey}) is kept as pairs
+    of 63-bit hash {e lanes}: lane [a] and lane [b] are folded with
+    independent multiplicative constants and seeds, so a collision has
+    to happen on both lanes at once — the 126-bit collision budget is
+    computed in [lib/mc/fingerprint.ml]. This module is the single
+    owner of the constants and of the [mix] round, so the incremental
+    lanes cached inside {!Config.pstate}, their from-scratch
+    counterparts (used by the qcheck regression), and the fingerprint
+    composition in [lib/mc] all agree by construction.
+
+    [mix] is an xor-shift + multiply round in the splitmix/murmur
+    style: odd multiplicative constants that fit OCaml's native 63-bit
+    int. Not cryptographic — an adversarially chosen program could in
+    principle engineer collisions, which is irrelevant here. *)
+
+let c1 = 0x2545F4914F6CDD1D
+let c2 = 0x1B8735939E3779B9
+let c3 = 0x27D4EB2F165667C5
+let c4 = 0x165667B19E3779F9
+
+(** Lane seeds (also the historical fingerprint seeds of PR 1). *)
+let seed_a = 0x3C6EF372FE94F82A
+
+let seed_b = 0x5851F42D4C957F2D
+
+let[@inline] mix ca cb h x =
+  let h = h lxor ((x + cb) * ca) in
+  let h = (h lxor (h lsr 29)) * cb in
+  h lxor (h lsr 32)
+
+(** One round of lane [a] (constants [c1], [c2]). *)
+let[@inline] mix_a h x = mix c1 c2 h x
+
+(** One round of lane [b] (constants [c3], [c4]) — independent of
+    {!mix_a}. *)
+let[@inline] mix_b h x = mix c3 c4 h x
+
+(** Keyed 2-int hash on lane [a]: [token_a k x y] digests the pair
+    [(x, y)] under seed [k]. Used Zobrist-style (xor of per-entry
+    tokens) for the committed-memory component, where an entry's token
+    must not depend on its neighbours. *)
+let[@inline] token_a k x y = mix_a (mix_a k x) y
+
+let[@inline] token_b k x y = mix_b (mix_b k x) y

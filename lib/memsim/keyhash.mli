@@ -1,0 +1,29 @@
+(** Lane-mixing primitives shared by {!Statekey}'s cached lanes and the
+    model checker's fingerprints ([lib/mc]). Two independent 63-bit
+    lanes ([a] and [b]) give a 126-bit collision budget; see the
+    implementation header and [lib/mc/fingerprint.ml]. *)
+
+val c1 : int
+val c2 : int
+val c3 : int
+val c4 : int
+
+(** Lane seeds. *)
+val seed_a : int
+
+val seed_b : int
+
+(** [mix ca cb h x] is one xor-shift + multiply round folding [x] into
+    lane state [h] under constants [ca], [cb]. *)
+val mix : int -> int -> int -> int -> int
+
+(** One round of lane [a] / lane [b]. *)
+val mix_a : int -> int -> int
+
+val mix_b : int -> int -> int
+
+(** Keyed digests of a pair, per lane — xor-composable Zobrist
+    tokens. *)
+val token_a : int -> int -> int -> int
+
+val token_b : int -> int -> int -> int

@@ -60,7 +60,19 @@ let commit_candidates t wb =
   match t with
   | Sc -> []
   | Tso -> ( match Wbuf.head wb with None -> [] | Some e -> [ e.Wbuf.reg ])
-  | Pso | Rmo -> Reg.Set.elements (Wbuf.regs wb)
+  | Pso | Rmo -> Wbuf.distinct_regs_sorted wb
+
+(** [may_commit t wb r] iff [r] is among [commit_candidates t wb] —
+    the executor's explicit-commit test, without materializing the
+    candidate list on every schedule element. *)
+let may_commit t wb r =
+  match t with
+  | Sc -> false
+  | Tso -> (
+      match Wbuf.head wb with
+      | Some e -> Reg.equal e.Wbuf.reg r
+      | None -> false)
+  | Pso | Rmo -> Wbuf.mem wb r
 
 (** The register the executor must commit when the process is poised at
     a fence with a non-empty buffer: the smallest buffered register for

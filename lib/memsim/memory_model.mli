@@ -31,6 +31,9 @@ val buffer_write : t -> Wbuf.t -> Reg.t -> int -> Wbuf.t
 (** Registers whose pending write may commit right now. *)
 val commit_candidates : t -> Wbuf.t -> Reg.t list
 
+(** Membership in {!commit_candidates}, without building the list. *)
+val may_commit : t -> Wbuf.t -> Reg.t -> bool
+
 (** The register the executor commits when the process is poised at a
     fence over a non-empty buffer: smallest buffered register for
     unordered buffers (the paper's rule), the FIFO head for TSO. *)

@@ -17,6 +17,7 @@ type counters = {
   fences : int;
   commits : int;
   cas : int;
+  rmw : int;  (** swap/faa steps (strong RMWs other than cas) *)
   returns : int;
   rmr : int;  (** combined DSM+CC remoteness — the paper's ρ *)
   rmr_dsm : int;  (** non-local-segment memory accesses *)
@@ -32,6 +33,7 @@ let zero =
     fences = 0;
     commits = 0;
     cas = 0;
+    rmw = 0;
     returns = 0;
     rmr = 0;
     rmr_dsm = 0;
@@ -47,6 +49,7 @@ let add a b =
     fences = a.fences + b.fences;
     commits = a.commits + b.commits;
     cas = a.cas + b.cas;
+    rmw = a.rmw + b.rmw;
     returns = a.returns + b.returns;
     rmr = a.rmr + b.rmr;
     rmr_dsm = a.rmr_dsm + b.rmr_dsm;
@@ -64,18 +67,22 @@ let sub a b =
     fences = a.fences - b.fences;
     commits = a.commits - b.commits;
     cas = a.cas - b.cas;
+    rmw = a.rmw - b.rmw;
     returns = a.returns - b.returns;
     rmr = a.rmr - b.rmr;
     rmr_dsm = a.rmr_dsm - b.rmr_dsm;
     rmr_cc = a.rmr_cc - b.rmr_cc;
   }
 
+(* Every field, each under its own label, so debug dumps are
+   trustworthy: the old printer omitted [returns] and [rmw] entirely
+   and hid the pure-model RMR counts behind unlabeled parentheses. *)
 let pp ppf c =
   Fmt.pf ppf
     "steps=%d reads=%d (wbuf %d) writes=%d fences=%d commits=%d cas=%d \
-     rmr=%d (dsm %d, cc %d)"
-    c.steps c.reads c.reads_from_wbuf c.writes c.fences c.commits c.cas c.rmr
-    c.rmr_dsm c.rmr_cc
+     rmw=%d returns=%d rmr=%d rmr_dsm=%d rmr_cc=%d"
+    c.steps c.reads c.reads_from_wbuf c.writes c.fences c.commits c.cas c.rmw
+    c.returns c.rmr c.rmr_dsm c.rmr_cc
 
 type t = counters Pid.Map.t
 

@@ -10,6 +10,7 @@ type counters = {
   fences : int;
   commits : int;
   cas : int;
+  rmw : int;  (** swap/faa steps (strong RMWs other than cas) *)
   returns : int;
   rmr : int;  (** combined DSM+CC remoteness — the paper's ρ *)
   rmr_dsm : int;  (** non-local-segment memory accesses *)

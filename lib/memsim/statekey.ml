@@ -12,59 +12,48 @@
 
     This module is the single place that enumerates those components.
     Both consumers go through {!iter}, which feeds the key as a flat,
-    self-delimiting stream of integers without building intermediate
-    lists or tuples (the old key re-allocated a tuple spine per process
-    per visit):
+    self-delimiting stream of integers:
 
     - {!to_string} serializes the stream into a byte string, the key of
       the sequential {!Explore.dfs} hash table;
-    - [Mc.Fingerprint.of_config] folds the same stream into a compact
-      128-bit hash for the parallel checker's sharded visited set.
+    - [Mc.Fingerprint.of_config] composes the same cached lanes into a
+      compact 126-bit hash for the parallel checker's sharded visited
+      set — by xor, so it can be {e updated} in O(1) from the dirty
+      report of [Exec.exec_elt_d] instead of re-walked.
 
-    Injectivity of the stream (hence of [to_string]) on the component
-    tuple: fields are emitted in a fixed order and every variable-length
-    field is length-prefixed, so distinct component tuples yield
-    distinct streams and equal tuples equal streams — the equivalence
-    relation on configurations is exactly component equality, as with
-    the previous marshalled key. *)
+    The hot-path overhaul made the stream itself incremental: instead
+    of re-walking every process's observation log and buffer on every
+    visit (O(total obs) per state, quadratic over a run), the local
+    component of each process is represented by the two 63-bit hash
+    lanes cached in its [pstate] — refreshed only for the process an
+    element actually stepped, in O(|wb| + 1), with the observation log
+    folded in through O(1) rolling lanes. The committed-memory part
+    stays exact (bound [(r, v)] pairs in increasing register order).
 
-(* Tags keep option-shaped fields unambiguous. *)
-let tag_none = 0
-let tag_some = 1
+    The key is therefore probabilistic in its local part: two distinct
+    local states collide only if both independent lanes collide
+    (~2^-126 per pair). This is the same trade the parallel checker's
+    fingerprint set has made since PR 1, now shared by the sequential
+    DFS; memory stays exact, so two states with equal keys agree on
+    all committed values. Stream shape: [cardinal; (r, v)...;
+    (p, lka, lkb)...] with fixed field order, so equal component
+    tuples give equal streams. *)
 
-(** Feed the key components of [cfg] to [f] as a self-delimiting
-    integer stream. Allocation-free apart from the closure itself. *)
+(** Feed the key components of [cfg] to [f] as a flat integer stream:
+    the exact committed memory, then per process its two cached local
+    lanes. O(bound registers + processes). *)
 let iter (cfg : Config.t) (f : int -> unit) =
-  f (Reg.Map.cardinal cfg.Config.mem);
-  Reg.Map.iter
+  f (Config.Mem.cardinal cfg.Config.mem);
+  Config.Mem.iter_bound
     (fun r v ->
       f r;
       f v)
     cfg.Config.mem;
-  Pid.Map.iter
+  Array.iteri
     (fun p (st : Config.pstate) ->
       f p;
-      f st.ops;
-      (match st.last_read with
-      | None -> f tag_none
-      | Some (r, v) ->
-          f tag_some;
-          f r;
-          f v);
-      (match st.prog with
-      | Program.Done v ->
-          f tag_some;
-          f v
-      | _ -> f tag_none);
-      let entries = Wbuf.entries st.wb in
-      f (List.length entries);
-      List.iter
-        (fun (e : Wbuf.entry) ->
-          f e.reg;
-          f e.value)
-        entries;
-      f (List.length st.obs);
-      List.iter f st.obs)
+      f st.Config.lka;
+      f st.Config.lkb)
     cfg.Config.procs
 
 (** Serialize the component stream into a flat byte string; full-content
@@ -75,3 +64,17 @@ let to_string cfg =
   let b = Buffer.create 256 in
   iter cfg (fun i -> Buffer.add_int64_le b (Int64.of_int i));
   Buffer.contents b
+
+(** The cached local-component lanes of a process state. *)
+let proc_lanes (st : Config.pstate) = (st.Config.lka, st.Config.lkb)
+
+(** The same lanes recomputed from scratch (incrementality tests). *)
+let proc_lanes_scratch (st : Config.pstate) =
+  proc_lanes (Config.scratch_lanes st)
+
+(** The incrementally maintained committed-memory lanes. *)
+let mem_lanes (cfg : Config.t) = Config.Mem.lanes cfg.Config.mem
+
+(** The same lanes recomputed from scratch (incrementality tests). *)
+let mem_lanes_scratch (cfg : Config.t) =
+  Config.Mem.lanes_scratch cfg.Config.mem

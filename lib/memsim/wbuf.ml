@@ -8,62 +8,151 @@
     TSO's store ordering), so the representation keeps insertion order
     and each memory model interprets it through {!Memory_model}.
 
+    Representation: a persistent two-list queue — [front] holds the
+    oldest entries front-first, [rback] the newest entries in reverse —
+    so enqueuing ([write_fifo]) is O(1) instead of the former [t @ [e]]
+    rebuild, TSO drain loops ([head]/[take]) reverse each entry at most
+    once, and [size] is a stored field rather than [List.length]. The
+    logical entry order (oldest first, a replaced register moving to
+    the back) is unchanged: it is part of the model-checker state key
+    under TSO, where FIFO order is semantic.
+
     The buffer is immutable; the executor threads it through
     configurations so snapshots are free. *)
 
 type entry = { reg : Reg.t; value : int }
 
-type t = entry list
-(** Oldest first. Invariant maintained by [write_replace]: at most one
-    entry per register. [write_fifo] may create duplicates. *)
+type t = {
+  front : entry list;  (** oldest first *)
+  rback : entry list;  (** newest first *)
+  size : int;
+}
+(** Logical order = [front @ List.rev rback], oldest first. Invariant
+    maintained by [write_replace]: at most one entry per register.
+    [write_fifo] may create duplicates. *)
 
-let empty : t = []
-let is_empty (t : t) = t = []
-let size (t : t) = List.length t
+let empty : t = { front = []; rback = []; size = 0 }
+let is_empty t = t.size = 0
+let size t = t.size
 
 (** Newest pending value for [r], if any — the value a read by the owner
     must return (store forwarding), under every buffered model. *)
-let find (t : t) r =
-  let rec last acc = function
-    | [] -> acc
-    | e :: rest -> last (if Reg.equal e.reg r then Some e.value else acc) rest
+let find t r =
+  let rec first = function
+    | [] -> None
+    | e :: rest -> if Reg.equal e.reg r then Some e.value else first rest
   in
-  last None t
+  match first t.rback with
+  | Some _ as v -> v
+  | None ->
+      let rec last acc = function
+        | [] -> acc
+        | e :: rest ->
+            last (if Reg.equal e.reg r then Some e.value else acc) rest
+      in
+      last None t.front
 
-let mem (t : t) r = Option.is_some (find t r)
+let mem t r = Option.is_some (find t r)
 
 (** Unordered-buffer write: replace any pending write to the same
-    register (the paper's [WB_p - {(R,_)} ∪ {(R,x)}]). *)
-let write_replace (t : t) r v =
-  let t = List.filter (fun e -> not (Reg.equal e.reg r)) t in
-  t @ [ { reg = r; value = v } ]
+    register (the paper's [WB_p - {(R,_)} ∪ {(R,x)}]); the entry moves
+    to the logical back, as with the former filter-and-append. *)
+let write_replace t r v =
+  let removed = ref 0 in
+  let keep e =
+    if Reg.equal e.reg r then begin
+      incr removed;
+      false
+    end
+    else true
+  in
+  let front = List.filter keep t.front in
+  let rback = List.filter keep t.rback in
+  {
+    front;
+    rback = { reg = r; value = v } :: rback;
+    size = t.size - !removed + 1;
+  }
 
-(** FIFO write: append, keeping duplicates, for TSO. *)
-let write_fifo (t : t) r v = t @ [ { reg = r; value = v } ]
+(** FIFO write: append, keeping duplicates, for TSO. O(1). *)
+let write_fifo t r v =
+  { t with rback = { reg = r; value = v } :: t.rback; size = t.size + 1 }
 
 (** Oldest entry, for TSO head-only commits. *)
-let head (t : t) = match t with [] -> None | e :: _ -> Some e
+let head t =
+  match t.front with
+  | e :: _ -> Some e
+  | [] -> (
+      let rec last = function
+        | [] -> None
+        | [ e ] -> Some e
+        | _ :: rest -> last rest
+      in
+      last t.rback)
 
 (** Remove the oldest entry for [r] and return its value. Under the
-    no-duplicate invariant this is the unique entry. *)
-let take (t : t) r =
-  let rec go acc = function
+    no-duplicate invariant this is the unique entry. Normalizes the
+    queue when the match sits in the back half, so a drain loop
+    reverses each entry at most once. *)
+let take t r =
+  let rec remove acc = function
     | [] -> None
     | e :: rest ->
         if Reg.equal e.reg r then Some (e.value, List.rev_append acc rest)
-        else go (e :: acc) rest
+        else remove (e :: acc) rest
   in
-  go [] t
+  match remove [] t.front with
+  | Some (v, front) -> Some (v, { t with front; size = t.size - 1 })
+  | None -> (
+      match remove [] (List.rev t.rback) with
+      | Some (v, back) ->
+          (* keep the (matchless) front prefix ahead of the normalized
+             back half *)
+          Some (v, { front = t.front @ back; rback = []; size = t.size - 1 })
+      | None -> None)
+
+(** Iterate over entries, oldest first, without materializing the
+    logical list — the statekey/lane hot path. *)
+let iter f t =
+  List.iter f t.front;
+  (* [fold_right] applies to the deepest (oldest) element of the
+     newest-first back list first *)
+  List.fold_right (fun e () -> f e) t.rback ()
+
+(** Distinct registers with a pending write, as a set (cold paths: the
+    §5 encoder's footprint computation). *)
+let regs t =
+  let add s e = Reg.Set.add e.reg s in
+  List.fold_left add (List.fold_left add Reg.Set.empty t.front) t.rback
 
 (** Distinct registers with a pending write, in increasing register
-    order (the executor needs the smallest). *)
-let regs (t : t) =
-  List.fold_left (fun s e -> Reg.Set.add e.reg s) Reg.Set.empty t
+    order — the PSO/RMO commit-candidate enumeration, without building
+    an intermediate set. *)
+let distinct_regs_sorted t =
+  match (t.front, t.rback) with
+  | [], [] -> []
+  | [ e ], [] | [], [ e ] -> [ e.reg ]
+  | _ ->
+      let rs =
+        List.rev_append
+          (List.rev_map (fun e -> e.reg) t.front)
+          (List.rev_map (fun e -> e.reg) (List.rev t.rback))
+      in
+      List.sort_uniq Reg.compare rs
 
-let smallest_reg (t : t) = Reg.Set.min_elt_opt (regs t)
-let entries (t : t) = t
+let smallest_reg t =
+  let min acc e =
+    match acc with
+    | None -> Some e.reg
+    | Some r -> if Reg.compare e.reg r < 0 then Some e.reg else acc
+  in
+  List.fold_left min (List.fold_left min None t.front) t.rback
 
-let pp ppf (t : t) =
+(** Entries, oldest first, as a materialized list (tests, printing). *)
+let entries t = t.front @ List.rev t.rback
+
+let pp ppf t =
   Fmt.pf ppf "{%a}"
-    (Fmt.list ~sep:Fmt.comma (fun ppf e -> Fmt.pf ppf "%a:=%d" Reg.pp e.reg e.value))
-    t
+    (Fmt.list ~sep:Fmt.comma (fun ppf e ->
+         Fmt.pf ppf "%a:=%d" Reg.pp e.reg e.value))
+    (entries t)

@@ -3,8 +3,10 @@
     The paper's PSO/RMO buffer is an {e unordered} set [WB_p ⊆ R × D]
     without duplicates — [write_replace]. TSO needs a FIFO queue with
     duplicates — [write_fifo] — since coalescing a newer store into an
-    older slot would break store ordering. The representation is shared;
-    {!Memory_model} picks the discipline. Buffers are immutable. *)
+    older slot would break store ordering. The representation is shared
+    (a persistent two-list queue, O(1) enqueue and amortized-linear
+    drains); {!Memory_model} picks the discipline. Buffers are
+    immutable. *)
 
 type entry = { reg : Reg.t; value : int }
 
@@ -12,6 +14,8 @@ type t
 
 val empty : t
 val is_empty : t -> bool
+
+(** O(1) (stored, not recounted). *)
 val size : t -> int
 
 (** Newest pending value for a register — what a read by the owner must
@@ -23,21 +27,27 @@ val mem : t -> Reg.t -> bool
 (** Unordered-buffer write: replaces any pending write to the register. *)
 val write_replace : t -> Reg.t -> int -> t
 
-(** FIFO write: appends, keeping duplicates. *)
+(** FIFO write: appends, keeping duplicates. O(1). *)
 val write_fifo : t -> Reg.t -> int -> t
 
 (** Oldest entry, for TSO head-only commits. *)
 val head : t -> entry option
 
-(** Remove the oldest entry for the register and return its value. *)
+(** Remove the {e oldest} entry for the register and return its value. *)
 val take : t -> Reg.t -> (int * t) option
+
+(** Iterate over entries, oldest first, without materializing a list. *)
+val iter : (entry -> unit) -> t -> unit
 
 (** Distinct registers with a pending write. *)
 val regs : t -> Reg.Set.t
 
+(** Distinct registers with a pending write, in increasing order. *)
+val distinct_regs_sorted : t -> Reg.t list
+
 val smallest_reg : t -> Reg.t option
 
-(** Entries, oldest first. *)
+(** Entries, oldest first (materializes a list; cold paths only). *)
 val entries : t -> entry list
 
 val pp : t Fmt.t

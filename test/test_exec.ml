@@ -41,9 +41,47 @@ let sc_write_is_immediate () =
       [ run (let* () = write 0 42 in return 0) ]
   in
   let steps, cfg = Exec.exec_elt cfg (0, None) in
-  Alcotest.(check (list string)) "one commit step" [ "commit" ] (kinds steps);
+  (* the documented SC rule: a write step immediately followed by its
+     commit — the trace shows both, and the census bills both *)
+  Alcotest.(check (list string))
+    "write then commit" [ "write"; "commit" ] (kinds steps);
   Alcotest.(check int) "memory updated" 42 (Config.read_mem cfg 0);
-  Alcotest.(check bool) "buffer empty" true (Wbuf.is_empty (Config.wbuf cfg 0))
+  Alcotest.(check bool) "buffer empty" true (Wbuf.is_empty (Config.wbuf cfg 0));
+  let c = Metrics.of_pid (Config.metrics cfg) 0 in
+  Alcotest.(check int) "write billed" 1 c.Metrics.writes;
+  Alcotest.(check int) "commit billed" 1 c.Metrics.commits;
+  Alcotest.(check int) "two model steps" 2 c.Metrics.steps
+
+(* The step census must satisfy
+   steps = reads + writes + fences + commits + cas + rmw + returns
+   for fence/read/write programs under every model; the old SC write
+   path billed one step for two census events and broke it. *)
+let sc_census_identity () =
+  let prog () =
+    run
+      (let* () = write 0 1 in
+       let* v = read 0 in
+       let* () = fence in
+       return v)
+  in
+  List.iter
+    (fun model ->
+      let cfg = config ~model ~nregs:1 [ prog () ] in
+      let rec drive cfg n =
+        if n = 0 then cfg
+        else
+          let _, cfg = Exec.exec_elt cfg (0, None) in
+          drive cfg (n - 1)
+      in
+      let cfg = drive cfg 10 in
+      Alcotest.(check bool) "terminated" true (Config.quiescent cfg);
+      let c = Metrics.total (Config.metrics cfg) in
+      Alcotest.(check int)
+        (Fmt.str "census identity under %a" Memory_model.pp model)
+        c.Metrics.steps
+        (c.Metrics.reads + c.Metrics.writes + c.Metrics.fences
+       + c.Metrics.commits + c.Metrics.cas + c.Metrics.rmw + c.Metrics.returns))
+    Memory_model.all
 
 let pso_write_is_buffered () =
   let cfg =
@@ -101,7 +139,7 @@ let fence_forces_commits_smallest_first () =
   done;
   Alcotest.(check (list int)) "smallest register first" [ 0; 1; 2 ] !committed;
   Alcotest.(check int) "fences counted" 1
-    (Metrics.of_pid !cfg.Config.metrics 0).Metrics.fences
+    (Metrics.of_pid (Config.metrics !cfg) 0).Metrics.fences
 
 let tso_commits_fifo () =
   let cfg =
@@ -218,7 +256,7 @@ let labels_are_free () =
   in
   let steps, cfg = Exec.exec_elt cfg (0, None) in
   Alcotest.(check (list string)) "note then write" [ "note"; "write" ] (kinds steps);
-  let c = Metrics.of_pid cfg.Config.metrics 0 in
+  let c = Metrics.of_pid (Config.metrics cfg) 0 in
   Alcotest.(check int) "notes cost no steps" 1 c.Metrics.steps
 
 let finished_process_can_still_commit () =
@@ -268,7 +306,7 @@ let cas_semantics () =
   let _, cfg = Exec.exec cfg [ (0, None) ] in
   Alcotest.(check (option int)) "return packs results" (Some 1)
     (Config.final_value cfg 0);
-  let c = Metrics.of_pid cfg.Config.metrics 0 in
+  let c = Metrics.of_pid (Config.metrics cfg) 0 in
   Alcotest.(check int) "each cas counts a fence" 2 c.Metrics.fences;
   Alcotest.(check int) "cas counter" 2 c.Metrics.cas
 
@@ -298,9 +336,12 @@ let swap_and_faa_semantics () =
   (* old=0, prev=7, now=17 *)
   Alcotest.(check (option int)) "values returned" (Some 717)
     (Config.final_value cfg 0);
-  let c = Metrics.of_pid cfg.Config.metrics 0 in
+  let c = Metrics.of_pid (Config.metrics cfg) 0 in
   Alcotest.(check int) "each rmw counts a fence" 2 c.Metrics.fences;
-  Alcotest.(check int) "rmw census" 2 c.Metrics.cas
+  (* swap/faa bill the rmw counter, not cas: a cas-free algorithm must
+     report cas = 0 even when it uses other strong primitives *)
+  Alcotest.(check int) "rmw census" 2 c.Metrics.rmw;
+  Alcotest.(check int) "cas untouched by swap/faa" 0 c.Metrics.cas
 
 let run_solo_terminates_and_blocks () =
   let cfg =
@@ -346,12 +387,43 @@ let execution_is_deterministic () =
   let t2, c2 = Exec.exec (make ()) sched in
   Alcotest.(check int) "same trace length" (List.length t1) (List.length t2);
   Alcotest.(check bool) "same final memory" true
-    (Reg.Map.equal Int.equal c1.Config.mem c2.Config.mem)
+    (Config.Mem.equal c1.Config.mem c2.Config.mem)
+
+(* Under TSO a process may hold several pending writes to the same
+   register; commits must drain them oldest first, one per element. *)
+let tso_duplicate_register_commits_oldest_first () =
+  let cfg =
+    config ~model:Memory_model.Tso ~nregs:1
+      [
+        run
+          (let* () = write 0 1 in
+           let* () = write 0 2 in
+           let* () = write 0 3 in
+           return 0);
+      ]
+  in
+  let _, cfg = Exec.exec cfg [ (0, None); (0, None); (0, None) ] in
+  Alcotest.(check int) "three pending" 3 (Wbuf.size (Config.wbuf cfg 0));
+  let committed = ref [] in
+  let cfg = ref cfg in
+  for _ = 1 to 3 do
+    let steps, cfg' = Exec.exec_elt !cfg (0, Some 0) in
+    cfg := cfg';
+    List.iter
+      (function
+        | Step.Commit { value; _ } -> committed := !committed @ [ value ]
+        | _ -> ())
+      steps
+  done;
+  Alcotest.(check (list int)) "oldest value first" [ 1; 2; 3 ] !committed;
+  Alcotest.(check int) "last write wins" 3 (Config.read_mem !cfg 0);
+  Alcotest.(check bool) "drained" true (Wbuf.is_empty (Config.wbuf !cfg 0))
 
 let suite =
   ( "exec",
     [
       Alcotest.test_case "SC writes commit immediately" `Quick sc_write_is_immediate;
+      Alcotest.test_case "step census identity" `Quick sc_census_identity;
       Alcotest.test_case "PSO writes are buffered" `Quick pso_write_is_buffered;
       Alcotest.test_case "fence forces commits, smallest reg first" `Quick
         fence_forces_commits_smallest_first;
@@ -368,4 +440,6 @@ let suite =
         run_solo_terminates_and_blocks;
       Alcotest.test_case "execution is deterministic" `Quick
         execution_is_deterministic;
+      Alcotest.test_case "TSO duplicate-register commits drain oldest first"
+        `Quick tso_duplicate_register_commits_oldest_first;
     ] )

@@ -99,7 +99,7 @@ let lemma_5_11_stack_size_vs_fences () =
       for p = 0 to n - 1 do
         let size = Encoding.Cstack.size (stacks_of r p) in
         let fences =
-          (Metrics.of_pid r.Encoding.Encoder.final.Config.metrics p).Metrics.fences
+          (Metrics.of_pid (Config.metrics r.Encoding.Encoder.final) p).Metrics.fences
         in
         Alcotest.(check bool)
           (Fmt.str "%s p%d: fences %d vs stack %d" name p fences size)
@@ -174,7 +174,7 @@ let lemmas_5_3_and_5_7_charging_bounds () =
       let v2 =
         sum_values (function Encoding.Command.Wait_local_finish _ -> true | _ -> false)
       in
-      let rho = Metrics.rho r.Encoding.Encoder.final.Config.metrics in
+      let rho = Metrics.rho (Config.metrics r.Encoding.Encoder.final) in
       Alcotest.(check bool)
         (Fmt.str "%s: Lemma 5.3 (rho %d >= %d/2)" name rho v)
         true

@@ -15,7 +15,7 @@ let mk progs =
     ~layout:(Layout.Builder.freeze b)
     (Array.of_list progs)
 
-let rmr cfg p = (Metrics.of_pid cfg.Config.metrics p).Metrics.rmr
+let rmr cfg p = (Metrics.of_pid (Config.metrics cfg) p).Metrics.rmr
 
 let own_segment_reads_are_free () =
   let cfg = mk [ run (let* _ = read 0 in let* _ = read 0 in return 0) ] in
@@ -108,7 +108,7 @@ let dsm_vs_cc_vs_combined () =
     mk [ Program.Done 0; run (let* _ = read 0 in let* _ = read 0 in return 0) ]
   in
   let _, cfg = Exec.exec cfg [ (1, None); (1, None); (1, None) ] in
-  let c = Metrics.of_pid cfg.Config.metrics 1 in
+  let c = Metrics.of_pid (Config.metrics cfg) 1 in
   Alcotest.(check int) "dsm: both reads" 2 c.Metrics.rmr_dsm;
   Alcotest.(check int) "cc: first read only" 1 c.Metrics.rmr_cc;
   Alcotest.(check int) "combined: first read only" 1 c.Metrics.rmr;
@@ -118,7 +118,7 @@ let dsm_vs_cc_vs_combined () =
     mk [ run (let* _ = read 0 in return 0) ]
   in
   let _, cfg = Exec.exec cfg [ (0, None); (0, None) ] in
-  let c = Metrics.of_pid cfg.Config.metrics 0 in
+  let c = Metrics.of_pid (Config.metrics cfg) 0 in
   Alcotest.(check int) "cc misses own segment too" 1 c.Metrics.rmr_cc;
   Alcotest.(check int) "combined is zero" 0 c.Metrics.rmr
 
@@ -134,8 +134,8 @@ let beta_rho_totals () =
     Exec.exec cfg
       [ (0, None); (0, None); (0, None); (1, None); (1, None); (1, None) ]
   in
-  Alcotest.(check int) "beta = total fences" 2 (Metrics.beta cfg.Config.metrics);
-  Alcotest.(check int) "rho = total RMRs" 2 (Metrics.rho cfg.Config.metrics)
+  Alcotest.(check int) "beta = total fences" 2 (Metrics.beta (Config.metrics cfg));
+  Alcotest.(check int) "rho = total RMRs" 2 (Metrics.rho (Config.metrics cfg))
 
 let counter_algebra () =
   let a = { Metrics.zero with Metrics.reads = 3; rmr = 2 } in
@@ -146,6 +146,34 @@ let counter_algebra () =
   let d = Metrics.sub s b in
   Alcotest.(check int) "sub restores" 3 d.Metrics.reads;
   Alcotest.(check int) "sub rmr" 2 d.Metrics.rmr
+
+(* Regression: the printer must render EVERY counter field under its
+   own label — the old one omitted [returns] (and [rmw]) and printed
+   the pure-model RMR counts as unlabeled parenthesized numbers, so
+   debug dumps silently lied about what was measured. Distinct values
+   per field make any dropped or swapped field visible. *)
+let pp_prints_every_field () =
+  let c =
+    {
+      Metrics.steps = 1;
+      reads = 2;
+      reads_from_wbuf = 3;
+      writes = 4;
+      fences = 5;
+      commits = 6;
+      cas = 7;
+      rmw = 8;
+      returns = 9;
+      rmr = 10;
+      rmr_dsm = 11;
+      rmr_cc = 12;
+    }
+  in
+  Alcotest.(check string)
+    "all fields labeled"
+    "steps=1 reads=2 (wbuf 3) writes=4 fences=5 commits=6 cas=7 rmw=8 \
+     returns=9 rmr=10 rmr_dsm=11 rmr_cc=12"
+    (Fmt.str "%a" Metrics.pp c)
 
 let suite =
   ( "metrics",
@@ -161,4 +189,5 @@ let suite =
       Alcotest.test_case "dsm vs cc vs combined" `Quick dsm_vs_cc_vs_combined;
       Alcotest.test_case "beta/rho totals" `Quick beta_rho_totals;
       Alcotest.test_case "counter algebra" `Quick counter_algebra;
+      Alcotest.test_case "pp prints every field" `Quick pp_prints_every_field;
     ] )

@@ -233,7 +233,7 @@ let count_cost_is_one_passage_plus_constant () =
   in
   let worst =
     List.fold_left
-      (fun acc p -> max acc (Metrics.of_pid final.Config.metrics p).Metrics.fences)
+      (fun acc p -> max acc (Metrics.of_pid (Config.metrics final) p).Metrics.fences)
       0 (List.init 8 Fun.id)
   in
   Alcotest.(check int) "count fences = passage + 1"

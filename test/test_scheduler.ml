@@ -29,7 +29,7 @@ let lazy_commit_drains () =
 let random_is_deterministic_per_seed () =
   let run seed =
     let t, f = Scheduler.random ~seed (two_writers Memory_model.Pso) in
-    (List.length t, Metrics.rho f.Config.metrics)
+    (List.length t, Metrics.rho (Config.metrics f))
   in
   Alcotest.(check bool) "same seed, same run" true (run 5 = run 5);
   (* different seeds usually differ; just ensure both complete *)

@@ -76,16 +76,20 @@ let commits_of p trace =
     trace
 
 let prop_step_conservation =
+  (* all models: under SC the write path must bill its write AND its
+     commit (two steps) for the census to balance *)
   QCheck.Test.make ~name:"step census adds up" ~count:150
-    arb_two_progs_and_seed (fun (ops0, ops1, seed) ->
+    QCheck.(pair arb_two_progs_and_seed (int_bound 3))
+    (fun ((ops0, ops1, seed), model_ix) ->
+      let model = List.nth Memory_model.all model_ix in
       let _, final =
-        run_random_schedule ~model:Memory_model.Pso ~seed
-          [ (0, ops0); (1, ops1) ]
+        run_random_schedule ~model ~seed [ (0, ops0); (1, ops1) ]
       in
-      let c = Metrics.total final.Config.metrics in
+      let c = Metrics.total (Config.metrics final) in
       c.Metrics.steps
       = c.Metrics.reads + c.Metrics.writes + c.Metrics.fences
-        + c.Metrics.commits + c.Metrics.cas + c.Metrics.returns)
+        + c.Metrics.commits + c.Metrics.cas + c.Metrics.rmw
+        + c.Metrics.returns)
 
 let prop_tso_commits_in_write_order =
   QCheck.Test.make ~name:"TSO commits = write order (FIFO)" ~count:150
@@ -164,7 +168,7 @@ let prop_sc_is_immediate =
         run_random_schedule ~model:Memory_model.Sc ~seed
           [ (0, ops0); (1, ops1) ]
       in
-      let c = Metrics.total final.Config.metrics in
+      let c = Metrics.total (Config.metrics final) in
       (* every write committed at its own step: counts agree *)
       c.Metrics.commits = c.Metrics.writes)
 

@@ -42,6 +42,41 @@ let smallest_reg () =
 let take_missing () =
   check "take missing" true (Wbuf.take Wbuf.empty 0 = None)
 
+(* Regression for the two-list queue: a [take] whose match sits in the
+   back half must keep the (matchless) front entries. *)
+let take_keeps_unmatched_front () =
+  let b = Wbuf.write_fifo Wbuf.empty 1 10 in
+  let b = Wbuf.write_fifo b 2 20 in
+  let b = Wbuf.write_fifo b 3 30 in
+  (* normalize: move everything into the front half *)
+  let b =
+    match Wbuf.take b 1 with Some (_, b) -> b | None -> Alcotest.fail "take 1"
+  in
+  (* enqueue into the back half, then take it: front [2;3] must survive *)
+  let b = Wbuf.write_fifo b 4 40 in
+  match Wbuf.take b 4 with
+  | Some (v, b) ->
+      check_int "took the back entry" 40 v;
+      check "front preserved" true
+        (List.map
+           (fun (e : Wbuf.entry) -> (e.Wbuf.reg, e.Wbuf.value))
+           (Wbuf.entries b)
+        = [ (2, 20); (3, 30) ])
+  | None -> Alcotest.fail "take 4"
+
+(* TSO keeps duplicate writes to one register; commits must drain them
+   oldest first, each [take] removing exactly one. *)
+let duplicate_register_drains_oldest_first () =
+  let b = Wbuf.write_fifo Wbuf.empty 3 1 in
+  let b = Wbuf.write_fifo b 3 2 in
+  let b = Wbuf.write_fifo b 3 3 in
+  let rec drain acc b =
+    match Wbuf.take b 3 with
+    | Some (v, b) -> drain (v :: acc) b
+    | None -> List.rev acc
+  in
+  check "oldest first, one per take" true (drain [] b = [ 1; 2; 3 ])
+
 (* properties *)
 
 let arb_ops =
@@ -87,6 +122,65 @@ let prop_fifo_take_order =
       in
       drain [] b = ops)
 
+(* The two-list queue against a naive single-list reference, under a
+   random interleaving of writes (both modes) and takes. *)
+let arb_queue_script =
+  QCheck.(
+    pair bool
+      (list
+         (oneof
+            [
+              map
+                (fun (r, v) -> `Write (r, v))
+                (pair (int_bound 3) (int_bound 100));
+              map (fun r -> `Take r) (int_bound 3);
+            ])))
+
+let prop_matches_reference_queue =
+  QCheck.Test.make ~name:"two-list queue = reference list queue" ~count:500
+    arb_queue_script (fun (fifo, script) ->
+      let ref_write l r v =
+        if fifo then l @ [ (r, v) ]
+        else List.filter (fun (r', _) -> r' <> r) l @ [ (r, v) ]
+      in
+      let rec ref_take acc l r =
+        match l with
+        | [] -> None
+        | (r', v) :: rest ->
+            if r' = r then Some (v, List.rev_append acc rest)
+            else ref_take ((r', v) :: acc) rest r
+      in
+      let write = if fifo then Wbuf.write_fifo else Wbuf.write_replace in
+      let step (b, l) = function
+        | `Write (r, v) -> Some (write b r v, ref_write l r v)
+        | `Take r -> (
+            match (Wbuf.take b r, ref_take [] l r) with
+            | Some (v, b'), Some (v', l') when v = v' -> Some (b', l')
+            | None, None -> Some (b, l)
+            | _ -> None)
+      in
+      let rec go st = function
+        | [] -> Some st
+        | op :: rest -> ( match step st op with None -> None | Some st -> go st rest)
+      in
+      match go (Wbuf.empty, []) script with
+      | None -> false
+      | Some (b, l) ->
+          List.map (fun (e : Wbuf.entry) -> (e.Wbuf.reg, e.Wbuf.value)) (Wbuf.entries b)
+          = l
+          && Wbuf.size b = List.length l
+          && Wbuf.head b
+             = Option.map
+                 (fun (r, v) -> { Wbuf.reg = r; value = v })
+                 (match l with [] -> None | x :: _ -> Some x)
+          && List.for_all
+               (fun r ->
+                 Wbuf.find b r
+                 = List.fold_left
+                     (fun acc (r', v) -> if r = r' then Some v else acc)
+                     None l)
+               (List.init 4 Fun.id))
+
 let suite =
   ( "wbuf",
     [
@@ -95,7 +189,12 @@ let suite =
       Alcotest.test_case "fifo semantics" `Quick fifo_semantics;
       Alcotest.test_case "smallest register" `Quick smallest_reg;
       Alcotest.test_case "take missing" `Quick take_missing;
+      Alcotest.test_case "take keeps unmatched front" `Quick
+        take_keeps_unmatched_front;
+      Alcotest.test_case "duplicate register drains oldest first" `Quick
+        duplicate_register_drains_oldest_first;
       QCheck_alcotest.to_alcotest prop_replace_no_duplicates;
       QCheck_alcotest.to_alcotest prop_find_is_last_write;
       QCheck_alcotest.to_alcotest prop_fifo_take_order;
+      QCheck_alcotest.to_alcotest prop_matches_reference_queue;
     ] )
