@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke mc-smoke mc-bench doc examples clean
+.PHONY: all build test bench bench-smoke mc-smoke mc-bench fuzz-smoke doc examples clean
 
 all: build
 
@@ -24,6 +24,12 @@ mc-bench:
 # without touching the committed BENCH_mc.json numbers
 bench-smoke:
 	BENCH_MC_CAP=20000 dune exec bench/main.exe -- MC
+
+# Deterministic differential-fuzzing smoke run: FUZZ_COUNT generated
+# programs (default 250) through all four oracles; shrunk
+# counterexample artifacts land in _fuzz/ on failure
+fuzz-smoke:
+	dune exec bin/fencelab_cli.exe -- fuzz --count $${FUZZ_COUNT:-250} --len 7 --regs 3 --values 3
 
 doc:
 	dune build @doc

@@ -7,6 +7,7 @@
      check            exhaustive mutual-exclusion check (+ counterexample)
      stress           randomized stress test
      litmus           reachable litmus outcomes per memory model
+     fuzz             differential fuzzing of programs, models, engines
      encode           run the Section 5 encoder on a permutation        *)
 
 open Cmdliner
@@ -244,6 +245,92 @@ let litmus_cmd =
   Cmd.v (Cmd.info "litmus" ~doc:"Reachable litmus outcomes per memory model")
     Term.(ret (const run $ test_t $ jobs_t $ por_t))
 
+let fuzz_cmd =
+  let seed_t =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Base seed.")
+  in
+  let count_t =
+    Arg.(
+      value
+      & opt int 200
+      & info [ "count" ] ~docv:"K" ~doc:"Generated programs (seeds S..S+K-1).")
+  in
+  let procs_t =
+    Arg.(
+      value
+      & opt int Fuzz.Gen.default_params.Fuzz.Gen.procs
+      & info [ "procs" ] ~docv:"P" ~doc:"Processes per generated program.")
+  in
+  let len_t =
+    Arg.(
+      value
+      & opt int Fuzz.Gen.default_params.Fuzz.Gen.len
+      & info [ "len" ] ~docv:"L" ~doc:"Max instructions per process.")
+  in
+  let regs_t =
+    Arg.(
+      value
+      & opt int Fuzz.Gen.default_params.Fuzz.Gen.nregs
+      & info [ "regs" ] ~docv:"R" ~doc:"Shared registers.")
+  in
+  let values_t =
+    Arg.(
+      value
+      & opt int Fuzz.Gen.default_params.Fuzz.Gen.values
+      & info [ "values" ] ~docv:"V" ~doc:"Write values drawn from 1..V.")
+  in
+  let artifact_dir_t =
+    Arg.(
+      value
+      & opt string "_fuzz"
+      & info [ "artifact-dir" ] ~docv:"DIR"
+          ~doc:"Where shrunk counterexample artifacts are written.")
+  in
+  let run seed count procs len regs values model jobs artifact_dir =
+   protect @@ fun () ->
+    let params = { Fuzz.Gen.procs; len; nregs = regs; values } in
+    let jobs_list =
+      List.filter (fun j -> j <= max 1 jobs) [ 1; 2; 4 ]
+    in
+    let config =
+      { Fuzz.Oracle.default_config with model; jobs = jobs_list }
+    in
+    let summary = Fuzz.run ~config ~params ~seed ~count () in
+    List.iter
+      (fun (s, reason) -> Fmt.epr "skipped seed %d: %s@." s reason)
+      summary.Fuzz.skipped;
+    List.iter
+      (fun (f : Fuzz.finding) ->
+        Fmt.epr "%s@." f.Fuzz.artifact;
+        (try
+           if not (Sys.file_exists artifact_dir) then Unix.mkdir artifact_dir 0o755;
+           let path =
+             Filename.concat artifact_dir
+               (Fmt.str "counterexample-%d.txt"
+                  f.Fuzz.violation.Fuzz.Oracle.prog.Fuzz.Gen.seed)
+           in
+           let oc = open_out path in
+           output_string oc f.Fuzz.artifact;
+           close_out oc;
+           Fmt.epr "artifact written to %s@." path
+         with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+           Fmt.epr "could not write artifact: %s@." msg))
+      summary.Fuzz.findings;
+    Fmt.pr "%a@." Fuzz.pp_summary summary;
+    if summary.Fuzz.findings = [] then `Ok ()
+    else `Error (false, "fuzz oracle violations")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generated programs through the model-nesting, \
+          engine-parity, fence-saturation and random-schedule oracles, with \
+          shrinking to minimal litmus counterexamples")
+    Term.(
+      ret
+        (const run $ seed_t $ count_t $ procs_t $ len_t $ regs_t $ values_t
+       $ model_t $ jobs_t $ artifact_dir_t))
+
 let encode_cmd =
   let pi_t =
     Arg.(
@@ -283,5 +370,5 @@ let () =
        (Cmd.group (Cmd.info "fencelab" ~doc)
           [
             locks_cmd; passage_cmd; sweep_cmd; check_cmd; stress_cmd;
-            obstruction_cmd; litmus_cmd; encode_cmd;
+            obstruction_cmd; litmus_cmd; fuzz_cmd; encode_cmd;
           ]))

@@ -1,0 +1,85 @@
+(** [Fuzz] — differential fuzzing of programs, models and engines.
+
+    Facade over the subsystem's pieces:
+
+    - {!Gen}: deterministic, seed-driven program generation over the
+      full [Program.t] grammar;
+    - {!Oracle}: the four differential oracles (model nesting, engine
+      parity, fence saturation, random-schedule soundness);
+    - {!Shrink}: size-directed minimization of violating programs;
+    - {!Render}: litmus renderings and replayable artifacts.
+
+    {!run} drives a whole campaign: programs [seed, seed+1, ...,
+    seed+count-1] through all four oracles, shrinking every violation
+    to a minimal counterexample. Fully deterministic for a fixed seed
+    and configuration — same programs, same outcome sets, same summary
+    line — which is what makes any failure a permanent regression
+    case. *)
+
+module Gen = Gen
+module Shrink = Shrink
+module Oracle = Oracle
+module Render = Render
+
+type finding = {
+  violation : Oracle.violation;
+  shrunk : Gen.t;
+  artifact : string;
+}
+
+type summary = {
+  seed : int;
+  count : int;
+  checked : int;  (** programs with all four oracles fully evaluated *)
+  skipped : (int * string) list;  (** (seed, reason) for truncated runs *)
+  findings : finding list;
+}
+
+let pp_summary ppf s =
+  Fmt.pf ppf "fuzz: seed=%d count=%d checked=%d skipped=%d violations=%d: %s"
+    s.seed s.count s.checked
+    (List.length s.skipped)
+    (List.length s.findings)
+    (match s.findings with
+    | [] -> "OK"
+    | f :: _ -> Fmt.str "FAIL (first: %s)" f.violation.Oracle.oracle)
+
+(* Shrink preserving the violated oracle family (the tag up to ':'),
+   so e.g. a nesting violation stays a nesting violation while the
+   program shrinks, even if the exact model pair shifts. *)
+let oracle_family tag =
+  match String.index_opt tag ':' with
+  | Some i -> String.sub tag 0 (i + 1)
+  | None -> tag
+
+let shrink_finding ?(config = Oracle.default_config) (v : Oracle.violation) :
+    finding =
+  let prefix = oracle_family v.Oracle.oracle in
+  let shrunk =
+    Shrink.minimize
+      ~still_failing:(Oracle.still_violates ~config ~oracle_prefix:prefix)
+      v.Oracle.prog
+  in
+  { violation = v; shrunk; artifact = Render.artifact v ~shrunk }
+
+let run ?(config = Oracle.default_config) ?(params = Gen.default_params)
+    ?on_program ~seed ~count () : summary =
+  let checked = ref 0 in
+  let skipped = ref [] in
+  let findings = ref [] in
+  for i = 0 to count - 1 do
+    let s = seed + i in
+    let prog = Gen.generate ~seed:s params in
+    (match Oracle.check ~config prog with
+    | Oracle.Ok -> incr checked
+    | Oracle.Skipped reason -> skipped := (s, reason) :: !skipped
+    | Oracle.Violation v -> findings := shrink_finding ~config v :: !findings);
+    match on_program with Some f -> f i | None -> ()
+  done;
+  {
+    seed;
+    count;
+    checked = !checked;
+    skipped = List.rev !skipped;
+    findings = List.rev !findings;
+  }

@@ -1,0 +1,53 @@
+(** Seeded generation of small concurrent programs over the full
+    [Program.t] grammar (reads, writes, fences, cas/swap/faa, spins,
+    labels), kept as first-class instruction lists so the shrinker can
+    edit them. Generated spins are always satisfiable, so every
+    generated program terminates under every scheduler — see the
+    implementation header. *)
+
+type instr =
+  | Read of int  (** load a shared register (by index) *)
+  | Write of int * int  (** store a constant *)
+  | Fence
+  | Cas of int * int * int  (** [Cas (r, expect, update)] *)
+  | Swap of int * int
+  | Faa of int * int
+  | Spin of int  (** always-satisfiable busy-wait: observes the value *)
+  | Label  (** zero-cost annotation, exercises label flushing *)
+
+type params = {
+  procs : int;  (** process count *)
+  len : int;  (** maximum instructions per process *)
+  nregs : int;  (** shared registers *)
+  values : int;  (** write values drawn from [1..values] *)
+}
+
+val default_params : params
+
+type t = {
+  seed : int;
+  params : params;  (** generation parameters, for seed replay *)
+  nregs : int;
+  procs : instr list array;
+}
+
+(** Total instruction count across processes — the shrinker's primary
+    size metric. *)
+val size : t -> int
+
+val nprocs : t -> int
+
+(** Structural equality of the program text (seed/params ignored). *)
+val equal : t -> t -> bool
+
+(** Deterministic: same seed and params, same program. *)
+val generate : seed:int -> params -> t
+
+val name : t -> string
+
+(** Close the program into a litmus test whose outcomes are the packed
+    per-process observation logs plus every register's final value. *)
+val compile : t -> Litmus.Test.t
+
+(** Insert a fence after every plain write (oracle 3's transform). *)
+val saturate : t -> t

@@ -1,0 +1,163 @@
+(** The four differential oracles, run per generated program.
+
+    Every oracle is an inclusion or agreement claim between two
+    independent ways of enumerating behaviours, so a violation always
+    means a real bug somewhere — in the simulator, an engine, a
+    reduction, or a scheduler — never a flaky environment:
+
+    1. {b model nesting} — the exhaustive outcome set under SC is
+       contained in TSO's, and TSO's in PSO's (via
+       {!Litmus.Test.separation}); the operational content of the
+       paper's SC ⊆ TSO ⊆ PSO behaviour inclusion.
+    2. {b engine parity} — [Explore.dfs], [Mc.run ~engine:(`Parallel j)]
+       and the POR-on run agree on the outcome set under the checked
+       model.
+    3. {b fence saturation} — a fence after every write collapses the
+       TSO and PSO outcome sets onto SC's (fence insertion, made
+       operational).
+    4. {b random-schedule soundness} — every outcome an online
+       {!Memsim.Scheduler.random} run reaches is in the exhaustive set.
+
+    All claims are over total outcome sets, so they are only asserted
+    when no exploration was truncated; a truncated program is reported
+    as skipped, never as passed. *)
+
+open Memsim
+
+type violation = {
+  oracle : string;  (** short tag, e.g. ["nesting:SC⊆TSO"] *)
+  detail : string;
+  prog : Gen.t;
+}
+
+type verdict =
+  | Ok
+  | Skipped of string  (** some exploration hit a bound *)
+  | Violation of violation
+
+type config = {
+  model : Memory_model.t;  (** model checked by oracles 2 and 4 *)
+  jobs : int list;  (** parallel-engine domain counts for parity *)
+  random_seeds : int;  (** random schedules per model for oracle 4 *)
+  max_states : int;  (** per-exploration safety cap *)
+}
+
+let default_config =
+  { model = Memory_model.Pso; jobs = [ 1; 2; 4 ]; random_seeds = 3;
+    max_states = 300_000 }
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%s: %s violates %s (%s)" (Gen.name v.prog) (Gen.name v.prog)
+    v.oracle v.detail
+
+let outcomes run = run.Litmus.Test.outcomes
+
+let pp_outcomes ppf os =
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.semi Litmus.Test.pp_outcome) os
+
+(* Exhaustive run; [None] when truncated (the caller skips). *)
+let exhaustive ?engine ?por ~max_states test ~model =
+  let r = Litmus.Test.run ?engine ?por ~max_states test ~model in
+  if r.Litmus.Test.stats.Explore.truncated then None else Some r
+
+let check ?(config = default_config) prog : verdict =
+  let test = Gen.compile prog in
+  let exception Skip of string in
+  let exception Fail of string * string in
+  let fail oracle fmt = Fmt.kstr (fun d -> raise (Fail (oracle, d))) fmt in
+  let run ?engine ?por test ~model =
+    match exhaustive ?engine ?por ~max_states:config.max_states test ~model with
+    | Some r -> r
+    | None ->
+        raise (Skip (Fmt.str "truncated at %d states under %a" config.max_states
+                       Memory_model.pp model))
+  in
+  try
+    (* oracle 1: model nesting over the exhaustive sets *)
+    let sc = run test ~model:Memory_model.Sc in
+    let tso = run test ~model:Memory_model.Tso in
+    let pso = run test ~model:Memory_model.Pso in
+    let nesting tag ~stronger ~weaker =
+      match Litmus.Test.separation ~stronger:weaker ~weaker:stronger with
+      | [] -> ()
+      | missing ->
+          fail ("nesting:" ^ tag) "%a reachable under %a but not %a"
+            pp_outcomes missing Memory_model.pp stronger.Litmus.Test.model
+            Memory_model.pp weaker.Litmus.Test.model
+    in
+    nesting "SC⊆TSO" ~stronger:sc ~weaker:tso;
+    nesting "TSO⊆PSO" ~stronger:tso ~weaker:pso;
+    (* oracle 2: engine parity under the configured model *)
+    let reference =
+      match config.model with
+      | Memory_model.Sc -> sc
+      | Memory_model.Tso -> tso
+      | Memory_model.Pso | Memory_model.Rmo -> pso
+    in
+    let parity tag r =
+      if outcomes r <> outcomes reference then
+        fail ("parity:" ^ tag) "dfs %a vs %s %a" pp_outcomes
+          (outcomes reference) tag pp_outcomes (outcomes r)
+    in
+    List.iter
+      (fun j ->
+        parity (Fmt.str "j=%d" j)
+          (run ~engine:(`Parallel j) test ~model:reference.Litmus.Test.model))
+      config.jobs;
+    parity "por"
+      (run ~engine:(`Parallel 1) ~por:true test
+         ~model:reference.Litmus.Test.model);
+    (* oracle 3: fence saturation collapses TSO/PSO onto SC *)
+    let sat = Gen.compile (Gen.saturate prog) in
+    let sat_sc = run sat ~model:Memory_model.Sc in
+    List.iter
+      (fun model ->
+        let r = run sat ~model in
+        if outcomes r <> outcomes sat_sc then
+          fail
+            (Fmt.str "saturation:%a" Memory_model.pp model)
+            "saturated %a %a vs SC %a" Memory_model.pp model pp_outcomes
+            (outcomes r) pp_outcomes (outcomes sat_sc))
+      [ Memory_model.Tso; Memory_model.Pso ];
+    (* oracle 4: random schedules only reach exhaustive outcomes *)
+    let regs, _ = Litmus.Test.configure test ~model:config.model in
+    let observe final =
+      {
+        Litmus.Test.returns =
+          List.init (Config.nprocs final) (fun p ->
+              Option.value ~default:(-1) (Config.final_value final p));
+        finals = List.map (Config.read_mem final) (test.Litmus.Test.observed regs);
+      }
+    in
+    List.iter
+      (fun (model, exh) ->
+        let _, cfg = Litmus.Test.configure test ~model in
+        for k = 0 to config.random_seeds - 1 do
+          let seed = (prog.Gen.seed * 1_000) + k in
+          match Scheduler.random ~seed cfg with
+          | exception Scheduler.Stuck (_, msg) ->
+              (* generated programs are straight-line + satisfiable
+                 spins: a stuck scheduler is itself a soundness bug *)
+              fail "random:stuck" "seed %d under %a: %s" seed Memory_model.pp
+                model msg
+          | _, final ->
+              let o = observe final in
+              if not (Litmus.Test.admits exh o) then
+                fail "random:unsound" "seed %d under %a reached %a outside %a"
+                  seed Memory_model.pp model Litmus.Test.pp_outcome o
+                  pp_outcomes (outcomes exh)
+        done)
+      [ (Memory_model.Sc, sc); (Memory_model.Tso, tso); (Memory_model.Pso, pso) ];
+    Ok
+  with
+  | Skip reason -> Skipped reason
+  | Fail (oracle, detail) -> Violation { oracle; detail; prog }
+
+(** Does [prog] still violate an oracle whose tag starts with
+    [oracle_prefix]? The shrinker's preserved property. *)
+let still_violates ?(config = default_config) ~oracle_prefix prog =
+  match check ~config prog with
+  | Violation v ->
+      String.length v.oracle >= String.length oracle_prefix
+      && String.sub v.oracle 0 (String.length oracle_prefix) = oracle_prefix
+  | Ok | Skipped _ -> false

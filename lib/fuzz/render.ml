@@ -1,0 +1,58 @@
+(** Rendering of fuzz programs and violation artifacts.
+
+    An artifact is self-contained and replayable: it carries the litmus
+    rendering of the (shrunk) program, the violated oracle with its
+    detail, the per-model exhaustive outcome sets, and the exact
+    generator invocation ([seed] plus parameters) that reproduces the
+    original program, so every counterexample doubles as a permanent
+    regression case. *)
+
+open Memsim
+
+let pp_instr ppf : Gen.instr -> unit = function
+  | Gen.Read r -> Fmt.pf ppf "load x%d" r
+  | Gen.Write (r, v) -> Fmt.pf ppf "x%d := %d" r v
+  | Gen.Fence -> Fmt.pf ppf "fence"
+  | Gen.Cas (r, e, u) -> Fmt.pf ppf "cas x%d %d->%d" r e u
+  | Gen.Swap (r, v) -> Fmt.pf ppf "swap x%d %d" r v
+  | Gen.Faa (r, d) -> Fmt.pf ppf "faa x%d +%d" r d
+  | Gen.Spin r -> Fmt.pf ppf "spin x%d" r
+  | Gen.Label -> Fmt.pf ppf "label"
+
+let pp_prog ppf (t : Gen.t) =
+  Fmt.pf ppf "@[<v>%s: %d procs over x0..x%d@," (Gen.name t)
+    (Gen.nprocs t) (t.Gen.nregs - 1);
+  Array.iteri
+    (fun p instrs ->
+      Fmt.pf ppf "  P%d: %a@," p (Fmt.list ~sep:(Fmt.any "; ") pp_instr) instrs)
+    t.Gen.procs;
+  Fmt.pf ppf "@]"
+
+(** The generator invocation reproducing the program's {e original}
+    (pre-shrink) form; shrinking is deterministic, so seed + parameters
+    are a complete replay recipe. *)
+let replay_command (t : Gen.t) =
+  let p = t.Gen.params in
+  Fmt.str
+    "fencelab fuzz --seed %d --count 1 --procs %d --len %d --regs %d \
+     --values %d"
+    t.Gen.seed p.Gen.procs p.Gen.len p.Gen.nregs p.Gen.values
+
+let outcome_sets (t : Gen.t) =
+  let test = Gen.compile t in
+  List.map
+    (fun model -> Litmus.Test.run test ~model)
+    [ Memory_model.Sc; Memory_model.Tso; Memory_model.Pso ]
+
+(** Self-contained artifact for a violation, with the shrunk program. *)
+let artifact (v : Oracle.violation) ~(shrunk : Gen.t) =
+  Fmt.str
+    "@[<v>fuzz counterexample: oracle %s@,detail: %s@,@,original (%d \
+     instrs):@,%a@,shrunk (%d instrs):@,%a@,exhaustive outcome sets of the \
+     shrunk program:@,%a@,replay: %s (then shrink; shrinking is \
+     deterministic)@]@."
+    v.Oracle.oracle v.Oracle.detail (Gen.size v.Oracle.prog) pp_prog
+    v.Oracle.prog (Gen.size shrunk) pp_prog shrunk
+    (Fmt.list (fun ppf r -> Fmt.pf ppf "  %a" Litmus.Test.pp_run r))
+    (outcome_sets shrunk)
+    (replay_command v.Oracle.prog)

@@ -1,0 +1,13 @@
+(** Rendering of fuzz programs and self-contained, replayable
+    counterexample artifacts. *)
+
+val pp_instr : Gen.instr Fmt.t
+val pp_prog : Gen.t Fmt.t
+
+(** The [fencelab fuzz] invocation reproducing the program's original
+    (pre-shrink) form from its seed and parameters. *)
+val replay_command : Gen.t -> string
+
+(** Artifact text for a violation: original and shrunk programs,
+    violated oracle, per-model outcome sets, replay command. *)
+val artifact : Oracle.violation -> shrunk:Gen.t -> string

@@ -1,0 +1,124 @@
+(** Size-directed shrinking to a minimal violating program.
+
+    Greedy first-improvement descent: propose candidate edits in
+    decreasing order of ambition — drop a whole process, drop an
+    instruction, replace a strong operation by a weaker one, shrink
+    constants and register indices, garbage-collect unused registers —
+    and commit the first candidate on which the violated oracle still
+    fires. Every edit strictly decreases the (size, weight) measure, so
+    the descent terminates; it is deterministic, which is what makes a
+    shrunk artifact replayable from its seed. *)
+
+open Gen
+
+(* Instruction weight: strong ops > spins > plain ops, plus constants
+   and register indices, so every simplification rule below strictly
+   decreases the per-instruction weight even when the size is equal. *)
+let instr_weight = function
+  | Cas (r, e, u) -> (80 + r + e + u : int)
+  | Swap (r, v) -> 64 + r + v
+  | Faa (r, d) -> 64 + r + d
+  | Spin r -> 48 + r
+  | Write (r, v) -> 32 + r + v
+  | Read r -> 16 + r
+  | Fence -> 16
+  | Label -> 16
+
+let weight t =
+  Array.fold_left
+    (fun acc p -> List.fold_left (fun acc i -> acc + instr_weight i) acc p)
+    0 t.procs
+
+(* Register count participates so the unused-register GC edit is also
+   a strict decrease. *)
+let measure t = (size t, weight t + t.nregs)
+
+(* Strictly-simpler replacements for one instruction, most aggressive
+   first. *)
+let simplify_instr = function
+  | Cas (r, _, u) -> [ Write (r, u); Read r ]
+  | Swap (r, v) -> [ Write (r, v); Read r ]
+  | Faa (r, d) -> [ Write (r, d); Read r ]
+  | Spin r -> [ Read r ]
+  | Write (r, v) ->
+      (if v > 1 then [ Write (r, 1) ] else [])
+      @ if r > 0 then [ Write (0, v) ] else []
+  | Read r -> if r > 0 then [ Read 0 ] else []
+  | Fence | Label -> []
+
+let drop_nth n l = List.filteri (fun i _ -> i <> n) l
+let replace_nth n x l = List.mapi (fun i y -> if i = n then x else y) l
+
+let with_procs t procs = { t with procs }
+
+let used_regs t =
+  let used = Array.make t.nregs false in
+  let mark r = used.(r) <- true in
+  Array.iter
+    (List.iter (function
+      | Read r | Spin r -> mark r
+      | Write (r, _) | Swap (r, _) | Faa (r, _) -> mark r
+      | Cas (r, _, _) -> mark r
+      | Fence | Label -> ()))
+    t.procs;
+  used
+
+(* Candidate edits of [t], most ambitious first. *)
+let candidates t : t list =
+  let n = Array.length t.procs in
+  let drop_proc =
+    if n <= 1 then []
+    else
+      List.init n (fun p ->
+          with_procs t
+            (Array.of_list
+               (List.filteri (fun i _ -> i <> p) (Array.to_list t.procs))))
+  in
+  let per_instr f =
+    List.concat
+      (List.init n (fun p ->
+           List.concat
+             (List.mapi (fun j i -> f p j i) t.procs.(p))))
+  in
+  let drop_instr =
+    per_instr (fun p j _ ->
+        let procs = Array.copy t.procs in
+        procs.(p) <- drop_nth j procs.(p);
+        [ with_procs t procs ])
+  in
+  let simplify =
+    per_instr (fun p j i ->
+        List.map
+          (fun i' ->
+            let procs = Array.copy t.procs in
+            procs.(p) <- replace_nth j i' procs.(p);
+            with_procs t procs)
+          (simplify_instr i))
+  in
+  let gc_regs =
+    (* drop the highest register when nothing touches it *)
+    if t.nregs > 1 && not (used_regs t).(t.nregs - 1) then
+      [ { t with nregs = t.nregs - 1 } ]
+    else []
+  in
+  drop_proc @ drop_instr @ gc_regs @ simplify
+
+(** Greedy minimization of [t] under [still_failing]; [t] itself must
+    fail. [max_evals] caps oracle evaluations (each candidate costs one
+    full oracle run). *)
+let minimize ?(max_evals = 2_000) ~still_failing t =
+  let evals = ref 0 in
+  let rec descend t =
+    let rec first = function
+      | [] -> t
+      | c :: rest ->
+          if !evals >= max_evals then t
+          else begin
+            incr evals;
+            assert (measure c < measure t);
+            if still_failing c then descend c else first rest
+          end
+    in
+    first (candidates t)
+  in
+  descend t

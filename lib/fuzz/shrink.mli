@@ -1,0 +1,9 @@
+(** Size-directed, deterministic shrinking to a minimal violating
+    program: greedy first-improvement descent over strictly-decreasing
+    edits (drop process, drop instruction, weaken strong ops, shrink
+    constants/registers). *)
+
+(** Minimize [t] under [still_failing] (which must hold of [t]).
+    [max_evals] caps oracle evaluations. Deterministic. *)
+val minimize :
+  ?max_evals:int -> still_failing:(Gen.t -> bool) -> Gen.t -> Gen.t

@@ -15,6 +15,12 @@
       too (that fence is what the paper's tradeoff charges for).
     - {b 2+2W}: both registers end with the {e first} thread's values —
       again write-reordering only: PSO/RMO yes, TSO/SC no.
+    - {b SB+rmw}: fetch-and-store instead of plain writes; the
+      implicit barrier of strong operations forbids [0,0] again
+      everywhere (the §1/§6 remark made operational).
+    - {b WRC}: write-to-read causality through a middle thread; the
+      final reader missing the relayed write is forbidden in every
+      multi-copy-atomic write-buffer model.
     - {b LB}: both loads see the other thread's (program-later) store.
       Unreachable in every write-buffer model (ours never executes a
       load before an earlier load/store of the same thread); recorded
@@ -169,6 +175,54 @@ let iriw : Test.t =
     observed = (fun _ -> []);
   }
 
+let sb_rmw : Test.t =
+  {
+    name = "SB+rmw";
+    description =
+      "store buffering with fetch-and-store instead of plain writes: the \
+       implicit barrier restores SC";
+    nregs = 2;
+    programs =
+      (fun r ->
+        two_threads
+          (let* _ = swap r.(0) 1 in
+           let* a = read r.(1) in
+           return a)
+          (let* _ = swap r.(1) 1 in
+           let* b = read r.(0) in
+           return b));
+    observed = (fun _ -> []);
+  }
+
+let wrc : Test.t =
+  {
+    name = "WRC";
+    description =
+      "write-to-read causality: w x || r x; w y || r y; r x — the final \
+       reader cannot miss the first write";
+    nregs = 2;
+    programs =
+      (fun r ->
+        let x = r.(0) and y = r.(1) in
+        [|
+          run
+            (let* () = write x 1 in
+             let* () = fence in
+             return 0);
+          run
+            (let* a = read x in
+             let* () = write y 1 in
+             let* () = fence in
+             return a);
+          run
+            (let* b = read y in
+             let* () = fence in
+             let* c = read x in
+             return (pack b c));
+        |]);
+    observed = (fun _ -> []);
+  }
+
 let corr : Test.t =
   {
     name = "CoRR";
@@ -189,15 +243,19 @@ let corr : Test.t =
     observed = (fun r -> [ r.(0) ]);
   }
 
-let all = [ sb; sb_fenced; mp; mp_fenced; two_plus_two_w; lb; iriw; corr ]
+let all =
+  [ sb; sb_fenced; sb_rmw; mp; mp_fenced; two_plus_two_w; lb; wrc; iriw; corr ]
 
 (** The outcome each test is "about", for report tables. *)
 let interesting_outcome (t : Test.t) : Test.outcome =
   match t.Test.name with
-  | "SB" | "SB+fences" -> { Test.returns = [ 0; 0 ]; finals = [] }
+  | "SB" | "SB+fences" | "SB+rmw" -> { Test.returns = [ 0; 0 ]; finals = [] }
   | "MP" | "MP+fence" -> { Test.returns = [ 0; pack 1 0 ]; finals = [] }
   | "2+2W" -> { Test.returns = [ 0; 0 ]; finals = [ 1; 1 ] }
   | "LB" -> { Test.returns = [ 1; 1 ]; finals = [] }
+  | "WRC" ->
+      (* middle thread relayed the write, final reader missed it *)
+      { Test.returns = [ 0; 1; pack 1 0 ]; finals = [] }
   | "IRIW" ->
       (* readers see the two writes in opposite orders *)
       { Test.returns = [ 0; 0; pack 1 0; pack 1 0 ]; finals = [] }

@@ -4,10 +4,19 @@
 
 val sb : Test.t
 val sb_fenced : Test.t
+
+(** SB with fetch-and-store instead of plain writes; the implicit
+    barrier of strong operations restores SC in every model. *)
+val sb_rmw : Test.t
+
 val mp : Test.t
 val mp_fenced : Test.t
 val two_plus_two_w : Test.t
 val lb : Test.t
+
+(** 3 threads, write-to-read causality; the weak outcome is forbidden
+    in every multi-copy-atomic write-buffer model. *)
+val wrc : Test.t
 
 (** 4 threads; forbidden in every write-buffer model (multi-copy
     atomicity). *)

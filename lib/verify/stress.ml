@@ -33,11 +33,13 @@ let monitor_trace trace =
 
 let run ?(seeds = 50) ?(rounds = 3) ?(commit_bias = 0.3) ~model factory ~nprocs
     : report =
-  let name = ref "" in
+  (* one workload serves every seed: configurations are immutable, and
+     building it before the loop means the report carries the lock's
+     name even with [~seeds:0] or an early exception *)
+  let lock, counter, cfg = Mutex_check.workload ~model factory ~nprocs ~rounds in
+  let name = lock.Locks.Lock.name in
   let failures = ref [] in
   for seed = 0 to seeds - 1 do
-    let lock, counter, cfg = Mutex_check.workload ~model factory ~nprocs ~rounds in
-    name := lock.Locks.Lock.name;
     match Scheduler.random ~seed ~commit_bias cfg with
     | exception Scheduler.Stuck (_, msg) ->
         failures := (seed, "stuck: " ^ msg) :: !failures
@@ -54,7 +56,7 @@ let run ?(seeds = 50) ?(rounds = 3) ?(commit_bias = 0.3) ~model factory ~nprocs
             :: !failures
   done;
   {
-    lock_name = !name;
+    lock_name = name;
     model;
     nprocs;
     rounds;

@@ -25,4 +25,6 @@ let () =
       Test_lemma51.suite;
       Test_tradeoff.suite;
       Test_mc.suite;
+      Test_fuzz.suite;
+      Test_stress.suite;
     ]

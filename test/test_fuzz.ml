@@ -1,0 +1,154 @@
+(* Differential fuzzing: the generator is deterministic, the four
+   oracles hold on a capped corpus on every run, and the shrinker
+   minimizes a deliberately broken oracle's counterexample to a
+   litmus-sized program that replays from its seed. *)
+
+open Memsim
+
+let corpus_count =
+  (* same knob as `make fuzz-smoke`, so CI can scale the tier-1 corpus *)
+  match Sys.getenv_opt "FUZZ_COUNT" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 200)
+  | None -> 200
+
+let generator_is_deterministic () =
+  let params = { Fuzz.Gen.default_params with len = 7; nregs = 3 } in
+  List.iter
+    (fun seed ->
+      let a = Fuzz.Gen.generate ~seed params in
+      let b = Fuzz.Gen.generate ~seed params in
+      Alcotest.(check bool) (Fmt.str "seed %d replays" seed) true
+        (Fuzz.Gen.equal a b))
+    [ 0; 1; 42; 1234 ];
+  let a = Fuzz.Gen.generate ~seed:7 params in
+  let b = Fuzz.Gen.generate ~seed:8 params in
+  Alcotest.(check bool) "distinct seeds, distinct programs" false
+    (Fuzz.Gen.equal a b)
+
+let oracles_hold_on_corpus () =
+  let summary = Fuzz.run ~seed:0 ~count:corpus_count () in
+  Alcotest.(check int) "violations" 0 (List.length summary.Fuzz.findings);
+  Alcotest.(check int) "skipped" 0 (List.length summary.Fuzz.skipped);
+  Alcotest.(check int) "checked" corpus_count summary.Fuzz.checked
+
+let oracles_hold_on_three_proc_corpus () =
+  let params = { Fuzz.Gen.default_params with procs = 3; len = 4 } in
+  let summary = Fuzz.run ~params ~seed:1_000 ~count:30 () in
+  Alcotest.(check int) "violations" 0 (List.length summary.Fuzz.findings);
+  Alcotest.(check int) "checked" 30
+    (summary.Fuzz.checked + List.length summary.Fuzz.skipped)
+
+(* The deliberately broken oracle: assert that every PSO-reachable
+   outcome is SC-reachable. Any program with a genuinely weak behaviour
+   (an SB core) violates it; the shrinker must strip the noise down to
+   a minimal litmus-sized witness. *)
+let pso_only_outcome prog =
+  let test = Fuzz.Gen.compile prog in
+  let sc = Litmus.Test.run test ~model:Memory_model.Sc in
+  let pso = Litmus.Test.run test ~model:Memory_model.Pso in
+  Litmus.Test.separation ~stronger:sc ~weaker:pso <> []
+
+let broken_oracle_shrinks_to_minimal () =
+  let params =
+    { Fuzz.Gen.procs = 2; len = 6; nregs = 2; values = 2 }
+  in
+  let seed =
+    let rec find s =
+      if s > 500 then Alcotest.fail "no weak-behaviour seed below 500"
+      else if pso_only_outcome (Fuzz.Gen.generate ~seed:s params) then s
+      else find (s + 1)
+    in
+    find 0
+  in
+  let prog = Fuzz.Gen.generate ~seed params in
+  let shrunk = Fuzz.Shrink.minimize ~still_failing:pso_only_outcome prog in
+  Alcotest.(check bool) "shrunk still violates" true (pso_only_outcome shrunk);
+  Alcotest.(check bool)
+    (Fmt.str "minimal case has <= 2 procs (got %d)" (Fuzz.Gen.nprocs shrunk))
+    true
+    (Fuzz.Gen.nprocs shrunk <= 2);
+  Alcotest.(check bool)
+    (Fmt.str "minimal case has <= 6 instrs (got %d)" (Fuzz.Gen.size shrunk))
+    true
+    (Fuzz.Gen.size shrunk <= 6);
+  (* seed replay: regenerating and re-shrinking reproduces the same
+     minimal program — the artifact's replay contract *)
+  let replayed =
+    Fuzz.Shrink.minimize ~still_failing:pso_only_outcome
+      (Fuzz.Gen.generate ~seed params)
+  in
+  Alcotest.(check bool) "shrink replays from seed" true
+    (Fuzz.Gen.equal shrunk replayed);
+  let cmd = Fuzz.Render.replay_command prog in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "replay command names the seed" true
+    (contains cmd (Fmt.str "--seed %d" seed))
+
+let saturation_is_sequentially_consistent () =
+  (* spot check of oracle 3's transform on a known-weak program: the
+     saturated SB program forbids 0,0 even under PSO *)
+  let sb =
+    {
+      Fuzz.Gen.seed = 0;
+      params = Fuzz.Gen.default_params;
+      nregs = 2;
+      procs =
+        [|
+          [ Fuzz.Gen.Write (0, 1); Fuzz.Gen.Read 1 ];
+          [ Fuzz.Gen.Write (1, 1); Fuzz.Gen.Read 0 ];
+        |];
+    }
+  in
+  Alcotest.(check bool) "SB is weak" true (pso_only_outcome sb);
+  Alcotest.(check bool) "saturated SB is not" false
+    (pso_only_outcome (Fuzz.Gen.saturate sb))
+
+let artifact_is_self_contained () =
+  let sb =
+    {
+      Fuzz.Gen.seed = 99;
+      params = Fuzz.Gen.default_params;
+      nregs = 2;
+      procs =
+        [|
+          [ Fuzz.Gen.Write (0, 1); Fuzz.Gen.Read 1 ];
+          [ Fuzz.Gen.Write (1, 1); Fuzz.Gen.Read 0 ];
+        |];
+    }
+  in
+  let v =
+    { Fuzz.Oracle.oracle = "nesting:SC⊆TSO"; detail = "synthetic"; prog = sb }
+  in
+  let a = Fuzz.Render.artifact v ~shrunk:sb in
+  let contains sub =
+    let n = String.length a and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub a i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Fmt.str "artifact mentions %S" sub) true
+        (contains sub))
+    [ "nesting:SC⊆TSO"; "FUZZ#99"; "x0 := 1"; "--seed 99"; "replay:" ]
+
+let suite =
+  ( "fuzz",
+    [
+      Alcotest.test_case "generator is deterministic" `Quick
+        generator_is_deterministic;
+      Alcotest.test_case
+        (Fmt.str "oracles hold on %d generated programs" corpus_count)
+        `Quick oracles_hold_on_corpus;
+      Alcotest.test_case "oracles hold on a 3-process corpus" `Quick
+        oracles_hold_on_three_proc_corpus;
+      Alcotest.test_case "broken oracle shrinks to a minimal witness" `Quick
+        broken_oracle_shrinks_to_minimal;
+      Alcotest.test_case "fence saturation collapses SB onto SC" `Quick
+        saturation_is_sequentially_consistent;
+      Alcotest.test_case "artifacts are self-contained and replayable" `Quick
+        artifact_is_self_contained;
+    ] )

@@ -18,6 +18,27 @@ let check_returns test model expected =
     (Fmt.str "%s/%a returns" test.Litmus.Test.name Memory_model.pp model)
     (List.sort compare expected) (returns_of r)
 
+(* Negative assertions: the outcome a model *forbids* is the content of
+   a separation, so every claim below is stated as "forbidden under X"
+   (and, where the corpus separates, "allowed under Y"). *)
+let check_forbids test model returns =
+  let r = Litmus.Test.run test ~model in
+  Alcotest.(check bool)
+    (Fmt.str "%s/%a forbids %a" test.Litmus.Test.name Memory_model.pp model
+       Fmt.(list ~sep:comma int)
+       returns)
+    false
+    (List.mem returns (returns_of r))
+
+let check_allows test model returns =
+  let r = Litmus.Test.run test ~model in
+  Alcotest.(check bool)
+    (Fmt.str "%s/%a allows %a" test.Litmus.Test.name Memory_model.pp model
+       Fmt.(list ~sep:comma int)
+       returns)
+    true
+    (List.mem returns (returns_of r))
+
 let sb_exact () =
   (* thread returns: what each read saw *)
   check_returns Litmus.Cases.sb Memory_model.Sc [ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ];
@@ -74,6 +95,43 @@ let lb_forbidden_everywhere () =
         (Fmt.str "LB %a" Memory_model.pp m)
         false
         (List.mem [ 1; 1 ] (returns_of r)))
+    Memory_model.all
+
+let forbidden_outcomes_per_model () =
+  (* SB: the weak 0,0 is exactly the SC/TSO separation *)
+  check_forbids Litmus.Cases.sb Memory_model.Sc [ 0; 0 ];
+  List.iter
+    (fun m -> check_allows Litmus.Cases.sb m [ 0; 0 ])
+    [ Memory_model.Tso; Memory_model.Pso; Memory_model.Rmo ];
+  (* MP: flag-without-data is exactly the TSO/PSO separation *)
+  List.iter
+    (fun m -> check_forbids Litmus.Cases.mp m [ 0; 10 ])
+    [ Memory_model.Sc; Memory_model.Tso ];
+  List.iter
+    (fun m -> check_allows Litmus.Cases.mp m [ 0; 10 ])
+    [ Memory_model.Pso; Memory_model.Rmo ];
+  (* fenced variants forbid the weak outcome everywhere *)
+  List.iter
+    (fun m ->
+      check_forbids Litmus.Cases.sb_fenced m [ 0; 0 ];
+      check_forbids Litmus.Cases.mp_fenced m [ 0; 10 ])
+    Memory_model.all
+
+let sb_rmw_restores_sc () =
+  (* strong operations carry an implicit barrier: swapping the writes
+     forbids the weak outcome in every model, like SB+fences *)
+  List.iter
+    (fun m ->
+      check_returns Litmus.Cases.sb_rmw m [ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ])
+    Memory_model.all
+
+let wrc_causality_holds () =
+  (* committed writes are visible to everyone at once: once the middle
+     thread relayed x into y, the final reader cannot miss x *)
+  List.iter
+    (fun m ->
+      check_forbids Litmus.Cases.wrc m [ 0; 1; 10 ];
+      check_allows Litmus.Cases.wrc m [ 0; 1; 11 ])
     Memory_model.all
 
 let strictly_coarser_models_see_more () =
@@ -139,6 +197,12 @@ let suite =
         two_plus_two_w_exact;
       Alcotest.test_case "LB forbidden in write-buffer models" `Quick
         lb_forbidden_everywhere;
+      Alcotest.test_case "forbidden outcomes per model" `Quick
+        forbidden_outcomes_per_model;
+      Alcotest.test_case "SB+rmw restores SC via implicit barriers" `Quick
+        sb_rmw_restores_sc;
+      Alcotest.test_case "WRC causality holds in every model" `Quick
+        wrc_causality_holds;
       Alcotest.test_case "outcome sets are monotone in the model" `Quick
         strictly_coarser_models_see_more;
       Alcotest.test_case "IRIW forbidden (multi-copy atomicity)" `Quick

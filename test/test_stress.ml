@@ -1,0 +1,48 @@
+(* Verify.Stress in tier-1: the randomized-schedule path runs on every
+   `dune runtest` over a small lock × model matrix, and the report
+   carries the workload name even when no seed ever runs (the
+   regression behind hoisting the workload out of the seed loop). *)
+
+open Memsim
+
+let factory name = Option.get (Locks.Registry.find name)
+
+let matrix () =
+  List.iter
+    (fun (name, expect) ->
+      List.iter
+        (fun model ->
+          let r =
+            Verify.Stress.run ~seeds:10 ~rounds:2 ~model (factory name)
+              ~nprocs:3
+          in
+          Alcotest.(check (list (pair int string)))
+            (Fmt.str "%s under %a" name Memory_model.pp model)
+            [] r.Verify.Stress.failures;
+          Alcotest.(check string)
+            (Fmt.str "%s report name" name)
+            expect r.Verify.Stress.lock_name)
+        [ Memory_model.Tso; Memory_model.Pso ])
+    [
+      ("bakery", "bakery");
+      ("tournament", "tournament[f=2]");
+      ("gt:2", "gt[f=2,b=2]");
+    ]
+
+let report_named_without_seeds () =
+  let r =
+    Verify.Stress.run ~seeds:0 ~model:Memory_model.Pso (factory "bakery")
+      ~nprocs:2
+  in
+  Alcotest.(check string) "lock name survives ~seeds:0" "bakery"
+    r.Verify.Stress.lock_name;
+  Alcotest.(check int) "no seeds, no failures" 0
+    (List.length r.Verify.Stress.failures)
+
+let suite =
+  ( "stress",
+    [
+      Alcotest.test_case "lock x model matrix has zero failures" `Quick matrix;
+      Alcotest.test_case "report is named even with ~seeds:0" `Quick
+        report_named_without_seeds;
+    ] )
