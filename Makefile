@@ -20,10 +20,13 @@ mc-smoke:
 mc-bench:
 	dune exec bench/main.exe -- MC
 
-# Tiny capped MC bench run: exercises the whole bench path in seconds
-# without touching the committed BENCH_mc.json numbers
+# Capped MC bench run doubling as a scaling-regression guard: sweeps
+# j in {1,4} and exits 1 if j=4 aggregate throughput regresses below
+# j=1 (on a single-CPU box, if mc j=1 falls below 0.8x the dfs
+# baseline). Never touches the committed BENCH_mc.json numbers.
 bench-smoke:
-	BENCH_MC_CAP=20000 dune exec bench/main.exe -- MC
+	BENCH_MC_CAP=200000 BENCH_MC_JOBS=1,4 BENCH_MC_GUARD=1 \
+	dune exec bench/main.exe -- MC
 
 # Deterministic differential-fuzzing smoke run: FUZZ_COUNT generated
 # programs (default 250) through all four oracles; shrunk

@@ -437,7 +437,13 @@ let mc () =
     "MC: parallel model-checking engine — states/sec by domain count and \
      reduction (PSO mutual-exclusion checks, wall clock)";
   (* BENCH_MC_CAP shrinks the run for smoke testing (`make bench-smoke`);
-     capped runs never overwrite the committed BENCH_mc.json numbers. *)
+     capped runs never overwrite the committed BENCH_mc.json numbers.
+     BENCH_MC_JOBS picks the domain counts to sweep (default 1,2,4,8).
+     BENCH_MC_GUARD=1 turns the run into a scaling-regression guard:
+     exit 1 if the aggregate j=4 throughput falls below j=1. On a
+     single-CPU box domain scaling is unmeasurable (extra domains only
+     add stop-the-world GC synchronization), so the guard degrades to
+     a serial-overhead check: mc j=1 must stay within 0.8x of dfs. *)
   let cap, capped =
     match Sys.getenv_opt "BENCH_MC_CAP" with
     | Some s -> (
@@ -447,41 +453,84 @@ let mc () =
             Fmt.invalid_arg "BENCH_MC_CAP must be a positive integer: %S" s)
     | None -> (2_000_000, false)
   in
-  let workloads = [ ("bakery", 3); ("tournament", 3); ("gt:2", 3) ] in
+  let jobs_sweep =
+    match Sys.getenv_opt "BENCH_MC_JOBS" with
+    | None -> [ 1; 2; 4; 8 ]
+    | Some s ->
+        String.split_on_char ',' s
+        |> List.filter_map (fun x ->
+               match int_of_string_opt (String.trim x) with
+               | Some j when j > 0 -> Some j
+               | _ ->
+                   Fmt.invalid_arg
+                     "BENCH_MC_JOBS must be comma-separated positive \
+                      integers: %S"
+                     s)
+  in
+  let guard = Sys.getenv_opt "BENCH_MC_GUARD" <> None in
+  let cpus = Domain.recommended_domain_count () in
+  (* expected-state hints (the committed full-space sizes) pre-size the
+     visited set so rehashing does not pollute the timing *)
+  let workloads =
+    [ ("bakery", 3, 718_590); ("tournament", 3, 1_356_589);
+      ("gt:2", 3, 1_356_589) ]
+  in
   let engines =
-    [
-      ("dfs", `Dfs, false);
-      ("mc j=1", `Parallel 1, false);
-      ("mc j=2", `Parallel 2, false);
-      ("mc j=4", `Parallel 4, false);
-      ("mc j=8", `Parallel 8, false);
-      ("mc j=1 +por", `Parallel 1, true);
-      ("mc j=4 +por", `Parallel 4, true);
-    ]
+    ("dfs", `Dfs, false, false)
+    :: List.map (fun j -> (Fmt.str "mc j=%d" j, `Parallel j, false, false))
+         jobs_sweep
+    @ [
+        ("mc j=1 +por", `Parallel 1, true, false);
+        ("mc j=4 +por", `Parallel 4, true, false);
+        ("mc j=1 +sym", `Parallel 1, false, true);
+        ("mc j=1 +por+sym", `Parallel 1, true, true);
+      ]
   in
   let records = ref [] in
+  (* (workload, jobs) -> plain-run rate, for speedup_vs_j1 and the guard *)
+  let rates : (string * int, float) Hashtbl.t = Hashtbl.create 16 in
   let rows =
     List.concat_map
-      (fun (name, nprocs) ->
+      (fun (name, nprocs, expected) ->
         List.map
-          (fun (label, engine, por) ->
+          (fun (label, engine, por, symmetry) ->
+            let vstats = ref None in
             let t0 = Unix.gettimeofday () in
             let v =
-              Verify.Mutex_check.check ~max_states:cap ~engine ~por
-                ~model:Memory_model.Pso (lock name) ~nprocs
+              Verify.Mutex_check.check ~max_states:cap
+                ~expected_states:(min cap expected)
+                ~report_visited:(fun s -> vstats := Some s)
+                ~engine ~por ~symmetry ~model:Memory_model.Pso (lock name)
+                ~nprocs
             in
             let dt = Unix.gettimeofday () -. t0 in
             let s = v.Verify.Mutex_check.stats in
             let rate = float_of_int s.Explore.states /. dt in
             let jobs = match engine with `Dfs -> 0 | `Parallel j -> j in
+            if (not por) && not symmetry then
+              Hashtbl.replace rates (name, jobs) rate;
+            let speedup =
+              match Hashtbl.find_opt rates (name, 1) with
+              | Some r1 when r1 > 0. -> rate /. r1
+              | _ -> Float.nan
+            in
+            let skew =
+              match !vstats with
+              | Some st -> st.Mc.Visited.skew
+              | None -> Float.nan
+            in
             records :=
               Fmt.str
                 {|  {"workload": %S, "nprocs": %d, "model": "PSO",
-   "engine": %S, "jobs": %d, "por": %b,
+   "engine": %S, "jobs": %d, "por": %b, "symmetry": %b,
    "states": %d, "transitions": %d, "truncated": %b,
-   "seconds": %.3f, "states_per_sec": %.0f}|}
-                name nprocs label jobs por s.Explore.states
+   "seconds": %.3f, "states_per_sec": %.0f,
+   "speedup_vs_j1": %s, "visited_skew": %s}|}
+                name nprocs label jobs por symmetry s.Explore.states
                 s.Explore.transitions s.Explore.truncated dt rate
+                (if Float.is_nan speedup then "null"
+                 else Fmt.str "%.3f" speedup)
+                (if Float.is_nan skew then "null" else Fmt.str "%.2f" skew)
               :: !records;
             [
               name;
@@ -491,32 +540,90 @@ let mc () =
               Report.icol s.Explore.transitions;
               Fmt.str "%.2f" dt;
               Fmt.str "%.0f" rate;
+              (if Float.is_nan speedup then "--" else Fmt.str "%.2f" speedup);
+              (if Float.is_nan skew then "--" else Fmt.str "%.2f" skew);
             ])
           engines)
       workloads
   in
   Report.print
-    ~headers:[ "lock"; "n"; "engine"; "states"; "transitions"; "s"; "states/s" ]
+    ~headers:
+      [
+        "lock"; "n"; "engine"; "states"; "transitions"; "s"; "states/s";
+        "vs j=1"; "skew";
+      ]
     rows;
   if capped then
     Fmt.pr
-      "@.Smoke run (BENCH_MC_CAP=%d): rates are not meaningful and \
-       BENCH_mc.json is left untouched.@."
+      "@.Smoke run (BENCH_MC_CAP=%d): rates are noisy and BENCH_mc.json \
+       is left untouched.@."
       cap
   else begin
     let oc = open_out "BENCH_mc.json" in
     output_string oc
-      (Fmt.str "{\"cpus\": %d,\n \"runs\": [\n%s\n]}\n"
-         (Domain.recommended_domain_count ())
+      (Fmt.str "{\"cpus\": %d,\n \"jobs_swept\": [%s],\n \"runs\": [\n%s\n]}\n"
+         cpus
+         (String.concat ", " (List.map string_of_int jobs_sweep))
          (String.concat ",\n" (List.rev !records)));
     close_out oc;
     Fmt.pr
       "@.%d CPU(s) visible to the runtime; wrote BENCH_mc.json. Reading: \
        the incremental-fingerprint engine beats the serializing DFS even \
-       at j=1; extra domains only pay off with >1 CPU — the states/s \
-       column scales with physical cores, not with j. POR rows visit \
-       strictly fewer states with identical verdicts.@."
-      (Domain.recommended_domain_count ())
+       at j=1; the work-stealing frontier keeps oversubscription cheap, \
+       but the states/s column can only scale with physical cores, not \
+       with j. POR and symmetry rows visit strictly fewer states with \
+       identical verdicts.@."
+      cpus
+  end;
+  if guard then begin
+    (* aggregate throughput at j across all workloads, plain runs only *)
+    let aggregate j =
+      List.fold_left
+        (fun acc (name, _, _) ->
+          match Hashtbl.find_opt rates (name, j) with
+          | Some r -> acc +. r
+          | None -> acc)
+        0. workloads
+    in
+    let r0 = aggregate 0 and r1 = aggregate 1 and r4 = aggregate 4 in
+    if cpus >= 2 then begin
+      if r1 <= 0. || r4 <= 0. then begin
+        Fmt.epr "guard: need j=1 and j=4 in the sweep (BENCH_MC_JOBS=%s)@."
+          (String.concat "," (List.map string_of_int jobs_sweep));
+        exit 1
+      end;
+      let ratio = r4 /. r1 in
+      Fmt.pr "@.guard: aggregate j=4 / j=1 = %.2f (floor 1.00, %d CPUs)@."
+        ratio cpus;
+      if ratio < 1.0 then begin
+        Fmt.epr
+          "guard: parallel scaling regression — j=4 aggregate %.0f st/s \
+           vs j=1 %.0f st/s@."
+          r4 r1;
+        exit 1
+      end
+    end
+    else begin
+      (* 1 CPU: extra domains only multiply stop-the-world GC syncs;
+         guard the engine's serial overhead against the baseline dfs
+         instead *)
+      if r0 <= 0. || r1 <= 0. then begin
+        Fmt.epr "guard: need the dfs and j=1 rows@.";
+        exit 1
+      end;
+      let ratio = r1 /. r0 in
+      Fmt.pr
+        "@.guard: 1 CPU — scaling unmeasurable; serial overhead mc j=1 / \
+         dfs = %.2f (floor 0.80)@."
+        ratio;
+      if ratio < 0.8 then begin
+        Fmt.epr
+          "guard: serial regression — mc j=1 aggregate %.0f st/s vs dfs \
+           %.0f st/s@."
+          r1 r0;
+        exit 1
+      end
+    end
   end
 
 let timings () =

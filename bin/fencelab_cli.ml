@@ -66,11 +66,23 @@ let por_t =
           "Partial-order reduction (safe-step persistent sets); implies the \
            parallel engine (1 domain unless $(b,--jobs) says otherwise).")
 
-(* --jobs/--por to an Mc engine selection: POR is an Mc feature, so
-   requesting it routes through the parallel engine even at J=1. *)
-let engine_of ~jobs ~por : Mc.engine =
+let symmetry_t =
+  Arg.(
+    value
+    & flag
+    & info [ "symmetry" ]
+        ~doc:
+          "Process-id symmetry reduction (canonical fingerprints over pid \
+           orbits); implies the parallel engine (1 domain unless \
+           $(b,--jobs) says otherwise). Sound for pid-symmetric workloads \
+           such as the lock checks.")
+
+(* --jobs/--por/--symmetry to an Mc engine selection: the reductions
+   are Mc features, so requesting either routes through the parallel
+   engine even at J=1. *)
+let engine_of ?(symmetry = false) ~jobs ~por () : Mc.engine =
   if jobs >= 1 then `Parallel jobs
-  else if por then `Parallel 1
+  else if por || symmetry then `Parallel 1
   else `Dfs
 
 (* Surface algorithm preconditions (e.g. Peterson is 2-process) and
@@ -150,13 +162,14 @@ let check_cmd =
       & opt int 1_000_000
       & info [ "max-states" ] ~docv:"K" ~doc:"State cap for exploration.")
   in
-  let run (name, factory) model nprocs rounds max_states trace jobs por =
+  let run (name, factory) model nprocs rounds max_states trace jobs por
+      symmetry =
    protect @@ fun () ->
     ignore name;
-    let engine = engine_of ~jobs ~por in
+    let engine = engine_of ~symmetry ~jobs ~por () in
     let v =
-      Verify.Mutex_check.check ~rounds ~max_states ~engine ~por ~model factory
-        ~nprocs
+      Verify.Mutex_check.check ~rounds ~max_states ~engine ~por ~symmetry
+        ~model factory ~nprocs
     in
     Fmt.pr "%a@." Verify.Mutex_check.pp_verdict v;
     (match (trace, v.Verify.Mutex_check.me_violation) with
@@ -171,7 +184,7 @@ let check_cmd =
     Term.(
       ret
         (const run $ lock_t $ model_t $ nprocs_t $ rounds_t $ max_states_t
-       $ trace_t $ jobs_t $ por_t))
+       $ trace_t $ jobs_t $ por_t $ symmetry_t))
 
 let stress_cmd =
   let seeds_t =
@@ -216,7 +229,9 @@ let litmus_cmd =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"TEST" ~doc:"Test name.")
   in
   let run test jobs por =
-    let engine = engine_of ~jobs ~por in
+    (* no --symmetry here: litmus verdicts project per-pid outcomes,
+       which orbit merging would conflate *)
+    let engine = engine_of ~jobs ~por () in
     let tests =
       match test with
       | None -> Litmus.Cases.all

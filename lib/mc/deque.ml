@@ -1,0 +1,124 @@
+(** Chase–Lev work-stealing deque over a resizable circular array.
+
+    One owner, many thieves. The owner pushes and pops at the
+    {e bottom} (LIFO — depth-first order, hot cache); thieves steal at
+    the {e top} (FIFO — they take the oldest, shallowest tasks, which
+    tend to root the largest remaining subtrees). The classic
+    algorithm (Chase & Lev, SPAA'05): [top] only ever grows and is
+    only advanced by CAS, so there is no ABA; the single owner is the
+    only writer of [bottom]. All three shared fields ([top], [bottom],
+    the buffer pointer) are OCaml [Atomic]s, whose operations are
+    sequentially consistent — that subsumes the acquire/release/fence
+    placement the weak-memory formulations need. Slightly more fencing
+    than optimal on the owner's fast path, still far cheaper than a
+    mutex, and the happens-before argument is immediate: any thief
+    that observes the advanced [bottom] also observes the cell written
+    before it.
+
+    Races resolved:
+
+    - {e last element} ([bottom - 1 = top]): the owner's pop and a
+      steal race to CAS [top]; exactly one wins the element, and the
+      owner then restores the canonical empty shape ([bottom = top]).
+    - {e growth}: the owner installs a doubled buffer; a thief that
+      read the old buffer still read a correct value, because growth
+      copies (never moves) live cells and the owner only reuses a
+      physical slot after [top] has passed it — so if the thief's CAS
+      on [top] succeeds, the cell it read was still live in the buffer
+      it read it from.
+
+    Cells are ['a] slots initialized with an unsafe immediate dummy
+    ([Obj.magic ()]), the standard trick to avoid an ['a option] box
+    per push; the GC never chases an immediate. The owner clears the
+    cells it pops; {e stolen} cells cannot safely be cleared by the
+    thief (the owner may already have reused the physical slot after
+    wrap-around), so a stolen cell keeps its reference alive until
+    overwritten — retention bounded by the buffer size. *)
+
+type 'a t = {
+  bottom : int Atomic.t;  (** next free slot; written only by the owner *)
+  top : int Atomic.t;  (** oldest live slot; CAS'd forward by takers *)
+  buf : 'a array Atomic.t;  (** circular; length a power of two *)
+}
+
+let dummy : 'a. unit -> 'a = fun () -> Obj.magic ()
+
+let create () =
+  {
+    bottom = Atomic.make 0;
+    top = Atomic.make 0;
+    buf = Atomic.make (Array.make 32 (dummy ()));
+  }
+
+(** Racy size estimate; only errs transiently, used as a "worth
+    stealing from / worth staying awake for" hint. *)
+let size_hint t = Atomic.get t.bottom - Atomic.get t.top
+
+(* Owner only: double the buffer, copying live cells [tp .. b-1] to
+   their logical positions in the new array. *)
+let grow t b tp =
+  let old = Atomic.get t.buf in
+  let omask = Array.length old - 1 in
+  let buf = Array.make (2 * Array.length old) (dummy ()) in
+  let nmask = Array.length buf - 1 in
+  for i = tp to b - 1 do
+    buf.(i land nmask) <- old.(i land omask)
+  done;
+  Atomic.set t.buf buf
+
+(** Owner only: push at the bottom. *)
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let buf = Atomic.get t.buf in
+  let buf =
+    if b - tp >= Array.length buf then begin
+      grow t b tp;
+      Atomic.get t.buf
+    end
+    else buf
+  in
+  buf.(b land (Array.length buf - 1)) <- x;
+  (* SC store: a thief that reads the new bottom sees the cell *)
+  Atomic.set t.bottom (b + 1)
+
+(** Owner only: LIFO pop at the bottom. *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* empty: restore the canonical shape *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else
+    let buf = Atomic.get t.buf in
+    let i = b land (Array.length buf - 1) in
+    if b > tp then begin
+      let x = buf.(i) in
+      buf.(i) <- dummy ();
+      Some x
+    end
+    else begin
+      (* last element: race the thieves for it *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        let x = buf.(i) in
+        buf.(i) <- dummy ();
+        Some x
+      end
+      else None
+    end
+
+(** Thief side: FIFO steal at the top. [None] means empty {e or} lost
+    a race — callers treat both as "try elsewhere". *)
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if b - tp <= 0 then None
+  else
+    let buf = Atomic.get t.buf in
+    let x = buf.(tp land (Array.length buf - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then Some x else None

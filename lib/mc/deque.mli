@@ -1,0 +1,23 @@
+(** Chase–Lev lock-free work-stealing deque over a resizable circular
+    array. Exactly one owner may call {!push}/{!pop} (bottom, LIFO);
+    any number of thieves may call {!steal} (top, FIFO). See the
+    implementation header for the algorithm and the memory-ordering
+    argument. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Racy size estimate ([bottom - top]); may be transiently off, never
+    fabricates work that was never pushed. *)
+val size_hint : 'a t -> int
+
+(** Owner only. *)
+val push : 'a t -> 'a -> unit
+
+(** Owner only: most recently pushed element. *)
+val pop : 'a t -> 'a option
+
+(** Thief side: oldest element, or [None] when empty or on a lost
+    race (callers treat both as "try elsewhere"). *)
+val steal : 'a t -> 'a option

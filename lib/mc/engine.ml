@@ -1,32 +1,48 @@
-(** The model-checking engine: work-sharing parallel exploration with
-    optional partial-order reduction, subsuming {!Memsim.Explore.dfs}
-    as its 1-domain special case.
+(** The model-checking engine: work-stealing parallel exploration with
+    optional partial-order and symmetry reduction, subsuming
+    {!Memsim.Explore.dfs} as its 1-domain special case.
 
     Architecture:
 
-    - states are deduplicated on {!Fingerprint}s in a sharded
-      {!Visited} set — the atomic test-and-insert elects exactly one
-      domain to expand each distinct state and fire its hooks; each
-      task carries its fingerprint, updated in O(1) per edge from
-      [Exec.exec_elt_d]'s dirty report instead of recomputed per
-      state;
-    - each worker runs depth-first over a private stack of tasks
-      (configuration, monitor state, reversed path, depth) and offloads
-      surplus through the {!Frontier} whenever some worker is starved;
+    - each worker owns a Chase–Lev deque in the {!Frontier}: it walks
+      its own frontier depth-first (bottom of the deque, plus the task
+      in its hand) and steals from a sibling's top only when dry — no
+      lock and no shared queue on the common path, which is what made
+      the former injection-queue design scale negatively with domains;
+    - states are deduplicated {e at creation}: an expansion executes
+      its edges, normalizes each child (label flushing), monitors the
+      pending notes, and then claims the whole brood in one batched
+      two-phase {!Visited} probe ([add_batch] — lock-free racy
+      pre-check, then one shard-lock round for the survivors). Only
+      claim winners become tasks, so duplicate states — the majority,
+      on lock workloads — never travel through the deques at all;
+    - each task carries its fingerprint, updated in O(1) per edge and
+      per flushed label from [Exec.exec_elt_d]'s dirty reports;
     - with [por], each expansion first looks for a persistent-singleton
       safe step ({!Por}); finding one prunes every sibling
       interleaving;
+    - with [symmetry], the visited set is keyed on {!Symmetry.canon}
+      — the minimum fingerprint over process-id permutations — so one
+      representative per pid orbit is expanded. Paths and
+      configurations are never canonicalized, so counterexamples
+      replay verbatim ({!Replay}) and need no de-canonicalization;
     - verdict paths are just the recorded [Exec.elt] schedules; they
-      replay deterministically via {!Replay} regardless of domain
-      count or visit order.
+      replay deterministically regardless of domain count or visit
+      order.
 
-    Parity with [Explore.dfs] ([`Parallel 1], [por:false]): same
-    states, transitions and verdicts on any run that completes within
-    its bounds — both expand every distinct state exactly once and
-    count one transition per successor element of each expanded state.
-    Once a bound truncates the run, visit {e order} determines which
-    part of the graph was seen, so truncated runs agree only on the
-    [truncated] flag.
+    Parity with [Explore.dfs] ([`Parallel j], [por:false],
+    [symmetry:false]): same states, transitions, deadlocks and
+    verdict {e sets} on any run that completes within its bounds —
+    both claim every distinct normalized state exactly once, expand
+    each claimed state exactly once, and count one transition per
+    successor element of each expanded state. Claiming at creation
+    changes the {e discovery order} of violations relative to the
+    historical entry-time dedup (children are monitored before their
+    subtrees are explored), so on runs with multiple violations the
+    list may be ordered differently; the set is the same. Once a
+    bound truncates the run, visit order determines which part of the
+    graph was seen, so truncated runs agree only on the [truncated]
+    flag.
 
     Hooks under parallelism: [monitor] must be a pure function (it is
     threaded through tasks on every domain); [check] must be pure;
@@ -38,7 +54,7 @@ open Memsim
 type engine = [ `Dfs | `Parallel of int ]
 
 type 'm task = {
-  cfg : Config.t;
+  cfg : Config.t;  (** normalized: labels flushed *)
   fp : Fingerprint.t;  (** [Fingerprint.of_config cfg], carried incrementally *)
   m : 'm;
   rev_path : Exec.elt list;  (** newest element first *)
@@ -54,17 +70,22 @@ let rec monitor_steps monitor m = function
       | Ok m -> monitor_steps monitor m rest
       | Error _ as e -> e)
 
-(* How big a private stack may grow while some worker starves before
-   the owner shares everything but its working head. *)
-let share_keep = 1
-
-let run_parallel (type m) ~jobs ~por ~max_states ~max_depth ~max_violations
-    ~max_deadlocks ~(check : Config.t -> string option)
+let run_parallel (type m) ~jobs ~por ~symmetry ~expected_states
+    ~report_visited ~max_states ~max_depth ~max_violations ~max_deadlocks
+    ~(check : Config.t -> string option)
     ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
     ~(on_final : Config.t -> m -> unit) (cfg0 : Config.t) : m Explore.result =
   if jobs < 1 then Fmt.invalid_arg "Mc.run: `Parallel %d" jobs;
-  let visited = Visited.create () in
-  let frontier : m task Frontier.t = Frontier.create () in
+  let visited = Visited.create ?expected_states () in
+  (* Symmetry needs observation digests that transform under register
+     renaming: switch on per-register observation tracking at the root
+     (every explored state descends from it), so {!Symmetry.canon} can
+     remap each process's per-register lanes instead of the ordered —
+     and permutation-scrambled — raw log. Plain fingerprints are
+     untouched; without symmetry nothing changes at all. *)
+  let cfg0 = if symmetry then Config.track_obs_regs cfg0 else cfg0 in
+  let sym = if symmetry then Some (Symmetry.create cfg0) else None in
+  let frontier : m task Frontier.t = Frontier.create ~workers:jobs in
   let states = Atomic.make 0 and transitions = Atomic.make 0 in
   let truncated = Atomic.make false in
   (* one mutex serializes the mutating hooks and verdict stores; they
@@ -88,6 +109,11 @@ let run_parallel (type m) ~jobs ~por ~max_states ~max_depth ~max_violations
       deadlocks := path :: !deadlocks
     end;
     Mutex.unlock sync
+  in
+  (* Visited-set key of a normalized child: its fingerprint, or its
+     canonical (orbit-minimal) fingerprint under symmetry. *)
+  let key (c : m task) =
+    match sym with None -> c.fp | Some s -> Symmetry.canon s c.cfg
   in
   (* POR edge selection: a single safe step when one exists, the full
      expansion otherwise. Probing a candidate means executing it;
@@ -115,10 +141,14 @@ let run_parallel (type m) ~jobs ~por ~max_states ~max_depth ~max_violations
              | None -> (e, exec e))
            elts)
   in
-  (* Expand one task: normalize, monitor the pending notes, claim the
-     state, fire hooks, execute and monitor every chosen edge. Returns
-     the child tasks in exploration order (first child first). Mirrors
-     Explore.dfs edge for edge. *)
+  (* Expand one claimed, normalized task: fire its hooks, execute and
+     monitor every chosen edge, normalize and monitor each child, then
+     claim the whole brood in one batched visited probe. Returns the
+     claim winners in exploration order (first child first); only they
+     become tasks. Mirrors Explore.dfs edge for edge — the same
+     elements are executed, the same notes monitored, each distinct
+     normalized state claimed once — with dedup moved from child entry
+     to child creation. *)
   let expand (t : m task) : m task list =
     if
       Atomic.get states >= max_states
@@ -129,169 +159,212 @@ let run_parallel (type m) ~jobs ~por ~max_states ~max_depth ~max_violations
       []
     end
     else begin
-      let notes, cfg, dirtied = Exec.flush_labels_d t.cfg in
-      (* carry the fingerprint across normalization: each flushed pid
-         changed its pstate exactly once, so folding per-pid updates
-         against the original/normalized pair is exact *)
-      let fp =
-        List.fold_left
-          (fun fp p ->
-            Fingerprint.update fp ~before:t.cfg ~after:cfg
-              { Exec.proc = Some p; mem = false })
-          t.fp dirtied
-      in
-      match monitor_steps monitor t.m notes with
-      | Error message ->
+      let cfg = t.cfg in
+      (match check cfg with
+      | Some message ->
           record_violation
-            { Explore.message; path = List.rev t.rev_path; monitor = t.m };
+            { Explore.message; path = List.rev t.rev_path; monitor = t.m }
+      | None -> ());
+      if Config.quiescent cfg then begin
+        Mutex.lock sync;
+        (try on_final cfg t.m
+         with e ->
+           Mutex.unlock sync;
+           raise e);
+        Mutex.unlock sync;
+        []
+      end
+      else if t.depth >= max_depth then begin
+        Atomic.set truncated true;
+        []
+      end
+      else begin
+        let elts = Explore.successor_elts cfg in
+        if elts = [] then begin
+          record_deadlock (List.rev t.rev_path);
           []
-      | Ok m ->
-          if not (Visited.add visited fp) then []
-          else begin
-            Atomic.incr states;
-            (match check cfg with
-            | Some message ->
+        end
+        else begin
+          (* Build one normalized, note-monitored candidate per edge.
+             Dedup happens after — so exactly like the historical
+             entry-time dedup, duplicate children still have their
+             edge steps and flush notes monitored (violations on
+             duplicate paths are real verdicts). *)
+          let child elt ((steps, cfg', d) : Step.t list * Config.t * Exec.dirty)
+              =
+            match monitor_steps monitor t.m steps with
+            | Error message ->
                 record_violation
-                  { Explore.message; path = List.rev t.rev_path; monitor = m }
-            | None -> ());
-            if Config.quiescent cfg then begin
-              Mutex.lock sync;
-              (try on_final cfg m
-               with e ->
-                 Mutex.unlock sync;
-                 raise e);
-              Mutex.unlock sync;
-              []
-            end
-            else if t.depth >= max_depth then begin
-              Atomic.set truncated true;
-              []
+                  {
+                    Explore.message;
+                    path = List.rev (elt :: t.rev_path);
+                    monitor = t.m;
+                  };
+                None
+            | Ok m -> (
+                let fp = Fingerprint.update t.fp ~before:cfg ~after:cfg' d in
+                let notes, ncfg, dirtied = Exec.flush_labels_d cfg' in
+                (* carry the fingerprint across normalization: each
+                   flushed pid changed its pstate exactly once, so
+                   folding per-pid updates is exact *)
+                let fp =
+                  List.fold_left
+                    (fun fp p ->
+                      Fingerprint.update fp ~before:cfg' ~after:ncfg
+                        { Exec.proc = Some p; mem = false })
+                    fp dirtied
+                in
+                match monitor_steps monitor m notes with
+                | Error message ->
+                    record_violation
+                      {
+                        Explore.message;
+                        path = List.rev (elt :: t.rev_path);
+                        monitor = m;
+                      };
+                    None
+                | Ok m' ->
+                    Some
+                      {
+                        cfg = ncfg;
+                        fp;
+                        m = m';
+                        rev_path = elt :: t.rev_path;
+                        depth = t.depth + 1;
+                      })
+          in
+          let candidates =
+            (* one atomic add per expansion, not one per edge; in the
+               common non-POR case every element is an edge, so no
+               intermediate edge list is materialized *)
+            if not por then begin
+              ignore (Atomic.fetch_and_add transitions (List.length elts));
+              List.filter_map
+                (fun elt -> child elt (Exec.exec_elt_d cfg elt))
+                elts
             end
             else begin
-              let elts = Explore.successor_elts cfg in
-              if elts = [] then begin
-                record_deadlock (List.rev t.rev_path);
-                []
-              end
-              else begin
-                let child elt (steps, cfg', d) =
-                  match monitor_steps monitor m steps with
-                  | Error message ->
-                      record_violation
-                        {
-                          Explore.message;
-                          path = List.rev (elt :: t.rev_path);
-                          monitor = m;
-                        };
-                      None
-                  | Ok m' ->
-                      Some
-                        {
-                          cfg = cfg';
-                          fp = Fingerprint.update fp ~before:cfg ~after:cfg' d;
-                          m = m';
-                          rev_path = elt :: t.rev_path;
-                          depth = t.depth + 1;
-                        }
-                in
-                (* one atomic add per expansion, not one per edge; in
-                   the common non-POR case every element is an edge, so
-                   no intermediate edge list is materialized *)
-                if not por then begin
-                  ignore
-                    (Atomic.fetch_and_add transitions (List.length elts));
-                  List.filter_map
-                    (fun elt -> child elt (Exec.exec_elt_d cfg elt))
-                    elts
-                end
-                else begin
-                  let edges = select_edges cfg elts in
-                  ignore
-                    (Atomic.fetch_and_add transitions (List.length edges));
-                  List.filter_map (fun (elt, res) -> child elt res) edges
-                end
-              end
+              let edges = select_edges cfg elts in
+              ignore (Atomic.fetch_and_add transitions (List.length edges));
+              List.filter_map (fun (elt, res) -> child elt res) edges
             end
-          end
+          in
+          match candidates with
+          | [] -> []
+          | [ c ] ->
+              (* single candidate: plain add, no batch machinery *)
+              if Visited.add visited (key c) then begin
+                Atomic.incr states;
+                [ c ]
+              end
+              else []
+          | _ ->
+              let arr = Array.of_list candidates in
+              let won = Visited.add_batch visited (Array.map key arr) in
+              let claimed = ref [] and nclaimed = ref 0 in
+              for i = Array.length arr - 1 downto 0 do
+                if won.(i) then begin
+                  claimed := arr.(i) :: !claimed;
+                  incr nclaimed
+                end
+              done;
+              if !nclaimed > 0 then
+                ignore (Atomic.fetch_and_add states !nclaimed);
+              !claimed
+        end
+      end
     end
   in
-  (* Worker: private LIFO stack, children pushed first-child-on-top so
-     one domain walks the graph in Explore.dfs order; surplus beyond a
-     working head is shared whenever some worker is starved. *)
-  let rec worker local nlocal =
-    if Frontier.is_stopped frontier then ()
-    else
-      match local with
-      | [] -> (
-          match Frontier.next frontier with
-          | Some t -> worker [ t ] 1
-          | None -> ())
-      | t :: rest ->
-          let children = expand t in
-          let nchildren = List.length children in
-          Frontier.register frontier nchildren;
-          Frontier.complete frontier;
-          let local = children @ rest in
-          let nlocal = nlocal - 1 + nchildren in
-          if jobs > 1 && nlocal > share_keep && Frontier.starving frontier
-          then begin
-            let rec split i acc = function
-              | [] -> (List.rev acc, [])
-              | rest when i = 0 -> (List.rev acc, rest)
-              | x :: tl -> split (i - 1) (x :: acc) tl
-            in
-            let keep, surplus = split share_keep [] local in
-            Frontier.inject frontier surplus;
-            worker keep (min nlocal share_keep)
-          end
-          else worker local nlocal
+  (* Worker [w]: depth-first with the next task "in hand" — the first
+     child continues immediately, the siblings go to the bottom of our
+     own deque (in reverse, so the earliest sibling is popped back
+     first and one domain walks the graph in Explore.dfs claim order).
+     Thieves steal shallow tasks from the top on their own; no
+     explicit sharing heuristic is needed. Children are registered
+     before their parent completes, so [pending] reaches zero only
+     when the whole graph is drained. *)
+  let rec drive w (t : m task) =
+    let children = expand t in
+    match children with
+    | [] ->
+        Frontier.complete frontier;
+        seek w
+    | c :: rest ->
+        Frontier.register frontier (1 + List.length rest);
+        if rest <> [] then Frontier.inject frontier ~worker:w (List.rev rest);
+        Frontier.complete frontier;
+        drive w c
+  and seek w =
+    match Frontier.next frontier ~worker:w with
+    | Some t -> drive w t
+    | None -> ()
   in
-  let guarded_worker () =
-    try worker [] 0
+  let guarded_worker w () =
+    try seek w
     with e ->
       (* fail loudly but never leave sibling domains blocked *)
       ignore (Atomic.compare_and_set worker_exn None (Some e));
       Frontier.stop frontier
   in
+  (* The root is normalized, monitored and claimed like any other
+     state (Explore.dfs treats its initial entry identically). *)
   let root =
-    {
-      cfg = cfg0;
-      fp = Fingerprint.of_config cfg0;
-      m = init;
-      rev_path = [];
-      depth = 0;
-    }
+    let notes, cfg, dirtied = Exec.flush_labels_d cfg0 in
+    let fp =
+      List.fold_left
+        (fun fp p ->
+          Fingerprint.update fp ~before:cfg0 ~after:cfg
+            { Exec.proc = Some p; mem = false })
+        (Fingerprint.of_config cfg0)
+        dirtied
+    in
+    match monitor_steps monitor init notes with
+    | Error message ->
+        record_violation { Explore.message; path = []; monitor = init };
+        None
+    | Ok m ->
+        let t = { cfg; fp; m; rev_path = []; depth = 0 } in
+        ignore (Visited.add visited (key t));
+        Atomic.incr states;
+        Some t
   in
-  Frontier.register frontier 1;
-  if jobs = 1 then (
-    (* run in the calling domain: deterministic Explore.dfs order *)
-    try worker [ root ] 1
-    with e ->
-      Frontier.stop frontier;
-      raise e)
-  else begin
-    (* Minor collections are stop-the-world across domains, and with
-       more domains than cores the rendezvous inherits scheduling
-       latency; a larger minor heap makes collections rarer, which is
-       where oversubscribed runs lose most of their time. Scoped to
-       the parallel section — restored before returning so sequential
-       callers keep the default locality-friendly nursery. *)
-    let gc = Gc.get () in
-    Gc.set
-      {
-        gc with
-        Gc.minor_heap_size = max gc.Gc.minor_heap_size (4 * 1024 * 1024);
-      };
-    let finally () = Gc.set gc in
-    Fun.protect ~finally (fun () ->
-        Frontier.inject frontier [ root ];
-        let domains =
-          Array.init (jobs - 1) (fun _ -> Domain.spawn guarded_worker)
-        in
-        guarded_worker ();
-        Array.iter Domain.join domains);
-    match Atomic.get worker_exn with Some e -> raise e | None -> ()
-  end;
+  (match root with
+  | None -> ()
+  | Some root ->
+      Frontier.register frontier 1;
+      if jobs = 1 then (
+        (* run in the calling domain: deterministic Explore.dfs claim
+           order *)
+        try drive 0 root
+        with e ->
+          Frontier.stop frontier;
+          raise e)
+      else begin
+        (* Minor collections are stop-the-world across domains, and
+           with more domains than cores the rendezvous inherits
+           scheduling latency; a larger minor heap makes collections
+           rarer, which is where oversubscribed runs lose most of
+           their time. Scoped to the parallel section — restored
+           before returning so sequential callers keep the default
+           locality-friendly nursery. *)
+        let gc = Gc.get () in
+        Gc.set
+          {
+            gc with
+            Gc.minor_heap_size = max gc.Gc.minor_heap_size (4 * 1024 * 1024);
+          };
+        let finally () = Gc.set gc in
+        Fun.protect ~finally (fun () ->
+            Frontier.push frontier ~worker:0 root;
+            let domains =
+              Array.init (jobs - 1) (fun i ->
+                  Domain.spawn (guarded_worker (i + 1)))
+            in
+            guarded_worker 0 ();
+            Array.iter Domain.join domains);
+        match Atomic.get worker_exn with Some e -> raise e | None -> ()
+      end);
+  Option.iter (fun f -> f (Visited.stats visited)) report_visited;
   {
     Explore.stats =
       {
@@ -303,38 +376,44 @@ let run_parallel (type m) ~jobs ~por ~max_states ~max_depth ~max_violations
     deadlocks = !deadlocks;
   }
 
-let run (type m) ?(engine : engine = `Dfs) ?(por = false)
-    ?(max_states = 1_000_000) ?(max_depth = 100_000) ?(max_violations = 3)
-    ?(max_deadlocks = max_int) ?(check = fun (_ : Config.t) -> None)
+let run (type m) ?(engine : engine = `Dfs) ?(por = false) ?(symmetry = false)
+    ?expected_states ?report_visited ?(max_states = 1_000_000)
+    ?(max_depth = 100_000) ?(max_violations = 3) ?(max_deadlocks = max_int)
+    ?(check = fun (_ : Config.t) -> None)
     ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
     ?(on_final = fun (_ : Config.t) (_ : m) -> ()) (cfg0 : Config.t) :
     m Explore.result =
   match engine with
   | `Dfs ->
       (* bit-compatible with the historical sequential checker; [por]
-         does not apply (use [`Parallel 1] for reduced sequential
-         exploration) *)
+         and [symmetry] do not apply (use [`Parallel 1] for reduced
+         sequential exploration) *)
+      if symmetry then
+        Fmt.invalid_arg "Mc.run: ~symmetry:true requires `Parallel";
       Explore.dfs ~max_states ~max_depth ~max_violations ~max_deadlocks ~check
         ~monitor ~init ~on_final cfg0
   | `Parallel jobs ->
-      run_parallel ~jobs ~por ~max_states ~max_depth ~max_violations
-        ~max_deadlocks ~check ~monitor ~init ~on_final cfg0
+      run_parallel ~jobs ~por ~symmetry ~expected_states ~report_visited
+        ~max_states ~max_depth ~max_violations ~max_deadlocks ~check ~monitor
+        ~init ~on_final cfg0
 
 (** Exploration without a monitor: just reachability. *)
-let run_plain ?engine ?por ?max_states ?max_depth ?max_deadlocks ?on_final cfg
-    =
+let run_plain ?engine ?por ?symmetry ?expected_states ?max_states ?max_depth
+    ?max_deadlocks ?on_final cfg =
   let on_final = Option.map (fun f cfg (_ : unit) -> f cfg) on_final in
-  run ?engine ?por ?max_states ?max_depth ?max_deadlocks
+  run ?engine ?por ?symmetry ?expected_states ?max_states ?max_depth
+    ?max_deadlocks
     ~monitor:(fun () _ -> Ok ())
     ~init:() ?on_final cfg
 
 (** Reachable quiescent-state projections under [observe], sorted, plus
     the exploration result. Mirrors {!Memsim.Explore.reachable_outcomes};
     [on_final] mutation is serialized by the engine. *)
-let reachable_outcomes ?engine ?por ?max_states ?max_depth ~observe cfg =
+let reachable_outcomes ?engine ?por ?symmetry ?max_states ?max_depth ~observe
+    cfg =
   let outcomes = Hashtbl.create 16 in
   let result =
-    run_plain ?engine ?por ?max_states ?max_depth
+    run_plain ?engine ?por ?symmetry ?max_states ?max_depth
       ~on_final:(fun final -> Hashtbl.replace outcomes (observe final) ())
       cfg
   in

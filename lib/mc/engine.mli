@@ -1,23 +1,37 @@
 (** Parallel, reduction-aware model-checking engine. [`Dfs] delegates
     to the historical {!Memsim.Explore.dfs}; [`Parallel j] explores
-    with [j] domains over a fingerprint-sharded visited set, optionally
-    under partial-order reduction ([por], {!Por}). See the
-    implementation header for the parity guarantees with the sequential
-    checker and the thread-safety contract of the hooks. *)
+    with [j] domains over per-worker work-stealing deques and a
+    fingerprint-sharded visited set, optionally under partial-order
+    reduction ([por], {!Por}) and process-id symmetry reduction
+    ([symmetry], {!Symmetry}). See the implementation header for the
+    parity guarantees with the sequential checker and the
+    thread-safety contract of the hooks. *)
 
 open Memsim
 
 type engine = [ `Dfs | `Parallel of int ]
 
 (** Drop-in counterpart of {!Memsim.Explore.dfs} (same hooks, bounds
-    and result type). [por] applies only to [`Parallel]; [check] and
-    [monitor] must be pure under [`Parallel]; [on_final] is serialized
-    internally. With [por] the states/transitions counts drop but all
-    deadlocks, quiescent states and note-driven monitor verdicts are
-    preserved. *)
+    and result type). [por] and [symmetry] apply only to [`Parallel];
+    [check] and [monitor] must be pure under [`Parallel]; [on_final]
+    is serialized internally. With [por] the states/transitions counts
+    drop but all deadlocks, quiescent states and note-driven monitor
+    verdicts are preserved. With [symmetry] the visited set is keyed
+    on canonical (orbit-minimal) fingerprints, so one representative
+    per process-id orbit is expanded — sound for pid-symmetric
+    workloads (see {!Symmetry}); counterexample paths are recorded
+    verbatim and replay without de-canonicalization.
+    [expected_states] pre-sizes the visited set ({!Visited.create});
+    [report_visited] receives the visited set's occupancy statistics
+    when the run finishes (ignored under [`Dfs], which has no sharded
+    set). Raises [Invalid_argument] for [~symmetry:true] under
+    [`Dfs]. *)
 val run :
   ?engine:engine ->
   ?por:bool ->
+  ?symmetry:bool ->
+  ?expected_states:int ->
+  ?report_visited:(Visited.stats -> unit) ->
   ?max_states:int ->
   ?max_depth:int ->
   ?max_violations:int ->
@@ -33,6 +47,8 @@ val run :
 val run_plain :
   ?engine:engine ->
   ?por:bool ->
+  ?symmetry:bool ->
+  ?expected_states:int ->
   ?max_states:int ->
   ?max_depth:int ->
   ?max_deadlocks:int ->
@@ -41,10 +57,13 @@ val run_plain :
   unit Explore.result
 
 (** Reachable quiescent-state projections under [observe], sorted, plus
-    the exploration result. *)
+    the exploration result. (Under [symmetry] only orbit
+    representatives are observed — keep it off when per-pid outcome
+    projections matter, e.g. litmus assertions.) *)
 val reachable_outcomes :
   ?engine:engine ->
   ?por:bool ->
+  ?symmetry:bool ->
   ?max_states:int ->
   ?max_depth:int ->
   observe:(Config.t -> 'a) ->

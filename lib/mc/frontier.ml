@@ -1,38 +1,57 @@
-(** Work-sharing frontier for exploration across domains.
+(** Work-distributing frontier: per-worker Chase–Lev deques plus
+    distributed termination detection.
 
-    Each worker keeps a private LIFO stack of tasks (depth-first order,
-    good locality, no synchronization); this module provides the shared
-    side: an injection queue workers offload surplus into and idle
-    workers block on, plus distributed termination detection.
+    Each worker owns a {!Deque}: it pushes and pops its own frontier at
+    the bottom (depth-first order, no contention on the common path)
+    and steals from the top of a sibling's deque only when its own runs
+    dry. This replaces the former single mutex+condvar injection queue,
+    whose lock and [Condition.broadcast]-per-share serialized every
+    domain through one cache line — the reason the old engine scaled
+    {e negatively} with domains.
 
-    Termination: [pending] counts tasks that exist anywhere — private
-    stacks included. A worker {e registers} children before
-    {e completing} their parent, so [pending] can only reach zero when
-    no task exists and none can appear; the worker that drives it to
-    zero wakes every sleeper. [stop] is a hard abort for bound hits:
-    sleepers wake and everyone abandons whatever they still hold. *)
+    Termination is unchanged from the queue design: [pending] counts
+    tasks that exist anywhere, including the one a worker holds in its
+    hand. A worker {e registers} children before {e completing} their
+    parent, so [pending] can only reach zero when no task exists and
+    none can appear; whoever drives it to zero broadcasts to the
+    sleepers. [stop] is a hard abort for bound hits.
+
+    Sleeping is the only place a lock remains, and it is kept off the
+    fast path twice over:
+
+    - producers consult the atomic [waiting] counter and take the lock
+      only when somebody is actually asleep — and then [signal] (one
+      sleeper per newly pushed task, batched) instead of [broadcast];
+    - a would-be sleeper re-scans every deque {e under the lock} before
+      waiting, so the "push then check waiting" / "scan then sleep"
+      race cannot lose a wakeup: either the producer sees the raised
+      [waiting] and signals under the lock, or the sleeper's in-lock
+      re-scan sees the pushed task. *)
 
 type 'a t = {
-  lock : Mutex.t;
-  nonempty : Condition.t;
-  queue : 'a Queue.t;
+  deques : 'a Deque.t array;  (** index = worker id *)
   pending : int Atomic.t;
   stopped : bool Atomic.t;
-  mutable waiting : int;  (** workers blocked in {!next}, under [lock] *)
+  waiting : int Atomic.t;  (** workers asleep in {!next} *)
+  lock : Mutex.t;  (** guards only the sleep/wake protocol *)
+  wake : Condition.t;
 }
 
-let create () =
+let create ~workers =
+  if workers < 1 then Fmt.invalid_arg "Frontier.create: %d workers" workers;
   {
-    lock = Mutex.create ();
-    nonempty = Condition.create ();
-    queue = Queue.create ();
+    deques = Array.init workers (fun _ -> Deque.create ());
     pending = Atomic.make 0;
     stopped = Atomic.make false;
-    waiting = 0;
+    waiting = Atomic.make 0;
+    lock = Mutex.create ();
+    wake = Condition.create ();
   }
 
+let workers t = Array.length t.deques
+
 (** Account for [n] newly created tasks. Must happen before the tasks
-    become visible (queued or kept) and before their parent is
+    become visible (pushed or kept in hand) and before their parent is
     {!complete}d. *)
 let register t n = ignore (Atomic.fetch_and_add t.pending n)
 
@@ -41,49 +60,102 @@ let complete t =
   if Atomic.fetch_and_add t.pending (-1) = 1 then begin
     (* drove pending to zero: exploration is over, wake the sleepers *)
     Mutex.lock t.lock;
-    Condition.broadcast t.nonempty;
+    Condition.broadcast t.wake;
     Mutex.unlock t.lock
   end
 
-(** Share tasks into the injection queue (they must already be
-    registered). *)
-let inject t tasks =
-  Mutex.lock t.lock;
-  List.iter (fun x -> Queue.push x t.queue) tasks;
-  Condition.broadcast t.nonempty;
-  Mutex.unlock t.lock
+(* Wake up to [n] sleepers — only if somebody is actually asleep, and
+   with [signal] rather than [broadcast]: each new task can occupy at
+   most one thief. *)
+let signal_waiters t n =
+  if Atomic.get t.waiting > 0 then begin
+    Mutex.lock t.lock;
+    let k = min n (Atomic.get t.waiting) in
+    for _ = 1 to k do
+      Condition.signal t.wake
+    done;
+    Mutex.unlock t.lock
+  end
 
-(** Are any workers currently starved? Racy read, used only as a
-    sharing heuristic. *)
-let starving t = t.waiting > 0
+(** Push one registered task onto [worker]'s own deque. *)
+let push t ~worker x =
+  Deque.push t.deques.(worker) x;
+  signal_waiters t 1
+
+(** Share a batch of registered tasks onto [worker]'s own deque, in
+    list order (so the {e last} element is popped back first), with a
+    single wake pass for the whole batch. *)
+let inject t ~worker tasks =
+  let n =
+    List.fold_left
+      (fun n x ->
+        Deque.push t.deques.(worker) x;
+        n + 1)
+      0 tasks
+  in
+  if n > 0 then signal_waiters t n
+
+(** Racy "any worker starved?" hint. *)
+let starving t = Atomic.get t.waiting > 0
 
 let stop t =
   Atomic.set t.stopped true;
   Mutex.lock t.lock;
-  Condition.broadcast t.nonempty;
+  Condition.broadcast t.wake;
   Mutex.unlock t.lock
 
 let is_stopped t = Atomic.get t.stopped
 
-(** Block until a shared task is available ([Some]) or exploration is
-    over — all tasks drained or {!stop} called ([None]). *)
-let next t =
-  Mutex.lock t.lock;
-  let rec wait () =
-    match Queue.take_opt t.queue with
-    | Some x ->
-        Mutex.unlock t.lock;
-        Some x
-    | None ->
-        if Atomic.get t.pending <= 0 || Atomic.get t.stopped then begin
-          Mutex.unlock t.lock;
-          None
-        end
-        else begin
-          t.waiting <- t.waiting + 1;
-          Condition.wait t.nonempty t.lock;
-          t.waiting <- t.waiting - 1;
-          wait ()
-        end
+(** Owner pop from [worker]'s own deque — the fast path. *)
+let pop t ~worker = Deque.pop t.deques.(worker)
+
+(* One sweep over the other workers' deques, starting just after our
+   own (spreads thieves across victims). *)
+let try_steal t ~worker =
+  let n = Array.length t.deques in
+  let rec go k =
+    if k = n then None
+    else
+      match Deque.steal t.deques.((worker + k) mod n) with
+      | Some _ as r -> r
+      | None -> go (k + 1)
   in
-  wait ()
+  go 1
+
+let any_work t =
+  let rec go i =
+    i < Array.length t.deques && (Deque.size_hint t.deques.(i) > 0 || go (i + 1))
+  in
+  go 0
+
+(** Take the next task for [worker]: own deque first, then steal;
+    blocks when everything is empty but tasks are still in flight.
+    [None] means exploration is over — all tasks drained or {!stop}
+    called. *)
+let next t ~worker =
+  let rec seek () =
+    if Atomic.get t.stopped || Atomic.get t.pending <= 0 then None
+    else
+      match pop t ~worker with
+      | Some _ as r -> r
+      | None -> (
+          match try_steal t ~worker with
+          | Some _ as r -> r
+          | None ->
+              (* Nothing visible: announce intent to sleep, then
+                 re-scan under the lock. A producer either reads the
+                 raised [waiting] (and signals under the same lock) or
+                 pushed before we scanned — both cases end the sleep. *)
+              ignore (Atomic.fetch_and_add t.waiting 1);
+              Mutex.lock t.lock;
+              if
+                not
+                  (Atomic.get t.stopped
+                  || Atomic.get t.pending <= 0
+                  || any_work t)
+              then Condition.wait t.wake t.lock;
+              Mutex.unlock t.lock;
+              ignore (Atomic.fetch_and_add t.waiting (-1));
+              seek ())
+  in
+  seek ()

@@ -1,25 +1,37 @@
-(** Shared side of work-sharing exploration: an injection queue plus
-    distributed termination detection. Workers keep private LIFO
-    stacks and offload surplus here; [pending] counts tasks anywhere
-    (private stacks included), so zero means exploration is over.
-    See the implementation header for the registration discipline. *)
+(** Work-distributing frontier: one Chase–Lev deque per worker plus
+    distributed termination detection. Workers push/pop their own
+    frontier at the bottom and steal from siblings' tops when starved;
+    [pending] counts tasks anywhere (including in a worker's hand), so
+    zero means exploration is over. Producers wake sleepers with
+    [signal] — and only when someone is actually waiting. See the
+    implementation header for the registration discipline and the
+    lost-wakeup argument. *)
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ~workers] — one deque per worker; worker ids are
+    [0 .. workers-1]. *)
+val create : workers:int -> 'a t
+
+val workers : 'a t -> int
 
 (** Account for [n] newly created tasks — before they become visible
     and before their parent is {!complete}d. *)
 val register : 'a t -> int -> unit
 
-(** A task finished expanding; wakes sleepers if this drained the last
-    one. *)
+(** A task finished expanding; wakes every sleeper if this drained the
+    last one. *)
 val complete : 'a t -> unit
 
-(** Push registered tasks into the shared queue and wake sleepers. *)
-val inject : 'a t -> 'a list -> unit
+(** Push one registered task onto [worker]'s own deque, waking at most
+    one sleeper. *)
+val push : 'a t -> worker:int -> 'a -> unit
 
-(** Racy "any worker starved?" hint for the sharing heuristic. *)
+(** Push a batch of registered tasks onto [worker]'s own deque in list
+    order (last element popped back first), with a single wake pass. *)
+val inject : 'a t -> worker:int -> 'a list -> unit
+
+(** Racy "any worker starved?" hint. *)
 val starving : 'a t -> bool
 
 (** Hard abort (bound hit): wakes everyone; {!next} then returns
@@ -28,6 +40,10 @@ val stop : 'a t -> unit
 
 val is_stopped : 'a t -> bool
 
-(** Block for a shared task; [None] when exploration is over (drained
-    or stopped). *)
-val next : 'a t -> 'a option
+(** Owner pop from [worker]'s own deque (the fast path; never
+    blocks). *)
+val pop : 'a t -> worker:int -> 'a option
+
+(** Next task for [worker]: own deque, then stealing, then sleeping.
+    [None] when exploration is over (drained or stopped). *)
+val next : 'a t -> worker:int -> 'a option

@@ -4,20 +4,26 @@
 
     - {!Fingerprint}: 126-bit incremental state fingerprints over the
       shared {!Memsim.Statekey} component stream;
-    - {!Visited}: sharded concurrent visited set;
-    - {!Frontier}: work-sharing queue + distributed termination;
+    - {!Visited}: sharded concurrent visited set with batched
+      two-phase probes;
+    - {!Deque}: Chase–Lev lock-free work-stealing deque;
+    - {!Frontier}: per-worker deques + distributed termination;
     - {!Por}: independence relation and safe-step selection;
+    - {!Symmetry}: canonical fingerprints over process-id orbits;
     - {!Replay}: deterministic counterexample replay;
     - {!Engine} (included here): [Mc.run] and friends, mirroring
       {!Memsim.Explore.dfs} behind an [?engine] parameter.
 
-    Entry points: [Mc.run ~engine:(`Parallel jobs) ~por:true ...],
+    Entry points:
+    [Mc.run ~engine:(`Parallel jobs) ~por:true ~symmetry:true ...],
     [Mc.run_plain], [Mc.reachable_outcomes]. *)
 
 module Fingerprint = Fingerprint
 module Visited = Visited
+module Deque = Deque
 module Frontier = Frontier
 module Por = Por
 module Replay = Replay
+module Symmetry = Symmetry
 
 include Engine

@@ -1,0 +1,249 @@
+(** Process-id symmetry reduction: canonical fingerprints.
+
+    The verification workloads (bakery, tournament, GT_f) run the same
+    algorithm in every process, so the reachable state graph is
+    (approximately) invariant under permutations of process ids: if a
+    state [s] is reachable, so is [π·s] for any permutation π of
+    [0..n-1], with an isomorphic future. Exploring one representative
+    per orbit cuts the state count by up to [n!].
+
+    A permutation acts on a configuration in two coupled ways:
+
+    - it {e relabels the processes}: the local state of process [p]
+      becomes the local state of [π(p)];
+    - it {e renames the process-owned registers}: the layout
+      partitions registers into per-process banks plus unowned
+      (shared) registers, and register [i] of [p]'s bank becomes
+      register [i] of [π(p)]'s bank. Unowned registers are fixed.
+
+    Register {e values} are never remapped: a register holding a
+    process id (say, Peterson's [turn]) keeps it, so states that
+    differ there never merge — pid-valued data makes the reduction
+    less effective, never unsound in the "fabricates violations"
+    sense (see below).
+
+    [canon t cfg] is the minimum, over all π, of the key of the
+    π-renamed configuration — computed without building any renamed
+    configuration, from the per-pid lane extraction in
+    {!Memsim.Statekey} ([proc_lanes_mapped]/[mem_lanes_mapped]): for
+    each π the memory lanes are re-tokenized under the bank renaming
+    (xor-composed, so no re-sorting), and each process's local lanes
+    are re-derived with its last-read/write-buffer/observation
+    register ids renamed, then re-keyed by the {e image} pid π(p).
+    The observation component relies on the engine switching on
+    {!Memsim.Config.track_obs_regs} at the root: a permutation
+    reorders how a process interleaves reads from {e different}
+    banks (bakery's slot-order scans, say), so the ordered raw log
+    does not transform under renaming, but the per-register
+    subsequences do — and for deterministic programs they pin the
+    same local state the ordered log would. Canonical keys live in
+    their own key space (they need not relate to the plain
+    fingerprint); the identity permutation comes first purely so
+    [canon] is a minimum over a non-empty, deterministic sweep.
+
+    The exact sweep enumerates all [n!] permutations — fine up to
+    [n ≤ exact_max] (120 permutations at n = 5), where each
+    permutation costs O(|mem| + n·|wb|). Above that, a {e sorted-lane
+    approximation}: each process contributes a pid-blind digest (its
+    mapped local lanes combined with its own bank's memory digest,
+    register ids encoded relative to the owner — "mine / unowned /
+    another's" — instead of absolutely), the digests are sorted and
+    folded in order, and the unowned memory part is xored in. Sorting
+    makes the result permutation-invariant by construction, but blind
+    to {e which} other process owns a register — it may merge states
+    no true permutation relates.
+
+    Soundness: canonical fingerprints are used only as visited-set
+    keys, exactly like plain fingerprints. Merging two states —
+    whether by a true symmetry, by the sorted-lane approximation, or
+    by a hash collision — can only cause the engine to {e skip}
+    states it would otherwise expand: under-exploration, never a
+    fabricated violation. For genuinely pid-equivariant workloads the
+    skipped states have isomorphic futures, the quotient is closed,
+    and the reduced run visits exactly one state per canonical class
+    of the full space (the parity tests pin this on synthetic
+    equivariant workloads). The lock workloads are only
+    {e near}-symmetric — bakery breaks equal-ticket ties with
+    [slot < j] and scans slots in absolute order, so a renamed
+    reachable state can have a non-mirrored future — and there the
+    reduced run soundly visits a {e subset} of the full space's
+    classes, still with the full verdict guarantee: a reported
+    violation is a real reachable one, and a violation-free subset of
+    a violation-free space stays violation-free. Counterexample paths
+    are recorded verbatim (the engine never canonicalizes paths), so
+    replay needs no de-canonicalization. *)
+
+open Memsim
+
+(** Largest [n] for which the exact [n!] sweep is used by default. *)
+let exact_max = 5
+
+type mode =
+  | Exact of int array array
+      (** per-permutation register renaming tables, identity first;
+          [maps.(k).(r)] is register [r]'s image under permutation
+          [k] *)
+  | Sorted
+
+type t = {
+  nprocs : int;
+  perms : int array array;  (** pid permutations, aligned with [Exact] maps *)
+  mode : mode;
+  owner : int array;  (** register -> owning pid or [Layout.no_owner] *)
+  rank : int array;  (** register -> index within its owner's bank *)
+  banks : int array array;  (** pid -> its bank, in increasing id order *)
+}
+
+(* All permutations of [0..n-1], identity first, so the sweep is
+   non-empty and deterministic in a fixed order. *)
+let permutations n =
+  let rec insert x = function
+    | [] -> [ [ x ] ]
+    | y :: ys as l ->
+        (x :: l) :: List.map (fun zs -> y :: zs) (insert x ys)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: xs -> List.concat_map (insert x) (perms xs)
+  in
+  let all = perms (List.init n Fun.id) |> List.map Array.of_list in
+  let id = Array.init n Fun.id in
+  id :: List.filter (fun p -> p <> id) all |> Array.of_list
+
+let create ?(exact_max = exact_max) (cfg : Config.t) =
+  let layout = cfg.Config.layout in
+  let n = Layout.nprocs layout and nregs = Layout.nregs layout in
+  let owner = Array.init nregs (Layout.owner layout) in
+  let rank = Array.make nregs 0 in
+  let banks = Array.make n [] in
+  for r = nregs - 1 downto 0 do
+    let o = owner.(r) in
+    if o <> Layout.no_owner then banks.(o) <- r :: banks.(o)
+  done;
+  let banks = Array.map Array.of_list banks in
+  Array.iter (fun bank -> Array.iteri (fun i r -> rank.(r) <- i) bank) banks;
+  (* pid symmetry needs isomorphic banks: same size, same initial
+     values rank for rank (names may differ) *)
+  let bank0 = if n > 0 then banks.(0) else [||] in
+  Array.iteri
+    (fun p bank ->
+      if Array.length bank <> Array.length bank0 then
+        Fmt.invalid_arg
+          "Symmetry.create: process %d owns %d registers where process 0 \
+           owns %d — the layout is not pid-symmetric"
+          p (Array.length bank) (Array.length bank0);
+      Array.iteri
+        (fun i r ->
+          if Layout.init layout r <> Layout.init layout bank0.(i) then
+            Fmt.invalid_arg
+              "Symmetry.create: register %s (rank %d of process %d's bank) \
+               has a different initial value than its rank-%d peer — the \
+               layout is not pid-symmetric"
+              (Layout.name layout r) i p i)
+        bank)
+    banks;
+  if n <= exact_max then begin
+    let perms = permutations n in
+    let maps =
+      Array.map
+        (fun pi ->
+          Array.init nregs (fun r ->
+              let o = owner.(r) in
+              if o = Layout.no_owner then r else banks.(pi.(o)).(rank.(r))))
+        perms
+    in
+    { nprocs = n; perms; mode = Exact maps; owner; rank; banks }
+  end
+  else { nprocs = n; perms = [||]; mode = Sorted; owner; rank; banks }
+
+(* --- exact sweep ------------------------------------------------- *)
+
+let exact_canon t maps (cfg : Config.t) =
+  let best_a = ref max_int and best_b = ref max_int in
+  let first = ref true in
+  Array.iteri
+    (fun k map ->
+      let pi = t.perms.(k) in
+      let map_reg r = Array.unsafe_get map r in
+      let ma, mb = Statekey.mem_lanes_mapped ~map_reg cfg in
+      let a = ref ma and b = ref mb in
+      Array.iteri
+        (fun p st ->
+          let la, lb = Statekey.proc_lanes_mapped ~map_reg st in
+          let p' = pi.(p) in
+          a := !a lxor Memsim.Keyhash.token_a Memsim.Keyhash.seed_a p' la;
+          b := !b lxor Memsim.Keyhash.token_b Memsim.Keyhash.seed_b p' lb)
+        cfg.Config.procs;
+      if
+        !first
+        || !a < !best_a
+        || (!a = !best_a && !b < !best_b)
+      then begin
+        first := false;
+        best_a := !a;
+        best_b := !b
+      end)
+    maps;
+  { Fingerprint.a = !best_a; b = !best_b }
+
+(* --- sorted-lane approximation ----------------------------------- *)
+
+(* Owner-relative register encoding for the pid-blind digests:
+   "unowned r" / "rank i of my bank" / "rank i of somebody else's
+   bank". Tags keep the three classes disjoint. *)
+let[@inline] blind_reg t ~me r =
+  let o = t.owner.(r) in
+  if o = Layout.no_owner then r lsl 2
+  else if o = me then (t.rank.(r) lsl 2) lor 1
+  else (t.rank.(r) lsl 2) lor 2
+
+let sorted_canon t (cfg : Config.t) =
+  let module K = Memsim.Keyhash in
+  (* memory: unowned entries exactly; each owned bank xor-digested
+     under its rank encoding, the digest travelling with its owner *)
+  let base_a = ref 0 and base_b = ref 0 in
+  let bank_a = Array.make t.nprocs 0 and bank_b = Array.make t.nprocs 0 in
+  Config.Mem.iter_bound
+    (fun r v ->
+      let o = t.owner.(r) in
+      if o = Layout.no_owner then begin
+        base_a := !base_a lxor K.token_a K.seed_a (r lsl 2) v;
+        base_b := !base_b lxor K.token_b K.seed_b (r lsl 2) v
+      end
+      else begin
+        bank_a.(o) <- bank_a.(o) lxor K.token_a K.seed_a (t.rank.(r) lsl 2) v;
+        bank_b.(o) <- bank_b.(o) lxor K.token_b K.seed_b (t.rank.(r) lsl 2) v
+      end)
+    cfg.Config.mem;
+  (* one pid-blind digest per process: its mapped local lanes combined
+     with its own bank's memory digest *)
+  let digests =
+    Array.mapi
+      (fun p st ->
+        let la, lb =
+          Statekey.proc_lanes_mapped ~map_reg:(fun r -> blind_reg t ~me:p r) st
+        in
+        (K.mix_a (K.mix_a K.seed_a la) bank_a.(p),
+         K.mix_b (K.mix_b K.seed_b lb) bank_b.(p)))
+      cfg.Config.procs
+  in
+  Array.sort compare digests;
+  let a = ref !base_a and b = ref !base_b in
+  Array.iter
+    (fun (da, db) ->
+      a := K.mix_a !a da;
+      b := K.mix_b !b db)
+    digests;
+  { Fingerprint.a = !a; b = !b }
+
+(** Canonical fingerprint of a configuration — constant across the
+    pid orbit (exactly for [n ≤ exact_max], approximately above). *)
+let canon t cfg =
+  match t.mode with
+  | Exact maps -> exact_canon t maps cfg
+  | Sorted -> sorted_canon t cfg
+
+(** Number of permutations the exact sweep enumerates (1 when the
+    sorted approximation is active) — for diagnostics. *)
+let nperms t =
+  match t.mode with Exact maps -> Array.length maps | Sorted -> 1

@@ -1,0 +1,39 @@
+(** Process-id symmetry reduction: canonical fingerprints, constant
+    across the pid orbit of a configuration. [canon] is the minimum
+    fingerprint over all pid permutations (each acting by relabelling
+    processes and renaming their register banks), computed from the
+    per-pid lane extraction in {!Memsim.Statekey} without building any
+    permuted configuration — exact [n!] sweep for [n ≤ exact_max],
+    sorted-lane approximation above. Canonical fingerprints are only
+    visited-set keys: merging (true symmetry, approximation, or
+    collision) can only prune exploration, never fabricate a
+    violation, and counterexample paths stay verbatim. See the
+    implementation header for the full argument. *)
+
+type t
+
+(** Largest process count for which the exact sweep is the default
+    (5, i.e. 120 permutations). *)
+val exact_max : int
+
+(** Precompute the permutation/renaming tables for a configuration's
+    layout. Raises [Invalid_argument] if the layout is not
+    pid-symmetric (per-process register banks of unequal size or
+    rank-wise differing initial values). [exact_max] overrides the
+    exact-sweep cutoff (tests use [~exact_max:0] to force the
+    sorted-lane approximation). *)
+val create : ?exact_max:int -> Memsim.Config.t -> t
+
+(** Canonical fingerprint of a configuration. Canonical fingerprints
+    live in their own key space (the observation component digests the
+    per-register lanes of {!Memsim.Config.track_obs_regs}, which the
+    engine switches on at the root, not the ordered raw log — a pid
+    permutation reorders a process's interleaving of reads from
+    different banks, so only the per-register view transforms);
+    deterministic for a given layout, and constant across the pid
+    orbit. *)
+val canon : t -> Memsim.Config.t -> Fingerprint.t
+
+(** Permutations the exact sweep enumerates (1 under the sorted
+    approximation) — diagnostics. *)
+val nperms : t -> int

@@ -2,12 +2,40 @@
 
     A fixed power-of-two array of shards, each a mutex-protected hash
     table. The shard index comes from fingerprint lane [b] and the
-    in-shard hash from lane [a], so the two are decorrelated. With many
-    more shards than domains, two domains rarely contend on the same
-    mutex and the critical section is a single hash-table probe —
-    "lock-free-ish" in effect if not in letter; a real lock-free table
-    would buy little here because insertion cost is dwarfed by
-    successor computation. *)
+    in-shard hash from lane [a], so the two are decorrelated.
+
+    Two scaling refinements over the original lock-and-probe design:
+
+    - {e batched two-phase probe} ({!add_batch}): one expansion
+      produces several children at once, most of which are duplicates
+      on the workloads we care about (~60% on bakery). Phase one
+      checks each fingerprint with a {e lock-free racy} [Tbl.mem];
+      phase two takes each shard lock once per batch and re-checks and
+      inserts only the survivors. The racy pre-check is sound because
+      the tables are insert-only: a key, once present, never
+      disappears, stdlib [Hashtbl] resize allocates fresh bucket cells
+      (it never mutates reachable ones), and bucket arrays only grow —
+      so a racy [mem] may miss a concurrent insert (a false negative,
+      caught by the locked re-check) but can never claim a key that
+      was never inserted. Phase one thereby filters the duplicate
+      majority without touching a lock.
+
+    - {e pre-sizing} ([?expected_states]): the former fixed
+      [Tbl.create 1024] per shard forced every shard through the full
+      resize cascade on million-state runs — each resize a full
+      rehash {e under the shard lock}, stalling every domain that
+      hashes to the shard. The hint spreads the expected population
+      over the shards up front.
+
+    Shard records are deliberately {e padded apart} at allocation
+    time: the records (and their hash tables' headers, allocated in
+    the same breath) would otherwise sit contiguously in the heap,
+    and two domains inserting into neighbouring shards would
+    false-share cache lines through the tables' mutable size fields.
+    OCaml offers no layout control, so the constructor interleaves a
+    cache-line-sized dummy array with each shard and keeps it live in
+    the record — the GC preserves allocation order when promoting, so
+    the spacing survives. *)
 
 module Tbl = Hashtbl.Make (struct
   type t = Fingerprint.t
@@ -16,40 +44,116 @@ module Tbl = Hashtbl.Make (struct
   let hash = Fingerprint.hash
 end)
 
-type shard = { lock : Mutex.t; tbl : unit Tbl.t }
+type shard = {
+  lock : Mutex.t;
+  tbl : unit Tbl.t;
+  _pad : int array;  (** keeps the inter-shard spacing live; see above *)
+}
+
 type t = { shards : shard array; mask : int }
 
-let create ?(shards = 128) () =
+type stats = {
+  shards : int;
+  entries : int;
+  max_occupancy : int;
+  mean_occupancy : float;
+  skew : float;  (** max / mean; 1.0 = perfectly even *)
+}
+
+let create ?(shards = 128) ?expected_states () =
   if shards <= 0 || shards land (shards - 1) <> 0 then
     Fmt.invalid_arg "Visited.create: %d shards (need a power of two)" shards;
+  let initial =
+    match expected_states with
+    | None -> 1024
+    | Some n when n < 0 ->
+        Fmt.invalid_arg "Visited.create: expected_states %d" n
+    | Some n ->
+        (* per-shard population, with slack so the expected load stays
+           under Hashtbl's resize threshold *)
+        max 1024 (n / shards * 2)
+  in
   {
     shards =
       Array.init shards (fun _ ->
-          { lock = Mutex.create (); tbl = Tbl.create 1024 });
+          {
+            lock = Mutex.create ();
+            tbl = Tbl.create initial;
+            _pad = Array.make 15 0 (* one cache line of spacing *);
+          });
     mask = shards - 1;
   }
 
+let[@inline] shard_of (t : t) fp =
+  t.shards.(Fingerprint.shard fp ~mask:t.mask)
+
 (** [add t fp] inserts [fp]; [true] iff it was not already present.
     The test-and-insert is atomic per shard, so exactly one domain wins
-    each state — the winner expands it and fires the per-state hooks. *)
+    each state — the winner expands it and fires the per-state hooks.
+    The unlocked pre-check peels off the duplicate majority (sound per
+    the header argument). *)
 let add t fp =
-  let s = t.shards.(Fingerprint.shard fp ~mask:t.mask) in
-  Mutex.lock s.lock;
-  let fresh = not (Tbl.mem s.tbl fp) in
-  if fresh then Tbl.add s.tbl fp ();
-  Mutex.unlock s.lock;
-  fresh
+  let s = shard_of t fp in
+  if Tbl.mem s.tbl fp then false
+  else begin
+    Mutex.lock s.lock;
+    let fresh = not (Tbl.mem s.tbl fp) in
+    if fresh then Tbl.add s.tbl fp ();
+    Mutex.unlock s.lock;
+    fresh
+  end
+
+(** [add_batch t fps] claims a whole expansion's worth of fingerprints:
+    [(add_batch t fps).(i)] iff [fps.(i)] was fresh and this call won
+    it. Phase one filters duplicates lock-free; phase two groups the
+    survivors by shard and takes each shard lock once. Equal
+    fingerprints within one batch are won at most once (the locked
+    re-check runs per element). *)
+let add_batch t fps =
+  let n = Array.length fps in
+  let res = Array.make n false in
+  (* phase one: racy pre-check — duplicates drop out with no lock *)
+  let survivors = ref [] in
+  for i = n - 1 downto 0 do
+    if not (Tbl.mem (shard_of t fps.(i)).tbl fps.(i)) then
+      survivors := i :: !survivors
+  done;
+  (* phase two: per shard, one lock round for all its survivors *)
+  let rec claim = function
+    | [] -> ()
+    | i :: _ as group ->
+        let s = shard_of t fps.(i) in
+        Mutex.lock s.lock;
+        let rest =
+          List.filter
+            (fun j ->
+              if shard_of t fps.(j) == s then begin
+                let fresh = not (Tbl.mem s.tbl fps.(j)) in
+                if fresh then Tbl.add s.tbl fps.(j) ();
+                res.(j) <- fresh;
+                false
+              end
+              else true)
+            group
+        in
+        Mutex.unlock s.lock;
+        claim rest
+  in
+  claim !survivors;
+  res
 
 let mem t fp =
-  let s = t.shards.(Fingerprint.shard fp ~mask:t.mask) in
-  Mutex.lock s.lock;
-  let r = Tbl.mem s.tbl fp in
-  Mutex.unlock s.lock;
-  r
+  let s = shard_of t fp in
+  Tbl.mem s.tbl fp
+  ||
+  (Mutex.lock s.lock;
+   let r = Tbl.mem s.tbl fp in
+   Mutex.unlock s.lock;
+   r)
 
 (** Total entries; takes each shard lock in turn, so only exact when
     quiesced. *)
-let size t =
+let size (t : t) =
   Array.fold_left
     (fun acc s ->
       Mutex.lock s.lock;
@@ -57,3 +161,26 @@ let size t =
       Mutex.unlock s.lock;
       acc + n)
     0 t.shards
+
+(** Occupancy spread across shards — how well the lane-[b] shard index
+    balances the population (for the bench harness; exact only when
+    quiesced). *)
+let stats (t : t) =
+  let nshards = Array.length t.shards in
+  let entries = ref 0 and maxo = ref 0 in
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      let n = Tbl.length s.tbl in
+      Mutex.unlock s.lock;
+      entries := !entries + n;
+      if n > !maxo then maxo := n)
+    t.shards;
+  let mean = float_of_int !entries /. float_of_int nshards in
+  {
+    shards = nshards;
+    entries = !entries;
+    max_occupancy = !maxo;
+    mean_occupancy = mean;
+    skew = (if !entries = 0 then 1.0 else float_of_int !maxo /. mean);
+  }

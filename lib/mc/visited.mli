@@ -1,17 +1,40 @@
 (** Sharded concurrent visited set over state fingerprints: a
     power-of-two array of mutex-protected hash tables, shard index and
-    in-shard hash drawn from decorrelated fingerprint lanes. *)
+    in-shard hash drawn from decorrelated fingerprint lanes, with a
+    lock-free racy pre-check in front of every insert (sound because
+    the tables are insert-only — see the implementation header). *)
 
 type t
 
-(** [create ?shards ()] — [shards] must be a power of two
-    (default 128). *)
-val create : ?shards:int -> unit -> t
+type stats = {
+  shards : int;
+  entries : int;
+  max_occupancy : int;  (** most-loaded shard *)
+  mean_occupancy : float;
+  skew : float;  (** max / mean; 1.0 = perfectly even *)
+}
 
-(** Atomic test-and-insert; [true] iff the fingerprint was new. *)
+(** [create ?shards ?expected_states ()] — [shards] must be a power of
+    two (default 128); [expected_states] pre-sizes each shard's table
+    for the expected total population, avoiding rehash storms on runs
+    that reach millions of states. *)
+val create : ?shards:int -> ?expected_states:int -> unit -> t
+
+(** Test-and-insert; [true] iff the fingerprint was new and this call
+    won it. *)
 val add : t -> Fingerprint.t -> bool
+
+(** Claim a whole expansion's worth of fingerprints in one two-phase
+    probe: lock-free duplicate filtering, then one shard-lock round
+    per distinct shard among the survivors. [(add_batch t fps).(i)]
+    iff [fps.(i)] was fresh and won by this call (equal fingerprints
+    within a batch are won at most once). *)
+val add_batch : t -> Fingerprint.t array -> bool array
 
 val mem : t -> Fingerprint.t -> bool
 
 (** Total entries (exact only when no domain is inserting). *)
 val size : t -> int
+
+(** Per-shard occupancy spread (exact only when quiesced). *)
+val stats : t -> stats

@@ -98,6 +98,7 @@ let read_step cfg p (st : Config.pstate) r ~prog' =
         obs_len = st.Config.obs_len + 1;
         obs_ha = Keyhash.mix_a st.Config.obs_ha v;
         obs_hb = Keyhash.mix_b st.Config.obs_hb v;
+        obs_regs = Config.obs_extend st.Config.obs_regs r v;
       }
       r v
   in
@@ -137,6 +138,7 @@ let rmw_step cfg p (st : Config.pstate) r ~op ~arg ~k =
       obs_len = st.Config.obs_len + 1;
       obs_ha = Keyhash.mix_a st.Config.obs_ha read;
       obs_hb = Keyhash.mix_b st.Config.obs_hb read;
+      obs_regs = Config.obs_extend st.Config.obs_regs r read;
     }
   in
   let cfg =
@@ -306,7 +308,8 @@ let op_step cfg p (st : Config.pstate) prog :
                last_read = None;
                ops = st.Config.ops + 1;
              }
-             read)
+             r read)
+          r
           (if success then 1 else 0)
       in
       let st = if success then Config.learn st r update else st in

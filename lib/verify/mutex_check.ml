@@ -89,16 +89,20 @@ let workload ~model (factory : Locks.Lock.factory) ~nprocs ~rounds =
   let programs = Array.init nprocs program in
   (lock, counter, Config.make ~model ~layout programs)
 
-let check ?(rounds = 1) ?max_states ?max_depth ?(engine = `Dfs) ?(por = false)
-    ~model factory ~nprocs : verdict =
+let check ?(rounds = 1) ?max_states ?max_depth ?expected_states
+    ?report_visited ?(engine = `Dfs) ?(por = false) ?(symmetry = false) ~model
+    factory ~nprocs : verdict =
   let lock, counter, cfg = workload ~model factory ~nprocs ~rounds in
   let lost_update = ref false in
   let result =
     (* `Dfs is the historical sequential explorer; `Parallel routes
        through the Mc engine (the checker's monitor is note-driven, so
-       POR preserves its verdicts — see Mc.Por) *)
-    Mc.run ~engine ~por ?max_states ?max_depth ~max_violations:1
-      ~monitor:cs_monitor ~init:Pid.Set.empty
+       POR preserves its verdicts — see Mc.Por; the workload is
+       pid-symmetric by construction — every process runs the same
+       passage loop — so symmetry reduction preserves them too, see
+       Mc.Symmetry) *)
+    Mc.run ~engine ~por ~symmetry ?expected_states ?report_visited ?max_states
+      ?max_depth ~max_violations:1 ~monitor:cs_monitor ~init:Pid.Set.empty
       ~on_final:(fun final _ ->
         if Config.read_mem final counter <> nprocs * rounds then
           lost_update := true)

@@ -33,11 +33,17 @@ val workload :
 (** [engine] selects the explorer: [`Dfs] (default) is the historical
     sequential {!Memsim.Explore.dfs}; [`Parallel j] runs the [Mc]
     engine over [j] domains, optionally with partial-order reduction
-    ([por]) — the occupancy monitor is note-driven, so POR preserves
-    its verdicts while visiting fewer states. *)
+    ([por]) and/or process-id symmetry reduction ([symmetry]; requires
+    [`Parallel]) — the occupancy monitor is note-driven and the
+    workload pid-symmetric, so both preserve its verdicts while
+    visiting fewer states. [expected_states] pre-sizes the parallel
+    engine's visited set; [report_visited] receives its occupancy
+    statistics when the run finishes (ignored under [`Dfs]). *)
 val check :
   ?rounds:int -> ?max_states:int -> ?max_depth:int ->
-  ?engine:Mc.engine -> ?por:bool -> model:Memory_model.t ->
+  ?expected_states:int -> ?report_visited:(Mc.Visited.stats -> unit) ->
+  ?engine:Mc.engine -> ?por:bool ->
+  ?symmetry:bool -> model:Memory_model.t ->
   Locks.Lock.factory -> nprocs:int -> verdict
 
 (** Replay a counterexample schedule into a step trace (pending labels

@@ -25,6 +25,8 @@ let () =
       Test_lemma51.suite;
       Test_tradeoff.suite;
       Test_mc.suite;
+      Test_frontier.suite;
+      Test_symmetry.suite;
       Test_fuzz.suite;
       Test_stress.suite;
     ]

@@ -1,0 +1,357 @@
+(* Symmetry-reduction tests.
+
+   The mathematical contract: for a workload that is {e genuinely}
+   pid-equivariant (every process runs the same code over its own bank
+   and unowned registers, no pid-order tie-breaks), the permutation
+   action commutes with the transition relation, the canonical
+   quotient is closed, and the engine under ~symmetry:true visits
+   {e exactly} one state per canonical class of the full state space.
+
+   The lock workloads are only {e near}-symmetric: bakery breaks ties
+   on equal tickets with [slot < j] and scans slots in absolute order,
+   so the renamed image of a reachable state can be reachable yet have
+   a non-mirrored future — the quotient is not closed, and the engine
+   soundly visits a {e subset} of the full space's canonical classes
+   (under-exploration only: any violation it reports is real, and a
+   violation-free subset of a violation-free space stays
+   violation-free). The tests pin both regimes, plus qcheck properties
+   of the canonicalizer and verbatim counterexample replay. *)
+
+open Memsim
+
+let lock name = Option.get (Locks.Registry.find name)
+
+(* Collect the canonical classes of an exploration: run the engine with
+   a check hook folding every expanded state's canonical fingerprint
+   into a table. [symmetry:false] + a hand-tracked configuration gives
+   the classes of the full space (tracking changes no plain
+   fingerprint, so the exploration is the usual one); [symmetry:true]
+   gives the classes the reduced engine actually visited. *)
+let explore_classes ~symmetry ~model cfg =
+  let cfg = if symmetry then cfg else Config.track_obs_regs cfg in
+  let sym = Mc.Symmetry.create (Config.track_obs_regs cfg) in
+  let seen = Hashtbl.create 4096 in
+  let result =
+    Mc.run ~engine:(`Parallel 1) ~symmetry ~max_states:2_000_000
+      ~check:(fun c ->
+        Hashtbl.replace seen (Mc.Symmetry.canon sym c) ();
+        None)
+      ~monitor:(fun () _ -> Ok ())
+      ~init:() cfg
+  in
+  Alcotest.(check bool)
+    (Fmt.str "%a run complete" Memory_model.pp model)
+    false result.Explore.stats.Explore.truncated;
+  (seen, result.Explore.stats.Explore.states)
+
+let subset_of label a b =
+  Hashtbl.iter
+    (fun k () ->
+      if not (Hashtbl.mem b k) then
+        Alcotest.failf "%s: visited class outside the full space" label)
+    a
+
+(* ------------------------------------------------------------------ *)
+(* Exact class parity on genuinely equivariant workloads               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every process touches its own bank (rank order) and the shared
+   register the same way — equivariant under all of S_n. *)
+let private_bank_workload ~model ~nprocs =
+  let builder = Layout.Builder.create ~nprocs in
+  let own =
+    Layout.Builder.alloc_array builder ~name:"flag" ~len:nprocs
+      ~owner:(fun s -> s) ~init:0
+  in
+  let shared =
+    Layout.Builder.alloc builder ~name:"s" ~owner:Layout.no_owner ~init:0
+  in
+  let layout = Layout.Builder.freeze builder in
+  let program p =
+    let open Program in
+    run
+      (let* () = write own.(p) 1 in
+       let* v = read shared in
+       let* () = write shared (v + 1) in
+       let* () = fence in
+       let* m = read own.(p) in
+       let* w = read shared in
+       return (m + w))
+  in
+  Config.make ~model ~layout (Array.init nprocs program)
+
+(* Two processes scanning each other's bank owner-relatively — for
+   n = 2 the swap is a rotation, so the scan stays equivariant and the
+   cross-bank renaming path of the canonicalizer is exercised. *)
+let cross_bank_workload ~model =
+  let nprocs = 2 in
+  let builder = Layout.Builder.create ~nprocs in
+  let own =
+    Layout.Builder.alloc_array builder ~name:"t" ~len:nprocs
+      ~owner:(fun s -> s) ~init:0
+  in
+  let layout = Layout.Builder.freeze builder in
+  let program p =
+    let open Program in
+    run
+      (let* () = write own.(p) 1 in
+       let* v = read own.((p + 1) mod nprocs) in
+       let* () = write own.(p) (v + 1) in
+       let* w = read own.((p + 1) mod nprocs) in
+       return (v + w))
+  in
+  Config.make ~model ~layout (Array.init nprocs program)
+
+let check_exact_parity label ~model cfg =
+  let full, full_states = explore_classes ~symmetry:false ~model cfg in
+  let vis, sym_states = explore_classes ~symmetry:true ~model cfg in
+  let label = Fmt.str "%s/%a" label Memory_model.pp model in
+  Alcotest.(check int)
+    (label ^ ": one state per canonical class")
+    (Hashtbl.length full) sym_states;
+  Alcotest.(check int)
+    (label ^ ": same class set (size)")
+    (Hashtbl.length full) (Hashtbl.length vis);
+  subset_of label vis full;
+  Alcotest.(check bool)
+    (Fmt.str "%s: reduction bites (%d -> %d)" label full_states sym_states)
+    true (sym_states < full_states)
+
+let exact_parity_equivariant () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun n ->
+          check_exact_parity
+            (Fmt.str "private-bank n=%d" n)
+            ~model
+            (private_bank_workload ~model ~nprocs:n))
+        [ 2; 3 ];
+      check_exact_parity "cross-bank n=2" ~model (cross_bank_workload ~model))
+    [ Memory_model.Sc; Memory_model.Tso; Memory_model.Pso ]
+
+(* ------------------------------------------------------------------ *)
+(* Lock workloads: sound subset + verdict preservation                 *)
+(* ------------------------------------------------------------------ *)
+
+let check_lock_subset ~model name ~nprocs =
+  let _, _, cfg =
+    Verify.Mutex_check.workload ~model (lock name) ~nprocs ~rounds:1
+  in
+  let full, full_states = explore_classes ~symmetry:false ~model cfg in
+  let vis, sym_states = explore_classes ~symmetry:true ~model cfg in
+  let label = Fmt.str "%s/%a n=%d" name Memory_model.pp model nprocs in
+  (* the reduced run visits one state per class it claims, every class
+     it claims exists in the full space, and it never exceeds the full
+     space's class count *)
+  Alcotest.(check int)
+    (label ^ ": one state per visited class")
+    (Hashtbl.length vis) sym_states;
+  subset_of label vis full;
+  Alcotest.(check bool)
+    (label ^ ": classes within bounds")
+    true
+    (sym_states <= Hashtbl.length full && Hashtbl.length full <= full_states);
+  (* and the verdict is preserved *)
+  let v =
+    Verify.Mutex_check.check ~engine:(`Parallel 1) ~symmetry:true ~model
+      (lock name) ~nprocs
+  in
+  let reference = Verify.Mutex_check.check ~model (lock name) ~nprocs in
+  Alcotest.(check bool)
+    (label ^ ": verdict preserved")
+    reference.Verify.Mutex_check.holds v.Verify.Mutex_check.holds;
+  (sym_states, full_states)
+
+let lock_subset_n2 () =
+  List.iter
+    (fun name ->
+      List.iter
+        (fun model -> ignore (check_lock_subset ~model name ~nprocs:2))
+        [ Memory_model.Sc; Memory_model.Tso; Memory_model.Pso ])
+    [ "bakery"; "tournament" ]
+
+(* The acceptance-scope case, slow: bakery n=3 PSO must cut the
+   718590-state full space by at least n!/2 = 3x. *)
+let lock_subset_bakery3 () =
+  let sym_states, full_states =
+    check_lock_subset ~model:Memory_model.Pso "bakery" ~nprocs:3
+  in
+  Alcotest.(check bool)
+    (Fmt.str "bakery n=3 PSO: >= 3x reduction (%d -> %d)" full_states
+       sym_states)
+    true
+    (3 * sym_states <= full_states)
+
+let lock_subset_tournament3 () =
+  ignore (check_lock_subset ~model:Memory_model.Sc "tournament" ~nprocs:3)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: deterministic, idempotent, permutation-invariant            *)
+(* ------------------------------------------------------------------ *)
+
+type rop = R of int | W of int * int | F
+
+let show_rop = function
+  | R r -> Printf.sprintf "R%d" r
+  | W (r, v) -> Printf.sprintf "W(%d,%d)" r v
+  | F -> "F"
+
+let program_of ops : Program.t =
+  let open Program in
+  let rec go = function
+    | [] -> return 0
+    | R r :: rest -> read r >>= fun _ -> go rest
+    | W (r, v) :: rest -> write r v >>= fun () -> go rest
+    | F :: rest -> fence >>= fun () -> go rest
+  in
+  run (go ops)
+
+let nprocs = 3
+let nregs = 3
+
+(* Three short programs over a flat (unowned) layout, a pid
+   permutation, and a schedule prefix. *)
+let arb_case =
+  let open QCheck in
+  let gen_ops =
+    Gen.(
+      list_size (0 -- 4)
+        (frequency
+           [
+             (3, map2 (fun r v -> W (r, v)) (0 -- (nregs - 1)) (1 -- 2));
+             (3, map (fun r -> R r) (0 -- (nregs - 1)));
+             (1, return F);
+           ]))
+  in
+  let gen_perm =
+    Gen.oneofl
+      [
+        [| 0; 1; 2 |]; [| 0; 2; 1 |]; [| 1; 0; 2 |];
+        [| 1; 2; 0 |]; [| 2; 0; 1 |]; [| 2; 1; 0 |];
+      ]
+  in
+  let gen_sched =
+    Gen.(
+      list_size (0 -- 12)
+        (pair (0 -- (nprocs - 1))
+           (oneof [ return None; map Option.some (0 -- (nregs - 1)) ])))
+  in
+  make
+    ~print:(fun (progs, pi, sched) ->
+      Printf.sprintf "progs=[%s] pi=[%s] sched=[%s]"
+        (String.concat " || "
+           (List.map
+              (fun ops -> String.concat ";" (List.map show_rop ops))
+              progs))
+        (String.concat "," (List.map string_of_int (Array.to_list pi)))
+        (String.concat ";"
+           (List.map
+              (fun (p, r) ->
+                match r with
+                | None -> Printf.sprintf "(%d,_)" p
+                | Some r -> Printf.sprintf "(%d,%d)" p r)
+              sched)))
+    Gen.(triple (list_repeat nprocs gen_ops) gen_perm gen_sched)
+
+let config_of ~model progs =
+  Config.track_obs_regs
+    (Config.make ~model
+       ~layout:(Layout.flat ~nprocs ~nregs)
+       (Array.of_list (List.map program_of progs)))
+
+let exec_sched cfg sched =
+  List.fold_left (fun c e -> snd (Exec.exec_elt c e)) cfg sched
+
+(* canon is a pure function of the configuration: recomputing it, with
+   the same or a freshly built canonicalizer, exact or sorted, changes
+   nothing. *)
+let prop_canon_deterministic =
+  QCheck.Test.make ~name:"canon deterministic and idempotent" ~count:60
+    arb_case (fun (progs, _, sched) ->
+      let cfg = exec_sched (config_of ~model:Memory_model.Pso progs) sched in
+      let s1 = Mc.Symmetry.create cfg and s2 = Mc.Symmetry.create cfg in
+      let sorted = Mc.Symmetry.create ~exact_max:0 cfg in
+      Mc.Fingerprint.equal (Mc.Symmetry.canon s1 cfg)
+        (Mc.Symmetry.canon s1 cfg)
+      && Mc.Fingerprint.equal (Mc.Symmetry.canon s1 cfg)
+           (Mc.Symmetry.canon s2 cfg)
+      && Mc.Fingerprint.equal
+           (Mc.Symmetry.canon sorted cfg)
+           (Mc.Symmetry.canon sorted cfg))
+
+(* Permuting the initial program array and mirroring the schedule
+   through the same permutation relabels every process; the canonical
+   fingerprints must coincide — exactly under the n! sweep, and also
+   under the forced sorted-lane approximation (which is coarser, never
+   finer, than true relabelling). *)
+let prop_canon_perm_invariant =
+  QCheck.Test.make ~name:"canon invariant under pid permutation" ~count:60
+    arb_case (fun (progs, pi, sched) ->
+      List.for_all
+        (fun model ->
+          let cfg1 = exec_sched (config_of ~model progs) sched in
+          (* process pi.(p) of the permuted system runs progs.(p) *)
+          let inv = Array.make nprocs 0 in
+          Array.iteri (fun p p' -> inv.(p') <- p) pi;
+          let progs2 = List.init nprocs (fun p' -> List.nth progs inv.(p')) in
+          let sched2 = List.map (fun (p, r) -> (pi.(p), r)) sched in
+          let cfg2 = exec_sched (config_of ~model progs2) sched2 in
+          let s = Mc.Symmetry.create cfg1 in
+          let sorted = Mc.Symmetry.create ~exact_max:0 cfg1 in
+          Mc.Fingerprint.equal (Mc.Symmetry.canon s cfg1)
+            (Mc.Symmetry.canon s cfg2)
+          && Mc.Fingerprint.equal
+               (Mc.Symmetry.canon sorted cfg1)
+               (Mc.Symmetry.canon sorted cfg2))
+        [ Memory_model.Sc; Memory_model.Tso; Memory_model.Pso ])
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample replay                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A violation found under ~symmetry:true is a verbatim schedule: it
+   replays to the same mutual-exclusion violation on a fresh, untracked,
+   unreduced configuration. *)
+let symmetry_violation_replays () =
+  let model = Memory_model.Pso in
+  let v =
+    Verify.Mutex_check.check ~engine:(`Parallel 1) ~symmetry:true ~model
+      (lock "peterson-unfenced") ~nprocs:2
+  in
+  Alcotest.(check bool) "still broken under symmetry" false
+    v.Verify.Mutex_check.holds;
+  let path =
+    match v.Verify.Mutex_check.me_violation with
+    | Some p -> p
+    | None -> Alcotest.fail "no mutual-exclusion counterexample recorded"
+  in
+  let _, _, cfg =
+    Verify.Mutex_check.workload ~model
+      (lock "peterson-unfenced")
+      ~nprocs:2 ~rounds:1
+  in
+  let steps, _ = Mc.Replay.run cfg path in
+  match
+    Mc.Replay.monitor_verdict ~monitor:Verify.Mutex_check.cs_monitor
+      ~init:Pid.Set.empty steps
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "replayed path does not violate without symmetry"
+
+let suite =
+  ( "symmetry",
+    [
+      Alcotest.test_case "exact class parity (equivariant workloads)" `Quick
+        exact_parity_equivariant;
+      Alcotest.test_case "lock classes: sound subset, verdicts (n=2)" `Quick
+        lock_subset_n2;
+      Alcotest.test_case "bakery n=3 PSO: subset + 3x reduction (acceptance)"
+        `Slow lock_subset_bakery3;
+      Alcotest.test_case "tournament n=3 SC: sound subset" `Slow
+        lock_subset_tournament3;
+      QCheck_alcotest.to_alcotest prop_canon_deterministic;
+      QCheck_alcotest.to_alcotest prop_canon_perm_invariant;
+      Alcotest.test_case "violation under symmetry replays verbatim" `Quick
+        symmetry_violation_replays;
+    ] )
