@@ -74,8 +74,11 @@ let symmetry_t =
         ~doc:
           "Process-id symmetry reduction (canonical fingerprints over pid \
            orbits); implies the parallel engine (1 domain unless \
-           $(b,--jobs) says otherwise). Sound for pid-symmetric workloads \
-           such as the lock checks.")
+           $(b,--jobs) says otherwise). Complete only for fully \
+           pid-symmetric programs; the lock workloads embed pid \
+           tie-breaks, so exploration is an under-approximation: any \
+           violation reported is real, but a clean check is reported as \
+           'OK (symmetry-reduced subset)', not a proof of correctness.")
 
 (* --jobs/--por/--symmetry to an Mc engine selection: the reductions
    are Mc features, so requesting either routes through the parallel

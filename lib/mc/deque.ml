@@ -29,11 +29,19 @@
 
     Cells are ['a] slots initialized with an unsafe immediate dummy
     ([Obj.magic ()]), the standard trick to avoid an ['a option] box
-    per push; the GC never chases an immediate. The owner clears the
-    cells it pops; {e stolen} cells cannot safely be cleared by the
-    thief (the owner may already have reused the physical slot after
-    wrap-around), so a stolen cell keeps its reference alive until
-    overwritten — retention bounded by the buffer size. *)
+    per push; the GC never chases an immediate. This leans on the
+    buffers staying {e generic} ['a array]s: [Array.make] sees the
+    immediate dummy and builds a boxed (non-flat) array even at type
+    [float t], and every accessor below is polymorphic. ['a t] is
+    abstract in the interface precisely so this cannot be broken from
+    outside; any future monomorphic [float] specialization of these
+    accessors would make [Array.make] build a flat float array and
+    reinterpret the dummy bits as a [float] — memory-unsafe. (In this
+    library the elements are always task records.) The owner clears
+    the cells it pops; {e stolen} cells cannot safely be cleared by
+    the thief (the owner may already have reused the physical slot
+    after wrap-around), so a stolen cell keeps its reference alive
+    until overwritten — retention bounded by the buffer size. *)
 
 type 'a t = {
   bottom : int Atomic.t;  (** next free slot; written only by the owner *)

@@ -66,12 +66,14 @@
     {e near}-symmetric — bakery breaks equal-ticket ties with
     [slot < j] and scans slots in absolute order, so a renamed
     reachable state can have a non-mirrored future — and there the
-    reduced run soundly visits a {e subset} of the full space's
-    classes, still with the full verdict guarantee: a reported
-    violation is a real reachable one, and a violation-free subset of
-    a violation-free space stays violation-free. Counterexample paths
-    are recorded verbatim (the engine never canonicalizes paths), so
-    replay needs no de-canonicalization. *)
+    reduced run visits a {e subset} of the full space's classes. The
+    guarantee is then one-sided: a reported violation is a real
+    reachable one, but an all-clear only says the explored subset was
+    clean — the pruned classes could hide a violation, so clients must
+    present it as an under-approximate verdict (the mutex checker
+    prints ["OK (symmetry-reduced subset)"]), never as a proof.
+    Counterexample paths are recorded verbatim (the engine never
+    canonicalizes paths), so replay needs no de-canonicalization. *)
 
 open Memsim
 

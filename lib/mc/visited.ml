@@ -1,52 +1,75 @@
 (** Sharded concurrent visited set over state fingerprints.
 
-    A fixed power-of-two array of shards, each a mutex-protected hash
-    table. The shard index comes from fingerprint lane [b] and the
-    in-shard hash from lane [a], so the two are decorrelated.
+    A fixed power-of-two array of shards, each an {e insert-only} hash
+    set. The shard index comes from fingerprint lane [b] and the
+    in-shard bucket index from lane [a], so the two are decorrelated.
+
+    The tables are hand-rolled rather than stdlib [Hashtbl], because
+    the batched probe below reads them {e without the shard lock} and
+    stdlib [Hashtbl] is not safe to read racily: its resize relinks
+    the existing bucket cons cells in place (mutating their [next]
+    fields) whenever no traversal is registered, so a racy [mem]
+    concurrent with a resize walks chains whose links are being
+    rewritten — any safety argument would rest on unstated stdlib
+    internals. Here the invariant the racy read needs is true by
+    construction:
+
+    - a bucket chain is a list of {e immutable} cons cells; inserting
+      prepends a freshly allocated cell whose tail is the existing
+      chain, and no cell is ever mutated after allocation;
+    - the bucket array is published through an [Atomic.t]; a resize
+      (under the shard lock) builds a {e completely new} array out of
+      freshly allocated cells and installs it with one [Atomic.set] —
+      arrays and cells reachable by a concurrent reader are never
+      touched again.
 
     Two scaling refinements over the original lock-and-probe design:
 
     - {e batched two-phase probe} ({!add_batch}): one expansion
       produces several children at once, most of which are duplicates
       on the workloads we care about (~60% on bakery). Phase one
-      checks each fingerprint with a {e lock-free racy} [Tbl.mem];
-      phase two takes each shard lock once per batch and re-checks and
-      inserts only the survivors. The racy pre-check is sound because
-      the tables are insert-only: a key, once present, never
-      disappears, stdlib [Hashtbl] resize allocates fresh bucket cells
-      (it never mutates reachable ones), and bucket arrays only grow —
-      so a racy [mem] may miss a concurrent insert (a false negative,
-      caught by the locked re-check) but can never claim a key that
-      was never inserted. Phase one thereby filters the duplicate
-      majority without touching a lock.
+      checks each fingerprint with a {e lock-free racy} membership
+      read; phase two takes each shard lock once per batch and
+      re-checks and inserts only the survivors. The racy read is sound
+      because: (a) the [Atomic.get] of the bucket array synchronizes
+      with the [Atomic.set] that published it, so every cell the array
+      held at publication is fully visible; (b) a plain read of a
+      bucket slot returns {e some} value actually stored there (the
+      OCaml 5 memory model has no out-of-thin-air values, and reads
+      of immutable fields — the cell's key and tail — are guaranteed
+      to see their initialized values even under a race); and (c)
+      every cell ever stored in any published array holds a key some
+      insert actually added, and chains are acyclic because each
+      cell's tail existed before it. So a racy read may {e miss} a
+      concurrent insert (a false negative, caught by the locked
+      re-check) but can never claim a key that was never inserted.
+      Phase one thereby filters the duplicate majority without
+      touching a lock.
 
-    - {e pre-sizing} ([?expected_states]): the former fixed
-      [Tbl.create 1024] per shard forced every shard through the full
-      resize cascade on million-state runs — each resize a full
-      rehash {e under the shard lock}, stalling every domain that
-      hashes to the shard. The hint spreads the expected population
-      over the shards up front.
+    - {e pre-sizing} ([?expected_states]): the former fixed 1024-slot
+      tables forced every shard through the full resize cascade on
+      million-state runs — each resize a full rehash {e under the
+      shard lock}, stalling every domain that hashes to the shard. The
+      hint spreads the expected population over the shards up front.
 
     Shard records are deliberately {e padded apart} at allocation
-    time: the records (and their hash tables' headers, allocated in
+    time: the records (and their initial bucket arrays, allocated in
     the same breath) would otherwise sit contiguously in the heap,
     and two domains inserting into neighbouring shards would
-    false-share cache lines through the tables' mutable size fields.
+    false-share cache lines through the shards' mutable count fields.
     OCaml offers no layout control, so the constructor interleaves a
     cache-line-sized dummy array with each shard and keeps it live in
     the record — the GC preserves allocation order when promoting, so
     the spacing survives. *)
 
-module Tbl = Hashtbl.Make (struct
-  type t = Fingerprint.t
-
-  let equal = Fingerprint.equal
-  let hash = Fingerprint.hash
-end)
+type cell = Nil | Cons of { fp : Fingerprint.t; next : cell }
 
 type shard = {
   lock : Mutex.t;
-  tbl : unit Tbl.t;
+  buckets : cell array Atomic.t;
+      (** length a power of two; cells immutable, array replaced
+          wholesale on resize *)
+  mutable count : int;  (** entries; read/written under [lock] *)
   _pad : int array;  (** keeps the inter-shard spacing live; see above *)
 }
 
@@ -60,25 +83,28 @@ type stats = {
   skew : float;  (** max / mean; 1.0 = perfectly even *)
 }
 
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
 let create ?(shards = 128) ?expected_states () =
   if shards <= 0 || shards land (shards - 1) <> 0 then
     Fmt.invalid_arg "Visited.create: %d shards (need a power of two)" shards;
-  let initial =
+  let initial_buckets =
     match expected_states with
     | None -> 1024
     | Some n when n < 0 ->
         Fmt.invalid_arg "Visited.create: expected_states %d" n
     | Some n ->
-        (* per-shard population, with slack so the expected load stays
-           under Hashtbl's resize threshold *)
-        max 1024 (n / shards * 2)
+        (* one bucket per expected entry in the shard: the expected
+           load stays at ~1, well under the resize threshold *)
+        next_pow2 (max 1024 (n / shards)) 1024
   in
   {
     shards =
       Array.init shards (fun _ ->
           {
             lock = Mutex.create ();
-            tbl = Tbl.create initial;
+            buckets = Atomic.make (Array.make initial_buckets Nil);
+            count = 0;
             _pad = Array.make 15 0 (* one cache line of spacing *);
           });
     mask = shards - 1;
@@ -87,6 +113,51 @@ let create ?(shards = 128) ?expected_states () =
 let[@inline] shard_of (t : t) fp =
   t.shards.(Fingerprint.shard fp ~mask:t.mask)
 
+let[@inline] bucket_of arr fp =
+  Fingerprint.hash fp land (Array.length arr - 1)
+
+let rec chain_mem fp = function
+  | Nil -> false
+  | Cons c -> Fingerprint.equal c.fp fp || chain_mem fp c.next
+
+(** Lock-free membership probe; false negatives possible under
+    concurrent inserts, false positives impossible (header argument). *)
+let[@inline] mem_racy s fp =
+  let arr = Atomic.get s.buckets in
+  chain_mem fp arr.(bucket_of arr fp)
+
+(* Shard lock held: double the bucket array, re-chaining every entry
+   through freshly allocated cells, and publish the new array. Readers
+   still holding the old array see a valid (possibly stale) chain set;
+   nothing they can reach is mutated. *)
+let grow s =
+  let old = Atomic.get s.buckets in
+  let arr = Array.make (2 * Array.length old) Nil in
+  Array.iter
+    (let rec rehash = function
+       | Nil -> ()
+       | Cons c ->
+           let i = bucket_of arr c.fp in
+           arr.(i) <- Cons { fp = c.fp; next = arr.(i) };
+           rehash c.next
+     in
+     rehash)
+    old;
+  Atomic.set s.buckets arr
+
+(* Shard lock held: authoritative re-check and insert. Resize at a
+   mean chain length of 2, so probes stay short. *)
+let locked_add s fp =
+  let arr = Atomic.get s.buckets in
+  let i = bucket_of arr fp in
+  if chain_mem fp arr.(i) then false
+  else begin
+    arr.(i) <- Cons { fp; next = arr.(i) };
+    s.count <- s.count + 1;
+    if s.count > 2 * Array.length arr then grow s;
+    true
+  end
+
 (** [add t fp] inserts [fp]; [true] iff it was not already present.
     The test-and-insert is atomic per shard, so exactly one domain wins
     each state — the winner expands it and fires the per-state hooks.
@@ -94,11 +165,10 @@ let[@inline] shard_of (t : t) fp =
     the header argument). *)
 let add t fp =
   let s = shard_of t fp in
-  if Tbl.mem s.tbl fp then false
+  if mem_racy s fp then false
   else begin
     Mutex.lock s.lock;
-    let fresh = not (Tbl.mem s.tbl fp) in
-    if fresh then Tbl.add s.tbl fp ();
+    let fresh = locked_add s fp in
     Mutex.unlock s.lock;
     fresh
   end
@@ -115,7 +185,7 @@ let add_batch t fps =
   (* phase one: racy pre-check — duplicates drop out with no lock *)
   let survivors = ref [] in
   for i = n - 1 downto 0 do
-    if not (Tbl.mem (shard_of t fps.(i)).tbl fps.(i)) then
+    if not (mem_racy (shard_of t fps.(i)) fps.(i)) then
       survivors := i :: !survivors
   done;
   (* phase two: per shard, one lock round for all its survivors *)
@@ -128,9 +198,7 @@ let add_batch t fps =
           List.filter
             (fun j ->
               if shard_of t fps.(j) == s then begin
-                let fresh = not (Tbl.mem s.tbl fps.(j)) in
-                if fresh then Tbl.add s.tbl fps.(j) ();
-                res.(j) <- fresh;
+                res.(j) <- locked_add s fps.(j);
                 false
               end
               else true)
@@ -144,10 +212,11 @@ let add_batch t fps =
 
 let mem t fp =
   let s = shard_of t fp in
-  Tbl.mem s.tbl fp
+  mem_racy s fp
   ||
   (Mutex.lock s.lock;
-   let r = Tbl.mem s.tbl fp in
+   let arr = Atomic.get s.buckets in
+   let r = chain_mem fp arr.(bucket_of arr fp) in
    Mutex.unlock s.lock;
    r)
 
@@ -157,7 +226,7 @@ let size (t : t) =
   Array.fold_left
     (fun acc s ->
       Mutex.lock s.lock;
-      let n = Tbl.length s.tbl in
+      let n = s.count in
       Mutex.unlock s.lock;
       acc + n)
     0 t.shards
@@ -171,7 +240,7 @@ let stats (t : t) =
   Array.iter
     (fun s ->
       Mutex.lock s.lock;
-      let n = Tbl.length s.tbl in
+      let n = s.count in
       Mutex.unlock s.lock;
       entries := !entries + n;
       if n > !maxo then maxo := n)

@@ -1,8 +1,10 @@
 (** Sharded concurrent visited set over state fingerprints: a
-    power-of-two array of mutex-protected hash tables, shard index and
+    power-of-two array of insert-only hash sets (immutable bucket
+    chains, atomically published bucket arrays), shard index and
     in-shard hash drawn from decorrelated fingerprint lanes, with a
-    lock-free racy pre-check in front of every insert (sound because
-    the tables are insert-only — see the implementation header). *)
+    lock-free racy pre-check in front of every insert — sound by
+    construction: nothing a concurrent reader can reach is ever
+    mutated (see the implementation header). *)
 
 type t
 

@@ -21,6 +21,9 @@ type verdict = {
   nprocs : int;
   rounds : int;
   holds : bool;
+  symmetry : bool;
+      (** checked under pid-symmetry reduction — see {!check}: [holds]
+          then means "no violation in the symmetry-reduced subset" *)
   me_violation : Exec.elt list option;  (** schedule reaching an overlap *)
   deadlock : Exec.elt list option;
   lost_update : bool;  (** some run lost a counter increment *)
@@ -31,7 +34,8 @@ let pp_verdict ppf v =
   Fmt.pf ppf "%-24s %-4s n=%d rounds=%d: %s (%d states%s)" v.lock_name
     (Memory_model.to_string v.model)
     v.nprocs v.rounds
-    (if v.holds then "OK"
+    (if v.holds then
+       if v.symmetry then "OK (symmetry-reduced subset)" else "OK"
      else if v.me_violation <> None then "MUTUAL EXCLUSION VIOLATED"
      else if v.deadlock <> None then "DEADLOCK"
      else "LOST UPDATE")
@@ -96,11 +100,15 @@ let check ?(rounds = 1) ?max_states ?max_depth ?expected_states
   let lost_update = ref false in
   let result =
     (* `Dfs is the historical sequential explorer; `Parallel routes
-       through the Mc engine (the checker's monitor is note-driven, so
-       POR preserves its verdicts — see Mc.Por; the workload is
-       pid-symmetric by construction — every process runs the same
-       passage loop — so symmetry reduction preserves them too, see
-       Mc.Symmetry) *)
+       through the Mc engine. The checker's monitor is note-driven, so
+       POR preserves its verdicts (see Mc.Por). Symmetry guarantees
+       less: the passage loop is shared, but the lock factories embed
+       pid-dependent tie-breaks (bakery's [slot < j]), so the workload
+       is only near-symmetric, the quotient is not closed, and the
+       reduced run explores a subset of the reachable state classes —
+       a reported violation is a real reachable one, but an all-clear
+       is an under-approximation, surfaced in the verdict as
+       "OK (symmetry-reduced subset)" (see Mc.Symmetry). *)
     Mc.run ~engine ~por ~symmetry ?expected_states ?report_visited ?max_states
       ?max_depth ~max_violations:1 ~monitor:cs_monitor ~init:Pid.Set.empty
       ~on_final:(fun final _ ->
@@ -121,6 +129,7 @@ let check ?(rounds = 1) ?max_states ?max_depth ?expected_states
     model;
     nprocs;
     rounds;
+    symmetry;
     holds = me_violation = None && deadlock = None && not !lost_update;
     me_violation;
     deadlock;

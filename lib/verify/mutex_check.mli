@@ -11,6 +11,11 @@ type verdict = {
   nprocs : int;
   rounds : int;
   holds : bool;
+  symmetry : bool;
+      (** checked under pid-symmetry reduction: exploration was an
+          under-approximation (see {!check}), so [holds = true] means
+          "no violation found in the symmetry-reduced subset" — printed
+          by {!pp_verdict} as ["OK (symmetry-reduced subset)"] *)
   me_violation : Exec.elt list option;  (** schedule reaching an overlap *)
   deadlock : Exec.elt list option;
   lost_update : bool;
@@ -34,11 +39,17 @@ val workload :
     sequential {!Memsim.Explore.dfs}; [`Parallel j] runs the [Mc]
     engine over [j] domains, optionally with partial-order reduction
     ([por]) and/or process-id symmetry reduction ([symmetry]; requires
-    [`Parallel]) — the occupancy monitor is note-driven and the
-    workload pid-symmetric, so both preserve its verdicts while
-    visiting fewer states. [expected_states] pre-sizes the parallel
-    engine's visited set; [report_visited] receives its occupancy
-    statistics when the run finishes (ignored under [`Dfs]). *)
+    [`Parallel]). The occupancy monitor is note-driven, so POR
+    preserves its verdicts while visiting fewer states. Symmetry does
+    {e not}: the lock workloads are only near-symmetric (pid-dependent
+    tie-breaks live in program text, outside the canonical key), so
+    under [symmetry] the run explores a subset of the reachable state
+    classes — any violation reported is real, but a clean pass is an
+    under-approximate verdict, flagged in {!verdict.symmetry} and
+    printed as ["OK (symmetry-reduced subset)"]. [expected_states]
+    pre-sizes the parallel engine's visited set; [report_visited]
+    receives its occupancy statistics when the run finishes (ignored
+    under [`Dfs]). *)
 val check :
   ?rounds:int -> ?max_states:int -> ?max_depth:int ->
   ?expected_states:int -> ?report_visited:(Mc.Visited.stats -> unit) ->

@@ -11,11 +11,12 @@
    on equal tickets with [slot < j] and scans slots in absolute order,
    so the renamed image of a reachable state can be reachable yet have
    a non-mirrored future — the quotient is not closed, and the engine
-   soundly visits a {e subset} of the full space's canonical classes
-   (under-exploration only: any violation it reports is real, and a
-   violation-free subset of a violation-free space stays
-   violation-free). The tests pin both regimes, plus qcheck properties
-   of the canonicalizer and verbatim counterexample replay. *)
+   visits a {e subset} of the full space's canonical classes. Any
+   violation it reports is real; an all-clear only covers the explored
+   subset, which is why the mutex checker flags such verdicts as
+   under-approximate ("OK (symmetry-reduced subset)" — pinned below).
+   The tests pin both regimes, plus qcheck properties of the
+   canonicalizer and verbatim counterexample replay. *)
 
 open Memsim
 
@@ -152,7 +153,8 @@ let check_lock_subset ~model name ~nprocs =
     (label ^ ": classes within bounds")
     true
     (sym_states <= Hashtbl.length full && Hashtbl.length full <= full_states);
-  (* and the verdict is preserved *)
+  (* and the verdict is preserved — with the symmetry run flagged as
+     the under-approximation it is *)
   let v =
     Verify.Mutex_check.check ~engine:(`Parallel 1) ~symmetry:true ~model
       (lock name) ~nprocs
@@ -161,6 +163,28 @@ let check_lock_subset ~model name ~nprocs =
   Alcotest.(check bool)
     (label ^ ": verdict preserved")
     reference.Verify.Mutex_check.holds v.Verify.Mutex_check.holds;
+  Alcotest.(check bool)
+    (label ^ ": symmetry verdict flagged")
+    true v.Verify.Mutex_check.symmetry;
+  Alcotest.(check bool)
+    (label ^ ": reference verdict unflagged")
+    false reference.Verify.Mutex_check.symmetry;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let subset_marker = "OK (symmetry-reduced subset)" in
+  Alcotest.(check bool)
+    (label ^ ": clean symmetry pass prints as subset verdict")
+    v.Verify.Mutex_check.holds
+    (contains (Fmt.str "%a" Verify.Mutex_check.pp_verdict v) subset_marker);
+  Alcotest.(check bool)
+    (label ^ ": reference verdict never prints the subset marker")
+    false
+    (contains
+       (Fmt.str "%a" Verify.Mutex_check.pp_verdict reference)
+       subset_marker);
   (sym_states, full_states)
 
 let lock_subset_n2 () =
