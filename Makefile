@@ -24,9 +24,16 @@ mc-bench:
 # j in {1,4} and exits 1 if j=4 aggregate throughput regresses below
 # j=1 (on a single-CPU box, if mc j=1 falls below 0.8x the dfs
 # baseline). Never touches the committed BENCH_mc.json numbers.
+# The guard runs with telemetry always-on bumps compiled in, so a
+# regression in the zero-cost-when-off discipline fails here too.
+# The second step exercises the observability surface end to end:
+# a capped check with live progress writing BENCH_check.ndjson
+# (uploaded as a CI artifact).
 bench-smoke:
 	BENCH_MC_CAP=200000 BENCH_MC_JOBS=1,4 BENCH_MC_GUARD=1 \
 	dune exec bench/main.exe -- MC
+	dune exec bin/fencelab_cli.exe -- check bakery -n 3 --max-states 50000 \
+	-j 1 --progress --interval 0.2 --stats-out BENCH_check.ndjson
 
 # Deterministic differential-fuzzing smoke run: FUZZ_COUNT generated
 # programs (default 250) through all four oracles; shrunk

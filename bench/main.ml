@@ -495,15 +495,28 @@ let mc () =
         List.map
           (fun (label, engine, por, symmetry) ->
             let vstats = ref None in
+            (* a fresh hub per run: counter totals are per-run, and the
+               NDJSON columns below come straight off it — the same
+               counters `--stats-out` exports, so bench rows and CLI
+               telemetry can never disagree *)
+            let tel =
+              Telemetry.Hub.create
+                ~workers:(match engine with `Dfs -> 1 | `Parallel j -> j)
+                ()
+            in
             let t0 = Unix.gettimeofday () in
             let v =
-              Verify.Mutex_check.check ~max_states:cap
+              Verify.Mutex_check.check ~tel ~max_states:cap
                 ~expected_states:(min cap expected)
                 ~report_visited:(fun s -> vstats := Some s)
                 ~engine ~por ~symmetry ~model:Memory_model.Pso (lock name)
                 ~nprocs
             in
             let dt = Unix.gettimeofday () -. t0 in
+            let ctr n = Option.value ~default:0 (Telemetry.Hub.read_int tel n) in
+            let steals = ctr "steals"
+            and dedup = ctr "dedup_hits"
+            and prunes = ctr "por_prunes" + ctr "sym_remaps" in
             let s = v.Verify.Mutex_check.stats in
             let rate = float_of_int s.Explore.states /. dt in
             let jobs = match engine with `Dfs -> 0 | `Parallel j -> j in
@@ -525,9 +538,11 @@ let mc () =
    "engine": %S, "jobs": %d, "por": %b, "symmetry": %b,
    "states": %d, "transitions": %d, "truncated": %b,
    "seconds": %.3f, "states_per_sec": %.0f,
+   "steals": %d, "dedup_hits": %d, "prunes": %d,
    "speedup_vs_j1": %s, "visited_skew": %s}|}
                 name nprocs label jobs por symmetry s.Explore.states
-                s.Explore.transitions s.Explore.truncated dt rate
+                s.Explore.transitions s.Explore.truncated dt rate steals dedup
+                prunes
                 (if Float.is_nan speedup then "null"
                  else Fmt.str "%.3f" speedup)
                 (if Float.is_nan skew then "null" else Fmt.str "%.2f" skew)
@@ -540,6 +555,9 @@ let mc () =
               Report.icol s.Explore.transitions;
               Fmt.str "%.2f" dt;
               Fmt.str "%.0f" rate;
+              Report.icol steals;
+              Report.icol dedup;
+              Report.icol prunes;
               (if Float.is_nan speedup then "--" else Fmt.str "%.2f" speedup);
               (if Float.is_nan skew then "--" else Fmt.str "%.2f" skew);
             ])
@@ -550,7 +568,7 @@ let mc () =
     ~headers:
       [
         "lock"; "n"; "engine"; "states"; "transitions"; "s"; "states/s";
-        "vs j=1"; "skew";
+        "steals"; "dedup"; "prunes"; "vs j=1"; "skew";
       ]
     rows;
   if capped then

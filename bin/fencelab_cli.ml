@@ -88,6 +88,80 @@ let engine_of ?(symmetry = false) ~jobs ~por () : Mc.engine =
   else if por || symmetry then `Parallel 1
   else `Dfs
 
+(* --- observability ------------------------------------------------ *)
+
+let progress_t =
+  Arg.(
+    value
+    & flag
+    & info [ "progress" ]
+        ~doc:
+          "Print a live progress line to stderr every $(b,--interval) \
+           seconds: elapsed time, primary rate (states/s or programs/s), \
+           and the run's counters and gauges (frontier depth, visited \
+           occupancy and skew, steals, sleeps, reduction prunes). The \
+           sampler runs on its own domain; workers only ever bump plain \
+           pre-allocated counters, so throughput is unaffected.")
+
+let interval_t =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "interval" ] ~docv:"SEC"
+        ~doc:"Seconds between progress/stats samples (default 1.0).")
+
+let stats_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-out" ] ~docv:"FILE"
+        ~doc:
+          "Append NDJSON telemetry to $(docv): one flat JSON object per \
+           line, $(b,\"type\":\"sample\") records at each interval and a \
+           final $(b,\"type\":\"run\") record whose states/transitions \
+           fields are the authoritative verdict values.")
+
+(* Shared --progress/--interval/--stats-out plumbing. [f] receives the
+   hub and a [finish] continuation: call [finish fields] once the
+   verdict is known — it stops the sampler (flushing one last sample)
+   and appends the final ["run"] record with [fields] prepended to the
+   hub's counter totals, so authoritative verdict fields win over any
+   same-named counter (Sink.emit drops duplicate keys). If [f] escapes
+   by exception the sampler is still stopped and the sink closed, but
+   no ["run"] record is written — an interrupted file ends in samples,
+   never a bogus verdict. *)
+let with_telemetry ~progress ~interval ~stats_out ~workers ~label f =
+  let tel = Telemetry.Hub.create ~workers:(max 1 workers) () in
+  let sink = Option.map Telemetry.Sink.create stats_out in
+  let sampler =
+    if progress || Option.is_some sink then
+      Some
+        (Telemetry.Sampler.start ~hub:tel ~interval ~label
+           ?progress:(if progress then Some Fmt.stderr else None)
+           ?sink ())
+    else None
+  in
+  let finished = ref false in
+  let cleanup ~run_record fields =
+    if not !finished then begin
+      finished := true;
+      Option.iter Telemetry.Sampler.stop sampler;
+      Option.iter
+        (fun s ->
+          if run_record then
+            Telemetry.Sink.emit s ~kind:"run"
+              (fields
+              @ List.map
+                  (fun (k, v) -> (k, Telemetry.Sink.I v))
+                  (Telemetry.Hub.counter_fields tel));
+          Telemetry.Sink.close s)
+        sink
+    end
+  in
+  Fun.protect
+    ~finally:(fun () -> cleanup ~run_record:false [])
+    (fun () -> f tel (cleanup ~run_record:true))
+
 (* Surface algorithm preconditions (e.g. Peterson is 2-process) and
    scheduler stalls as clean CLI errors rather than backtraces. *)
 let protect f =
@@ -166,14 +240,28 @@ let check_cmd =
       & info [ "max-states" ] ~docv:"K" ~doc:"State cap for exploration.")
   in
   let run (name, factory) model nprocs rounds max_states trace jobs por
-      symmetry =
+      symmetry progress interval stats_out =
    protect @@ fun () ->
-    ignore name;
     let engine = engine_of ~symmetry ~jobs ~por () in
+    with_telemetry ~progress ~interval ~stats_out ~workers:jobs ~label:"check"
+    @@ fun tel finish ->
     let v =
-      Verify.Mutex_check.check ~rounds ~max_states ~engine ~por ~symmetry
+      Verify.Mutex_check.check ~tel ~rounds ~max_states ~engine ~por ~symmetry
         ~model factory ~nprocs
     in
+    finish
+      Telemetry.Sink.
+        [
+          ("cmd", S "check");
+          ("lock", S name);
+          ("model", S (Memory_model.to_string model));
+          ("nprocs", I nprocs);
+          ("rounds", I rounds);
+          ("holds", B v.Verify.Mutex_check.holds);
+          ("states", I v.Verify.Mutex_check.stats.Explore.states);
+          ("transitions", I v.Verify.Mutex_check.stats.Explore.transitions);
+          ("truncated", B v.Verify.Mutex_check.stats.Explore.truncated);
+        ];
     Fmt.pr "%a@." Verify.Mutex_check.pp_verdict v;
     (match (trace, v.Verify.Mutex_check.me_violation) with
     | true, Some path ->
@@ -187,7 +275,8 @@ let check_cmd =
     Term.(
       ret
         (const run $ lock_t $ model_t $ nprocs_t $ rounds_t $ max_states_t
-       $ trace_t $ jobs_t $ por_t $ symmetry_t))
+       $ trace_t $ jobs_t $ por_t $ symmetry_t $ progress_t $ interval_t
+       $ stats_out_t))
 
 let stress_cmd =
   let seeds_t =
@@ -231,7 +320,8 @@ let litmus_cmd =
   let test_t =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"TEST" ~doc:"Test name.")
   in
-  let run test jobs por =
+  let run test jobs por progress interval stats_out =
+   protect @@ fun () ->
     (* no --symmetry here: litmus verdicts project per-pid outcomes,
        which orbit merging would conflate *)
     let engine = engine_of ~jobs ~por () in
@@ -248,20 +338,42 @@ let litmus_cmd =
           | None -> [])
     in
     if tests = [] then `Error (false, "unknown litmus test")
-    else begin
+    else
+      with_telemetry ~progress ~interval ~stats_out ~workers:jobs
+        ~label:"litmus"
+      @@ fun tel finish ->
+      (* one hub across the whole test x model sweep: counters
+         accumulate over runs, gauges are re-registered (replaced) by
+         each exploration, so samples always show the live run *)
+      let states = ref 0 and transitions = ref 0 and runs = ref 0 in
       List.iter
         (fun t ->
           List.iter
             (fun model ->
-              let r = Litmus.Test.run ~engine ~por t ~model in
+              let r = Litmus.Test.run ~tel ~engine ~por t ~model in
+              incr runs;
+              states := !states + r.Litmus.Test.stats.Explore.states;
+              transitions :=
+                !transitions + r.Litmus.Test.stats.Explore.transitions;
               Fmt.pr "%a@." Litmus.Test.pp_run r)
             Memory_model.all)
         tests;
+      finish
+        Telemetry.Sink.
+          [
+            ("cmd", S "litmus");
+            ("tests", I (List.length tests));
+            ("runs", I !runs);
+            ("states", I !states);
+            ("transitions", I !transitions);
+          ];
       `Ok ()
-    end
   in
   Cmd.v (Cmd.info "litmus" ~doc:"Reachable litmus outcomes per memory model")
-    Term.(ret (const run $ test_t $ jobs_t $ por_t))
+    Term.(
+      ret
+        (const run $ test_t $ jobs_t $ por_t $ progress_t $ interval_t
+       $ stats_out_t))
 
 let fuzz_cmd =
   let seed_t =
@@ -304,7 +416,8 @@ let fuzz_cmd =
       & info [ "artifact-dir" ] ~docv:"DIR"
           ~doc:"Where shrunk counterexample artifacts are written.")
   in
-  let run seed count procs len regs values model jobs artifact_dir =
+  let run seed count procs len regs values model jobs artifact_dir progress
+      interval stats_out =
    protect @@ fun () ->
     let params = { Fuzz.Gen.procs; len; nregs = regs; values } in
     let jobs_list =
@@ -313,7 +426,19 @@ let fuzz_cmd =
     let config =
       { Fuzz.Oracle.default_config with model; jobs = jobs_list }
     in
-    let summary = Fuzz.run ~config ~params ~seed ~count () in
+    with_telemetry ~progress ~interval ~stats_out ~workers:1 ~label:"fuzz"
+    @@ fun tel finish ->
+    let summary = Fuzz.run ~tel ~config ~params ~seed ~count () in
+    finish
+      Telemetry.Sink.
+        [
+          ("cmd", S "fuzz");
+          ("seed", I seed);
+          ("count", I count);
+          ("checked", I summary.Fuzz.checked);
+          ("skipped", I (List.length summary.Fuzz.skipped));
+          ("violations", I (List.length summary.Fuzz.findings));
+        ];
     List.iter
       (fun (s, reason) -> Fmt.epr "skipped seed %d: %s@." s reason)
       summary.Fuzz.skipped;
@@ -347,7 +472,8 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ seed_t $ count_t $ procs_t $ len_t $ regs_t $ values_t
-       $ model_t $ jobs_t $ artifact_dir_t))
+       $ model_t $ jobs_t $ artifact_dir_t $ progress_t $ interval_t
+       $ stats_out_t))
 
 let encode_cmd =
   let pi_t =

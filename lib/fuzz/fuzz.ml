@@ -62,18 +62,36 @@ let shrink_finding ?(config = Oracle.default_config) (v : Oracle.violation) :
   in
   { violation = v; shrunk; artifact = Render.artifact v ~shrunk }
 
-let run ?(config = Oracle.default_config) ?(params = Gen.default_params)
+let run ?tel ?(config = Oracle.default_config) ?(params = Gen.default_params)
     ?on_program ~seed ~count () : summary =
+  (* Campaign telemetry: the loop is sequential, so every bump lands on
+     worker slot 0. "programs" is the sampler's primary rate counter
+     (programs/s); the rest split it by oracle outcome. With no hub
+     supplied the bumps go to a private, unread hub — plain int adds. *)
+  let tel =
+    match tel with Some h -> h | None -> Telemetry.Hub.create ~workers:1 ()
+  in
+  let c_programs = Telemetry.Hub.counter tel "programs" in
+  let c_checked = Telemetry.Hub.counter tel "checked" in
+  let c_skipped = Telemetry.Hub.counter tel "skipped" in
+  let c_violations = Telemetry.Hub.counter tel "violations" in
   let checked = ref 0 in
   let skipped = ref [] in
   let findings = ref [] in
   for i = 0 to count - 1 do
     let s = seed + i in
     let prog = Gen.generate ~seed:s params in
+    Telemetry.Cells.incr c_programs ~worker:0;
     (match Oracle.check ~config prog with
-    | Oracle.Ok -> incr checked
-    | Oracle.Skipped reason -> skipped := (s, reason) :: !skipped
-    | Oracle.Violation v -> findings := shrink_finding ~config v :: !findings);
+    | Oracle.Ok ->
+        incr checked;
+        Telemetry.Cells.incr c_checked ~worker:0
+    | Oracle.Skipped reason ->
+        skipped := (s, reason) :: !skipped;
+        Telemetry.Cells.incr c_skipped ~worker:0
+    | Oracle.Violation v ->
+        findings := shrink_finding ~config v :: !findings;
+        Telemetry.Cells.incr c_violations ~worker:0);
     match on_program with Some f -> f i | None -> ()
   done;
   {

@@ -48,8 +48,9 @@ let configure test ~model =
     selects the explorer ([`Dfs] default, [`Parallel j] for the
     multicore engine); [por] enables partial-order reduction, which
     preserves the outcome set (all quiescent states are still reached)
-    while visiting fewer states. *)
-let run ?max_states ?engine ?por test ~model : run =
+    while visiting fewer states. [tel] plugs a {!Telemetry.Hub.t} into
+    the exploration for live progress and stats (see {!Mc.run}). *)
+let run ?tel ?max_states ?engine ?por test ~model : run =
   let regs, cfg = configure test ~model in
   let observe final =
     {
@@ -60,7 +61,7 @@ let run ?max_states ?engine ?por test ~model : run =
     }
   in
   let outcomes, result =
-    Mc.reachable_outcomes ?engine ?por ?max_states ~observe cfg
+    Mc.reachable_outcomes ?tel ?engine ?por ?max_states ~observe cfg
   in
   { test; model; outcomes; stats = result.Explore.stats }
 

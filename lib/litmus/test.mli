@@ -27,8 +27,10 @@ val configure : t -> model:Memory_model.t -> Reg.t array * Config.t
 (** Enumerate all reachable outcomes under the model. [engine] selects
     the explorer ([`Dfs] default, [`Parallel j] for the multicore
     engine); [por] preserves the outcome set while visiting fewer
-    states. *)
+    states. [tel] plugs a {!Telemetry.Hub.t} into the exploration for
+    live progress and stats (see {!Mc.run}). *)
 val run :
+  ?tel:Telemetry.Hub.t ->
   ?max_states:int -> ?engine:Mc.engine -> ?por:bool ->
   t -> model:Memory_model.t -> run
 

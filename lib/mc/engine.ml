@@ -70,12 +70,32 @@ let rec monitor_steps monitor m = function
       | Ok m -> monitor_steps monitor m rest
       | Error _ as e -> e)
 
-let run_parallel (type m) ~jobs ~por ~symmetry ~expected_states
+let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
     ~report_visited ~max_states ~max_depth ~max_violations ~max_deadlocks
     ~(check : Config.t -> string option)
     ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
     ~(on_final : Config.t -> m -> unit) (cfg0 : Config.t) : m Explore.result =
   if jobs < 1 then Fmt.invalid_arg "Mc.run: `Parallel %d" jobs;
+  (* Telemetry is always wired: with no hub supplied we bump a private
+     one nobody reads. Counters are plain int adds on pre-allocated
+     padded cells (Telemetry.Cells), so the disabled case costs a few
+     nanoseconds per expansion — the zero-cost-when-off discipline
+     DESIGN.md §6d pins with the bench-smoke throughput guard. *)
+  let tel =
+    match tel with
+    | Some h ->
+        if Telemetry.Hub.workers h < jobs then
+          Fmt.invalid_arg
+            "Mc.run: telemetry hub has %d worker slots, `Parallel %d needs %d"
+            (Telemetry.Hub.workers h) jobs jobs;
+        h
+    | None -> Telemetry.Hub.create ~workers:jobs ()
+  in
+  let c_expand = Telemetry.Hub.counter tel "expansions" in
+  let c_children = Telemetry.Hub.counter tel "children" in
+  let c_dedup = Telemetry.Hub.counter tel "dedup_hits" in
+  let c_por = Telemetry.Hub.counter tel "por_prunes" in
+  let c_sym = Telemetry.Hub.counter tel "sym_remaps" in
   let visited = Visited.create ?expected_states () in
   (* Symmetry needs observation digests that transform under register
      renaming: switch on per-register observation tracking at the root
@@ -88,6 +108,21 @@ let run_parallel (type m) ~jobs ~por ~symmetry ~expected_states
   let frontier : m task Frontier.t = Frontier.create ~workers:jobs in
   let states = Atomic.make 0 and transitions = Atomic.make 0 in
   let truncated = Atomic.make false in
+  (* Live gauges: polled by the sampler domain, never by workers. All
+     reads are racy-safe (atomics, plain shard counts). *)
+  List.iter
+    (fun (name, cells) -> Telemetry.Hub.attach tel name cells)
+    (Frontier.counters frontier);
+  Telemetry.Hub.gauge tel "states" (fun () ->
+      float_of_int (Atomic.get states));
+  Telemetry.Hub.gauge tel "transitions" (fun () ->
+      float_of_int (Atomic.get transitions));
+  Telemetry.Hub.gauge tel "frontier" (fun () ->
+      float_of_int (Frontier.pending frontier));
+  Telemetry.Hub.gauge tel "visited" (fun () ->
+      float_of_int (Visited.approx_size visited));
+  Telemetry.Hub.gauge tel "visited_skew" (fun () ->
+      (Visited.approx_stats visited).Visited.skew);
   (* one mutex serializes the mutating hooks and verdict stores; they
      fire far less often than states are expanded *)
   let sync = Mutex.create () in
@@ -111,9 +146,18 @@ let run_parallel (type m) ~jobs ~por ~symmetry ~expected_states
     Mutex.unlock sync
   in
   (* Visited-set key of a normalized child: its fingerprint, or its
-     canonical (orbit-minimal) fingerprint under symmetry. *)
-  let key (c : m task) =
-    match sym with None -> c.fp | Some s -> Symmetry.canon s c.cfg
+     canonical (orbit-minimal) fingerprint under symmetry. A canonical
+     key differing from the plain fingerprint means the state was
+     folded onto another orbit representative — counted as a remap, the
+     observable trace of the symmetry reduction at work. *)
+  let key w (c : m task) =
+    match sym with
+    | None -> c.fp
+    | Some s ->
+        let cfp = Symmetry.canon s c.cfg in
+        if not (Fingerprint.equal cfp c.fp) then
+          Telemetry.Cells.incr c_sym ~worker:w;
+        cfp
   in
   (* POR edge selection: a single safe step when one exists, the full
      expansion otherwise. Probing a candidate means executing it;
@@ -149,7 +193,7 @@ let run_parallel (type m) ~jobs ~por ~symmetry ~expected_states
      elements are executed, the same notes monitored, each distinct
      normalized state claimed once — with dedup moved from child entry
      to child creation. *)
-  let expand (t : m task) : m task list =
+  let expand w (t : m task) : m task list =
     if
       Atomic.get states >= max_states
       || Atomic.get nviolations >= max_violations
@@ -159,6 +203,7 @@ let run_parallel (type m) ~jobs ~por ~symmetry ~expected_states
       []
     end
     else begin
+      Telemetry.Cells.incr c_expand ~worker:w;
       let cfg = t.cfg in
       (match check cfg with
       | Some message ->
@@ -238,14 +283,20 @@ let run_parallel (type m) ~jobs ~por ~symmetry ~expected_states
                common non-POR case every element is an edge, so no
                intermediate edge list is materialized *)
             if not por then begin
-              ignore (Atomic.fetch_and_add transitions (List.length elts));
+              let n = List.length elts in
+              ignore (Atomic.fetch_and_add transitions n);
+              Telemetry.Cells.add c_children ~worker:w n;
               List.filter_map
                 (fun elt -> child elt (Exec.exec_elt_d cfg elt))
                 elts
             end
             else begin
               let edges = select_edges cfg elts in
-              ignore (Atomic.fetch_and_add transitions (List.length edges));
+              let n = List.length edges in
+              ignore (Atomic.fetch_and_add transitions n);
+              Telemetry.Cells.add c_children ~worker:w n;
+              (* an ample step prunes every sibling interleaving *)
+              Telemetry.Cells.add c_por ~worker:w (List.length elts - n);
               List.filter_map (fun (elt, res) -> child elt res) edges
             end
           in
@@ -253,14 +304,17 @@ let run_parallel (type m) ~jobs ~por ~symmetry ~expected_states
           | [] -> []
           | [ c ] ->
               (* single candidate: plain add, no batch machinery *)
-              if Visited.add visited (key c) then begin
+              if Visited.add visited (key w c) then begin
                 Atomic.incr states;
                 [ c ]
               end
-              else []
+              else begin
+                Telemetry.Cells.incr c_dedup ~worker:w;
+                []
+              end
           | _ ->
               let arr = Array.of_list candidates in
-              let won = Visited.add_batch visited (Array.map key arr) in
+              let won = Visited.add_batch visited (Array.map (key w) arr) in
               let claimed = ref [] and nclaimed = ref 0 in
               for i = Array.length arr - 1 downto 0 do
                 if won.(i) then begin
@@ -270,6 +324,8 @@ let run_parallel (type m) ~jobs ~por ~symmetry ~expected_states
               done;
               if !nclaimed > 0 then
                 ignore (Atomic.fetch_and_add states !nclaimed);
+              Telemetry.Cells.add c_dedup ~worker:w
+                (Array.length arr - !nclaimed);
               !claimed
         end
       end
@@ -284,7 +340,7 @@ let run_parallel (type m) ~jobs ~por ~symmetry ~expected_states
      before their parent completes, so [pending] reaches zero only
      when the whole graph is drained. *)
   let rec drive w (t : m task) =
-    let children = expand t in
+    let children = expand w t in
     match children with
     | [] ->
         Frontier.complete frontier;
@@ -324,7 +380,7 @@ let run_parallel (type m) ~jobs ~por ~symmetry ~expected_states
         None
     | Ok m ->
         let t = { cfg; fp; m; rev_path = []; depth = 0 } in
-        ignore (Visited.add visited (key t));
+        ignore (Visited.add visited (key 0 t));
         Atomic.incr states;
         Some t
   in
@@ -376,10 +432,10 @@ let run_parallel (type m) ~jobs ~por ~symmetry ~expected_states
     deadlocks = !deadlocks;
   }
 
-let run (type m) ?(engine : engine = `Dfs) ?(por = false) ?(symmetry = false)
-    ?expected_states ?report_visited ?(max_states = 1_000_000)
-    ?(max_depth = 100_000) ?(max_violations = 3) ?(max_deadlocks = max_int)
-    ?(check = fun (_ : Config.t) -> None)
+let run (type m) ?tel ?(engine : engine = `Dfs) ?(por = false)
+    ?(symmetry = false) ?expected_states ?report_visited
+    ?(max_states = 1_000_000) ?(max_depth = 100_000) ?(max_violations = 3)
+    ?(max_deadlocks = max_int) ?(check = fun (_ : Config.t) -> None)
     ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
     ?(on_final = fun (_ : Config.t) (_ : m) -> ()) (cfg0 : Config.t) :
     m Explore.result =
@@ -390,18 +446,18 @@ let run (type m) ?(engine : engine = `Dfs) ?(por = false) ?(symmetry = false)
          sequential exploration) *)
       if symmetry then
         Fmt.invalid_arg "Mc.run: ~symmetry:true requires `Parallel";
-      Explore.dfs ~max_states ~max_depth ~max_violations ~max_deadlocks ~check
-        ~monitor ~init ~on_final cfg0
+      Explore.dfs ?tel ~max_states ~max_depth ~max_violations ~max_deadlocks
+        ~check ~monitor ~init ~on_final cfg0
   | `Parallel jobs ->
-      run_parallel ~jobs ~por ~symmetry ~expected_states ~report_visited
+      run_parallel ~tel ~jobs ~por ~symmetry ~expected_states ~report_visited
         ~max_states ~max_depth ~max_violations ~max_deadlocks ~check ~monitor
         ~init ~on_final cfg0
 
 (** Exploration without a monitor: just reachability. *)
-let run_plain ?engine ?por ?symmetry ?expected_states ?max_states ?max_depth
-    ?max_deadlocks ?on_final cfg =
+let run_plain ?tel ?engine ?por ?symmetry ?expected_states ?max_states
+    ?max_depth ?max_deadlocks ?on_final cfg =
   let on_final = Option.map (fun f cfg (_ : unit) -> f cfg) on_final in
-  run ?engine ?por ?symmetry ?expected_states ?max_states ?max_depth
+  run ?tel ?engine ?por ?symmetry ?expected_states ?max_states ?max_depth
     ?max_deadlocks
     ~monitor:(fun () _ -> Ok ())
     ~init:() ?on_final cfg
@@ -409,11 +465,11 @@ let run_plain ?engine ?por ?symmetry ?expected_states ?max_states ?max_depth
 (** Reachable quiescent-state projections under [observe], sorted, plus
     the exploration result. Mirrors {!Memsim.Explore.reachable_outcomes};
     [on_final] mutation is serialized by the engine. *)
-let reachable_outcomes ?engine ?por ?symmetry ?max_states ?max_depth ~observe
-    cfg =
+let reachable_outcomes ?tel ?engine ?por ?symmetry ?max_states ?max_depth
+    ~observe cfg =
   let outcomes = Hashtbl.create 16 in
   let result =
-    run_plain ?engine ?por ?symmetry ?max_states ?max_depth
+    run_plain ?tel ?engine ?por ?symmetry ?max_states ?max_depth
       ~on_final:(fun final -> Hashtbl.replace outcomes (observe final) ())
       cfg
   in

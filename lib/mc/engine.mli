@@ -25,8 +25,21 @@ type engine = [ `Dfs | `Parallel of int ]
     [report_visited] receives the visited set's occupancy statistics
     when the run finishes (ignored under [`Dfs], which has no sharded
     set). Raises [Invalid_argument] for [~symmetry:true] under
-    [`Dfs]. *)
+    [`Dfs].
+
+    [tel] plugs a {!Telemetry.Hub.t} into the run: the engine
+    registers its counters (expansions, children, dedup_hits,
+    por_prunes, sym_remaps, plus the frontier's steals/sleeps) and
+    live gauges (states, transitions, frontier, visited,
+    visited_skew) on it, so a {!Telemetry.Sampler} can stream
+    progress while the run is live. The hub must have at least as
+    many worker slots as [`Parallel j] has domains. Without [tel]
+    the same counters are bumped on a private hub nobody reads —
+    plain int adds on pre-allocated padded cells, the zero-cost-off
+    discipline guarded by bench-smoke. Counter totals at
+    [`Parallel 1] are exactly reproducible run to run. *)
 val run :
+  ?tel:Telemetry.Hub.t ->
   ?engine:engine ->
   ?por:bool ->
   ?symmetry:bool ->
@@ -45,6 +58,7 @@ val run :
 
 (** Exploration without a monitor. *)
 val run_plain :
+  ?tel:Telemetry.Hub.t ->
   ?engine:engine ->
   ?por:bool ->
   ?symmetry:bool ->
@@ -61,6 +75,7 @@ val run_plain :
     representatives are observed — keep it off when per-pid outcome
     projections matter, e.g. litmus assertions.) *)
 val reachable_outcomes :
+  ?tel:Telemetry.Hub.t ->
   ?engine:engine ->
   ?por:bool ->
   ?symmetry:bool ->

@@ -35,6 +35,13 @@ type 'a t = {
   waiting : int Atomic.t;  (** workers asleep in {!next} *)
   lock : Mutex.t;  (** guards only the sleep/wake protocol *)
   wake : Condition.t;
+  (* Telemetry cells, always allocated (three small arrays): steals
+     and sleeps are cold paths, so bumping plain per-worker cells is
+     free on the common path, and having them unconditionally means
+     the engine can expose them whether or not a sampler is live. *)
+  steals : Telemetry.Cells.t;  (** successful steals, per thief *)
+  sleeps : Telemetry.Cells.t;  (** times a worker went to sleep *)
+  sleep_ns : Telemetry.Cells.t;  (** time spent asleep, nanoseconds *)
 }
 
 let create ~workers =
@@ -46,9 +53,20 @@ let create ~workers =
     waiting = Atomic.make 0;
     lock = Mutex.create ();
     wake = Condition.create ();
+    steals = Telemetry.Cells.create ~workers;
+    sleeps = Telemetry.Cells.create ~workers;
+    sleep_ns = Telemetry.Cells.create ~workers;
   }
 
 let workers t = Array.length t.deques
+
+(** Tasks in flight anywhere — in a deque or a worker's hand. Racy;
+    for progress gauges. *)
+let pending t = Atomic.get t.pending
+
+(** The frontier's own telemetry counters, for attaching to a hub. *)
+let counters t =
+  [ ("steals", t.steals); ("sleeps", t.sleeps); ("sleep_ns", t.sleep_ns) ]
 
 (** Account for [n] newly created tasks. Must happen before the tasks
     become visible (pushed or kept in hand) and before their parent is
@@ -117,7 +135,9 @@ let try_steal t ~worker =
     if k = n then None
     else
       match Deque.steal t.deques.((worker + k) mod n) with
-      | Some _ as r -> r
+      | Some _ as r ->
+          Telemetry.Cells.incr t.steals ~worker;
+          r
       | None -> go (k + 1)
   in
   go 1
@@ -153,7 +173,14 @@ let next t ~worker =
                   (Atomic.get t.stopped
                   || Atomic.get t.pending <= 0
                   || any_work t)
-              then Condition.wait t.wake t.lock;
+              then begin
+                (* cold path: clock reads cost nothing next to the wait *)
+                Telemetry.Cells.incr t.sleeps ~worker;
+                let t0 = Telemetry.Clock.now_ns () in
+                Condition.wait t.wake t.lock;
+                Telemetry.Cells.add t.sleep_ns ~worker
+                  (Telemetry.Clock.now_ns () - t0)
+              end;
               Mutex.unlock t.lock;
               ignore (Atomic.fetch_and_add t.waiting (-1));
               seek ())

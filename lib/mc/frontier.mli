@@ -15,6 +15,16 @@ val create : workers:int -> 'a t
 
 val workers : 'a t -> int
 
+(** Tasks in flight anywhere — queued or in a worker's hand. Racy;
+    meant for progress gauges. *)
+val pending : 'a t -> int
+
+(** The frontier's own per-worker telemetry counters —
+    [("steals", _); ("sleeps", _); ("sleep_ns", _)] — always
+    maintained (all three are off the fast path), for attaching to a
+    {!Telemetry.Hub.t}. *)
+val counters : 'a t -> (string * Telemetry.Cells.t) list
+
 (** Account for [n] newly created tasks — before they become visible
     and before their parent is {!complete}d. *)
 val register : 'a t -> int -> unit

@@ -231,6 +231,34 @@ let size (t : t) =
       acc + n)
     0 t.shards
 
+(** Lock-free approximate entry count for live progress gauges: plain
+    racy reads of each shard's [count] field. A racy read of a mutable
+    [int] returns some previously written value (never garbage), so
+    the sum is a momentarily stale but valid undercount — exactly what
+    a sampler wants, at zero cost to the inserting domains. *)
+let approx_size (t : t) =
+  Array.fold_left (fun acc s -> acc + s.count) 0 t.shards
+
+(** Racy counterpart of {!stats}, same caveat as {!approx_size} — for
+    samplers that must never stall a worker on a shard lock. *)
+let approx_stats (t : t) =
+  let nshards = Array.length t.shards in
+  let entries = ref 0 and maxo = ref 0 in
+  Array.iter
+    (fun s ->
+      let n = s.count in
+      entries := !entries + n;
+      if n > !maxo then maxo := n)
+    t.shards;
+  let mean = float_of_int !entries /. float_of_int nshards in
+  {
+    shards = nshards;
+    entries = !entries;
+    max_occupancy = !maxo;
+    mean_occupancy = mean;
+    skew = (if !entries = 0 then 1.0 else float_of_int !maxo /. mean);
+  }
+
 (** Occupancy spread across shards — how well the lane-[b] shard index
     balances the population (for the bench harness; exact only when
     quiesced). *)

@@ -38,5 +38,13 @@ val mem : t -> Fingerprint.t -> bool
 (** Total entries (exact only when no domain is inserting). *)
 val size : t -> int
 
+(** Lock-free approximate entry count (racy but valid reads of each
+    shard's count) — for live progress gauges. *)
+val approx_size : t -> int
+
+(** Racy counterpart of {!stats}: never takes a shard lock, so a
+    sampler polling it cannot stall a worker. *)
+val approx_stats : t -> stats
+
 (** Per-shard occupancy spread (exact only when quiesced). *)
 val stats : t -> stats

@@ -399,7 +399,18 @@ let forced_commit_pending cfg p =
   | Op_read | Op_write | Op_spin | Op_return _ | Op_done -> false
 
 (** Execute one schedule element, reporting the steps produced, the
-    successor configuration and the dirtied key components. *)
+    successor configuration and the dirtied key components.
+
+    Hot-loop audit note: the [notes @ steps] / [notes @ [step]]
+    appends below are {e not} the quadratic accumulation pattern fixed
+    in {!Scheduler.sequential} — [notes] is the pending-label list of
+    one process at one program point, bounded by the longest run of
+    consecutive [label]s in the program text (a small constant; labels
+    never accumulate across elements because every path through this
+    function consumes them). The per-element cost is O(|notes| +
+    |steps|), both O(1)-ish; callers that accumulate whole traces
+    ({!exec}, the schedulers, the explorers) all use rev-append with a
+    single final reverse. *)
 let exec_elt_d cfg ((p, r) : elt) : Step.t list * Config.t * dirty =
   let notes, st, cfg = consume_labels cfg p in
   let labeled = notes <> [] in

@@ -51,7 +51,10 @@ type 'm result = {
    checker's fingerprinting; here we only need the serialized form. *)
 let state_key = Statekey.to_string
 
-(* Schedule elements that can produce a model step right now. *)
+(* Schedule elements that can produce a model step right now.
+   ([ops @ commits @ acc] is bounded appending: at most one op element
+   and |buffered registers| commit elements per process, rebuilt fresh
+   per state — nothing accumulates across states.) *)
 let successor_elts cfg : Exec.elt list =
   let n = Config.nprocs cfg in
   let rec go p acc =
@@ -69,7 +72,7 @@ let successor_elts cfg : Exec.elt list =
   in
   go (n - 1) []
 
-let dfs (type m) ?(max_states = 1_000_000) ?(max_depth = 100_000)
+let dfs (type m) ?tel ?(max_states = 1_000_000) ?(max_depth = 100_000)
     ?(max_violations = 3) ?(max_deadlocks = max_int)
     ?(check = fun (_ : Config.t) -> None)
     ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
@@ -77,8 +80,26 @@ let dfs (type m) ?(max_states = 1_000_000) ?(max_depth = 100_000)
     m result =
   let visited : (_, unit) Hashtbl.t = Hashtbl.create 4096 in
   let states = ref 0 and transitions = ref 0 and truncated = ref false in
+  (* Telemetry mirrors the parallel engine's counter vocabulary so
+     dashboards and the NDJSON consumer see one schema regardless of
+     engine. With no hub supplied the bumps land on a private hub —
+     plain int adds on padded cells, nothing more. Gauges read the
+     refs racily from the sampler domain; a stale int is fine. *)
+  let tel =
+    match tel with
+    | Some h -> h
+    | None -> Telemetry.Hub.create ~workers:1 ()
+  in
+  let c_expand = Telemetry.Hub.counter tel "expansions" in
+  let c_children = Telemetry.Hub.counter tel "children" in
+  let c_dedup = Telemetry.Hub.counter tel "dedup_hits" in
+  Telemetry.Hub.gauge tel "states" (fun () -> float_of_int !states);
+  Telemetry.Hub.gauge tel "transitions" (fun () -> float_of_int !transitions);
+  Telemetry.Hub.gauge tel "visited" (fun () ->
+      float_of_int (Hashtbl.length visited));
   let violations = ref [] and deadlocks = ref [] and ndeadlocks = ref 0 in
   let record_violation v =
+    (* append keeps discovery order; bounded by [max_violations] *)
     if List.length !violations < max_violations then
       violations := !violations @ [ v ]
   in
@@ -110,9 +131,12 @@ let dfs (type m) ?(max_states = 1_000_000) ?(max_depth = 100_000)
           record_violation { message; path = List.rev path; monitor = m }
       | Ok m ->
           let key = state_key cfg in
-          if not (Hashtbl.mem visited key) then begin
+          if Hashtbl.mem visited key then
+            Telemetry.Cells.incr c_dedup ~worker:0
+          else begin
             Hashtbl.add visited key ();
             incr states;
+            Telemetry.Cells.incr c_expand ~worker:0;
             (match check cfg with
             | Some message ->
                 record_violation { message; path = List.rev path; monitor = m }
@@ -126,6 +150,7 @@ let dfs (type m) ?(max_states = 1_000_000) ?(max_depth = 100_000)
                 List.iter
                   (fun elt ->
                     incr transitions;
+                    Telemetry.Cells.incr c_children ~worker:0;
                     let steps, cfg' = Exec.exec_elt cfg elt in
                     match monitor_steps m steps with
                     | Error message ->
@@ -145,9 +170,11 @@ let dfs (type m) ?(max_states = 1_000_000) ?(max_depth = 100_000)
   }
 
 (** Exploration without a monitor: just reachability. *)
-let dfs_plain ?max_states ?max_depth ?on_final cfg =
+let dfs_plain ?tel ?max_states ?max_depth ?on_final cfg =
   let on_final = Option.map (fun f cfg (_ : unit) -> f cfg) on_final in
-  dfs ?max_states ?max_depth ~monitor:(fun () _ -> Ok ()) ~init:() ?on_final cfg
+  dfs ?tel ?max_states ?max_depth
+    ~monitor:(fun () _ -> Ok ())
+    ~init:() ?on_final cfg
 
 (** Collect the set of reachable final-configuration observations, where
     [observe] projects whatever the caller cares about (e.g. final

@@ -42,8 +42,16 @@ val successor_elts : Config.t -> Exec.elt list
     violation with the reproducing schedule. [on_final] fires once per
     distinct quiescent state. [max_deadlocks] caps how many deadlock
     paths are retained (each keeps its whole schedule; the default
-    keeps every one, the historical behaviour). *)
+    keeps every one, the historical behaviour).
+
+    [tel] plugs a {!Telemetry.Hub.t} into the run: the explorer
+    registers the engine-shared counter vocabulary (expansions,
+    children, dedup_hits) and live gauges (states, transitions,
+    visited) for a {!Telemetry.Sampler} to stream. Without it the
+    bumps land on a private hub — plain int adds on pre-allocated
+    cells, nothing observable. *)
 val dfs :
+  ?tel:Telemetry.Hub.t ->
   ?max_states:int ->
   ?max_depth:int ->
   ?max_violations:int ->
@@ -57,6 +65,7 @@ val dfs :
 
 (** Exploration without a monitor. *)
 val dfs_plain :
+  ?tel:Telemetry.Hub.t ->
   ?max_states:int ->
   ?max_depth:int ->
   ?on_final:(Config.t -> unit) ->

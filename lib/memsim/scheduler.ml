@@ -38,12 +38,15 @@ let all_pids cfg = List.init (Config.nprocs cfg) Fun.id
     process that never ran). Returns the trace and final configuration. *)
 let sequential ?fuel cfg : Trace.t * Config.t =
   let n = Config.nprocs cfg in
+  (* rev-append accumulation with one final reverse: the historical
+     [acc @ steps] re-walked the whole accumulated trace once per
+     process, making a full sequential run quadratic in trace length *)
   let rec go p acc cfg =
-    if p >= n then (acc, cfg)
+    if p >= n then (List.rev acc, cfg)
     else
       match Exec.run_solo ?fuel cfg p with
       | None -> raise (Stuck (cfg, Fmt.str "process %d does not terminate solo" p))
-      | Some (steps, cfg) -> go (p + 1) (acc @ steps) cfg
+      | Some (steps, cfg) -> go (p + 1) (List.rev_append steps acc) cfg
   in
   go 0 [] cfg
 
@@ -98,40 +101,52 @@ let lazy_commit ?(quantum = 1) ?(max_rounds = 1_000_000) cfg : Trace.t * Config.
 let random ?(seed = 0) ?(commit_bias = 0.3) ?(max_elts = 1_000_000) cfg :
     Trace.t * Config.t =
   let rng = Random.State.make [| seed; 0x5eed |] in
+  let n = Config.nprocs cfg in
+  (* Scratch buffer reused across steps. The historical code rebuilt
+     the [actionable] list and indexed it (and the commit candidates)
+     with [List.nth] on every scheduled element — an O(n + |buf|) scan
+     per random draw on top of the list allocations. The array-based
+     selection below draws from [rng] in exactly the same order with
+     exactly the same ranges, so the seeded pick sequence — and hence
+     every replayed trace — is byte-identical to the old code (pinned
+     by test_scheduler's reference-replay tests). *)
+  let actionable = Array.make n 0 in
   let rec go budget acc cfg =
     if Config.quiescent cfg then (List.rev acc, cfg)
     else if budget <= 0 then raise (Stuck (cfg, "random: element budget exhausted"))
-    else
+    else begin
       (* a process is actionable if it can take an op step or commit;
          final processes remain actionable while their buffer drains *)
-      let actionable =
-        List.filter
-          (fun p ->
-            ((not (Config.is_final cfg p)) && not (Exec.is_blocked cfg p))
-            || Memory_model.commit_candidates cfg.Config.model (Config.wbuf cfg p)
-               <> [])
-          (all_pids cfg)
-      in
-      match actionable with
-      | [] -> raise (Stuck (cfg, "random: all processes blocked (deadlock)"))
-      | _ ->
-          let p = List.nth actionable (Random.State.int rng (List.length actionable)) in
-          let candidates =
-            Memory_model.commit_candidates cfg.Config.model (Config.wbuf cfg p)
-          in
-          let must_commit = Exec.is_blocked cfg p || Config.is_final cfg p in
-          let elt =
-            if
-              candidates <> []
-              && (must_commit || Random.State.float rng 1.0 < commit_bias)
-            then
-              ( p,
-                Some
-                  (List.nth candidates (Random.State.int rng (List.length candidates)))
-              )
-            else (p, None)
-          in
-          let steps, cfg = Exec.exec_elt cfg elt in
-          go (budget - 1) (List.rev_append steps acc) cfg
+      let k = ref 0 in
+      for p = 0 to n - 1 do
+        if
+          ((not (Config.is_final cfg p)) && not (Exec.is_blocked cfg p))
+          || Memory_model.commit_candidates cfg.Config.model (Config.wbuf cfg p)
+             <> []
+        then begin
+          actionable.(!k) <- p;
+          incr k
+        end
+      done;
+      if !k = 0 then
+        raise (Stuck (cfg, "random: all processes blocked (deadlock)"))
+      else begin
+        let p = actionable.(Random.State.int rng !k) in
+        let candidates =
+          Array.of_list
+            (Memory_model.commit_candidates cfg.Config.model (Config.wbuf cfg p))
+        in
+        let must_commit = Exec.is_blocked cfg p || Config.is_final cfg p in
+        let elt =
+          if
+            Array.length candidates > 0
+            && (must_commit || Random.State.float rng 1.0 < commit_bias)
+          then (p, Some candidates.(Random.State.int rng (Array.length candidates)))
+          else (p, None)
+        in
+        let steps, cfg = Exec.exec_elt cfg elt in
+        go (budget - 1) (List.rev_append steps acc) cfg
+      end
+    end
   in
   go max_elts [] cfg

@@ -1,0 +1,51 @@
+(** Per-worker counter cells, padded against false sharing.
+
+    One logical counter is an array of per-worker slots; worker [w]
+    bumps slot [w] with a {e plain} (non-atomic) read-modify-write.
+    This is sound because each slot is written by exactly one domain —
+    the worker that owns the index — and read racily only by observers
+    (the sampler, or a caller summing totals after the workers have
+    joined). Under the OCaml 5 memory model a racy read of an immediate
+    [int] field returns some value actually written there (no tearing,
+    no out-of-thin-air), so an observer sees a momentarily stale but
+    valid count; after a join, plain program order makes the sum exact.
+
+    Slots are spread [stride] words apart (128 bytes) so two workers
+    bumping adjacent counters never contend on a cache line — the same
+    padding discipline as {!Mc.Visited}'s shards. The cost of a bump is
+    two array accesses and an integer add: this is the "disabled sink
+    compiles to plain int bumps on pre-allocated cells" guarantee the
+    engine's hot path relies on. *)
+
+type t = { slots : int array; workers : int }
+
+(* 16 words = 128 bytes: covers the 64-byte lines of x86 and the
+   128-byte prefetch pairs of recent ARM. *)
+let stride = 16
+
+let create ~workers =
+  if workers < 1 then Fmt.invalid_arg "Cells.create: %d workers" workers;
+  { slots = Array.make (workers * stride) 0; workers }
+
+let workers t = t.workers
+
+let[@inline] add t ~worker n =
+  let i = worker * stride in
+  t.slots.(i) <- t.slots.(i) + n
+
+let[@inline] incr t ~worker = add t ~worker 1
+
+(** Worker [w]'s own slot (racy when [w] is still running). *)
+let get t ~worker = t.slots.(worker * stride)
+
+(** Sum over workers — exact once the writers have quiesced (e.g.
+    after the engine joins its domains), racy but valid meanwhile. *)
+let total t =
+  let s = ref 0 in
+  for w = 0 to t.workers - 1 do
+    s := !s + t.slots.(w * stride)
+  done;
+  !s
+
+(** Per-worker values, in worker order. *)
+let per_worker t = Array.init t.workers (fun w -> get t ~worker:w)

@@ -1,0 +1,25 @@
+(** Per-worker counter cells, padded apart so concurrent bumps never
+    false-share a cache line. Slot [w] is written only by worker [w]
+    (plain, non-atomic bumps — the zero-cost discipline); observers
+    read racily and see valid, possibly stale counts, exact once the
+    writers have quiesced. *)
+
+type t
+
+val create : workers:int -> t
+val workers : t -> int
+
+(** [add t ~worker n] — plain bump of worker [worker]'s slot. The
+    worker index must be the caller's own. *)
+val add : t -> worker:int -> int -> unit
+
+val incr : t -> worker:int -> unit
+
+(** Worker [worker]'s own slot. *)
+val get : t -> worker:int -> int
+
+(** Sum over all workers (racy but valid; exact when quiesced). *)
+val total : t -> int
+
+(** Per-worker values, in worker order. *)
+val per_worker : t -> int array

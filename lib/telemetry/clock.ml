@@ -1,0 +1,13 @@
+(** Wall-clock time for span timers and sampler timestamps.
+
+    [Unix.gettimeofday] is wall time, not a monotonic clock; spans
+    measured across an NTP step can be off. That is acceptable here:
+    spans instrument sleep/wake churn and sampler intervals, where
+    tens-of-microseconds accuracy over seconds-long runs is plenty —
+    and it keeps the library free of any dependency the container may
+    not carry. *)
+
+let now_s () = Unix.gettimeofday ()
+
+(** Nanoseconds as an [int] (63-bit: good for ~292 years). *)
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)

@@ -1,0 +1,4 @@
+(** Wall-clock time (see implementation note on monotonicity). *)
+
+val now_s : unit -> float
+val now_ns : unit -> int

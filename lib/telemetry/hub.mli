@@ -1,0 +1,42 @@
+(** Named registry of counters (per-worker padded cells), span timers
+    (nanosecond counters) and gauges (instantaneous callbacks) for one
+    run. Registration is idempotent and kept in registration order;
+    bumping the returned {!Cells.t} never touches the hub. *)
+
+type t
+
+(** [create ~workers ()] — worker ids are [0 .. workers-1]. *)
+val create : workers:int -> unit -> t
+
+val workers : t -> int
+
+(** Register (or retrieve) a monotonic counter. *)
+val counter : t -> string -> Cells.t
+
+(** Attach externally owned cells under a name (replaces). *)
+val attach : t -> string -> Cells.t -> unit
+
+(** Register a gauge callback, replacing any previous one. The
+    callback runs on the sampler domain while workers are live — it
+    must only perform racy-safe reads or take uncontended-by-telemetry
+    locks. *)
+val gauge : t -> string -> (unit -> float) -> unit
+
+(** A span timer: counter [name ^ "_ns"]. *)
+val span : t -> string -> Cells.t
+
+(** Accumulate the duration of [f ()] into a span's cells. *)
+val time : Cells.t -> worker:int -> (unit -> 'a) -> 'a
+
+(** Current value by name (counter total, or polled gauge). *)
+val read : t -> string -> float option
+
+val read_int : t -> string -> int option
+
+(** Every entry in registration order; counters as totals, gauges
+    polled, all under one registry-lock pass. *)
+val snapshot : t -> (string * float) list
+
+(** Counter totals only, registration order — the deterministic
+    content of a run record. *)
+val counter_fields : t -> (string * int) list

@@ -1,0 +1,65 @@
+(** Rendering of live progress lines from successive hub snapshots.
+
+    One line per sample, e.g.:
+
+    {v
+    [mc   3.0s] states 1.28M (+431k/s)  transitions=3.34M frontier=512
+                visited=1.28M visited_skew=1.31 expansions=1.28M
+                dedup_hits=2.05M steals=117 sleeps=12
+    v}
+
+    The {e primary} entry — the first of [primaries] present in the
+    snapshot, falling back to the first entry — is shown with its rate
+    against the previous sample; everything else as [name=value].
+    Keys ending in [_ns] render as seconds. *)
+
+let primaries = [ "states"; "programs"; "seeds" ]
+
+(* 1234 -> "1234", 45_210 -> "45.2k", 19_331_070 -> "19.3M" *)
+let human f =
+  let a = Float.abs f in
+  if a >= 1e9 then Fmt.str "%.2fG" (f /. 1e9)
+  else if a >= 1e6 then Fmt.str "%.2fM" (f /. 1e6)
+  else if a >= 10_000. then Fmt.str "%.1fk" (f /. 1e3)
+  else if Float.is_integer f then Fmt.str "%.0f" f
+  else Fmt.str "%.2f" f
+
+let pick_primary snap =
+  match
+    List.find_opt (fun name -> List.mem_assoc name snap) primaries
+  with
+  | Some name -> Some name
+  | None -> ( match snap with (name, _) :: _ -> Some name | [] -> None)
+
+(** Render one progress line. [prev] is the previous snapshot ([[]] on
+    the first sample) and [dt] the seconds since it was taken. *)
+let line ~label ~elapsed ~dt ~prev snap =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Fmt.str "[%s %5.1fs]" label elapsed);
+  let primary = pick_primary snap in
+  (match primary with
+  | Some name ->
+      let v = List.assoc name snap in
+      let rate =
+        if dt <= 0. then None
+        else
+          match List.assoc_opt name prev with
+          | Some p -> Some ((v -. p) /. dt)
+          | None -> Some (v /. dt)
+      in
+      Buffer.add_string b (Fmt.str " %s %s" name (human v));
+      Option.iter
+        (fun r -> Buffer.add_string b (Fmt.str " (+%s/s)" (human r)))
+        rate
+  | None -> ());
+  List.iter
+    (fun (name, v) ->
+      if Some name <> primary then
+        if Filename.check_suffix name "_ns" then
+          Buffer.add_string b
+            (Fmt.str " %s=%.3fs"
+               (Filename.chop_suffix name "_ns")
+               (v /. 1e9))
+        else Buffer.add_string b (Fmt.str " %s=%s" name (human v)))
+    snap;
+  Buffer.contents b

@@ -1,0 +1,17 @@
+(** Progress-line rendering from successive hub snapshots. *)
+
+(** Counter names promoted to the head of the line, with a rate. *)
+val primaries : string list
+
+(** Human-readable magnitudes: [19_331_070. -> "19.33M"]. *)
+val human : float -> string
+
+(** One progress line: primary entry with its rate over [dt] seconds
+    against [prev], remaining entries as [name=value]. *)
+val line :
+  label:string ->
+  elapsed:float ->
+  dt:float ->
+  prev:(string * float) list ->
+  (string * float) list ->
+  string

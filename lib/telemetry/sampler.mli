@@ -1,0 +1,17 @@
+(** Periodic sampler domain: every [interval] seconds, snapshot the
+    hub, print a progress line to [progress] and append a ["sample"]
+    record to [sink]. {!stop} emits one final sample (so short runs
+    still produce at least one) and joins the domain. *)
+
+type t
+
+val start :
+  hub:Hub.t ->
+  ?interval:float ->
+  ?label:string ->
+  ?progress:Format.formatter ->
+  ?sink:Sink.t ->
+  unit ->
+  t
+
+val stop : t -> unit

@@ -1,0 +1,86 @@
+(** NDJSON sink: one flat JSON object per line, machine-readable run
+    records. The emitter is deliberately tiny — flat objects with
+    string/int/float/bool values cover every record we produce, and a
+    hand-rolled printer keeps the library dependency-free. Writes are
+    serialized by a mutex (the sampler and the final-record writer can
+    race on shutdown) and each record is flushed whole, so a consumer
+    tailing the file never sees a torn line. *)
+
+type value = I of int | F of float | S of string | B of bool
+
+type t = {
+  oc : out_channel;
+  lock : Mutex.t;
+  mutable closed : bool;
+}
+
+let create path =
+  { oc = open_out path; lock = Mutex.create (); closed = false }
+
+(* JSON string escaping: quote, backslash, and control characters. *)
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_value b = function
+  | I n -> Buffer.add_string b (string_of_int n)
+  | F f ->
+      (* NaN/infinities are not JSON; whole floats print without an
+         exponent so consumers can read them back as integers *)
+      Buffer.add_string b
+        (if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity
+         then "null"
+         else if Float.is_integer f && Float.abs f < 1e15 then
+           Printf.sprintf "%.0f" f
+         else Printf.sprintf "%.6g" f)
+  | S s ->
+      Buffer.add_char b '"';
+      escape b s;
+      Buffer.add_char b '"'
+  | B v -> Buffer.add_string b (string_of_bool v)
+
+(** Emit one record: [{"type": kind, ...fields}]. Later duplicates of
+    a key are dropped (first occurrence wins), so callers can prepend
+    authoritative fields over generic ones. *)
+let emit t ~kind fields =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"type\":\"";
+  escape b kind;
+  Buffer.add_char b '"';
+  let seen = Hashtbl.create 16 in
+  Hashtbl.add seen "type" ();
+  List.iter
+    (fun (k, v) ->
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        Buffer.add_string b ",\"";
+        escape b k;
+        Buffer.add_string b "\":";
+        add_value b v
+      end)
+    fields;
+  Buffer.add_string b "}\n";
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    Buffer.output_buffer t.oc b;
+    flush t.oc
+  end;
+  Mutex.unlock t.lock
+
+let close t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    t.closed <- true;
+    close_out t.oc
+  end;
+  Mutex.unlock t.lock

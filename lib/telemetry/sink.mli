@@ -1,0 +1,16 @@
+(** NDJSON sink: flat one-object-per-line records, mutex-serialized
+    and flushed whole so tailing consumers never see a torn line. *)
+
+type value = I of int | F of float | S of string | B of bool
+
+type t
+
+val create : string -> t
+
+(** [emit t ~kind fields] writes [{"type": kind, ...fields}] as one
+    line. Duplicate keys after the first are dropped, so callers can
+    prepend authoritative fields over generic ones. No-op after
+    {!close}. *)
+val emit : t -> kind:string -> (string * value) list -> unit
+
+val close : t -> unit

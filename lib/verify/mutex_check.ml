@@ -93,7 +93,7 @@ let workload ~model (factory : Locks.Lock.factory) ~nprocs ~rounds =
   let programs = Array.init nprocs program in
   (lock, counter, Config.make ~model ~layout programs)
 
-let check ?(rounds = 1) ?max_states ?max_depth ?expected_states
+let check ?tel ?(rounds = 1) ?max_states ?max_depth ?expected_states
     ?report_visited ?(engine = `Dfs) ?(por = false) ?(symmetry = false) ~model
     factory ~nprocs : verdict =
   let lock, counter, cfg = workload ~model factory ~nprocs ~rounds in
@@ -109,8 +109,9 @@ let check ?(rounds = 1) ?max_states ?max_depth ?expected_states
        a reported violation is a real reachable one, but an all-clear
        is an under-approximation, surfaced in the verdict as
        "OK (symmetry-reduced subset)" (see Mc.Symmetry). *)
-    Mc.run ~engine ~por ~symmetry ?expected_states ?report_visited ?max_states
-      ?max_depth ~max_violations:1 ~monitor:cs_monitor ~init:Pid.Set.empty
+    Mc.run ?tel ~engine ~por ~symmetry ?expected_states ?report_visited
+      ?max_states ?max_depth ~max_violations:1 ~monitor:cs_monitor
+      ~init:Pid.Set.empty
       ~on_final:(fun final _ ->
         if Config.read_mem final counter <> nprocs * rounds then
           lost_update := true)

@@ -49,8 +49,10 @@ val workload :
     printed as ["OK (symmetry-reduced subset)"]. [expected_states]
     pre-sizes the parallel engine's visited set; [report_visited]
     receives its occupancy statistics when the run finishes (ignored
-    under [`Dfs]). *)
+    under [`Dfs]). [tel] plugs a {!Telemetry.Hub.t} into the run for
+    live progress and NDJSON stats (see {!Mc.run}). *)
 val check :
+  ?tel:Telemetry.Hub.t ->
   ?rounds:int -> ?max_states:int -> ?max_depth:int ->
   ?expected_states:int -> ?report_visited:(Mc.Visited.stats -> unit) ->
   ?engine:Mc.engine -> ?por:bool ->

@@ -29,4 +29,5 @@ let () =
       Test_symmetry.suite;
       Test_fuzz.suite;
       Test_stress.suite;
+      Test_telemetry.suite;
     ]
