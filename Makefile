@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke mc-smoke mc-bench fuzz-smoke doc examples clean
+.PHONY: all build test bench bench-smoke mc-smoke mc-bench fuzz-smoke synth-smoke doc examples clean
 
 all: build
 
@@ -40,6 +40,18 @@ bench-smoke:
 # counterexample artifacts land in _fuzz/ on failure
 fuzz-smoke:
 	dune exec bin/fencelab_cli.exe -- fuzz --count $${FUZZ_COUNT:-250} --len 7 --regs 3 --values 3
+
+# Deterministic fence-synthesis smoke run (<30s): bakery under PSO at
+# n=2 with both strategies, one stats file each (--stats-out truncates).
+# The cegar run writes the frontier JSON; diffing the two NDJSON run
+# records' counters prices cegar's oracle-call savings. All three files
+# are CI artifacts.
+synth-smoke:
+	dune exec bin/fencelab_cli.exe -- synth --family bakery -m PSO -n 2 \
+	--strategy cegar -j 2 --stats-out SYNTH_stats_cegar.ndjson \
+	--frontier-out SYNTH_frontier.json
+	dune exec bin/fencelab_cli.exe -- synth --family bakery -m PSO -n 2 \
+	--strategy exhaustive -j 2 --stats-out SYNTH_stats_exhaustive.ndjson
 
 doc:
 	dune build @doc

@@ -8,6 +8,7 @@
      stress           randomized stress test
      litmus           reachable litmus outcomes per memory model
      fuzz             differential fuzzing of programs, models, engines
+     synth            counterexample-guided fence synthesis + Pareto frontier
      encode           run the Section 5 encoder on a permutation        *)
 
 open Cmdliner
@@ -475,6 +476,153 @@ let fuzz_cmd =
        $ model_t $ jobs_t $ artifact_dir_t $ progress_t $ interval_t
        $ stats_out_t))
 
+let synth_cmd =
+  let family_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "family" ] ~docv:"NAME"
+          ~doc:
+            (Fmt.str
+               "Lock family to synthesize fences for (have: %s). Sites are \
+                the base algorithm's fence positions, acquire first, then \
+                release."
+               (String.concat ", " Synth.Family.names)))
+  in
+  let litmus_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "litmus" ] ~docv:"TEST"
+          ~doc:
+            "Litmus subject: a corpus test name (see $(b,fencelab litmus)) \
+             or $(b,fuzz:)$(i,SEED) for a generated program. The spec is \
+             the fully fenced test's own reachable outcomes under the \
+             model; $(b,--nprocs) is ignored (the test fixes it).")
+  in
+  let strategy_t =
+    let strategy_conv =
+      let parse s =
+        match Synth.Runner.strategy_of_string s with
+        | Some st -> Ok st
+        | None -> Error (`Msg (Fmt.str "unknown strategy %S" s))
+      in
+      Arg.conv (parse, fun ppf s -> Fmt.string ppf (Synth.Runner.strategy_name s))
+    in
+    Arg.(
+      value
+      & opt strategy_conv `Cegar
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:
+            "$(b,cegar) (default) prunes by upward closure and inherited \
+             counterexamples; $(b,exhaustive) oracles every mask. Both \
+             return the same frontier — the stats counters price the \
+             difference.")
+  in
+  let rounds_t =
+    Arg.(
+      value & opt int 1
+      & info [ "rounds" ] ~docv:"R" ~doc:"Passages per process (lock oracles).")
+  in
+  let max_states_t =
+    Arg.(
+      value
+      & opt int 400_000
+      & info [ "max-states" ] ~docv:"K" ~doc:"State cap per oracle call.")
+  in
+  let frontier_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "frontier-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the result as one self-contained JSON object: stats, \
+             minimal placements, measured points, frontier and the \
+             analytic GT_f curve.")
+  in
+  let run family litmus model nprocs rounds max_states strategy jobs progress
+      interval stats_out frontier_out =
+   protect @@ fun () ->
+    let jobs = max 1 jobs in
+    let problem =
+      match (family, litmus) with
+      | Some _, Some _ -> Error "--family and --litmus are mutually exclusive"
+      | None, None -> Error "one of --family or --litmus is required"
+      | Some name, None -> (
+          match Synth.Family.find name with
+          | Some fam ->
+              Ok (Synth.Oracle.lock_problem ~rounds ~max_states ~model fam ~nprocs)
+          | None ->
+              Error
+                (Fmt.str "unknown family %S (have: %s)" name
+                   (String.concat ", " Synth.Family.names)))
+      | None, Some subject -> (
+          let test =
+            match String.index_opt subject ':' with
+            | Some i when String.sub subject 0 i = "fuzz" -> (
+                let rest = String.sub subject (i + 1) (String.length subject - i - 1) in
+                match int_of_string_opt rest with
+                | Some seed ->
+                    Ok (Fuzz.Gen.compile (Fuzz.Gen.generate ~seed Fuzz.Gen.default_params))
+                | None -> Error (Fmt.str "bad seed in %S" subject))
+            | _ -> (
+                match
+                  List.find_opt
+                    (fun t ->
+                      String.lowercase_ascii t.Litmus.Test.name
+                      = String.lowercase_ascii subject)
+                    Litmus.Cases.all
+                with
+                | Some t -> Ok t
+                | None -> Error (Fmt.str "unknown litmus test %S" subject))
+          in
+          Result.map (fun t -> Synth.Oracle.litmus_problem ~max_states ~model t) test)
+    in
+    match problem with
+    | Error msg -> `Error (false, msg)
+    | Ok p ->
+        with_telemetry ~progress ~interval ~stats_out ~workers:jobs
+          ~label:"synth"
+        @@ fun tel finish ->
+        let r = Synth.Runner.run ~tel ~jobs ~strategy p in
+        finish
+          Telemetry.Sink.
+            [
+              ("cmd", S "synth");
+              ("subject", S p.Synth.Oracle.name);
+              ("model", S (Memory_model.to_string p.Synth.Oracle.model));
+              ("strategy", S (Synth.Runner.strategy_name strategy));
+              ("nprocs", I p.Synth.Oracle.nprocs);
+              ("nsites", I p.Synth.Oracle.nsites);
+              ("jobs", I jobs);
+              ("correct", I (List.length r.Synth.Runner.correct));
+              ("minimal", I (List.length r.Synth.Runner.minimal));
+              ("frontier_size", I (List.length r.Synth.Runner.frontier));
+            ];
+        Fmt.pr "%a@." Synth.Runner.pp r;
+        (match frontier_out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Synth.Runner.frontier_json r);
+            output_char oc '\n';
+            close_out oc;
+            Fmt.epr "frontier written to %s@." path);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Counterexample-guided fence synthesis: search the lattice of \
+          fence-site subsets for inclusion-minimal correct placements, cost \
+          them in measured RMRs, and report the (fences, RMRs) Pareto \
+          frontier against the paper's GT_f curve")
+    Term.(
+      ret
+        (const run $ family_t $ litmus_t $ model_t $ nprocs_t $ rounds_t
+       $ max_states_t $ strategy_t $ jobs_t $ progress_t $ interval_t
+       $ stats_out_t $ frontier_out_t))
+
 let encode_cmd =
   let pi_t =
     Arg.(
@@ -514,5 +662,5 @@ let () =
        (Cmd.group (Cmd.info "fencelab" ~doc)
           [
             locks_cmd; passage_cmd; sweep_cmd; check_cmd; stress_cmd;
-            obstruction_cmd; litmus_cmd; fuzz_cmd; encode_cmd;
+            obstruction_cmd; litmus_cmd; fuzz_cmd; synth_cmd; encode_cmd;
           ]))

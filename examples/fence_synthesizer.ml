@@ -1,6 +1,6 @@
 (* Fence synthesizer: ask, for each memory model, which fences an
-   algorithm actually needs — by exhaustively model-checking every
-   fence subset and reporting the minimal correct ones.
+   algorithm actually needs — counterexample-guided search over fence
+   placements with the model checker as correctness oracle (lib/synth).
 
    The output is the staircase the paper's tradeoff prices: SC needs
    nothing, TSO needs the store→load guard, PSO/RMO add the write→write
@@ -15,19 +15,18 @@ open Memsim
 
 let () =
   List.iter
-    (fun (fam : Verify.Synthesis.family) ->
-      Fmt.pr "=== %s (fence sites: %a) ===@." fam.Verify.Synthesis.family_name
+    (fun (fam : Synth.Oracle.family) ->
+      Fmt.pr "=== %s (fence sites: %a) ===@." fam.Synth.Oracle.family_name
         Fmt.(list ~sep:comma string)
-        (List.map (fun s -> s.Verify.Synthesis.name) fam.Verify.Synthesis.sites);
+        (Array.to_list fam.Synth.Oracle.site_names);
       List.iter
         (fun model ->
-          let r = Verify.Synthesis.synthesize ~model fam ~nprocs:2 in
-          Fmt.pr "  %a@."
-            (Verify.Synthesis.pp_result fam.Verify.Synthesis.sites)
-            r)
+          let p = Synth.Oracle.lock_problem ~model fam ~nprocs:2 in
+          let r = Synth.Runner.run ~strategy:`Cegar p in
+          Fmt.pr "  @[<v>%a@]@." Synth.Runner.pp r)
         Memory_model.all;
       Fmt.pr "@.")
-    [ Verify.Synthesis.peterson_family; Verify.Synthesis.bakery_family ];
+    Synth.Family.all;
   Fmt.pr
     "Cost meaning (Equation 1): each fence a weaker model forces back in \
      is a unit of the f(log(r/f)+1) >= c log n budget every ordering \

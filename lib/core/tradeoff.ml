@@ -25,6 +25,15 @@ let gt_rmrs ~nprocs ~height =
   float_of_int height
   *. (float_of_int nprocs ** (1. /. float_of_int height))
 
+(** The whole [GT_f] frontier for [nprocs]: [(f, gt_rmrs f)] for every
+    height [f] in [1 .. ceil(log2 n)] — the analytic curve a measured
+    Pareto frontier is plotted against. *)
+let gt_curve ~nprocs =
+  let max_f = max 1 (int_of_float (ceil (log2 (float_of_int nprocs)))) in
+  List.init max_f (fun i ->
+      let f = i + 1 in
+      (f, gt_rmrs ~nprocs ~height:f))
+
 (** Is [(fences, rmrs)] consistent with the lower bound for [nprocs],
     allowing slack factor [c]? Used by property tests: no measured
     passage of a correct ordering algorithm may fall below the bound by

@@ -10,6 +10,10 @@ val floor_log_n : nprocs:int -> float
 (** Predicted RMRs per passage for [GT_f] (Equation 2): [f·n^(1/f)]. *)
 val gt_rmrs : nprocs:int -> height:int -> float
 
+(** The whole [GT_f] curve: [(f, gt_rmrs f)] for [f] in
+    [1 .. ceil(log2 n)]. *)
+val gt_curve : nprocs:int -> (int * float) list
+
 (** Is the point consistent with the lower bound, with slack factor [c]
     (default 0.25) standing in for the theorem's hidden constant? *)
 val respects_lower_bound :

@@ -134,6 +134,44 @@ let compile t : Litmus.Test.t =
     observed = (fun regs -> Array.to_list regs);
   }
 
+(* Fence sites, AST-level: one site per literal [Fence] instruction,
+   counted per process. The synthesizer's global numbering assigns
+   process [p] the range starting at the prefix sum of earlier
+   processes' counts — same convention as [Litmus.Test.with_fence_mask],
+   so masking here and masking the compiled test agree site-for-site. *)
+let fence_sites t =
+  Array.map
+    (List.fold_left
+       (fun acc i -> match i with Fence -> acc + 1 | _ -> acc)
+       0)
+    t.procs
+
+let with_fence_mask ~keep t =
+  let counts = fence_sites t in
+  let offset = Array.make (Array.length counts) 0 in
+  for p = 1 to Array.length counts - 1 do
+    offset.(p) <- offset.(p - 1) + counts.(p - 1)
+  done;
+  {
+    t with
+    procs =
+      Array.mapi
+        (fun p instrs ->
+          let site = ref offset.(p) in
+          List.filter
+            (fun i ->
+              match i with
+              | Fence ->
+                  let s = !site in
+                  incr site;
+                  keep s
+              | _ -> true)
+            instrs)
+        t.procs;
+  }
+
+let strip_fences t = with_fence_mask ~keep:(fun _ -> false) t
+
 (* Fence saturation: a fence after every plain write. Strong operations
    already carry an implicit barrier, so saturating the writes is what
    collapses every buffered model onto SC. *)

@@ -51,3 +51,16 @@ val compile : t -> Litmus.Test.t
 
 (** Insert a fence after every plain write (oracle 3's transform). *)
 val saturate : t -> t
+
+(** Per-process counts of literal [Fence] instructions — the program's
+    fence sites, numbered globally by prefix-sum offsets exactly as
+    [Litmus.Test.with_fence_mask] numbers the compiled test. *)
+val fence_sites : t -> int array
+
+(** Keep only the fence sites selected by [keep] (global numbering as
+    in {!fence_sites}); a literal AST edit, so the full mask
+    round-trips to a structurally equal program. *)
+val with_fence_mask : keep:(int -> bool) -> t -> t
+
+(** Drop every fence — [with_fence_mask ~keep:(fun _ -> false)]. *)
+val strip_fences : t -> t

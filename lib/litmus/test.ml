@@ -78,3 +78,40 @@ let pp_run ppf r =
     of [weaker] not reachable under [stronger]. *)
 let separation ~stronger ~weaker =
   List.filter (fun o -> not (List.mem o stronger.outcomes)) weaker.outcomes
+
+(** Per-process fence-site counts, from one sequential SC execution
+    (each process runs alone, in pid order, over the cumulative state —
+    so spins awaiting an earlier process's write terminate). Valid for
+    tests whose processes execute their fences in fixed program-text
+    order, which holds for the whole corpus and for compiled fuzz
+    programs. *)
+let fence_sites test =
+  let _regs, cfg = configure test ~model:Memory_model.Sc in
+  let trace, _ = Scheduler.sequential cfg in
+  let counts = Array.make (Config.nprocs cfg) 0 in
+  List.iter
+    (function
+      | Step.Fence { p } -> counts.(p) <- counts.(p) + 1 | _ -> ())
+    (Trace.steps trace);
+  counts
+
+(** Re-instantiate the test with a subset of its fences, under a global
+    site numbering: process [p]'s sites start at the prefix sum of the
+    earlier processes' {!fence_sites} counts. [marker i] labels every
+    site, kept or dropped (zero-cost, invisible to outcomes and state
+    keys); the full mask without a marker leaves the test extensionally
+    unchanged. *)
+let with_fence_mask ?marker ~keep test =
+  let counts = fence_sites test in
+  let offsets = Array.make (Array.length counts) 0 in
+  for p = 1 to Array.length counts - 1 do
+    offsets.(p) <- offsets.(p - 1) + counts.(p - 1)
+  done;
+  {
+    test with
+    programs =
+      (fun regs ->
+        Array.mapi
+          (fun p prog -> Program.mask_fences ?marker ~base:offsets.(p) ~keep prog)
+          (test.programs regs));
+  }

@@ -39,3 +39,15 @@ val pp_run : run Fmt.t
 
 (** Outcomes of [weaker] not reachable under [stronger]. *)
 val separation : stronger:run -> weaker:run -> outcome list
+
+(** Per-process fence-site counts (one sequential SC execution; valid
+    for tests whose fences execute in fixed program-text order). *)
+val fence_sites : t -> int array
+
+(** Re-instantiate with a subset of fences under a global site
+    numbering (process [p]'s sites start at the prefix sum of earlier
+    processes' counts); site [i] survives iff [keep i], and [marker i]
+    tags every site with a zero-cost label. Full mask, no marker ⇒
+    extensionally the same test. *)
+val with_fence_mask :
+  ?marker:(int -> string) -> keep:(int -> bool) -> t -> t

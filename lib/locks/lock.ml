@@ -39,6 +39,51 @@ let passage lock p ~cs ~returns : Program.t =
      let* () = label "cs:exit" in
      lock.release p)
 
+(** [with_fence_mask ?marker ~keep ~acquire_sites lock] re-instantiates
+    [lock] with a subset of its fences: fence site [i] of the acquire
+    fragment (numbered 0.. in execution order) is kept iff [keep i], and
+    release sites continue the numbering at [acquire_sites]. With
+    [marker] every site — kept or dropped — is tagged by the zero-cost
+    label [marker i] just before the fence position, which is how the
+    synthesizer localizes a counterexample to sites. [keep = Fun.const
+    true] without [marker] is the identity: the masked lock executes
+    step-for-step like the original. *)
+let with_fence_mask ?marker ~keep ~acquire_sites lock =
+  {
+    lock with
+    acquire =
+      (fun p -> Program.mask_fragment ?marker ~keep ~base:0 (lock.acquire p));
+    release =
+      (fun p ->
+        Program.mask_fragment ?marker ~keep ~base:acquire_sites
+          (lock.release p));
+  }
+
+(** Count the lock's fence sites by running one uncontended passage of
+    process 0 (everyone else already final) and splitting its fence
+    steps at the ["cs:exit"] label: [(acquire_sites, release_sites)].
+    Every lock in this repository executes its fences in fixed
+    program-text order, so the solo count is the site count. *)
+let fence_sites ~model (factory : factory) ~nprocs =
+  let builder = Layout.Builder.create ~nprocs in
+  let lock = factory builder ~nprocs in
+  let layout = Layout.Builder.freeze builder in
+  let programs =
+    Array.init nprocs (fun p ->
+        if p = 0 then
+          passage lock p ~cs:(Program.return ()) ~returns:0
+        else Program.Done 0)
+  in
+  let trace, _ = Scheduler.sequential (Config.make ~model ~layout programs) in
+  let acq = ref 0 and rel = ref 0 and releasing = ref false in
+  List.iter
+    (function
+      | Step.Note { text = "cs:exit"; _ } -> releasing := true
+      | Step.Fence { p } when p = 0 -> incr (if !releasing then rel else acq)
+      | _ -> ())
+    (Trace.steps trace);
+  (!acq, !rel)
+
 (** [passages lock p ~rounds] loops [rounds] empty critical sections —
     the workload for stress tests and contended benchmarks. *)
 let passages lock p ~rounds : Program.t =

@@ -25,3 +25,19 @@ val passage :
 
 (** [rounds] empty-bodied passages — the workload for benchmarks. *)
 val passages : t -> Pid.t -> rounds:int -> Program.t
+
+(** Re-instantiate the lock with a subset of its fence sites: acquire
+    fences are numbered 0.. in execution order, release fences continue
+    at [acquire_sites]; site [i] survives iff [keep i]. [marker i]
+    labels every site (kept or dropped) so replayed counterexamples can
+    be localized to sites; labels are zero-cost and leave schedules and
+    state keys untouched. The full mask without a marker is the
+    identity. *)
+val with_fence_mask :
+  ?marker:(int -> string) -> keep:(int -> bool) -> acquire_sites:int -> t -> t
+
+(** [(acquire_sites, release_sites)] of a lock, counted from one
+    uncontended passage of process 0. Valid for locks whose fences
+    execute in fixed program-text order — all locks in this
+    repository. *)
+val fence_sites : model:Memory_model.t -> factory -> nprocs:int -> int * int

@@ -142,3 +142,57 @@ let rec skip_labels ~emit = function
 
 let is_done = function Done _ -> true | _ -> false
 let final_value = function Done v -> Some v | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Fence masking — the synthesis subsystem's input contract            *)
+(* ------------------------------------------------------------------ *)
+
+(* Lazily rewrite the fence structure of a step tree. Fences are
+   numbered from [base] in execution order along the current path; the
+   [i]-th fence is kept iff [keep i], and a dropped fence contributes
+   no node (hence no step, no schedule slot, no cost). With [marker],
+   every site — kept or dropped — is preceded by the zero-cost label
+   [marker i], placed *before* the fence position so a replayed trace
+   shows the crossing while the write buffer still holds whatever the
+   fence would have flushed. [stop] is a physically unique boundary
+   label (compared with [==], so user labels can never collide): the
+   walk unwraps it and leaves everything behind it untouched, which is
+   what scopes the rewrite to one fragment of a larger program.
+
+   The rewrite is extensional: with [keep = Fun.const true] and no
+   [marker] the rewritten tree executes step-for-step identically to
+   the original. Site numbering is per-path; every program in this
+   repository (locks, litmus corpus, fuzz programs) executes its fences
+   in fixed program-text order, which is the intended contract. *)
+let mask_walk ?marker ?stop ~keep base t =
+  let mark i rest =
+    match marker with Some m -> Label (m i, fun () -> rest) | None -> rest
+  in
+  let rec walk i t =
+    match t with
+    | Label (s, k) when (match stop with Some b -> s == b | None -> false) ->
+        k ()
+    | Label (s, k) -> Label (s, fun () -> walk i (k ()))
+    | (Done _ | Ret _) as t -> t
+    | Read (r, k) -> Read (r, fun v -> walk i (k v))
+    | Write (r, v, k) -> Write (r, v, fun () -> walk i (k ()))
+    | Fence k ->
+        let rest () = walk (i + 1) (k ()) in
+        mark i (if keep i then Fence rest else rest ())
+    | Cas (r, e, u, k) -> Cas (r, e, u, fun b -> walk i (k b))
+    | Swap (r, v, k) -> Swap (r, v, fun old -> walk i (k old))
+    | Faa (r, d, k) -> Faa (r, d, fun old -> walk i (k old))
+    | Spin (r, pred, k) -> Spin (r, pred, fun v -> walk i (k v))
+    | Spinv (rs, prev, pred, k) ->
+        Spinv (rs, prev, pred, fun vs -> walk i (k vs))
+  in
+  walk base t
+
+let mask_fences ?marker ?(base = 0) ~keep t = mask_walk ?marker ~keep base t
+
+let mask_fragment ?marker ~keep ~base (frag : unit m) : unit m =
+ fun k ->
+  (* a freshly allocated string: physically unique, so the boundary can
+     never be confused with a user label even of equal contents *)
+  let stop = String.make 1 '\xff' in
+  mask_walk ?marker ~stop ~keep base (frag (fun () -> Label (stop, k)))

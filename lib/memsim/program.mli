@@ -89,3 +89,27 @@ val skip_labels : emit:(string -> unit) -> t -> t
 
 val is_done : t -> bool
 val final_value : t -> int option
+
+(** Lazily rewrite a program's fence structure. Fences are numbered
+    from [base] (default 0) in execution order along the current path;
+    the [i]-th fence survives iff [keep i], and a dropped fence
+    contributes no node at all — no step, no schedule slot, no cost.
+    With [marker], every site (kept or dropped) is preceded by the
+    zero-cost label [marker i], placed before the fence position so a
+    replayed trace shows the crossing while the write buffer still holds
+    whatever the fence would have flushed. [keep = Fun.const true]
+    without a marker is extensionally the identity.
+
+    The numbering is per-execution-path; the contract — satisfied by
+    every lock, corpus litmus test and fuzz program in this repository —
+    is that a process executes its fences in fixed program-text order,
+    so occurrence index = program-text site. *)
+val mask_fences :
+  ?marker:(int -> string) -> ?base:int -> keep:(int -> bool) -> t -> t
+
+(** {!mask_fences} scoped to one fragment of a larger program: the
+    rewrite stops where the fragment ends (an internal physically-unique
+    boundary label, invisible to the executor), so the continuation the
+    fragment is later bound to keeps its own fences untouched. *)
+val mask_fragment :
+  ?marker:(int -> string) -> keep:(int -> bool) -> base:int -> unit m -> unit m

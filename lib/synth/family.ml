@@ -1,0 +1,43 @@
+(** The built-in lock families — fully fenced bases whose sites the
+    synthesizer strips and re-instantiates generically.
+
+    Unlike the old [Verify.Synthesis] (which this subsystem absorbs),
+    a family is {e not} a hand-written bank of variants: masking is
+    [Locks.Lock.with_fence_mask] over the base lock, so any lock
+    factory becomes a family by counting its sites. The two here are
+    the E8/E10 subjects with their historical site names; site order
+    is execution order (acquire first, then release), which for both
+    matches the old index convention — the regression pins carry
+    over unchanged. *)
+
+let bakery : Oracle.family =
+  {
+    Oracle.family_name = "bakery";
+    base =
+      Locks.Variants.bakery_variant
+        {
+          Locks.Variants.label = "full";
+          fences = (true, true, true);
+          release_fenced = true;
+        };
+    acquire_sites = 3;
+    release_sites = 1;
+    site_names =
+      [| "f1 (after C:=1)"; "f2 (after T:=tkt)"; "f3 (after C:=0)"; "release" |];
+  }
+
+let peterson : Oracle.family =
+  {
+    Oracle.family_name = "peterson";
+    base = Locks.Peterson.lock_with ~style:`Per_write;
+    acquire_sites = 2;
+    release_sites = 1;
+    site_names = [| "after flag:=1"; "after victim:=me"; "release" |];
+  }
+
+let all = [ bakery; peterson ]
+
+let find name =
+  List.find_opt (fun f -> f.Oracle.family_name = name) all
+
+let names = List.map (fun f -> f.Oracle.family_name) all

@@ -1,0 +1,45 @@
+(** Enumeration order over the placement lattice 2^sites.
+
+    The search walks levels of {e ascending} popcount — empty mask
+    first, full mask last — with masks ascending numerically inside a
+    level. Ascending order is the direction in which both pruning
+    rules have power:
+
+    - upward closure of correctness means a level's {e correct} masks
+      doom (as correct, without oracle calls) every superset on later
+      levels;
+    - counterexample localization means a level's {e failing} masks
+      with relevant set [R] doom every later candidate whose new sites
+      all avoid [R] — the cheap cex of the sparse masks kills most of
+      the dense half of the lattice before it is ever checked.
+
+    The dual (descending) order would instead make the
+    subset-of-failing rule fire — but then every candidate the cex
+    rule could kill is already a subset of a recorded failing mask
+    ([M ∪ M'] sits on an earlier level), so localization never adds a
+    single pruned mask. Ascending is the only direction where the
+    counterexample does work closure cannot.
+
+    Exactness: pruning classifies a candidate as correct only by
+    upward closure from an oracle-certified correct subset, and as
+    failing only by a sound counterexample argument — so the correct
+    set is exact, and every inclusion-{e minimal} correct mask is
+    oracle-certified (a pruned-correct mask strictly contains an
+    earlier correct one, so it is never minimal). *)
+
+(** Masks of popcount [k] over [n] sites, ascending. *)
+let level ~nsites k =
+  Sites.check_nsites nsites;
+  let acc = ref [] in
+  for m = Sites.full nsites downto 0 do
+    if Sites.popcount m = k then acc := m :: !acc
+  done;
+  !acc
+
+(** All levels, ascending popcount: [empty; ...; full]. *)
+let ascending ~nsites = List.init (nsites + 1) (fun k -> level ~nsites k)
+
+(** Total candidate count: 2^nsites. *)
+let cardinal ~nsites =
+  Sites.check_nsites nsites;
+  1 lsl nsites

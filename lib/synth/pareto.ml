@@ -1,0 +1,55 @@
+(** Costed placements and the (fences, RMRs) Pareto frontier.
+
+    Survivors of the search (the minimal correct placements) are
+    costed by measurement — {!Oracle.cost} runs the placement and
+    reads {!Memsim.Metrics} — and the frontier keeps the
+    non-dominated points: no other point has both fewer-or-equal
+    fences and fewer-or-equal combined-rule RMRs (strictly fewer in
+    one). Each point also records where it stands against the paper's
+    analytic curves: Equation (1)'s product and the lower-bound test,
+    and [GT_f]'s predicted RMRs at the same fence count. *)
+
+type point = {
+  mask : Sites.mask;
+  fences : int;
+  rmr : int;  (** combined rule — the paper's r *)
+  rmr_dsm : int;
+  rmr_cc : int;
+  product : float;  (** f·(log2(r/f)+1) *)
+  gt_rmrs : float;  (** Equation (2) prediction at this f (0 at f=0) *)
+  respects_bound : bool;
+}
+
+let point ~nprocs ~mask (c : Oracle.cost) =
+  {
+    mask;
+    fences = c.Oracle.fences;
+    rmr = c.Oracle.rmr;
+    rmr_dsm = c.Oracle.rmr_dsm;
+    rmr_cc = c.Oracle.rmr_cc;
+    product = c.Oracle.product;
+    gt_rmrs =
+      (if c.Oracle.fences = 0 then 0.
+       else Fencelab.Tradeoff.gt_rmrs ~nprocs ~height:c.Oracle.fences);
+    respects_bound =
+      Fencelab.Tradeoff.respects_lower_bound ~nprocs ~fences:c.Oracle.fences
+        ~rmrs:c.Oracle.rmr ();
+  }
+
+let dominates a b =
+  a.fences <= b.fences && a.rmr <= b.rmr
+  && (a.fences < b.fences || a.rmr < b.rmr)
+
+(** Non-dominated subset, sorted by (fences, rmr, mask). *)
+let frontier points =
+  List.sort
+    (fun a b -> compare (a.fences, a.rmr, a.mask) (b.fences, b.rmr, b.mask))
+    (List.filter
+       (fun p -> not (List.exists (fun q -> dominates q p) points))
+       points)
+
+let pp ~nsites ~names ppf p =
+  Fmt.pf ppf "f=%d r=%d (dsm=%d cc=%d) f·(log(r/f)+1)=%.2f GT=%.2f %s %a"
+    p.fences p.rmr p.rmr_dsm p.rmr_cc p.product p.gt_rmrs
+    (if p.respects_bound then "≥bound" else "<bound")
+    (Sites.pp ~names nsites) p.mask

@@ -1,0 +1,72 @@
+(** The pruning store: verdicts of completed levels, queried to
+    classify the next level's candidates without oracle calls.
+
+    Both rules are sound classifications, not heuristics — a pruned
+    candidate gets the verdict the oracle would have returned:
+
+    - {e closure}: correctness is upward-closed in the mask (a fence
+      only removes behaviors), so a superset of a correct mask is
+      correct — and, dually, a subset of a failing mask fails. In the
+      runner's ascending order only the correct-superset direction can
+      fire (a level-[k] candidate is never a subset of an
+      earlier-level mask), but both are kept: the store does not know
+      the enumeration order.
+    - {e counterexample}: a failing mask [M] with relevant set [R]
+      (see {!Oracle.relevant_of_trace}) dooms every [M'] with
+      [(M' \ M) ∩ R = ∅] — the sites [M'] adds are stutter-insertable
+      into [M]'s counterexample, so [M ∪ M'] fails, and [M' ⊆ M ∪ M']
+      fails by closure. No subset requirement on [M']: for ascending
+      [M' ⊇ M] this is the direct inheritance the rule is named for.
+
+    Only oracle-certified verdicts are recorded as witnesses. A
+    pruned-correct mask is a superset of a recorded correct one and a
+    pruned-failing mask is covered by the witness that killed it (for
+    a cex kill, [(M'' \ M) ⊆ (M'' \ M') ∪ (M' \ M)] keeps the original
+    [(M, R)] entry sufficient), so recording them would add lookup
+    cost and no pruning power.
+
+    The runner feeds the store level-synchronously: classification for
+    level [k] sees exactly the verdicts of levels [< k], independent of
+    how many domains ran the oracles — which is what makes the pruning
+    counters and the whole result deterministic at every [--jobs]. *)
+
+type entry = { mask : Sites.mask; relevant : Sites.mask option }
+
+type t = {
+  mutable failing : entry list;  (** most recently recorded first *)
+  mutable correct : Sites.mask list;
+}
+
+let create () = { failing = []; correct = [] }
+
+type classification =
+  | Unknown  (** no stored verdict decides it: ask the oracle *)
+  | Correct_closure of Sites.mask  (** superset of this correct mask *)
+  | Failing_closure of Sites.mask  (** subset of this failing mask *)
+  | Failing_cex of Sites.mask  (** inherits this mask's counterexample *)
+
+let classify t mask =
+  match List.find_opt (fun c -> Sites.subset c mask) t.correct with
+  | Some c -> Correct_closure c
+  | None -> (
+      match List.find_opt (fun e -> Sites.subset mask e.mask) t.failing with
+      | Some e -> Failing_closure e.mask
+      | None -> (
+          let cex =
+            List.find_opt
+              (fun e ->
+                match e.relevant with
+                | Some r ->
+                    Sites.inter (Sites.diff mask e.mask) r = Sites.empty
+                | None -> false)
+              t.failing
+          in
+          match cex with Some e -> Failing_cex e.mask | None -> Unknown))
+
+let record_failure t ~mask ~relevant =
+  t.failing <- { mask; relevant } :: t.failing
+
+let record_correct t mask = t.correct <- mask :: t.correct
+
+(** Correct masks recorded so far, ascending. *)
+let correct t = List.sort compare t.correct

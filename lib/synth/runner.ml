@@ -1,0 +1,304 @@
+(** The search driver: level-synchronized lattice ascent with
+    parallel oracle calls.
+
+    Each popcount level — empty mask up to full — is processed in
+    three deterministic phases:
+
+    + {e classify} — walk the level's masks in ascending order against
+      the pruning store (which holds only {e completed} levels'
+      verdicts) and split them into decided (correct by closure,
+      failing by closure or an inherited counterexample) and unknown.
+      Sequential, so the pruning counters never depend on worker
+      timing.
+    + {e oracle} — check the unknown masks concurrently: [jobs]
+      domains pull indices from a shared atomic cursor and each runs
+      the full model-checking oracle on its candidate. Oracle calls
+      are independent (pure [check]), so this is embarrassingly
+      parallel; per-worker telemetry cells stream live progress.
+    + {e merge} — fold the verdicts back into the store in ascending
+      mask order.
+
+    The barrier between levels trades a sliver of pruning power for
+    reproducibility: closure pruning only ever crosses levels (a
+    popcount-[k] mask neither contains nor is contained in another),
+    so it loses nothing, while the counterexample rule could in
+    principle kill a same-level sibling whose extra sites are all
+    irrelevant — those few candidates get oracle calls instead. In
+    exchange the verdict set, the counters and the emitted frontier
+    are byte-identical at every [--jobs].
+
+    With [`Exhaustive] the classify phase declares everything unknown:
+    one oracle, two strategies, and the call-count difference between
+    them is exactly what the pruning counters claim. *)
+
+open Memsim
+
+type strategy = [ `Exhaustive | `Cegar ]
+
+let strategy_name = function `Exhaustive -> "exhaustive" | `Cegar -> "cegar"
+
+let strategy_of_string = function
+  | "exhaustive" -> Some `Exhaustive
+  | "cegar" -> Some `Cegar
+  | _ -> None
+
+type stats = {
+  candidates : int;  (** masks enumerated: always 2^nsites *)
+  oracle_calls : int;
+  pruned_closure : int;
+      (** decided by upward closure: superset of a correct mask
+          (correct) or subset of a failing one (failing) *)
+  pruned_cex : int;  (** failing by an inherited counterexample *)
+  oracle_states : int;  (** states explored across all oracle calls *)
+}
+
+type result = {
+  problem : Oracle.problem;
+  strategy : strategy;
+  jobs : int;
+  correct : Sites.mask list;  (** every correct mask, ascending *)
+  minimal : Sites.mask list;  (** the inclusion-minimal antichain *)
+  points : Pareto.point list;  (** minimal masks, costed *)
+  frontier : Pareto.point list;  (** non-dominated points *)
+  stats : stats;
+}
+
+let minimal_of_correct correct =
+  List.filter
+    (fun m ->
+      not (List.exists (fun m' -> m' <> m && Sites.subset m' m) correct))
+    correct
+
+let run ?tel ?(jobs = 1) ~strategy (p : Oracle.problem) : result =
+  let jobs = max 1 jobs in
+  let hub =
+    match tel with
+    | Some h ->
+        if Telemetry.Hub.workers h < jobs then
+          Fmt.invalid_arg "Synth.Runner.run: hub has %d worker slots, jobs=%d"
+            (Telemetry.Hub.workers h) jobs;
+        h
+    | None -> Telemetry.Hub.create ~workers:jobs ()
+  in
+  let c_cand = Telemetry.Hub.counter hub "candidates"
+  and c_oracle = Telemetry.Hub.counter hub "oracle_calls"
+  and c_pcl = Telemetry.Hub.counter hub "pruned_closure"
+  and c_pcex = Telemetry.Hub.counter hub "pruned_cex"
+  and c_states = Telemetry.Hub.counter hub "oracle_states" in
+  let g_level = Atomic.make p.Oracle.nsites
+  and g_correct = Atomic.make 0
+  and g_frontier = Atomic.make 0 in
+  Telemetry.Hub.gauge hub "level" (fun () -> float_of_int (Atomic.get g_level));
+  Telemetry.Hub.gauge hub "correct" (fun () ->
+      float_of_int (Atomic.get g_correct));
+  Telemetry.Hub.gauge hub "frontier" (fun () ->
+      float_of_int (Atomic.get g_frontier));
+  let store = Prune.create () in
+  let pruned_closure = ref 0
+  and pruned_cex = ref 0
+  and pruned_correct = ref [] (* correct by closure, newest first *)
+  and calls = ref 0
+  and states = ref 0 in
+  (* phase 2: concurrent oracle calls over one level's unknowns *)
+  let check_batch (masks : Sites.mask array) : Oracle.verdict array =
+    let n = Array.length masks in
+    let out =
+      Array.make n { Oracle.ok = false; states = 0; relevant = None }
+    in
+    if n > 0 then begin
+      let next = Atomic.make 0 in
+      let worker w =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            let v = p.Oracle.check masks.(i) in
+            Telemetry.Cells.incr c_oracle ~worker:w;
+            Telemetry.Cells.add c_states ~worker:w v.Oracle.states;
+            out.(i) <- v;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let k = min jobs n in
+      if k = 1 then worker 0
+      else
+        Array.iter Domain.join
+          (Array.init k (fun w -> Domain.spawn (fun () -> worker w)))
+    end;
+    out
+  in
+  List.iter
+    (fun level ->
+      (match level with
+      | m :: _ -> Atomic.set g_level (Sites.popcount m)
+      | [] -> ());
+      (* phase 1: sequential classification against completed levels *)
+      let unknown =
+        List.filter
+          (fun m ->
+            Telemetry.Cells.incr c_cand ~worker:0;
+            match strategy with
+            | `Exhaustive -> true
+            | `Cegar -> (
+                match Prune.classify store m with
+                | Prune.Unknown -> true
+                | Prune.Correct_closure _ ->
+                    pruned_correct := m :: !pruned_correct;
+                    incr pruned_closure;
+                    Telemetry.Cells.incr c_pcl ~worker:0;
+                    Atomic.incr g_correct;
+                    false
+                | Prune.Failing_closure _ ->
+                    incr pruned_closure;
+                    Telemetry.Cells.incr c_pcl ~worker:0;
+                    false
+                | Prune.Failing_cex _ ->
+                    incr pruned_cex;
+                    Telemetry.Cells.incr c_pcex ~worker:0;
+                    false))
+          level
+      in
+      let masks = Array.of_list unknown in
+      let verdicts = check_batch masks in
+      (* phase 3: deterministic merge, ascending mask order *)
+      Array.iteri
+        (fun i (v : Oracle.verdict) ->
+          incr calls;
+          states := !states + v.Oracle.states;
+          if v.Oracle.ok then begin
+            Prune.record_correct store masks.(i);
+            Atomic.incr g_correct
+          end
+          else
+            Prune.record_failure store ~mask:masks.(i)
+              ~relevant:v.Oracle.relevant)
+        verdicts)
+    (Lattice.ascending ~nsites:p.Oracle.nsites);
+  let correct =
+    (* oracle-certified plus closure-derived: the exact correct set *)
+    List.sort compare (List.rev_append !pruned_correct (Prune.correct store))
+  in
+  let minimal = minimal_of_correct correct in
+  let points =
+    List.map (fun m -> Pareto.point ~nprocs:p.Oracle.nprocs ~mask:m (p.Oracle.cost m)) minimal
+  in
+  let frontier = Pareto.frontier points in
+  Atomic.set g_frontier (List.length frontier);
+  {
+    problem = p;
+    strategy;
+    jobs;
+    correct;
+    minimal;
+    points;
+    frontier;
+    stats =
+      {
+        candidates = Lattice.cardinal ~nsites:p.Oracle.nsites;
+        oracle_calls = !calls;
+        pruned_closure = !pruned_closure;
+        pruned_cex = !pruned_cex;
+        oracle_states = !states;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp ppf (r : result) =
+  let p = r.problem in
+  let pp_mask = Sites.pp ~names:p.Oracle.site_names p.Oracle.nsites in
+  Fmt.pf ppf
+    "@[<v>%s under %a (n=%d, %d sites, %s): %d correct, %d minimal@,\
+     oracle calls %d / %d candidates (pruned: %d closure, %d cex)@,\
+     minimal: %a@,\
+     @[<v2>frontier:@,%a@]@]"
+    p.Oracle.name Memory_model.pp p.Oracle.model p.Oracle.nprocs
+    p.Oracle.nsites (strategy_name r.strategy) (List.length r.correct)
+    (List.length r.minimal) r.stats.oracle_calls r.stats.candidates
+    r.stats.pruned_closure r.stats.pruned_cex
+    (Fmt.list ~sep:(Fmt.any " | ") pp_mask)
+    r.minimal
+    (Fmt.list (Pareto.pp ~nsites:p.Oracle.nsites ~names:p.Oracle.site_names))
+    r.frontier
+
+(* JSON string escaping, matching the telemetry sink's discipline. *)
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(** The frontier as one self-contained JSON object (masks as site-name
+    lists, measured points, the analytic [GT_f] curve) — the CLI's
+    [--frontier-out] payload and the CI artifact. Deterministic: field
+    order fixed, lists sorted by the search itself. *)
+let frontier_json (r : result) : string
+    =
+  let p = r.problem in
+  let b = Buffer.create 1024 in
+  let str s =
+    Buffer.add_char b '"';
+    escape b s;
+    Buffer.add_char b '"'
+  in
+  let sep = ref false in
+  let field k f =
+    if !sep then Buffer.add_char b ',';
+    sep := true;
+    str k;
+    Buffer.add_char b ':';
+    f ()
+  in
+  let list xs f =
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        f x)
+      xs;
+    Buffer.add_char b ']'
+  in
+  let mask_sites m =
+    List.filter_map
+      (fun i -> if Sites.mem m i then Some p.Oracle.site_names.(i) else None)
+      (List.init p.Oracle.nsites Fun.id)
+  in
+  let point (pt : Pareto.point) =
+    Buffer.add_string b
+      (Fmt.str
+         "{\"fences\":%d,\"rmr\":%d,\"rmr_dsm\":%d,\"rmr_cc\":%d,\"product\":%g,\"gt_rmrs\":%g,\"respects_bound\":%b,\"sites\":"
+         pt.Pareto.fences pt.Pareto.rmr pt.Pareto.rmr_dsm pt.Pareto.rmr_cc
+         pt.Pareto.product pt.Pareto.gt_rmrs pt.Pareto.respects_bound);
+    list (mask_sites pt.Pareto.mask) str;
+    Buffer.add_char b '}'
+  in
+  Buffer.add_char b '{';
+  field "problem" (fun () -> str p.Oracle.name);
+  field "model" (fun () -> str (Memory_model.to_string p.Oracle.model));
+  field "nprocs" (fun () -> Buffer.add_string b (string_of_int p.Oracle.nprocs));
+  field "nsites" (fun () -> Buffer.add_string b (string_of_int p.Oracle.nsites));
+  field "strategy" (fun () -> str (strategy_name r.strategy));
+  field "stats" (fun () ->
+      Buffer.add_string b
+        (Fmt.str
+           "{\"candidates\":%d,\"oracle_calls\":%d,\"pruned_closure\":%d,\"pruned_cex\":%d,\"oracle_states\":%d}"
+           r.stats.candidates r.stats.oracle_calls r.stats.pruned_closure
+           r.stats.pruned_cex r.stats.oracle_states));
+  field "minimal" (fun () ->
+      list r.minimal (fun m -> list (mask_sites m) str));
+  field "points" (fun () -> list r.points point);
+  field "frontier" (fun () -> list r.frontier point);
+  field "gt_curve" (fun () ->
+      list (Fencelab.Tradeoff.gt_curve ~nprocs:p.Oracle.nprocs) (fun (f, g) ->
+          Buffer.add_string b (Fmt.str "{\"f\":%d,\"rmrs\":%g}" f g)));
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,66 @@
+(** Fence-site masks as int bitsets.
+
+    A synthesis problem enumerates a program's fence {e sites}
+    (positions where the original algorithm fences, numbered 0..n-1 in
+    program-text order, see [Program.mask_fences]); a candidate
+    placement is the subset of sites kept, packed into the low bits of
+    one [int]. Everything downstream — the lattice enumeration, the
+    pruning store, the result lists — speaks this type, so subset tests
+    are single [land]s and candidate sets stay allocation-free. *)
+
+type mask = int
+
+(** Bitset capacity; far above any realistic problem (the search is
+    2^n in the worst case anyway) but an explicit line so the packing
+    never silently overflows. *)
+let max_sites = 30
+
+let check_nsites n =
+  if n < 0 || n > max_sites then Fmt.invalid_arg "Sites: %d sites" n
+
+let empty : mask = 0
+let full n : mask = check_nsites n; (1 lsl n) - 1
+let mem m i = m land (1 lsl i) <> 0
+let add m i = m lor (1 lsl i)
+let inter a b = a land b
+let diff a b = a land lnot b
+let subset a b = a land lnot b = 0
+let popcount m =
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0 m
+
+let to_bools n m = List.init n (mem m)
+let of_bools bs =
+  List.fold_left (fun (m, i) b -> ((if b then add m i else m), i + 1)) (0, 0) bs
+  |> fst
+
+(* ------------------------------------------------------------------ *)
+(* Site markers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Counterexample localization labels every site — kept or dropped —
+   with a zero-cost [Program.Label] so replayed traces show which sites
+   an execution crossed, and with what buffer occupancy. *)
+
+let marker_prefix = "synth#"
+let marker i = marker_prefix ^ string_of_int i
+
+let site_of_marker s =
+  let n = String.length marker_prefix in
+  if String.length s > n && String.sub s 0 n = marker_prefix then
+    int_of_string_opt (String.sub s n (String.length s - n))
+  else None
+
+let pp ?names n ppf m =
+  let name i =
+    match names with
+    | Some a when i < Array.length a -> a.(i)
+    | _ -> string_of_int i
+  in
+  let kept =
+    List.filter_map
+      (fun i -> if mem m i then Some (name i) else None)
+      (List.init n Fun.id)
+  in
+  if kept = [] then Fmt.string ppf "(no fences)"
+  else Fmt.pf ppf "{%s}" (String.concat ", " kept)

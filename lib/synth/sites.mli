@@ -1,0 +1,42 @@
+(** Fence-site masks as int bitsets: a candidate fence placement is
+    the set of kept sites, packed into the low bits of one [int]. *)
+
+type mask = int
+
+(** Capacity of the packing (the search is 2^n anyway). *)
+val max_sites : int
+
+(** Raises [Invalid_argument] outside [0..max_sites]. *)
+val check_nsites : int -> unit
+
+val empty : mask
+
+(** All [n] sites. *)
+val full : int -> mask
+
+val mem : mask -> int -> bool
+val add : mask -> int -> mask
+val inter : mask -> mask -> mask
+
+(** [diff a b] — sites of [a] not in [b]. *)
+val diff : mask -> mask -> mask
+
+(** [subset a b] — [a ⊆ b]. *)
+val subset : mask -> mask -> bool
+
+val popcount : mask -> int
+
+(** Low-to-high site membership over [n] sites (legacy list form). *)
+val to_bools : int -> mask -> bool list
+
+val of_bools : bool list -> mask
+
+(** ["synth#<i>"] — the zero-cost label placed before site [i] by the
+    oracle's instrumentation, kept or dropped. *)
+val marker : int -> string
+
+(** Parse a marker back to its site. *)
+val site_of_marker : string -> int option
+
+(** [pp ?names n] prints the kept-site set, by name when given. *)
+val pp : ?names:string array -> int -> mask Fmt.t

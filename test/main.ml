@@ -19,6 +19,7 @@ let () =
       Test_locks.suite;
       Test_gt.suite;
       Test_synthesis.suite;
+      Test_synth.suite;
       Test_objects.suite;
       Test_decoder.suite;
       Test_encoding.suite;

@@ -1,0 +1,347 @@
+(* lib/synth: the counterexample-guided fence synthesizer.
+
+   Covers the subsystem's load-bearing claims:
+   - the masking primitives round-trip (full mask = original program);
+   - correctness is upward-closed in the mask (qcheck, fuzz programs) —
+     the soundness of closure pruning;
+   - cegar and exhaustive agree on the minimal antichain, with cegar
+     making strictly fewer oracle calls on the weak-model lock
+     families (≥30% fewer on bakery/PSO, the acceptance pin), asserted
+     from telemetry counters — and both pruning rules (closure and
+     counterexample inheritance) demonstrably firing;
+   - Pareto points respect the paper's lower bound and the frontier is
+     dominance-free;
+   - results are byte-deterministic and jobs-invariant. *)
+
+open Memsim
+
+let sequential_lock_trace factory ~model ~nprocs =
+  let builder = Layout.Builder.create ~nprocs in
+  let lock = factory builder ~nprocs in
+  let layout = Layout.Builder.freeze builder in
+  let programs =
+    Array.init nprocs (fun p -> Locks.Lock.passages lock p ~rounds:1)
+  in
+  let trace, _ = Scheduler.sequential (Config.make ~model ~layout programs) in
+  Trace.steps trace
+
+let not_synth_note (s : Step.t) =
+  match s with
+  | Step.Note { text; _ } -> Synth.Sites.site_of_marker text = None
+  | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Round trips                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lock_mask_round_trip () =
+  List.iter
+    (fun (fam : Synth.Oracle.family) ->
+      let nsites = fam.acquire_sites + fam.release_sites in
+      let full = Synth.Sites.full nsites in
+      let base = sequential_lock_trace fam.base ~model:Memory_model.Pso ~nprocs:2 in
+      let masked =
+        sequential_lock_trace
+          (Synth.Oracle.masked_factory fam full)
+          ~model:Memory_model.Pso ~nprocs:2
+      in
+      Alcotest.(check bool)
+        (fam.family_name ^ ": full mask = identical trace")
+        true (base = masked);
+      (* with markers: same trace modulo the marker notes *)
+      let marked =
+        sequential_lock_trace
+          (Synth.Oracle.masked_factory ~marker:Synth.Sites.marker fam full)
+          ~model:Memory_model.Pso ~nprocs:2
+      in
+      Alcotest.(check bool)
+        (fam.family_name ^ ": markers are trace-invisible")
+        true
+        (base = List.filter not_synth_note marked);
+      (* empty mask: no fence steps at all *)
+      let stripped =
+        sequential_lock_trace
+          (Synth.Oracle.masked_factory fam Synth.Sites.empty)
+          ~model:Memory_model.Pso ~nprocs:2
+      in
+      Alcotest.(check int)
+        (fam.family_name ^ ": empty mask strips every fence")
+        0
+        (List.length
+           (List.filter (function Step.Fence _ -> true | _ -> false) stripped)))
+    Synth.Family.all
+
+let lock_site_census () =
+  let check name factory expected =
+    Alcotest.(check (pair int int))
+      name expected
+      (Locks.Lock.fence_sites ~model:Memory_model.Sc factory ~nprocs:2)
+  in
+  check "bakery: 3 acquire + 1 release" Synth.Family.bakery.base (3, 1);
+  check "peterson: 2 acquire + 1 release" Synth.Family.peterson.base (2, 1)
+
+let litmus_mask_round_trip () =
+  List.iter
+    (fun (test : Litmus.Test.t) ->
+      let nsites = Array.fold_left ( + ) 0 (Litmus.Test.fence_sites test) in
+      let full =
+        Litmus.Test.with_fence_mask
+          ~keep:(Synth.Sites.mem (Synth.Sites.full nsites))
+          test
+      in
+      List.iter
+        (fun model ->
+          let a = Litmus.Test.run test ~model in
+          let b = Litmus.Test.run full ~model in
+          Alcotest.(check bool)
+            (test.Litmus.Test.name ^ ": full mask preserves outcomes")
+            true
+            (a.Litmus.Test.outcomes = b.Litmus.Test.outcomes))
+        [ Memory_model.Tso; Memory_model.Pso ];
+      let stripped =
+        Litmus.Test.with_fence_mask ~keep:(fun _ -> false) test
+      in
+      Alcotest.(check (array int))
+        (test.Litmus.Test.name ^ ": stripped has no sites")
+        (Array.make (Array.length (Litmus.Test.fence_sites test)) 0)
+        (Litmus.Test.fence_sites stripped))
+    [ Litmus.Cases.sb_fenced; Litmus.Cases.mp_fenced ]
+
+let fuzz_mask_round_trip () =
+  for seed = 0 to 20 do
+    let g = Fuzz.Gen.generate ~seed Fuzz.Gen.default_params in
+    let nsites = Array.fold_left ( + ) 0 (Fuzz.Gen.fence_sites g) in
+    Alcotest.(check bool)
+      "full mask is the identity (structural)" true
+      (Fuzz.Gen.equal g
+         (Fuzz.Gen.with_fence_mask
+            ~keep:(Synth.Sites.mem (Synth.Sites.full nsites))
+            g));
+    Alcotest.(check (array int))
+      "strip removes every fence"
+      (Array.make (Fuzz.Gen.nprocs g) 0)
+      (Fuzz.Gen.fence_sites (Fuzz.Gen.strip_fences g));
+    (* AST-level and compiled-test site censuses agree *)
+    Alcotest.(check (array int))
+      "Gen and Litmus.Test count the same sites"
+      (Fuzz.Gen.fence_sites g)
+      (Litmus.Test.fence_sites (Fuzz.Gen.compile g))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Upward closure (qcheck) — the soundness of closure pruning          *)
+(* ------------------------------------------------------------------ *)
+
+let problem_cache : (int, Synth.Oracle.problem) Hashtbl.t = Hashtbl.create 16
+
+let fuzz_problem seed =
+  match Hashtbl.find_opt problem_cache seed with
+  | Some p -> p
+  | None ->
+      let g =
+        Fuzz.Gen.generate ~seed
+          { Fuzz.Gen.default_params with len = 4; values = 2 }
+      in
+      let p =
+        Synth.Oracle.litmus_problem ~model:Memory_model.Pso
+          (Fuzz.Gen.compile g)
+      in
+      Hashtbl.add problem_cache seed p;
+      p
+
+let upward_closure_qcheck =
+  QCheck.Test.make ~count:12 ~name:"oracle correctness is upward-closed"
+    QCheck.(triple (int_bound 40) (int_bound 0xffff) (int_bound 0xffff))
+    (fun (seed, mbits, xbits) ->
+      let p = fuzz_problem seed in
+      if p.Synth.Oracle.nsites = 0 then true
+      else
+        let all = Synth.Sites.full p.Synth.Oracle.nsites in
+        let m = mbits land all in
+        let sup = m lor (xbits land all) in
+        (* if M passes, every superset of M passes *)
+        (not (p.Synth.Oracle.check m).Synth.Oracle.ok)
+        || (p.Synth.Oracle.check sup).Synth.Oracle.ok)
+
+(* ------------------------------------------------------------------ *)
+(* cegar vs exhaustive agreement                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_with_tel ~strategy ~jobs p =
+  let hub = Telemetry.Hub.create ~workers:jobs () in
+  let r = Synth.Runner.run ~tel:hub ~jobs ~strategy p in
+  (r, hub)
+
+let check_agreement name (p : Synth.Oracle.problem) ~expect_fewer =
+  let ex, _ = run_with_tel ~strategy:`Exhaustive ~jobs:1 p in
+  let ce, hub = run_with_tel ~strategy:`Cegar ~jobs:1 p in
+  Alcotest.(check (list int))
+    (name ^ ": same correct set")
+    ex.Synth.Runner.correct ce.Synth.Runner.correct;
+  Alcotest.(check (list int))
+    (name ^ ": same minimal antichain")
+    ex.Synth.Runner.minimal ce.Synth.Runner.minimal;
+  (* counters reconcile, from telemetry (not just the result record) *)
+  let tel n = Option.get (Telemetry.Hub.read_int hub n) in
+  Alcotest.(check int)
+    (name ^ ": telemetry oracle_calls")
+    ce.Synth.Runner.stats.Synth.Runner.oracle_calls (tel "oracle_calls");
+  Alcotest.(check int)
+    (name ^ ": candidates = calls + pruned")
+    ce.Synth.Runner.stats.Synth.Runner.candidates
+    (tel "oracle_calls" + tel "pruned_closure" + tel "pruned_cex");
+  if expect_fewer then
+    Alcotest.(check bool)
+      (name ^ ": cegar makes strictly fewer oracle calls")
+      true
+      (ce.Synth.Runner.stats.Synth.Runner.oracle_calls
+      < ex.Synth.Runner.stats.Synth.Runner.oracle_calls);
+  (ex, ce)
+
+let family_agreement () =
+  List.iter
+    (fun (fam : Synth.Oracle.family) ->
+      List.iter
+        (fun model ->
+          let p = Synth.Oracle.lock_problem ~model fam ~nprocs:2 in
+          ignore
+            (check_agreement
+               (Fmt.str "%s/%a" fam.family_name Memory_model.pp model)
+               p ~expect_fewer:true))
+        [ Memory_model.Tso; Memory_model.Pso ])
+    Synth.Family.all
+
+let bakery_pso_acceptance () =
+  (* the acceptance pin: ≥30% fewer oracle calls than exhaustive, and
+     the E10 minimal set reproduced *)
+  let p =
+    Synth.Oracle.lock_problem ~model:Memory_model.Pso Synth.Family.bakery
+      ~nprocs:2
+  in
+  let ex, ce = check_agreement "bakery/PSO" p ~expect_fewer:true in
+  let exc = ex.Synth.Runner.stats.Synth.Runner.oracle_calls in
+  let cec = ce.Synth.Runner.stats.Synth.Runner.oracle_calls in
+  Alcotest.(check bool)
+    (Fmt.str "cegar %d calls ≤ 70%% of exhaustive %d" cec exc)
+    true
+    (float_of_int cec <= 0.7 *. float_of_int exc);
+  (* both rules must carry weight: the bakery/PSO cex (processes stuck
+     before the critical section) never reaches the release site, so
+     counterexample inheritance kills the masks closure cannot *)
+  Alcotest.(check bool) "pruned_closure fires" true
+    (ce.Synth.Runner.stats.Synth.Runner.pruned_closure > 0);
+  Alcotest.(check bool) "pruned_cex fires" true
+    (ce.Synth.Runner.stats.Synth.Runner.pruned_cex > 0);
+  Alcotest.(check (list (list bool)))
+    "E10 minimal set"
+    [ [ true; true; false; false ] ]
+    (List.map (Synth.Sites.to_bools 4) ce.Synth.Runner.minimal);
+  (* every frontier point respects the paper's lower bound *)
+  Alcotest.(check bool) "frontier nonempty" true (ce.Synth.Runner.frontier <> []);
+  List.iter
+    (fun (pt : Synth.Pareto.point) ->
+      Alcotest.(check bool) "respects lower bound" true pt.Synth.Pareto.respects_bound)
+    ce.Synth.Runner.frontier
+
+let fuzz_shrunk_agreement () =
+  (* one fuzz-derived litmus subject: find a seeded program whose
+     fence-stripped version escapes its spec under PSO, shrink it to a
+     minimal such program, and check the two strategies agree on it *)
+  let params = { Fuzz.Gen.default_params with len = 5; values = 2 } in
+  let separable g =
+    let sites = Array.fold_left ( + ) 0 (Fuzz.Gen.fence_sites g) in
+    sites >= 1 && sites <= 6
+    &&
+    let p =
+      Synth.Oracle.litmus_problem ~model:Memory_model.Pso (Fuzz.Gen.compile g)
+    in
+    not (p.Synth.Oracle.check Synth.Sites.empty).Synth.Oracle.ok
+  in
+  let rec find seed =
+    if seed > 100 then Alcotest.fail "no separable fuzz program in seeds 0-100"
+    else
+      let g = Fuzz.Gen.generate ~seed params in
+      if separable g then g else find (seed + 1)
+  in
+  let g = Fuzz.Shrink.minimize ~still_failing:separable (find 0) in
+  let p =
+    Synth.Oracle.litmus_problem ~model:Memory_model.Pso (Fuzz.Gen.compile g)
+  in
+  ignore
+    (check_agreement
+       (Fmt.str "%s (shrunk, %d sites)" p.Synth.Oracle.name
+          p.Synth.Oracle.nsites)
+       p ~expect_fewer:false)
+
+(* ------------------------------------------------------------------ *)
+(* Pareto frontier properties                                          *)
+(* ------------------------------------------------------------------ *)
+
+let frontier_dominance_free () =
+  List.iter
+    (fun (fam : Synth.Oracle.family) ->
+      let p =
+        Synth.Oracle.lock_problem ~model:Memory_model.Tso fam ~nprocs:2
+      in
+      let r = Synth.Runner.run ~strategy:`Cegar p in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              Alcotest.(check bool) "no frontier point dominates another"
+                false
+                (a != b && Synth.Pareto.dominates a b))
+            r.Synth.Runner.frontier)
+        r.Synth.Runner.frontier;
+      (* frontier points all come from minimal masks *)
+      List.iter
+        (fun (pt : Synth.Pareto.point) ->
+          Alcotest.(check bool) "frontier ⊆ minimal" true
+            (List.mem pt.Synth.Pareto.mask r.Synth.Runner.minimal))
+        r.Synth.Runner.frontier)
+    Synth.Family.all
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let jobs_invariance () =
+  let p =
+    Synth.Oracle.lock_problem ~model:Memory_model.Pso Synth.Family.bakery
+      ~nprocs:2
+  in
+  let r1 = Synth.Runner.run ~jobs:1 ~strategy:`Cegar p in
+  let r2 = Synth.Runner.run ~jobs:2 ~strategy:`Cegar p in
+  let r3 = Synth.Runner.run ~jobs:1 ~strategy:`Cegar p in
+  Alcotest.(check string) "jobs=1 vs jobs=2: identical frontier JSON"
+    (Synth.Runner.frontier_json r1)
+    (Synth.Runner.frontier_json r2);
+  Alcotest.(check string) "repeat run: byte-identical"
+    (Synth.Runner.frontier_json r1)
+    (Synth.Runner.frontier_json r3);
+  Alcotest.(check int) "same oracle calls at jobs=2"
+    r1.Synth.Runner.stats.Synth.Runner.oracle_calls
+    r2.Synth.Runner.stats.Synth.Runner.oracle_calls;
+  Alcotest.(check int) "same pruned_cex at jobs=2"
+    r1.Synth.Runner.stats.Synth.Runner.pruned_cex
+    r2.Synth.Runner.stats.Synth.Runner.pruned_cex
+
+let suite =
+  ( "synth",
+    [
+      Alcotest.test_case "lock mask round-trips" `Quick lock_mask_round_trip;
+      Alcotest.test_case "lock site census" `Quick lock_site_census;
+      Alcotest.test_case "litmus mask round-trips" `Quick litmus_mask_round_trip;
+      Alcotest.test_case "fuzz mask round-trips" `Quick fuzz_mask_round_trip;
+      QCheck_alcotest.to_alcotest upward_closure_qcheck;
+      Alcotest.test_case "cegar = exhaustive on lock families" `Slow
+        family_agreement;
+      Alcotest.test_case "bakery/PSO acceptance pins" `Slow
+        bakery_pso_acceptance;
+      Alcotest.test_case "cegar = exhaustive on a shrunk fuzz program" `Slow
+        fuzz_shrunk_agreement;
+      Alcotest.test_case "frontier is dominance-free" `Slow
+        frontier_dominance_free;
+      Alcotest.test_case "jobs-invariant and byte-deterministic" `Slow
+        jobs_invariance;
+    ] )
