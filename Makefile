@@ -12,9 +12,18 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Fast agreement check of the multicore engine (also part of dune runtest)
+# Fast agreement check of the multicore engine (also part of dune
+# runtest; the binary also pins the bounded/deepening verdicts against
+# the exact engine), then the CLI bounded legs: a --reorder-bound 2
+# check on bakery/PSO (saturates, exact verdict) and one
+# iterative-deepening run (per-level records), each writing NDJSON
+# stats (uploaded as a CI artifact).
 mc-smoke:
 	dune exec test/mc_smoke.exe
+	dune exec bin/fencelab_cli.exe -- check bakery -m PSO -n 2 \
+	--reorder-bound 2 --stats-out MC_smoke_bounded.ndjson
+	dune exec bin/fencelab_cli.exe -- check bakery -m PSO -n 2 \
+	--reorder-bound deepen --stats-out MC_smoke_deepen.ndjson
 
 # States/sec of the parallel engine by domain count; writes BENCH_mc.json
 mc-bench:
@@ -36,7 +45,7 @@ bench-smoke:
 	-j 1 --progress --interval 0.2 --stats-out BENCH_check.ndjson
 
 # Deterministic differential-fuzzing smoke run: FUZZ_COUNT generated
-# programs (default 250) through all four oracles; shrunk
+# programs (default 250) through all five oracles; shrunk
 # counterexample artifacts land in _fuzz/ on failure
 fuzz-smoke:
 	dune exec bin/fencelab_cli.exe -- fuzz --count $${FUZZ_COUNT:-250} --len 7 --regs 3 --values 3

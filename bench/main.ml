@@ -503,14 +503,20 @@ let mc () =
       ("gt:2", 3, 1_356_589) ]
   in
   let engines =
-    ("dfs", `Dfs, false, false)
-    :: List.map (fun j -> (Fmt.str "mc j=%d" j, `Parallel j, false, false))
+    ("dfs", `Dfs, false, false, None)
+    :: List.map
+         (fun j -> (Fmt.str "mc j=%d" j, `Parallel j, false, false, None))
          jobs_sweep
     @ [
-        ("mc j=1 +por", `Parallel 1, true, false);
-        ("mc j=4 +por", `Parallel 4, true, false);
-        ("mc j=1 +sym", `Parallel 1, false, true);
-        ("mc j=1 +por+sym", `Parallel 1, true, true);
+        ("mc j=1 +por", `Parallel 1, true, false, None);
+        ("mc j=4 +por", `Parallel 4, true, false, None);
+        ("mc j=1 +sym", `Parallel 1, false, true, None);
+        ("mc j=1 +por+sym", `Parallel 1, true, true, None);
+        (* bounded rows: the reorder-budget under-approximation at K=2
+           and the deepening driver, reading the same bound_hits counter
+           `--stats-out` exports *)
+        ("mc j=1 rb=2", `Parallel 1, false, false, Some (`K 2));
+        ("mc j=1 deepen", `Parallel 1, false, false, Some `Deepen);
       ]
   in
   let records = ref [] in
@@ -520,7 +526,7 @@ let mc () =
     List.concat_map
       (fun (name, nprocs, expected) ->
         List.map
-          (fun (label, engine, por, symmetry) ->
+          (fun (label, engine, por, symmetry, bound) ->
             let vstats = ref None in
             (* a fresh hub per run: counter totals are per-run, and the
                NDJSON columns below come straight off it — the same
@@ -536,23 +542,29 @@ let mc () =
               Verify.Mutex_check.check ~tel ~max_states:cap
                 ~expected_states:(min cap expected)
                 ~report_visited:(fun s -> vstats := Some s)
-                ~engine ~por ~symmetry ~model:Memory_model.Pso (lock name)
-                ~nprocs
+                ~engine ~por ~symmetry ?reorder_bound:bound
+                ~model:Memory_model.Pso (lock name) ~nprocs
             in
             let dt = Unix.gettimeofday () -. t0 in
             let ctr n = Option.value ~default:0 (Telemetry.Hub.read_int tel n) in
             let steals = ctr "steals"
             and dedup = ctr "dedup_hits"
+            and bound_hits = ctr "bound_hits"
             and prunes = ctr "por_prunes" + ctr "sym_remaps" in
             let s = v.Verify.Mutex_check.stats in
             let rate = float_of_int s.Explore.states /. dt in
             let jobs = match engine with `Dfs -> 0 | `Parallel j -> j in
-            if (not por) && not symmetry then
+            (* a run racing j domains over fewer CPUs measures contention,
+               not scaling: flag it and refuse to publish a speedup *)
+            let underprovisioned = jobs > cpus in
+            if (not por) && (not symmetry) && bound = None then
               Hashtbl.replace rates (name, jobs) rate;
             let speedup =
-              match Hashtbl.find_opt rates (name, 1) with
-              | Some r1 when r1 > 0. -> rate /. r1
-              | _ -> Float.nan
+              if underprovisioned then Float.nan
+              else
+                match Hashtbl.find_opt rates (name, 1) with
+                | Some r1 when r1 > 0. -> rate /. r1
+                | _ -> Float.nan
             in
             let skew =
               match !vstats with
@@ -563,15 +575,21 @@ let mc () =
               Fmt.str
                 {|  {"workload": %S, "nprocs": %d, "model": "PSO",
    "engine": %S, "jobs": %d, "por": %b, "symmetry": %b,
+   "reorder_bound": %s, "bound_hits": %d, "bound_exact": %b,
    "states": %d, "transitions": %d, "truncated": %b,
    "seconds": %.3f, "states_per_sec": %.0f,
    "steals": %d, "dedup_hits": %d, "prunes": %d,
-   "speedup_vs_j1": %s, "visited_skew": %s}|}
-                name nprocs label jobs por symmetry s.Explore.states
+   "speedup_vs_j1": %s, "underprovisioned": %b, "visited_skew": %s}|}
+                name nprocs label jobs por symmetry
+                (match v.Verify.Mutex_check.reorder_bound with
+                | Some k -> string_of_int k
+                | None -> "null")
+                bound_hits v.Verify.Mutex_check.bound_exact s.Explore.states
                 s.Explore.transitions s.Explore.truncated dt rate steals dedup
                 prunes
                 (if Float.is_nan speedup then "null"
                  else Fmt.str "%.3f" speedup)
+                underprovisioned
                 (if Float.is_nan skew then "null" else Fmt.str "%.2f" skew)
               :: !records;
             [
@@ -585,7 +603,10 @@ let mc () =
               Report.icol steals;
               Report.icol dedup;
               Report.icol prunes;
-              (if Float.is_nan speedup then "--" else Fmt.str "%.2f" speedup);
+              Report.icol bound_hits;
+              (if Float.is_nan speedup then
+                 if underprovisioned then "n/a" else "--"
+               else Fmt.str "%.2f" speedup);
               (if Float.is_nan skew then "--" else Fmt.str "%.2f" skew);
             ])
           engines)
@@ -595,7 +616,7 @@ let mc () =
     ~headers:
       [
         "lock"; "n"; "engine"; "states"; "transitions"; "s"; "states/s";
-        "steals"; "dedup"; "prunes"; "vs j=1"; "skew";
+        "steals"; "dedup"; "prunes"; "bnd-hits"; "vs j=1"; "skew";
       ]
     rows;
   if capped then

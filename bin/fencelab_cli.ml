@@ -81,6 +81,46 @@ let symmetry_t =
            violation reported is real, but a clean check is reported as \
            'OK (symmetry-reduced subset)', not a proof of correctness.")
 
+(* --reorder-bound K | deepen: the reorder-bounded under-approximation
+   (fixed budget) or iterative deepening until violation/saturation. *)
+let bound_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "deepen" -> Ok `Deepen
+    | s -> (
+        match int_of_string_opt s with
+        | Some k when k >= 0 -> Ok (`K k)
+        | _ ->
+            Error
+              (`Msg
+                 (Fmt.str
+                    "expected a non-negative reorder bound or 'deepen', got %S"
+                    s)))
+  in
+  let print ppf = function
+    | `Deepen -> Fmt.string ppf "deepen"
+    | `K k -> Fmt.int ppf k
+  in
+  Arg.conv (parse, print)
+
+let reorder_bound_t =
+  Arg.(
+    value
+    & opt (some bound_conv) None
+    & info [ "reorder-bound" ] ~docv:"K|deepen"
+        ~doc:
+          "Bound the number of reorderings in flight per execution: an \
+           edge whose successor carries more than $(docv) pending writes \
+           overtaken by younger operations is pruned. 0 restricts \
+           buffered models to their SC-consistent executions; a bound \
+           at least the maximal buffer occupancy changes nothing. A \
+           clean verdict below saturation is reported as a subset \
+           ('NO VIOLATION FOUND (reorder-bound K subset)'), never as a \
+           plain OK; a run that never hit the bound certifies saturation \
+           and stays exact. $(b,deepen) starts at 0 and widens the bound \
+           until a violation or saturation, resuming the visited set \
+           between levels. Exclusive with $(b,--symmetry).")
+
 (* --jobs/--por/--symmetry to an Mc engine selection: the reductions
    are Mc features, so requesting either routes through the parallel
    engine even at J=1. *)
@@ -143,25 +183,32 @@ let with_telemetry ~progress ~interval ~stats_out ~workers ~label f =
     else None
   in
   let finished = ref false in
-  let cleanup ~run_record fields =
+  (* [records] lets a verdict ship auxiliary NDJSON records (e.g. one
+     "deepen_level" per widening step) ahead of the final "run" record;
+     they are written after the sampler stops, so nothing interleaves. *)
+  let cleanup ~run_record ?(records = []) fields =
     if not !finished then begin
       finished := true;
       Option.iter Telemetry.Sampler.stop sampler;
       Option.iter
         (fun s ->
-          if run_record then
+          if run_record then begin
+            List.iter
+              (fun (kind, flds) -> Telemetry.Sink.emit s ~kind flds)
+              records;
             Telemetry.Sink.emit s ~kind:"run"
               (fields
               @ List.map
                   (fun (k, v) -> (k, Telemetry.Sink.I v))
-                  (Telemetry.Hub.counter_fields tel));
+                  (Telemetry.Hub.counter_fields tel))
+          end;
           Telemetry.Sink.close s)
         sink
     end
   in
   Fun.protect
     ~finally:(fun () -> cleanup ~run_record:false [])
-    (fun () -> f tel (cleanup ~run_record:true))
+    (fun () -> f tel (fun ?records fields -> cleanup ~run_record:true ?records fields))
 
 (* Surface algorithm preconditions (e.g. Peterson is 2-process) and
    scheduler stalls as clean CLI errors rather than backtraces. *)
@@ -241,16 +288,33 @@ let check_cmd =
       & info [ "max-states" ] ~docv:"K" ~doc:"State cap for exploration.")
   in
   let run (name, factory) model nprocs rounds max_states trace jobs por
-      symmetry progress interval stats_out =
+      symmetry reorder_bound progress interval stats_out =
    protect @@ fun () ->
     let engine = engine_of ~symmetry ~jobs ~por () in
     with_telemetry ~progress ~interval ~stats_out ~workers:jobs ~label:"check"
     @@ fun tel finish ->
     let v =
       Verify.Mutex_check.check ~tel ~rounds ~max_states ~engine ~por ~symmetry
-        ~model factory ~nprocs
+        ?reorder_bound ~model factory ~nprocs
     in
-    finish
+    let level_records =
+      List.map
+        (fun (l : Mc.deepen_level) ->
+          ( "deepen_level",
+            Telemetry.Sink.
+              [
+                ("cmd", S "check");
+                ("lock", S name);
+                ("model", S (Memory_model.to_string model));
+                ("bound", I l.Mc.bound);
+                ("states", I l.Mc.states);
+                ("transitions", I l.Mc.transitions);
+                ("bound_hits", I l.Mc.bound_hits);
+                ("violations", I l.Mc.violations);
+              ] ))
+        v.Verify.Mutex_check.deepen_levels
+    in
+    finish ~records:level_records
       Telemetry.Sink.
         [
           ("cmd", S "check");
@@ -262,8 +326,22 @@ let check_cmd =
           ("states", I v.Verify.Mutex_check.stats.Explore.states);
           ("transitions", I v.Verify.Mutex_check.stats.Explore.transitions);
           ("truncated", B v.Verify.Mutex_check.stats.Explore.truncated);
+          ("bound_hits", I v.Verify.Mutex_check.stats.Explore.bound_hits);
+          ( "reorder_bound",
+            match v.Verify.Mutex_check.reorder_bound with
+            | Some k -> I k
+            | None -> S "none" );
+          ("bound_exact", B v.Verify.Mutex_check.bound_exact);
         ];
     Fmt.pr "%a@." Verify.Mutex_check.pp_verdict v;
+    List.iter
+      (fun (l : Mc.deepen_level) ->
+        Fmt.pr "  deepen level %d: %d states, %d transitions, %d bound hits%s@."
+          l.Mc.bound l.Mc.states l.Mc.transitions l.Mc.bound_hits
+          (if l.Mc.violations > 0 then
+             Fmt.str ", %d violation(s)" l.Mc.violations
+           else ""))
+      v.Verify.Mutex_check.deepen_levels;
     (match (trace, v.Verify.Mutex_check.me_violation) with
     | true, Some path ->
         let t, _ = Verify.Mutex_check.replay ~model factory ~nprocs ~rounds path in
@@ -276,8 +354,8 @@ let check_cmd =
     Term.(
       ret
         (const run $ lock_t $ model_t $ nprocs_t $ rounds_t $ max_states_t
-       $ trace_t $ jobs_t $ por_t $ symmetry_t $ progress_t $ interval_t
-       $ stats_out_t))
+       $ trace_t $ jobs_t $ por_t $ symmetry_t $ reorder_bound_t $ progress_t
+       $ interval_t $ stats_out_t))
 
 let stress_cmd =
   let seeds_t =
@@ -321,7 +399,7 @@ let litmus_cmd =
   let test_t =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"TEST" ~doc:"Test name.")
   in
-  let run test jobs por progress interval stats_out =
+  let run test jobs por reorder_bound progress interval stats_out =
    protect @@ fun () ->
     (* no --symmetry here: litmus verdicts project per-pid outcomes,
        which orbit merging would conflate *)
@@ -347,15 +425,17 @@ let litmus_cmd =
          accumulate over runs, gauges are re-registered (replaced) by
          each exploration, so samples always show the live run *)
       let states = ref 0 and transitions = ref 0 and runs = ref 0 in
+      let hits = ref 0 in
       List.iter
         (fun t ->
           List.iter
             (fun model ->
-              let r = Litmus.Test.run ~tel ~engine ~por t ~model in
+              let r = Litmus.Test.run ~tel ~engine ~por ?reorder_bound t ~model in
               incr runs;
               states := !states + r.Litmus.Test.stats.Explore.states;
               transitions :=
                 !transitions + r.Litmus.Test.stats.Explore.transitions;
+              hits := !hits + r.Litmus.Test.stats.Explore.bound_hits;
               Fmt.pr "%a@." Litmus.Test.pp_run r)
             Memory_model.all)
         tests;
@@ -367,14 +447,15 @@ let litmus_cmd =
             ("runs", I !runs);
             ("states", I !states);
             ("transitions", I !transitions);
+            ("bound_hits", I !hits);
           ];
       `Ok ()
   in
   Cmd.v (Cmd.info "litmus" ~doc:"Reachable litmus outcomes per memory model")
     Term.(
       ret
-        (const run $ test_t $ jobs_t $ por_t $ progress_t $ interval_t
-       $ stats_out_t))
+        (const run $ test_t $ jobs_t $ por_t $ reorder_bound_t $ progress_t
+       $ interval_t $ stats_out_t))
 
 let fuzz_cmd =
   let seed_t =

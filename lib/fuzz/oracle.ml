@@ -1,4 +1,4 @@
-(** The four differential oracles, run per generated program.
+(** The five differential oracles, run per generated program.
 
     Every oracle is an inclusion or agreement claim between two
     independent ways of enumerating behaviours, so a violation always
@@ -17,6 +17,12 @@
        operational).
     4. {b random-schedule soundness} — every outcome an online
        {!Memsim.Scheduler.random} run reaches is in the exhaustive set.
+    5. {b bounded saturation} — with a reorder bound K at least the
+       maximum total buffer occupancy the unbounded exploration ever
+       reaches, the bounded engine can never charge past its budget:
+       it must certify saturation ([bound_exact]) and reproduce the
+       unbounded outcome set byte-for-byte. This is the off-by-one
+       trap in the budget accounting, fuzzed rather than unit-tested.
 
     All claims are over total outcome sets, so they are only asserted
     when no exploration was truncated; a truncated program is reported
@@ -56,8 +62,8 @@ let pp_outcomes ppf os =
   Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.semi Litmus.Test.pp_outcome) os
 
 (* Exhaustive run; [None] when truncated (the caller skips). *)
-let exhaustive ?engine ?por ~max_states test ~model =
-  let r = Litmus.Test.run ?engine ?por ~max_states test ~model in
+let exhaustive ?engine ?por ?reorder_bound ~max_states test ~model =
+  let r = Litmus.Test.run ?engine ?por ?reorder_bound ~max_states test ~model in
   if r.Litmus.Test.stats.Explore.truncated then None else Some r
 
 let check ?(config = default_config) prog : verdict =
@@ -65,8 +71,11 @@ let check ?(config = default_config) prog : verdict =
   let exception Skip of string in
   let exception Fail of string * string in
   let fail oracle fmt = Fmt.kstr (fun d -> raise (Fail (oracle, d))) fmt in
-  let run ?engine ?por test ~model =
-    match exhaustive ?engine ?por ~max_states:config.max_states test ~model with
+  let run ?engine ?por ?reorder_bound test ~model =
+    match
+      exhaustive ?engine ?por ?reorder_bound ~max_states:config.max_states test
+        ~model
+    with
     | Some r -> r
     | None ->
         raise (Skip (Fmt.str "truncated at %d states under %a" config.max_states
@@ -148,6 +157,48 @@ let check ?(config = default_config) prog : verdict =
                   pp_outcomes (outcomes exh)
         done)
       [ (Memory_model.Sc, sc); (Memory_model.Tso, tso); (Memory_model.Pso, pso) ];
+    (* oracle 5: a reorder bound at least the max total buffer occupancy
+       can never be charged past (every in-flight reordering is a
+       pending entry), so the bounded run must certify saturation and
+       agree with the unbounded outcome set byte-for-byte *)
+    let occupancy_bound model =
+      let _, cfg = Litmus.Test.configure test ~model in
+      let occ = ref 0 in
+      let watch c =
+        let o =
+          Array.fold_left
+            (fun acc (st : Config.pstate) -> acc + Wbuf.size st.Config.wb)
+            0 c.Config.procs
+        in
+        if o > !occ then occ := o;
+        None
+      in
+      let r =
+        Mc.run ~engine:`Dfs ~max_states:config.max_states ~check:watch
+          ~monitor:(fun () _ -> Stdlib.Ok ())
+          ~init:() cfg
+      in
+      if r.Explore.stats.Explore.truncated then
+        raise
+          (Skip (Fmt.str "occupancy scan truncated at %d states under %a"
+                   config.max_states Memory_model.pp model));
+      !occ
+    in
+    List.iter
+      (fun ((model : Memory_model.t), exh) ->
+        let k = occupancy_bound model in
+        let b = run ~reorder_bound:(`K k) test ~model in
+        if not b.Litmus.Test.bound_exact then
+          fail
+            (Fmt.str "bounded:uncertified:%a" Memory_model.pp model)
+            "K=%d >= max occupancy yet %d bound hits — budget over-charges" k
+            b.Litmus.Test.stats.Explore.bound_hits;
+        if outcomes b <> outcomes exh then
+          fail
+            (Fmt.str "bounded:outcomes:%a" Memory_model.pp model)
+            "K=%d %a vs unbounded %a" k pp_outcomes (outcomes b) pp_outcomes
+            (outcomes exh))
+      [ (Memory_model.Tso, tso); (Memory_model.Pso, pso) ];
     Ok
   with
   | Skip reason -> Skipped reason

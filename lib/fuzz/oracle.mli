@@ -1,8 +1,10 @@
-(** The four differential oracles: model nesting (SC ⊆ TSO ⊆ PSO),
+(** The five differential oracles: model nesting (SC ⊆ TSO ⊆ PSO),
     engine parity (dfs / parallel / POR), fence saturation (fences
-    after every write collapse buffered models onto SC), and
-    random-schedule soundness. See the implementation header for the
-    precise claims. *)
+    after every write collapse buffered models onto SC),
+    random-schedule soundness, and bounded saturation (a reorder bound
+    at least the max buffer occupancy certifies saturation and matches
+    the unbounded outcome set byte-for-byte). See the implementation
+    header for the precise claims. *)
 
 open Memsim
 

@@ -36,6 +36,13 @@ type run = {
   model : Memory_model.t;
   outcomes : outcome list;  (** sorted *)
   stats : Explore.stats;
+  reorder_bound : int option;
+      (** the (final) reorder bound enumerated under; [None] =
+          unbounded *)
+  bound_exact : bool;
+      (** bounded enumeration certified saturation (zero bound hits on
+          a complete run), so the outcome set is the full one. Always
+          true unbounded. *)
 }
 
 let configure test ~model =
@@ -50,7 +57,7 @@ let configure test ~model =
     preserves the outcome set (all quiescent states are still reached)
     while visiting fewer states. [tel] plugs a {!Telemetry.Hub.t} into
     the exploration for live progress and stats (see {!Mc.run}). *)
-let run ?tel ?max_states ?engine ?por test ~model : run =
+let run ?tel ?max_states ?engine ?por ?reorder_bound test ~model : run =
   let regs, cfg = configure test ~model in
   let observe final =
     {
@@ -60,18 +67,64 @@ let run ?tel ?max_states ?engine ?por test ~model : run =
       finals = List.map (Config.read_mem final) (test.observed regs);
     }
   in
-  let outcomes, result =
-    Mc.reachable_outcomes ?tel ?engine ?por ?max_states ~observe cfg
-  in
-  { test; model; outcomes; stats = result.Explore.stats }
+  match reorder_bound with
+  | None ->
+      let outcomes, result =
+        Mc.reachable_outcomes ?tel ?engine ?por ?max_states ~observe cfg
+      in
+      {
+        test;
+        model;
+        outcomes;
+        stats = result.Explore.stats;
+        reorder_bound = None;
+        bound_exact = true;
+      }
+  | Some (`K k) ->
+      let outcomes, result =
+        Mc.reachable_outcomes ?tel ?engine ?por ?max_states ~reorder_bound:k
+          ~observe cfg
+      in
+      {
+        test;
+        model;
+        outcomes;
+        stats = result.Explore.stats;
+        reorder_bound = Some k;
+        bound_exact =
+          result.Explore.stats.Explore.bound_hits = 0
+          && not result.Explore.stats.Explore.truncated;
+      }
+  | Some `Deepen ->
+      (* deepening a litmus enumeration always saturates (the bound
+         stops climbing only at saturation or truncation), so the
+         final outcome set is the full one unless truncated *)
+      let jobs =
+        match engine with Some (`Parallel j) -> j | Some `Dfs | None -> 1
+      in
+      let outcomes, d =
+        Mc.deepen_outcomes ?tel ~jobs ?por ?max_states ~observe cfg
+      in
+      {
+        test;
+        model;
+        outcomes;
+        stats = d.Mc.result.Explore.stats;
+        reorder_bound = Some d.Mc.final_bound;
+        bound_exact = d.Mc.saturated;
+      }
 
 (** Does [model] admit [outcome] for this test? *)
 let admits run outcome = List.mem outcome run.outcomes
 
 let pp_run ppf r =
-  Fmt.pf ppf "@[<v2>%s under %a (%d states%s):@,%a@]" r.test.name
+  Fmt.pf ppf "@[<v2>%s under %a (%d states%s%s):@,%a@]" r.test.name
     Memory_model.pp r.model r.stats.Explore.states
     (if r.stats.Explore.truncated then ", truncated" else "")
+    (match r.reorder_bound with
+    | Some k when not r.bound_exact ->
+        Fmt.str ", reorder-bound %d subset" k
+    | _ -> "")
     (Fmt.list pp_outcome) r.outcomes
 
 (** Compare the outcome sets of two models on the same test: outcomes

@@ -20,6 +20,13 @@ type run = {
   model : Memory_model.t;
   outcomes : outcome list;  (** sorted *)
   stats : Explore.stats;
+  reorder_bound : int option;
+      (** the (final) reorder bound enumerated under; [None] =
+          unbounded *)
+  bound_exact : bool;
+      (** with a bound: the run certified saturation, so the outcome
+          set is complete. A bounded, non-exact run is a subset and
+          {!pp_run} flags it as ["reorder-bound K subset"]. *)
 }
 
 val configure : t -> model:Memory_model.t -> Reg.t array * Config.t
@@ -28,10 +35,14 @@ val configure : t -> model:Memory_model.t -> Reg.t array * Config.t
     the explorer ([`Dfs] default, [`Parallel j] for the multicore
     engine); [por] preserves the outcome set while visiting fewer
     states. [tel] plugs a {!Telemetry.Hub.t} into the exploration for
-    live progress and stats (see {!Mc.run}). *)
+    live progress and stats (see {!Mc.run}). [reorder_bound] restricts
+    the enumeration to executions within a reorder budget ([`K k]) or
+    iteratively deepens until the set saturates ([`Deepen], which
+    under [`Dfs] deepens on one domain). *)
 val run :
   ?tel:Telemetry.Hub.t ->
   ?max_states:int -> ?engine:Mc.engine -> ?por:bool ->
+  ?reorder_bound:[ `K of int | `Deepen ] ->
   t -> model:Memory_model.t -> run
 
 val admits : run -> outcome -> bool

@@ -72,10 +72,21 @@ let rec monitor_steps monitor m = function
 
 let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
     ~report_visited ~max_states ~max_depth ~max_violations ~max_deadlocks
+    ~(bound : int option) ~(on_boundary : (m task -> unit) option)
+    ~(visited_in : Visited.t option) ~(seeds : m task list option)
     ~(check : Config.t -> string option)
     ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
     ~(on_final : Config.t -> m -> unit) (cfg0 : Config.t) : m Explore.result =
   if jobs < 1 then Fmt.invalid_arg "Mc.run: `Parallel %d" jobs;
+  (match bound with
+  | Some k when k < 0 -> Fmt.invalid_arg "Mc.run: reorder_bound %d" k
+  | Some _ when symmetry ->
+      (* the budget term is keyed by raw pids, which a pid permutation
+         scrambles; composing the two reductions soundly would need the
+         canonicalizer to permute the flag bitsets along with the orbit
+         — not implemented, so refuse loudly rather than under-explore *)
+      invalid_arg "Mc.run: ~symmetry:true and ~reorder_bound are exclusive"
+  | _ -> ());
   (* Telemetry is always wired: with no hub supplied we bump a private
      one nobody reads. Counters are plain int adds on pre-allocated
      padded cells (Telemetry.Cells), so the disabled case costs a few
@@ -96,7 +107,15 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
   let c_dedup = Telemetry.Hub.counter tel "dedup_hits" in
   let c_por = Telemetry.Hub.counter tel "por_prunes" in
   let c_sym = Telemetry.Hub.counter tel "sym_remaps" in
-  let visited = Visited.create ?expected_states () in
+  let c_bound = Telemetry.Hub.counter tel "bound_hits" in
+  (* [visited_in] lets the deepening driver resume a bounded run with
+     the previous levels' claims intact — keys carry the budget term,
+     so they stay valid across levels. *)
+  let visited =
+    match visited_in with
+    | Some v -> v
+    | None -> Visited.create ?expected_states ()
+  in
   (* Symmetry needs observation digests that transform under register
      renaming: switch on per-register observation tracking at the root
      (every explored state descends from it), so {!Symmetry.canon} can
@@ -108,6 +127,10 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
   let frontier : m task Frontier.t = Frontier.create ~workers:jobs in
   let states = Atomic.make 0 and transitions = Atomic.make 0 in
   let truncated = Atomic.make false in
+  let bound_hits = Atomic.make 0 in
+  let note_boundary =
+    match on_boundary with None -> fun (_ : m task) -> () | Some f -> f
+  in
   (* Live gauges: polled by the sampler domain, never by workers. All
      reads are racy-safe (atomics, plain shard counts). *)
   List.iter
@@ -151,13 +174,31 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
      folded onto another orbit representative — counted as a remap, the
      observable trace of the symmetry reduction at work. *)
   let key w (c : m task) =
-    match sym with
-    | None -> c.fp
-    | Some s ->
-        let cfp = Symmetry.canon s c.cfg in
-        if not (Fingerprint.equal cfp c.fp) then
-          Telemetry.Cells.incr c_sym ~worker:w;
-        cfp
+    let fp =
+      match sym with
+      | None -> c.fp
+      | Some s ->
+          let cfp = Symmetry.canon s c.cfg in
+          if not (Fingerprint.equal cfp c.fp) then
+            Telemetry.Cells.incr c_sym ~worker:w;
+          cfp
+    in
+    match bound with
+    | None -> fp
+    | Some _ ->
+        (* the budget (flag bitsets) is part of the bounded state: two
+           paths to the same semantic state with different reorderings
+           in flight have different admissible futures. Flag-free
+           states mix the zero term, keeping their plain keys. *)
+        Fingerprint.mix fp (Fingerprint.budget_term c.cfg)
+  in
+  (* Bounded admissibility of an edge, judged on its successor: more
+     reorderings in flight than the budget excludes the edge from the
+     bounded transition system. *)
+  let admissible cfg' =
+    match bound with
+    | None -> true
+    | Some k -> Config.reorders_in_flight cfg' <= k
   in
   (* POR edge selection: a single safe step when one exists, the full
      expansion otherwise. Probing a candidate means executing it;
@@ -167,23 +208,38 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
      executes elements directly — every element is an edge.) *)
   let select_edges cfg elts =
     let exec e = Exec.exec_elt_d cfg e in
-    (let rec probe probed = function
-        | [] -> `Full probed
-        | p :: ps ->
-            let e : Exec.elt = (p, None) in
-            let ((_, cfg', _) as res) = exec e in
-            if Por.invisible_after cfg' p then `Ample (e, res)
-            else probe ((e, res) :: probed) ps
-      in
-     match probe [] (Por.ample_candidates cfg) with
-     | `Ample (e, res) -> [ (e, res) ]
-     | `Full probed ->
-         List.map
-           (fun e ->
-             match List.assoc_opt e probed with
-             | Some res -> (e, res)
-             | None -> (e, exec e))
-           elts)
+    let nbound = ref 0 in
+    let edges =
+      (let rec probe probed = function
+          | [] -> `Full probed
+          | p :: ps ->
+              let e : Exec.elt = (p, None) in
+              let ((_, cfg', _) as res) = exec e in
+              (* an over-budget ample candidate cannot stand for its
+                 siblings — fall back to the full (filtered) expansion,
+                 where it is pruned like any other inadmissible edge *)
+              if Por.invisible_after cfg' p && admissible cfg' then
+                `Ample (e, res)
+              else probe ((e, res) :: probed) ps
+        in
+       match probe [] (Por.ample_candidates cfg) with
+       | `Ample (e, res) -> [ (e, res) ]
+       | `Full probed ->
+           List.filter_map
+             (fun e ->
+               let ((_, cfg', _) as res) =
+                 match List.assoc_opt e probed with
+                 | Some res -> res
+                 | None -> exec e
+               in
+               if admissible cfg' then Some (e, res)
+               else begin
+                 incr nbound;
+                 None
+               end)
+             elts)
+    in
+    (edges, !nbound)
   in
   (* Expand one claimed, normalized task: fire its hooks, execute and
      monitor every chosen edge, normalize and monitor each child, then
@@ -278,27 +334,61 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
                         depth = t.depth + 1;
                       })
           in
+          let record_bound_hits n =
+            if n > 0 then begin
+              ignore (Atomic.fetch_and_add bound_hits n);
+              Telemetry.Cells.add c_bound ~worker:w n;
+              (* a pruned edge makes this a boundary state: the
+                 deepening driver re-seeds it at the next level, where
+                 already-admitted children dedup away and the newly
+                 admitted ones get claimed *)
+              note_boundary t
+            end
+          in
           let candidates =
             (* one atomic add per expansion, not one per edge; in the
                common non-POR case every element is an edge, so no
                intermediate edge list is materialized *)
-            if not por then begin
-              let n = List.length elts in
-              ignore (Atomic.fetch_and_add transitions n);
-              Telemetry.Cells.add c_children ~worker:w n;
-              List.filter_map
-                (fun elt -> child elt (Exec.exec_elt_d cfg elt))
-                elts
-            end
-            else begin
-              let edges = select_edges cfg elts in
-              let n = List.length edges in
-              ignore (Atomic.fetch_and_add transitions n);
-              Telemetry.Cells.add c_children ~worker:w n;
-              (* an ample step prunes every sibling interleaving *)
-              Telemetry.Cells.add c_por ~worker:w (List.length elts - n);
-              List.filter_map (fun (elt, res) -> child elt res) edges
-            end
+            match (por, bound) with
+            | false, None ->
+                let n = List.length elts in
+                ignore (Atomic.fetch_and_add transitions n);
+                Telemetry.Cells.add c_children ~worker:w n;
+                List.filter_map
+                  (fun elt -> child elt (Exec.exec_elt_d cfg elt))
+                  elts
+            | false, Some _ ->
+                (* execute first, admit after: an over-budget edge is
+                   excluded from the bounded transition system — never
+                   counted as a transition, never monitored *)
+                let nbound = ref 0 in
+                let admitted =
+                  List.filter_map
+                    (fun elt ->
+                      let ((_, cfg', _) as res) = Exec.exec_elt_d cfg elt in
+                      if admissible cfg' then Some (elt, res)
+                      else begin
+                        incr nbound;
+                        None
+                      end)
+                    elts
+                in
+                record_bound_hits !nbound;
+                let n = List.length admitted in
+                ignore (Atomic.fetch_and_add transitions n);
+                Telemetry.Cells.add c_children ~worker:w n;
+                List.filter_map (fun (elt, res) -> child elt res) admitted
+            | true, _ ->
+                let edges, nbound = select_edges cfg elts in
+                record_bound_hits nbound;
+                let n = List.length edges in
+                ignore (Atomic.fetch_and_add transitions n);
+                Telemetry.Cells.add c_children ~worker:w n;
+                (* an ample step prunes every sibling interleaving;
+                   bound-pruned edges are not POR prunes *)
+                Telemetry.Cells.add c_por ~worker:w
+                  (List.length elts - n - nbound);
+                List.filter_map (fun (elt, res) -> child elt res) edges
           in
           match candidates with
           | [] -> []
@@ -363,35 +453,42 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
       Frontier.stop frontier
   in
   (* The root is normalized, monitored and claimed like any other
-     state (Explore.dfs treats its initial entry identically). *)
-  let root =
-    let notes, cfg, dirtied = Exec.flush_labels_d cfg0 in
-    let fp =
-      List.fold_left
-        (fun fp p ->
-          Fingerprint.update fp ~before:cfg0 ~after:cfg
-            { Exec.proc = Some p; mem = false })
-        (Fingerprint.of_config cfg0)
-        dirtied
-    in
-    match monitor_steps monitor init notes with
-    | Error message ->
-        record_violation { Explore.message; path = []; monitor = init };
-        None
-    | Ok m ->
-        let t = { cfg; fp; m; rev_path = []; depth = 0 } in
-        ignore (Visited.add visited (key 0 t));
-        Atomic.incr states;
-        Some t
+     state (Explore.dfs treats its initial entry identically). With
+     [seeds] (a deepening resume) the root was claimed at level 0 —
+     the seeds are already-claimed boundary tasks to re-expand. *)
+  let tasks =
+    match seeds with
+    | Some tasks -> tasks
+    | None -> (
+        let notes, cfg, dirtied = Exec.flush_labels_d cfg0 in
+        let fp =
+          List.fold_left
+            (fun fp p ->
+              Fingerprint.update fp ~before:cfg0 ~after:cfg
+                { Exec.proc = Some p; mem = false })
+            (Fingerprint.of_config cfg0)
+            dirtied
+        in
+        match monitor_steps monitor init notes with
+        | Error message ->
+            record_violation { Explore.message; path = []; monitor = init };
+            []
+        | Ok m ->
+            let t = { cfg; fp; m; rev_path = []; depth = 0 } in
+            ignore (Visited.add visited (key 0 t));
+            Atomic.incr states;
+            [ t ])
   in
-  (match root with
-  | None -> ()
-  | Some root ->
-      Frontier.register frontier 1;
+  (match tasks with
+  | [] -> ()
+  | first :: rest ->
+      Frontier.register frontier (1 + List.length rest);
       if jobs = 1 then (
         (* run in the calling domain: deterministic Explore.dfs claim
-           order *)
-        try drive 0 root
+           order — extra seeds go to our own deque, reversed so the
+           earliest is popped back first *)
+        if rest <> [] then Frontier.inject frontier ~worker:0 (List.rev rest);
+        try drive 0 first
         with e ->
           Frontier.stop frontier;
           raise e)
@@ -411,7 +508,9 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
           };
         let finally () = Gc.set gc in
         Fun.protect ~finally (fun () ->
-            Frontier.push frontier ~worker:0 root;
+            if rest <> [] then
+              Frontier.inject frontier ~worker:0 (List.rev rest);
+            Frontier.push frontier ~worker:0 first;
             let domains =
               Array.init (jobs - 1) (fun i ->
                   Domain.spawn (guarded_worker (i + 1)))
@@ -427,6 +526,7 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
         Explore.states = Atomic.get states;
         transitions = Atomic.get transitions;
         truncated = Atomic.get truncated;
+        bound_hits = Atomic.get bound_hits;
       };
     violations = !violations;
     deadlocks = !deadlocks;
@@ -435,7 +535,8 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
 let run (type m) ?tel ?(engine : engine = `Dfs) ?(por = false)
     ?(symmetry = false) ?expected_states ?report_visited
     ?(max_states = 1_000_000) ?(max_depth = 100_000) ?(max_violations = 3)
-    ?(max_deadlocks = max_int) ?(check = fun (_ : Config.t) -> None)
+    ?(max_deadlocks = max_int) ?reorder_bound
+    ?(check = fun (_ : Config.t) -> None)
     ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
     ?(on_final = fun (_ : Config.t) (_ : m) -> ()) (cfg0 : Config.t) :
     m Explore.result =
@@ -447,18 +548,19 @@ let run (type m) ?tel ?(engine : engine = `Dfs) ?(por = false)
       if symmetry then
         Fmt.invalid_arg "Mc.run: ~symmetry:true requires `Parallel";
       Explore.dfs ?tel ~max_states ~max_depth ~max_violations ~max_deadlocks
-        ~check ~monitor ~init ~on_final cfg0
+        ?reorder_bound ~check ~monitor ~init ~on_final cfg0
   | `Parallel jobs ->
       run_parallel ~tel ~jobs ~por ~symmetry ~expected_states ~report_visited
-        ~max_states ~max_depth ~max_violations ~max_deadlocks ~check ~monitor
-        ~init ~on_final cfg0
+        ~max_states ~max_depth ~max_violations ~max_deadlocks
+        ~bound:reorder_bound ~on_boundary:None ~visited_in:None ~seeds:None
+        ~check ~monitor ~init ~on_final cfg0
 
 (** Exploration without a monitor: just reachability. *)
 let run_plain ?tel ?engine ?por ?symmetry ?expected_states ?max_states
-    ?max_depth ?max_deadlocks ?on_final cfg =
+    ?max_depth ?max_deadlocks ?reorder_bound ?on_final cfg =
   let on_final = Option.map (fun f cfg (_ : unit) -> f cfg) on_final in
   run ?tel ?engine ?por ?symmetry ?expected_states ?max_states ?max_depth
-    ?max_deadlocks
+    ?max_deadlocks ?reorder_bound
     ~monitor:(fun () _ -> Ok ())
     ~init:() ?on_final cfg
 
@@ -466,12 +568,143 @@ let run_plain ?tel ?engine ?por ?symmetry ?expected_states ?max_states
     the exploration result. Mirrors {!Memsim.Explore.reachable_outcomes};
     [on_final] mutation is serialized by the engine. *)
 let reachable_outcomes ?tel ?engine ?por ?symmetry ?max_states ?max_depth
-    ~observe cfg =
+    ?reorder_bound ~observe cfg =
   let outcomes = Hashtbl.create 16 in
   let result =
-    run_plain ?tel ?engine ?por ?symmetry ?max_states ?max_depth
+    run_plain ?tel ?engine ?por ?symmetry ?max_states ?max_depth ?reorder_bound
       ~on_final:(fun final -> Hashtbl.replace outcomes (observe final) ())
       cfg
   in
   let all = Hashtbl.fold (fun k () acc -> k :: acc) outcomes [] in
   (List.sort compare all, result)
+
+(* ------------------------------------------------------------------ *)
+(* Iterative deepening over the reorder bound.                         *)
+
+type deepen_level = {
+  bound : int;
+  states : int;  (** newly claimed at this level *)
+  transitions : int;
+  bound_hits : int;
+  violations : int;
+}
+
+type 'm deepen_result = {
+  result : 'm Explore.result;
+      (** cumulative states/transitions/bound_hits across levels;
+          violations and truncation from the level that ended the
+          search *)
+  final_bound : int;
+  saturated : bool;
+      (** the last level recorded zero bound hits on a complete run —
+          the explored union equals the unbounded reachable set and
+          the verdict is exact *)
+  levels : deepen_level list;  (** in ascending bound order *)
+}
+
+(** Iterative deepening: explore at [bound_from], and while the run is
+    violation-free, complete, and recorded bound hits, widen the bound
+    by [bound_step] and resume — sharing the visited set (keys carry
+    the budget term, so claims stay valid) and re-expanding only the
+    {e boundary} tasks, the states that had at least one edge pruned.
+    Already-admitted children dedup away; newly admitted ones get
+    claimed and explored. Stops at the first level with a violation,
+    at saturation (zero bound hits — verdict exact), at truncation, or
+    at [max_bound].
+
+    Per-level [states] counts newly claimed states only, so the sum
+    over levels equals the cumulative count; [transitions] may double-
+    count edges re-executed while re-expanding boundary tasks. *)
+let deepen (type m) ?tel ?(jobs = 1) ?(por = false) ?expected_states
+    ?report_visited ?(max_states = 1_000_000) ?(max_depth = 100_000)
+    ?(max_violations = 3) ?(max_deadlocks = max_int) ?(bound_from = 0)
+    ?(bound_step = 1) ?(max_bound = 62)
+    ?(check = fun (_ : Config.t) -> None)
+    ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
+    ?(on_final = fun (_ : Config.t) (_ : m) -> ()) (cfg0 : Config.t) :
+    m deepen_result =
+  if bound_from < 0 || bound_step < 1 || max_bound < bound_from then
+    Fmt.invalid_arg "Mc.deepen: bound_from %d, bound_step %d, max_bound %d"
+      bound_from bound_step max_bound;
+  let visited = Visited.create ?expected_states () in
+  let cum_states = ref 0 and cum_transitions = ref 0 in
+  let cum_hits = ref 0 in
+  let cum_deadlocks = ref [] in
+  let levels = ref [] in
+  let rec go k seeds =
+    (* boundary collection: called from worker domains, so locked *)
+    let bmutex = Mutex.create () in
+    let boundary = ref [] in
+    let on_boundary t =
+      Mutex.lock bmutex;
+      boundary := t :: !boundary;
+      Mutex.unlock bmutex
+    in
+    let r =
+      run_parallel ~tel ~jobs ~por ~symmetry:false ~expected_states
+        ~report_visited:None ~max_states:(max_states - !cum_states) ~max_depth
+        ~max_violations ~max_deadlocks ~bound:(Some k)
+        ~on_boundary:(Some on_boundary) ~visited_in:(Some visited) ~seeds
+        ~check ~monitor ~init ~on_final cfg0
+    in
+    cum_states := !cum_states + r.Explore.stats.Explore.states;
+    cum_transitions := !cum_transitions + r.Explore.stats.Explore.transitions;
+    cum_hits := !cum_hits + r.Explore.stats.Explore.bound_hits;
+    cum_deadlocks := r.Explore.deadlocks @ !cum_deadlocks;
+    levels :=
+      {
+        bound = k;
+        states = r.Explore.stats.Explore.states;
+        transitions = r.Explore.stats.Explore.transitions;
+        bound_hits = r.Explore.stats.Explore.bound_hits;
+        violations = List.length r.Explore.violations;
+      }
+      :: !levels;
+    let finish ~saturated =
+      Option.iter (fun f -> f (Visited.stats visited)) report_visited;
+      {
+        result =
+          {
+            Explore.stats =
+              {
+                Explore.states = !cum_states;
+                transitions = !cum_transitions;
+                truncated = r.Explore.stats.Explore.truncated;
+                bound_hits = !cum_hits;
+              };
+            violations = r.Explore.violations;
+            deadlocks = !cum_deadlocks;
+          };
+        final_bound = k;
+        saturated;
+        levels = List.rev !levels;
+      }
+    in
+    if r.Explore.violations <> [] then finish ~saturated:false
+    else if r.Explore.stats.Explore.truncated then finish ~saturated:false
+    else if r.Explore.stats.Explore.bound_hits = 0 then finish ~saturated:true
+    else if k >= max_bound then finish ~saturated:false
+    else
+      (* deterministic resume order at jobs = 1: sort boundary tasks by
+         discovery-independent criteria is unnecessary — the list order
+         is the (reversed) prune order, deterministic for one domain *)
+      go (min max_bound (k + bound_step)) (Some (List.rev !boundary))
+  in
+  go bound_from None
+
+(** Deepening counterpart of {!reachable_outcomes}: the outcome set is
+    accumulated across levels (each level adds its newly reached
+    quiescent states). *)
+let deepen_outcomes ?tel ?jobs ?por ?max_states ?max_depth ?bound_from
+    ?bound_step ?max_bound ~observe cfg =
+  let outcomes = Hashtbl.create 16 in
+  let d =
+    deepen ?tel ?jobs ?por ?max_states ?max_depth ?bound_from ?bound_step
+      ?max_bound
+      ~monitor:(fun () _ -> Ok ())
+      ~init:()
+      ~on_final:(fun final () -> Hashtbl.replace outcomes (observe final) ())
+      cfg
+  in
+  let all = Hashtbl.fold (fun k () acc -> k :: acc) outcomes [] in
+  (List.sort compare all, d)

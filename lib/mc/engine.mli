@@ -37,7 +37,20 @@ type engine = [ `Dfs | `Parallel of int ]
     the same counters are bumped on a private hub nobody reads —
     plain int adds on pre-allocated padded cells, the zero-cost-off
     discipline guarded by bench-smoke. Counter totals at
-    [`Parallel 1] are exactly reproducible run to run. *)
+    [`Parallel 1] are exactly reproducible run to run.
+
+    [reorder_bound] explores the reorder-bounded under-approximation
+    (see {!Memsim.Explore.dfs}): edges whose successor carries more
+    than [K] reorderings in flight are pruned and counted in
+    [stats.bound_hits]; the per-process overtaken-flag bitsets are
+    mixed into the visited key ({!Fingerprint.budget_term}), so
+    bounded dedup is exact for the bounded transition system. Under
+    [por], an over-budget ample step falls back to the full filtered
+    expansion — the combination stays an under-approximation whose
+    saturation certificate ([bound_hits = 0] on a completed run) is
+    still exact. [reorder_bound] and [symmetry] are mutually exclusive
+    (raises [Invalid_argument]): the budget term is keyed by raw pids,
+    which orbit canonicalization scrambles. *)
 val run :
   ?tel:Telemetry.Hub.t ->
   ?engine:engine ->
@@ -49,6 +62,7 @@ val run :
   ?max_depth:int ->
   ?max_violations:int ->
   ?max_deadlocks:int ->
+  ?reorder_bound:int ->
   ?check:(Config.t -> string option) ->
   monitor:('m -> Step.t -> ('m, string) Stdlib.result) ->
   init:'m ->
@@ -66,6 +80,7 @@ val run_plain :
   ?max_states:int ->
   ?max_depth:int ->
   ?max_deadlocks:int ->
+  ?reorder_bound:int ->
   ?on_final:(Config.t -> unit) ->
   Config.t ->
   unit Explore.result
@@ -81,6 +96,78 @@ val reachable_outcomes :
   ?symmetry:bool ->
   ?max_states:int ->
   ?max_depth:int ->
+  ?reorder_bound:int ->
   observe:(Config.t -> 'a) ->
   Config.t ->
   'a list * unit Explore.result
+
+(** One level of an iterative-deepening run: the bound explored and
+    what that level alone contributed. [states] counts only states
+    newly claimed at this level (levels sum to the cumulative count);
+    [transitions] may double-count edges re-executed while re-expanding
+    the previous level's boundary states. *)
+type deepen_level = {
+  bound : int;
+  states : int;
+  transitions : int;
+  bound_hits : int;
+  violations : int;
+}
+
+type 'm deepen_result = {
+  result : 'm Explore.result;
+      (** cumulative states/transitions/bound_hits; violations,
+          deadlock accumulation and truncation from the level that
+          ended the search *)
+  final_bound : int;
+  saturated : bool;
+      (** the final level completed with zero bound hits: the explored
+          union equals the unbounded reachable set, so the verdict is
+          exact — a clean [OK] needs no "subset" qualifier *)
+  levels : deepen_level list;  (** ascending bound order *)
+}
+
+(** Iterative deepening over the reorder bound: run at [bound_from]
+    (default 0, the SC-consistent core), and while the level is
+    violation-free, complete, and hit the bound somewhere, widen by
+    [bound_step] and {e resume} — the visited set is shared across
+    levels (keys carry the budget term, so earlier claims stay valid)
+    and only the boundary states (those with a pruned edge) are
+    re-seeded. Stops at the first violating level, at saturation, at
+    truncation, or at [max_bound]. [max_states] caps the {e cumulative}
+    state count. Always [`Parallel jobs] (default 1); [symmetry] is
+    not available (see {!run}). *)
+val deepen :
+  ?tel:Telemetry.Hub.t ->
+  ?jobs:int ->
+  ?por:bool ->
+  ?expected_states:int ->
+  ?report_visited:(Visited.stats -> unit) ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?max_violations:int ->
+  ?max_deadlocks:int ->
+  ?bound_from:int ->
+  ?bound_step:int ->
+  ?max_bound:int ->
+  ?check:(Config.t -> string option) ->
+  monitor:('m -> Step.t -> ('m, string) Stdlib.result) ->
+  init:'m ->
+  ?on_final:(Config.t -> 'm -> unit) ->
+  Config.t ->
+  'm deepen_result
+
+(** Deepening counterpart of {!reachable_outcomes}: outcomes accumulate
+    across levels. *)
+val deepen_outcomes :
+  ?tel:Telemetry.Hub.t ->
+  ?jobs:int ->
+  ?por:bool ->
+  ?max_states:int ->
+  ?max_depth:int ->
+  ?bound_from:int ->
+  ?bound_step:int ->
+  ?max_bound:int ->
+  observe:(Config.t -> 'a) ->
+  Config.t ->
+  'a list * unit deepen_result

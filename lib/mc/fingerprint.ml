@@ -68,6 +68,25 @@ let update fp ~before ~after (d : Memsim.Exec.dirty) =
         and aa, ab = Memsim.Statekey.mem_lanes after in
         { a = a lxor ba lxor aa; b = b lxor bb lxor ab }
 
+(* Reorder-budget component for bounded visited keys: one Zobrist
+   token per process with a nonzero overtaken-flag bitset, keyed by
+   pid. Flag-free configurations yield the zero term, and xor with
+   zero is the identity — so states carrying no reorderings keep
+   their plain fingerprints even under a bound, and unbounded runs
+   never compute this at all. *)
+let budget_term cfg =
+  let a = ref 0 and b = ref 0 in
+  Array.iteri
+    (fun p (st : Config.pstate) ->
+      let bits = Memsim.Wbuf.overtaken_bits st.Config.wb in
+      if bits <> 0 then begin
+        a := !a lxor Keyhash.token_a Keyhash.seed_a p bits;
+        b := !b lxor Keyhash.token_b Keyhash.seed_b p bits
+      end)
+    cfg.Config.procs;
+  { a = !a; b = !b }
+
+let mix fp t = { a = fp.a lxor t.a; b = fp.b lxor t.b }
 let equal x y = x.a = y.a && x.b = y.b
 let compare x y = if x.a <> y.a then Int.compare x.a y.a else Int.compare x.b y.b
 

@@ -15,6 +15,17 @@ val of_config : Memsim.Config.t -> t
 val update :
   t -> before:Memsim.Config.t -> after:Memsim.Config.t -> Memsim.Exec.dirty -> t
 
+(** Keyed xor-term over the per-process overtaken-flag bitsets
+    ([Wbuf.overtaken_bits]) — the reorder-budget component that bounded
+    engines {!mix} into their visited keys, since a budget is path
+    state. Flag-free configurations yield the zero term, the identity
+    under {!mix}. *)
+val budget_term : Memsim.Config.t -> t
+
+(** Xor the lanes of the second argument into the first (commutative,
+    self-inverse). *)
+val mix : t -> t -> t
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 

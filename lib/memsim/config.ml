@@ -486,6 +486,17 @@ let quiescent t =
   in
   go 0
 
+(** Total pending writes currently overtaken, across all processes —
+    the "reorderings in flight" the bounded engines compare against
+    their budget [K]. A configuration with in-flight 0 is
+    SC-consistent so far: every committed write landed before any
+    later operation of its owner executed. Derived from the buffers'
+    stored counts, O(nprocs); never a state-key component (bounded
+    engines fold the underlying flag bitsets into their keys
+    themselves, see {!Wbuf.overtaken_bits}). *)
+let reorders_in_flight t =
+  Array.fold_left (fun acc st -> acc + Wbuf.overtaken st.wb) 0 t.procs
+
 let known_values st r =
   match Reg.Map.find_opt r st.known with
   | Some s -> s

@@ -173,6 +173,13 @@ val all_final : t -> bool
     memory any more. *)
 val quiescent : t -> bool
 
+(** Total pending writes currently overtaken across all processes —
+    "reorderings in flight", the quantity bounded engines compare
+    against their budget. 0 means the execution so far is
+    SC-consistent. O(nprocs); accounting only, never a state-key
+    component. *)
+val reorders_in_flight : t -> int
+
 val known_values : pstate -> Reg.t -> Int_set.t
 
 (** Record that the process has observed/produced value [v] at [r]. *)

@@ -49,9 +49,12 @@ let pp_elt ppf ((p, r) : elt) =
   | Some r -> Fmt.pf ppf "(p%a,%a)" Pid.pp p Reg.pp r
 
 (* Commit the pending write to [r] from [p]'s buffer ([st] is [p]'s
-   current state, passed so the dispatcher's lookup is reused). *)
+   current state, passed so the dispatcher's lookup is reused).
+   [Wbuf.commit] marks entries older than the committed one as
+   overtaken — the write-write half of the reorder-budget accounting;
+   the flags are invisible to state keys and model semantics. *)
 let commit_write cfg p (st : Config.pstate) r =
-  match Wbuf.take st.Config.wb r with
+  match Wbuf.commit st.Config.wb r with
   | None -> Fmt.invalid_arg "Exec.commit_write: no pending write to %d" r
   | Some (v, wb') ->
       let loc = Config.commit_locality cfg p r in
@@ -442,6 +445,17 @@ let exec_elt_d cfg ((p, r) : elt) : Step.t list * Config.t * dirty =
         match forced with
         | Some r -> with_commit r
         | None -> (
+            (* The op is about to execute while [p]'s buffered writes
+               are still uncommitted: mark them overtaken (the
+               write→op half of the reorder-budget accounting — under
+               SC those writes would already have committed). A
+               blocked op returns [None] below and the marking is
+               discarded with [st], so no-ops never charge. No-op when
+               the buffer is empty or already fully marked. *)
+            let st =
+              if Wbuf.is_empty wb then st
+              else { st with Config.wb = Wbuf.overtake_all wb }
+            in
             match op_step cfg p st prog with
             | None -> noop ()
             | Some (steps, cfg, mem_dirty) ->

@@ -33,6 +33,13 @@ type stats = {
   transitions : int;
   truncated : bool;  (** a bound was hit; absence of violations is then
                          only valid up to the bound *)
+  bound_hits : int;
+      (** edges pruned by [reorder_bound] — their successor would carry
+          more reorderings in flight than the budget. 0 on a completed
+          bounded run {e certifies saturation}: the bounded transition
+          system coincided with the unbounded one, so the verdict is
+          exact, not an under-approximation. Always 0 when no bound was
+          set. *)
 }
 
 type 'm violation = {
@@ -72,14 +79,36 @@ let successor_elts cfg : Exec.elt list =
   in
   go (n - 1) []
 
+(* Budget component of the bounded state key: each process's overtaken
+   flag bitset. Two configurations equal in every semantic component
+   but with different flag patterns have different admissible futures
+   under a reorder bound, so bounded dedup must separate them —
+   including the exact bitsets (not just the in-flight sum) keeps the
+   bounded exploration exact for its own transition system, which the
+   monotonicity property (K ⊆ K+1) relies on. Unbounded runs never
+   call this: their keys stay byte-identical to the historical ones. *)
+let budget_suffix cfg =
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf "!rb:";
+  Array.iter
+    (fun (st : Config.pstate) ->
+      Buffer.add_string buf (string_of_int (Wbuf.overtaken_bits st.Config.wb));
+      Buffer.add_char buf ',')
+    cfg.Config.procs;
+  Buffer.contents buf
+
 let dfs (type m) ?tel ?(max_states = 1_000_000) ?(max_depth = 100_000)
-    ?(max_violations = 3) ?(max_deadlocks = max_int)
+    ?(max_violations = 3) ?(max_deadlocks = max_int) ?reorder_bound
     ?(check = fun (_ : Config.t) -> None)
     ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
     ?(on_final = fun (_ : Config.t) (_ : m) -> ()) (cfg0 : Config.t) :
     m result =
+  (match reorder_bound with
+  | Some k when k < 0 -> Fmt.invalid_arg "Explore.dfs: reorder_bound %d" k
+  | _ -> ());
   let visited : (_, unit) Hashtbl.t = Hashtbl.create 4096 in
   let states = ref 0 and transitions = ref 0 and truncated = ref false in
+  let bound_hits = ref 0 in
   (* Telemetry mirrors the parallel engine's counter vocabulary so
      dashboards and the NDJSON consumer see one schema regardless of
      engine. With no hub supplied the bumps land on a private hub —
@@ -93,6 +122,7 @@ let dfs (type m) ?tel ?(max_states = 1_000_000) ?(max_depth = 100_000)
   let c_expand = Telemetry.Hub.counter tel "expansions" in
   let c_children = Telemetry.Hub.counter tel "children" in
   let c_dedup = Telemetry.Hub.counter tel "dedup_hits" in
+  let c_bound = Telemetry.Hub.counter tel "bound_hits" in
   Telemetry.Hub.gauge tel "states" (fun () -> float_of_int !states);
   Telemetry.Hub.gauge tel "transitions" (fun () -> float_of_int !transitions);
   Telemetry.Hub.gauge tel "visited" (fun () ->
@@ -130,7 +160,16 @@ let dfs (type m) ?tel ?(max_states = 1_000_000) ?(max_depth = 100_000)
       | Error message ->
           record_violation { message; path = List.rev path; monitor = m }
       | Ok m ->
-          let key = state_key cfg in
+          let key =
+            match reorder_bound with
+            | None -> state_key cfg
+            | Some _ ->
+                (* the budget (flag bitsets) is part of the bounded
+                   state: two paths reaching the same semantic state
+                   with different reorderings in flight have different
+                   admissible futures *)
+                state_key cfg ^ budget_suffix cfg
+          in
           if Hashtbl.mem visited key then
             Telemetry.Cells.incr c_dedup ~worker:0
           else begin
@@ -149,14 +188,27 @@ let dfs (type m) ?tel ?(max_states = 1_000_000) ?(max_depth = 100_000)
               else
                 List.iter
                   (fun elt ->
-                    incr transitions;
-                    Telemetry.Cells.incr c_children ~worker:0;
                     let steps, cfg' = Exec.exec_elt cfg elt in
-                    match monitor_steps m steps with
-                    | Error message ->
-                        record_violation
-                          { message; path = List.rev (elt :: path); monitor = m }
-                    | Ok m' -> go cfg' m' (elt :: path) (depth + 1))
+                    match reorder_bound with
+                    | Some k when Config.reorders_in_flight cfg' > k ->
+                        (* over budget: the bounded transition system
+                           excludes this edge entirely — not counted as
+                           a transition, not monitored. A recorded hit
+                           voids the saturation certificate. *)
+                        incr bound_hits;
+                        Telemetry.Cells.incr c_bound ~worker:0
+                    | _ -> (
+                        incr transitions;
+                        Telemetry.Cells.incr c_children ~worker:0;
+                        match monitor_steps m steps with
+                        | Error message ->
+                            record_violation
+                              {
+                                message;
+                                path = List.rev (elt :: path);
+                                monitor = m;
+                              }
+                        | Ok m' -> go cfg' m' (elt :: path) (depth + 1)))
                   elts
             end
           end
@@ -164,25 +216,31 @@ let dfs (type m) ?tel ?(max_states = 1_000_000) ?(max_depth = 100_000)
   in
   go cfg0 init [] 0;
   {
-    stats = { states = !states; transitions = !transitions; truncated = !truncated };
+    stats =
+      {
+        states = !states;
+        transitions = !transitions;
+        truncated = !truncated;
+        bound_hits = !bound_hits;
+      };
     violations = !violations;
     deadlocks = !deadlocks;
   }
 
 (** Exploration without a monitor: just reachability. *)
-let dfs_plain ?tel ?max_states ?max_depth ?on_final cfg =
+let dfs_plain ?tel ?max_states ?max_depth ?reorder_bound ?on_final cfg =
   let on_final = Option.map (fun f cfg (_ : unit) -> f cfg) on_final in
-  dfs ?tel ?max_states ?max_depth
+  dfs ?tel ?max_states ?max_depth ?reorder_bound
     ~monitor:(fun () _ -> Ok ())
     ~init:() ?on_final cfg
 
 (** Collect the set of reachable final-configuration observations, where
     [observe] projects whatever the caller cares about (e.g. final
     register values for a litmus test). *)
-let reachable_outcomes ?max_states ?max_depth ~observe cfg =
+let reachable_outcomes ?max_states ?max_depth ?reorder_bound ~observe cfg =
   let outcomes = Hashtbl.create 16 in
   let result =
-    dfs_plain ?max_states ?max_depth
+    dfs_plain ?max_states ?max_depth ?reorder_bound
       ~on_final:(fun final -> Hashtbl.replace outcomes (observe final) ())
       cfg
   in

@@ -11,6 +11,10 @@ type stats = {
   truncated : bool;
       (** a bound was hit; absence of violations then only holds up to
           the bound *)
+  bound_hits : int;
+      (** edges pruned by [reorder_bound]; 0 on a completed bounded run
+          certifies saturation (the bounded system coincided with the
+          unbounded one, so the verdict is exact). Always 0 unbounded. *)
 }
 
 type 'm violation = {
@@ -44,18 +48,33 @@ val successor_elts : Config.t -> Exec.elt list
     paths are retained (each keeps its whole schedule; the default
     keeps every one, the historical behaviour).
 
+    [reorder_bound] explores the {e reorder-bounded} under-
+    approximation: an edge whose successor carries more than [K]
+    reorderings in flight (pending writes overtaken by a later op of
+    their owner or by a younger commit — {!Config.reorders_in_flight})
+    is pruned and counted in [stats.bound_hits]. [K = 0] restricts
+    buffered models to their SC-consistent executions; [K ≥] the
+    maximum total buffer occupancy can never prune, so the run equals
+    the unbounded one. The per-process overtaken-flag bitsets join the
+    state key (a budget is path state), so bounded dedup is exact for
+    the bounded transition system and the explored sets are monotone
+    in [K]. [bound_hits = 0] on a completed run certifies saturation:
+    the verdict is exact. Oldest-first drains never charge, so a bound
+    introduces no new deadlocks.
+
     [tel] plugs a {!Telemetry.Hub.t} into the run: the explorer
     registers the engine-shared counter vocabulary (expansions,
-    children, dedup_hits) and live gauges (states, transitions,
-    visited) for a {!Telemetry.Sampler} to stream. Without it the
-    bumps land on a private hub — plain int adds on pre-allocated
-    cells, nothing observable. *)
+    children, dedup_hits, bound_hits) and live gauges (states,
+    transitions, visited) for a {!Telemetry.Sampler} to stream.
+    Without it the bumps land on a private hub — plain int adds on
+    pre-allocated cells, nothing observable. *)
 val dfs :
   ?tel:Telemetry.Hub.t ->
   ?max_states:int ->
   ?max_depth:int ->
   ?max_violations:int ->
   ?max_deadlocks:int ->
+  ?reorder_bound:int ->
   ?check:(Config.t -> string option) ->
   monitor:('m -> Step.t -> ('m, string) Stdlib.result) ->
   init:'m ->
@@ -68,6 +87,7 @@ val dfs_plain :
   ?tel:Telemetry.Hub.t ->
   ?max_states:int ->
   ?max_depth:int ->
+  ?reorder_bound:int ->
   ?on_final:(Config.t -> unit) ->
   Config.t ->
   unit result
@@ -77,6 +97,7 @@ val dfs_plain :
 val reachable_outcomes :
   ?max_states:int ->
   ?max_depth:int ->
+  ?reorder_bound:int ->
   observe:(Config.t -> 'a) ->
   Config.t ->
   'a list * unit result

@@ -74,6 +74,22 @@ let may_commit t wb r =
       | None -> false)
   | Pso | Rmo -> Wbuf.mem wb r
 
+(** [commit_reorders t wb r]: would committing [r] right now land out
+    of buffer order — i.e. does an older pending write (necessarily to
+    another location, under either discipline) still sit ahead of it?
+    These are exactly the commits the reorder-budget accounting
+    ({!Wbuf.commit} marking, [Explore.dfs ?reorder_bound]) charges:
+    never under [Sc] (no buffer) or [Tso] (head-only commits), and
+    precisely the non-head commits [commit_candidates] enumerates
+    under [Pso]/[Rmo]. *)
+let commit_reorders t wb r =
+  match t with
+  | Sc | Tso -> false
+  | Pso | Rmo -> (
+      match Wbuf.head wb with
+      | Some e -> not (Reg.equal e.Wbuf.reg r)
+      | None -> false)
+
 (** The register the executor must commit when the process is poised at
     a fence with a non-empty buffer: the smallest buffered register for
     unordered buffers (the paper's rule), the FIFO head for TSO. *)

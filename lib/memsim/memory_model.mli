@@ -34,6 +34,12 @@ val commit_candidates : t -> Wbuf.t -> Reg.t list
 (** Membership in {!commit_candidates}, without building the list. *)
 val may_commit : t -> Wbuf.t -> Reg.t -> bool
 
+(** Would committing [r] now land out of buffer order (an older pending
+    write still ahead of it)? The commits the reorder-budget accounting
+    charges: never under [Sc]/[Tso], the non-head commits under
+    [Pso]/[Rmo]. *)
+val commit_reorders : t -> Wbuf.t -> Reg.t -> bool
+
 (** The register the executor commits when the process is poised at a
     fence over a non-empty buffer: smallest buffered register for
     unordered buffers (the paper's rule), the FIFO head for TSO. *)

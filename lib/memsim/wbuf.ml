@@ -20,20 +20,64 @@
     The buffer is immutable; the executor threads it through
     configurations so snapshots are free. *)
 
-type entry = { reg : Reg.t; value : int }
+type entry = { reg : Reg.t; value : int; overtaken : bool }
 
 type t = {
   front : entry list;  (** oldest first *)
   rback : entry list;  (** newest first *)
   size : int;
+  ot : int;  (** number of entries with [overtaken = true] *)
 }
 (** Logical order = [front @ List.rev rback], oldest first. Invariant
     maintained by [write_replace]: at most one entry per register.
-    [write_fifo] may create duplicates. *)
+    [write_fifo] may create duplicates.
 
-let empty : t = { front = []; rback = []; size = 0 }
+    The [overtaken] flag supports the reorder-budget accounting
+    ({!Memsim.Explore}'s [reorder_bound]): a pending write is overtaken
+    once its owner executed a later operation before it committed
+    ({!overtake_all}) or a younger write committed past it ({!commit}).
+    Flags never feed the state-key lanes or any model-semantic
+    decision — unbounded runs are byte-identical with or without
+    them — the bounded engines fold {!overtaken_bits} into their keys
+    themselves. *)
+
+let empty : t = { front = []; rback = []; size = 0; ot = 0 }
 let is_empty t = t.size = 0
 let size t = t.size
+
+(** Number of pending entries currently overtaken — this buffer's
+    contribution to the "reorderings in flight" budget. O(1). *)
+let overtaken t = t.ot
+
+(** Overtaken flags as a bitset, oldest entry = bit 0 — the exact
+    budget component a bounded engine appends to its state key.
+    Buffers are tiny (bounded by distinct registers under replace
+    semantics), far below the 62-bit capacity. *)
+let overtaken_bits t =
+  let bits = ref 0 and i = ref 0 in
+  let feed e =
+    if e.overtaken then bits := !bits lor (1 lsl !i);
+    incr i
+  in
+  List.iter feed t.front;
+  List.fold_right (fun e () -> feed e) t.rback ();
+  !bits
+
+(** Mark every pending entry overtaken: the owner is about to execute
+    an operation while they are still uncommitted (the write→op
+    reordering TSO and PSO both allow). No-op (and no allocation) when
+    everything is already overtaken — so repeated ops over the same
+    pending buffer charge the budget once, not per op. *)
+let overtake_all t =
+  if t.ot = t.size then t
+  else
+    let mark e = if e.overtaken then e else { e with overtaken = true } in
+    {
+      t with
+      front = List.map mark t.front;
+      rback = List.map mark t.rback;
+      ot = t.size;
+    }
 
 (** Newest pending value for [r], if any — the value a read by the owner
     must return (store forwarding), under every buffered model. *)
@@ -58,10 +102,11 @@ let mem t r = Option.is_some (find t r)
     register (the paper's [WB_p - {(R,_)} ∪ {(R,x)}]); the entry moves
     to the logical back, as with the former filter-and-append. *)
 let write_replace t r v =
-  let removed = ref 0 in
+  let removed = ref 0 and removed_ot = ref 0 in
   let keep e =
     if Reg.equal e.reg r then begin
       incr removed;
+      if e.overtaken then incr removed_ot;
       false
     end
     else true
@@ -70,13 +115,18 @@ let write_replace t r v =
   let rback = List.filter keep t.rback in
   {
     front;
-    rback = { reg = r; value = v } :: rback;
+    rback = { reg = r; value = v; overtaken = false } :: rback;
     size = t.size - !removed + 1;
+    ot = t.ot - !removed_ot;
   }
 
 (** FIFO write: append, keeping duplicates, for TSO. O(1). *)
 let write_fifo t r v =
-  { t with rback = { reg = r; value = v } :: t.rback; size = t.size + 1 }
+  {
+    t with
+    rback = { reg = r; value = v; overtaken = false } :: t.rback;
+    size = t.size + 1;
+  }
 
 (** Oldest entry, for TSO head-only commits. *)
 let head t =
@@ -98,17 +148,64 @@ let take t r =
   let rec remove acc = function
     | [] -> None
     | e :: rest ->
-        if Reg.equal e.reg r then Some (e.value, List.rev_append acc rest)
+        if Reg.equal e.reg r then Some (e, List.rev_append acc rest)
         else remove (e :: acc) rest
   in
+  let drop_ot (e : entry) = t.ot - if e.overtaken then 1 else 0 in
   match remove [] t.front with
-  | Some (v, front) -> Some (v, { t with front; size = t.size - 1 })
+  | Some (e, front) ->
+      Some (e.value, { t with front; size = t.size - 1; ot = drop_ot e })
   | None -> (
       match remove [] (List.rev t.rback) with
-      | Some (v, back) ->
+      | Some (e, back) ->
           (* keep the (matchless) front prefix ahead of the normalized
              back half *)
-          Some (v, { front = t.front @ back; rback = []; size = t.size - 1 })
+          Some
+            ( e.value,
+              {
+                front = t.front @ back;
+                rback = [];
+                size = t.size - 1;
+                ot = drop_ot e;
+              } )
+      | None -> None)
+
+(** Like {!take}, but additionally marks every entry {e older} than the
+    removed one as overtaken — a younger write just committed past
+    them. The executor's commit path; {!take} keeps the historical
+    flag-neutral semantics for direct buffer surgery (tests, tools).
+    Committing the oldest entry marks nothing (and, if that entry was
+    itself overtaken, {e reduces} the in-flight count) — draining
+    oldest-first is always budget-free, so a reorder bound can never
+    wedge a fence. *)
+let commit t r =
+  let nmarked = ref 0 in
+  let mark e =
+    if e.overtaken then e
+    else begin
+      incr nmarked;
+      { e with overtaken = true }
+    end
+  in
+  let rec remove acc = function
+    | [] -> None
+    | e :: rest ->
+        if Reg.equal e.reg r then Some (e, List.rev_append acc rest)
+        else remove (mark e :: acc) rest
+  in
+  let new_ot (e : entry) = t.ot + !nmarked - if e.overtaken then 1 else 0 in
+  match remove [] t.front with
+  | Some (e, front) ->
+      Some (e.value, { t with front; size = t.size - 1; ot = new_ot e })
+  | None -> (
+      nmarked := 0;
+      match remove [] (List.rev t.rback) with
+      | Some (e, back) ->
+          (* the whole front is older than the removed back entry *)
+          let front = List.map mark t.front @ back in
+          Some
+            ( e.value,
+              { front; rback = []; size = t.size - 1; ot = new_ot e } )
       | None -> None)
 
 (** Iterate over entries, oldest first, without materializing the

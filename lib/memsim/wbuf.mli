@@ -8,7 +8,12 @@
     drains); {!Memory_model} picks the discipline. Buffers are
     immutable. *)
 
-type entry = { reg : Reg.t; value : int }
+type entry = { reg : Reg.t; value : int; overtaken : bool }
+(** [overtaken]: this pending write has been reordered past — its owner
+    executed a later operation, or a younger write committed, while it
+    sat in the buffer. Pure accounting for the reorder-budget engines;
+    never a state-key or model-semantic component, so unbounded runs
+    are byte-identical with or without the flags. *)
 
 type t
 
@@ -17,6 +22,18 @@ val is_empty : t -> bool
 
 (** O(1) (stored, not recounted). *)
 val size : t -> int
+
+(** Number of pending entries currently overtaken — this buffer's
+    contribution to the "reorderings in flight" budget. O(1). *)
+val overtaken : t -> int
+
+(** Overtaken flags as a bitset, oldest entry = bit 0 — the budget
+    component bounded engines append to their state keys. *)
+val overtaken_bits : t -> int
+
+(** Mark every pending entry overtaken (the owner executes an operation
+    while they are uncommitted). No-op when all are already marked. *)
+val overtake_all : t -> t
 
 (** Newest pending value for a register — what a read by the owner must
     return (store forwarding). *)
@@ -33,8 +50,16 @@ val write_fifo : t -> Reg.t -> int -> t
 (** Oldest entry, for TSO head-only commits. *)
 val head : t -> entry option
 
-(** Remove the {e oldest} entry for the register and return its value. *)
+(** Remove the {e oldest} entry for the register and return its value.
+    Leaves other entries' overtaken flags untouched. *)
 val take : t -> Reg.t -> (int * t) option
+
+(** Like {!take}, but marks every entry older than the removed one as
+    overtaken (a younger write committed past them) — the executor's
+    commit path. Committing the oldest entry marks nothing and may
+    {e reduce} the in-flight count, so oldest-first drains are always
+    budget-free. *)
+val commit : t -> Reg.t -> (int * t) option
 
 (** Iterate over entries, oldest first, without materializing a list. *)
 val iter : (entry -> unit) -> t -> unit

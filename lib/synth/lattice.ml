@@ -39,7 +39,9 @@ let level ~nsites k =
 (** All levels, ascending popcount: [empty; ...; full]. *)
 let ascending ~nsites = List.init (nsites + 1) (fun k -> level ~nsites k)
 
-(** Total candidate count: 2^nsites. *)
+(** Total candidate count: 2^nsites. At the 62-site capacity the true
+    count (2^62) is one past [max_int], so the report saturates rather
+    than shifting into the sign bit. *)
 let cardinal ~nsites =
   Sites.check_nsites nsites;
-  1 lsl nsites
+  if nsites = Sites.max_sites then max_int else 1 lsl nsites

@@ -166,16 +166,36 @@ let masked_factory ?marker (fam : family) mask : Locks.Lock.factory =
   Locks.Lock.with_fence_mask ?marker ~keep:(Sites.mem mask)
     ~acquire_sites:fam.acquire_sites lock
 
-let lock_problem ?(rounds = 1) ?(max_states = 400_000) ~model (fam : family)
-    ~nprocs : problem =
+let lock_problem ?(rounds = 1) ?(max_states = 400_000) ?(prefilter = Some 2)
+    ~model (fam : family) ~nprocs : problem =
   let nsites = fam.acquire_sites + fam.release_sites in
   Sites.check_nsites nsites;
   let check mask =
     let factory = masked_factory ~marker:Sites.marker fam mask in
-    let v =
-      Verify.Mutex_check.check ~rounds ~max_states ~model factory ~nprocs
+    (* Reorder-bounded prefilter: most wrong placements already fail
+       within a tiny budget (bounded violations are real executions, so
+       refutation is sound), and sparse placements often {e saturate}
+       the bound — zero hits certifies the bounded verdict exact, so
+       the full check is skipped either way. Only a clean-but-inexact
+       bounded pass pays for the unbounded run; its states are added so
+       [verdict.states] stays an honest work measure. *)
+    let prefilter_states, v =
+      match prefilter with
+      | None ->
+          (0, Verify.Mutex_check.check ~rounds ~max_states ~model factory ~nprocs)
+      | Some k ->
+          let bv =
+            Verify.Mutex_check.check ~rounds ~max_states ~reorder_bound:(`K k)
+              ~model factory ~nprocs
+          in
+          if (not bv.Verify.Mutex_check.holds) || bv.Verify.Mutex_check.bound_exact
+          then (0, bv)
+          else
+            ( bv.Verify.Mutex_check.stats.Explore.states,
+              Verify.Mutex_check.check ~rounds ~max_states ~model factory
+                ~nprocs )
     in
-    let states = v.Verify.Mutex_check.stats.Explore.states in
+    let states = prefilter_states + v.Verify.Mutex_check.stats.Explore.states in
     if v.Verify.Mutex_check.holds then { ok = true; states; relevant = None }
     else
       let path =
@@ -186,6 +206,8 @@ let lock_problem ?(rounds = 1) ?(max_states = 400_000) ~model (fam : family)
         | None, Some p -> Some p
         | None, None -> None (* lost update: verdict without a schedule *)
       in
+      (* a bounded counterexample is an ordinary schedule — replay is
+         oblivious to how it was found *)
       let relevant =
         Option.map
           (fun p ->
@@ -231,8 +253,8 @@ let litmus_observe regs (test : Litmus.Test.t) final : Litmus.Test.outcome =
     finals = List.map (Config.read_mem final) (test.Litmus.Test.observed regs);
   }
 
-let litmus_problem ?(max_states = 400_000) ~model (test : Litmus.Test.t) :
-    problem =
+let litmus_problem ?(max_states = 400_000) ?(prefilter = Some 2) ~model
+    (test : Litmus.Test.t) : problem =
   let counts = Litmus.Test.fence_sites test in
   let nsites = Array.fold_left ( + ) 0 counts in
   Sites.check_nsites nsites;
@@ -259,8 +281,8 @@ let litmus_problem ?(max_states = 400_000) ~model (test : Litmus.Test.t) :
   let check mask =
     let t = masked mask in
     let regs, cfg = Litmus.Test.configure t ~model in
-    let result =
-      Mc.run ~max_states ~max_violations:1
+    let run_with ?reorder_bound () =
+      Mc.run ~max_states ~max_violations:1 ?reorder_bound
         ~check:(fun c ->
           if
             Config.quiescent c
@@ -270,7 +292,23 @@ let litmus_problem ?(max_states = 400_000) ~model (test : Litmus.Test.t) :
         ~monitor:(fun () _ -> Ok ())
         ~init:() cfg
     in
-    let states = result.Explore.stats.Explore.states in
+    (* same prefilter ladder as the lock oracle: a bounded spec escape
+       is a real reachable outcome (sound refutation); a saturated
+       clean pass is exact; only the inexact clean pass re-runs
+       unbounded *)
+    let prefilter_states, result =
+      match prefilter with
+      | None -> (0, run_with ())
+      | Some k ->
+          let r = run_with ~reorder_bound:k () in
+          if
+            r.Explore.violations <> []
+            || (r.Explore.stats.Explore.bound_hits = 0
+               && not r.Explore.stats.Explore.truncated)
+          then (0, r)
+          else (r.Explore.stats.Explore.states, run_with ())
+    in
+    let states = prefilter_states + result.Explore.stats.Explore.states in
     match result.Explore.violations with
     | [] -> { ok = true; states; relevant = None }
     | v :: _ ->

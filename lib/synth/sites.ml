@@ -10,16 +10,25 @@
 
 type mask = int
 
-(** Bitset capacity; far above any realistic problem (the search is
-    2^n in the worst case anyway) but an explicit line so the packing
-    never silently overflows. *)
-let max_sites = 30
+(** Bitset capacity: every bit of a 63-bit native [int] except the
+    sign, so masks stay non-negative and total orders on masks agree
+    with subset-free comparisons downstream. Far above any tractable
+    problem (the search is 2^n in the worst case anyway) but an
+    explicit line so the packing never silently overflows — past it
+    {!check_nsites} raises rather than truncating sites. *)
+let max_sites = 62
 
 let check_nsites n =
-  if n < 0 || n > max_sites then Fmt.invalid_arg "Sites: %d sites" n
+  if n < 0 || n > max_sites then
+    Fmt.invalid_arg "Sites: %d sites (max %d: one int bitset)" n max_sites
 
 let empty : mask = 0
-let full n : mask = check_nsites n; (1 lsl n) - 1
+
+(* [1 lsl 62] wraps to [min_int] on 64-bit OCaml, so build the full
+   62-site mask as [max_int] (= 2^62 - 1) rather than by shifting. *)
+let full n : mask =
+  check_nsites n;
+  if n = max_sites then max_int else (1 lsl n) - 1
 let mem m i = m land (1 lsl i) <> 0
 let add m i = m lor (1 lsl i)
 let inter a b = a land b

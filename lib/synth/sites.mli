@@ -3,7 +3,8 @@
 
 type mask = int
 
-(** Capacity of the packing (the search is 2^n anyway). *)
+(** Capacity of the packing: 62 sites, every non-sign bit of a native
+    [int] (the search is 2^n anyway). *)
 val max_sites : int
 
 (** Raises [Invalid_argument] outside [0..max_sites]. *)

@@ -15,6 +15,8 @@
 
 open Memsim
 
+type bound_mode = [ `K of int | `Deepen ]
+
 type verdict = {
   lock_name : string;
   model : Memory_model.t;
@@ -24,6 +26,16 @@ type verdict = {
   symmetry : bool;
       (** checked under pid-symmetry reduction — see {!check}: [holds]
           then means "no violation in the symmetry-reduced subset" *)
+  reorder_bound : int option;
+      (** the (final) reorder bound the run was checked under; [None]
+          means unbounded *)
+  bound_exact : bool;
+      (** the verdict is exact despite a bound: either a violation was
+          found (bounded violations are real), or the run completed
+          with zero bound hits — saturation — so the bounded system
+          coincided with the unbounded one. Always true unbounded. *)
+  deepen_levels : Mc.deepen_level list;
+      (** per-level records when iterative deepening ran; else empty *)
   me_violation : Exec.elt list option;  (** schedule reaching an overlap *)
   deadlock : Exec.elt list option;
   lost_update : bool;  (** some run lost a counter increment *)
@@ -35,7 +47,13 @@ let pp_verdict ppf v =
     (Memory_model.to_string v.model)
     v.nprocs v.rounds
     (if v.holds then
-       if v.symmetry then "OK (symmetry-reduced subset)" else "OK"
+       (* honest accounting: a clean pass below saturation is a subset
+          verdict and must never print as a plain OK — mirror the
+          [--symmetry] wording discipline *)
+       match v.reorder_bound with
+       | Some k when not v.bound_exact ->
+           Fmt.str "NO VIOLATION FOUND (reorder-bound %d subset)" k
+       | _ -> if v.symmetry then "OK (symmetry-reduced subset)" else "OK"
      else if v.me_violation <> None then "MUTUAL EXCLUSION VIOLATED"
      else if v.deadlock <> None then "DEADLOCK"
      else "LOST UPDATE")
@@ -94,28 +112,59 @@ let workload ~model (factory : Locks.Lock.factory) ~nprocs ~rounds =
   (lock, counter, Config.make ~model ~layout programs)
 
 let check ?tel ?(rounds = 1) ?max_states ?max_depth ?expected_states
-    ?report_visited ?(engine = `Dfs) ?(por = false) ?(symmetry = false) ~model
-    factory ~nprocs : verdict =
+    ?report_visited ?(engine = `Dfs) ?(por = false) ?(symmetry = false)
+    ?reorder_bound ~model factory ~nprocs : verdict =
+  if symmetry && reorder_bound <> None then
+    invalid_arg "Mutex_check.check: ~symmetry and ~reorder_bound are exclusive";
   let lock, counter, cfg = workload ~model factory ~nprocs ~rounds in
   let lost_update = ref false in
-  let result =
-    (* `Dfs is the historical sequential explorer; `Parallel routes
-       through the Mc engine. The checker's monitor is note-driven, so
-       POR preserves its verdicts (see Mc.Por). Symmetry guarantees
-       less: the passage loop is shared, but the lock factories embed
-       pid-dependent tie-breaks (bakery's [slot < j]), so the workload
-       is only near-symmetric, the quotient is not closed, and the
-       reduced run explores a subset of the reachable state classes —
-       a reported violation is a real reachable one, but an all-clear
-       is an under-approximation, surfaced in the verdict as
-       "OK (symmetry-reduced subset)" (see Mc.Symmetry). *)
-    Mc.run ?tel ~engine ~por ~symmetry ?expected_states ?report_visited
-      ?max_states ?max_depth ~max_violations:1 ~monitor:cs_monitor
-      ~init:Pid.Set.empty
-      ~on_final:(fun final _ ->
-        if Config.read_mem final counter <> nprocs * rounds then
-          lost_update := true)
-      cfg
+  let on_final final _ =
+    if Config.read_mem final counter <> nprocs * rounds then
+      lost_update := true
+  in
+  (* `Dfs is the historical sequential explorer; `Parallel routes
+     through the Mc engine. The checker's monitor is note-driven, so
+     POR preserves its verdicts (see Mc.Por). Symmetry guarantees
+     less: the passage loop is shared, but the lock factories embed
+     pid-dependent tie-breaks (bakery's [slot < j]), so the workload
+     is only near-symmetric, the quotient is not closed, and the
+     reduced run explores a subset of the reachable state classes —
+     a reported violation is a real reachable one, but an all-clear
+     is an under-approximation, surfaced in the verdict as
+     "OK (symmetry-reduced subset)" (see Mc.Symmetry). A reorder
+     bound is the same kind of under-approximation, except it can
+     {e certify its own completeness}: zero bound hits on a completed
+     run means nothing was pruned and the verdict is exact. *)
+  let result, bound, bound_exact, deepen_levels =
+    match reorder_bound with
+    | None ->
+        let r =
+          Mc.run ?tel ~engine ~por ~symmetry ?expected_states ?report_visited
+            ?max_states ?max_depth ~max_violations:1 ~monitor:cs_monitor
+            ~init:Pid.Set.empty ~on_final cfg
+        in
+        (r, None, true, [])
+    | Some (`K k) ->
+        let r =
+          Mc.run ?tel ~engine ~por ~symmetry ?expected_states ?report_visited
+            ?max_states ?max_depth ~max_violations:1 ~reorder_bound:k
+            ~monitor:cs_monitor ~init:Pid.Set.empty ~on_final cfg
+        in
+        let exact =
+          r.Explore.violations <> []
+          || (r.Explore.stats.Explore.bound_hits = 0
+             && not r.Explore.stats.Explore.truncated)
+        in
+        (r, Some k, exact, [])
+    | Some `Deepen ->
+        let jobs = match engine with `Dfs -> 1 | `Parallel j -> j in
+        let d =
+          Mc.deepen ?tel ~jobs ~por ?expected_states ?report_visited
+            ?max_states ?max_depth ~max_violations:1 ~monitor:cs_monitor
+            ~init:Pid.Set.empty ~on_final cfg
+        in
+        let exact = d.Mc.saturated || d.Mc.result.Explore.violations <> [] in
+        (d.Mc.result, Some d.Mc.final_bound, exact, d.Mc.levels)
   in
   let me_violation =
     match result.Explore.violations with
@@ -131,6 +180,9 @@ let check ?tel ?(rounds = 1) ?max_states ?max_depth ?expected_states
     nprocs;
     rounds;
     symmetry;
+    reorder_bound = bound;
+    bound_exact;
+    deepen_levels;
     holds = me_violation = None && deadlock = None && not !lost_update;
     me_violation;
     deadlock;

@@ -5,6 +5,10 @@
 
 open Memsim
 
+(** Reorder-bound mode: a fixed budget, or iterative deepening from 0
+    until violation or saturation ({!Mc.deepen}). *)
+type bound_mode = [ `K of int | `Deepen ]
+
 type verdict = {
   lock_name : string;
   model : Memory_model.t;
@@ -16,6 +20,16 @@ type verdict = {
           under-approximation (see {!check}), so [holds = true] means
           "no violation found in the symmetry-reduced subset" — printed
           by {!pp_verdict} as ["OK (symmetry-reduced subset)"] *)
+  reorder_bound : int option;
+      (** the (final) reorder bound checked under; [None] = unbounded *)
+  bound_exact : bool;
+      (** the verdict is exact despite a bound: a violation was found,
+          or the run completed with zero bound hits (saturation). A
+          clean pass with [bound_exact = false] prints as
+          ["NO VIOLATION FOUND (reorder-bound K subset)"], never plain
+          ["OK"]. Always [true] unbounded. *)
+  deepen_levels : Mc.deepen_level list;
+      (** per-level records when [`Deepen] ran; else empty *)
   me_violation : Exec.elt list option;  (** schedule reaching an overlap *)
   deadlock : Exec.elt list option;
   lost_update : bool;
@@ -50,13 +64,20 @@ val workload :
     pre-sizes the parallel engine's visited set; [report_visited]
     receives its occupancy statistics when the run finishes (ignored
     under [`Dfs]). [tel] plugs a {!Telemetry.Hub.t} into the run for
-    live progress and NDJSON stats (see {!Mc.run}). *)
+    live progress and NDJSON stats (see {!Mc.run}).
+
+    [reorder_bound] checks the reorder-bounded under-approximation:
+    [`K k] with a fixed budget (the verdict records whether the run
+    certified saturation and is therefore exact), [`Deepen] with
+    iterative deepening from 0 ({!Mc.deepen}; [`Dfs] deepens on one
+    domain). Mutually exclusive with [symmetry] (raises
+    [Invalid_argument]). *)
 val check :
   ?tel:Telemetry.Hub.t ->
   ?rounds:int -> ?max_states:int -> ?max_depth:int ->
   ?expected_states:int -> ?report_visited:(Mc.Visited.stats -> unit) ->
   ?engine:Mc.engine -> ?por:bool ->
-  ?symmetry:bool -> model:Memory_model.t ->
+  ?symmetry:bool -> ?reorder_bound:bound_mode -> model:Memory_model.t ->
   Locks.Lock.factory -> nprocs:int -> verdict
 
 (** Replay a counterexample schedule into a step trace (pending labels

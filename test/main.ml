@@ -28,6 +28,7 @@ let () =
       Test_mc.suite;
       Test_frontier.suite;
       Test_symmetry.suite;
+      Test_reorder.suite;
       Test_fuzz.suite;
       Test_stress.suite;
       Test_telemetry.suite;

@@ -1,8 +1,11 @@
 (* mc-smoke: a fast standalone check that the multicore engine paths
    (domains, sharded visited set, work sharing, POR) actually run and
-   agree with the sequential explorer. Kept separate from the main
-   Alcotest binary so `make mc-smoke` has a sub-second entry point;
-   dune runtest executes both. *)
+   agree with the sequential explorer, plus a bounded leg: reorder
+   bound K=2 on the (fenced) bakery certifies saturation at the
+   unbounded state count, and one deepening run finds the unfenced
+   bakery's PSO violation. Kept separate from the main Alcotest binary
+   so `make mc-smoke` has a sub-second entry point; dune runtest
+   executes both. *)
 
 open Memsim
 
@@ -45,4 +48,40 @@ let () =
     fail "SB outcomes differ under the parallel engine";
   if r2.Litmus.Test.outcomes <> r0.Litmus.Test.outcomes then
     fail "SB outcomes differ under POR";
+  (* bounded leg: every bakery write is immediately fenced, so K=2 can
+     never be charged — the run must certify saturation and reproduce
+     the unbounded state count exactly *)
+  let bakery = Option.get (Locks.Registry.find "bakery") in
+  let unb = Verify.Mutex_check.check ~model bakery ~nprocs:2 in
+  let b2 =
+    Verify.Mutex_check.check ~reorder_bound:(`K 2) ~model bakery ~nprocs:2
+  in
+  if not b2.Verify.Mutex_check.holds then fail "bakery broken at K=2";
+  if not b2.Verify.Mutex_check.bound_exact then
+    fail "bakery K=2 failed to certify saturation";
+  if
+    b2.Verify.Mutex_check.stats.Explore.states
+    <> unb.Verify.Mutex_check.stats.Explore.states
+  then
+    fail "bakery K=2 state count drifted: %d vs unbounded %d"
+      b2.Verify.Mutex_check.stats.Explore.states
+      unb.Verify.Mutex_check.stats.Explore.states;
+  (* deepening leg: the driver must find the unfenced bakery's PSO
+     violation exactly like the unbounded engine does *)
+  let unfenced =
+    Locks.Variants.bakery_variant
+      (List.find
+         (fun s -> s.Locks.Variants.label = "unfenced")
+         Locks.Variants.all_specs)
+  in
+  let exact = Verify.Mutex_check.check ~model unfenced ~nprocs:2 in
+  let deep =
+    Verify.Mutex_check.check ~reorder_bound:`Deepen ~model unfenced ~nprocs:2
+  in
+  if exact.Verify.Mutex_check.holds then
+    fail "expected the unfenced bakery to break under PSO";
+  if deep.Verify.Mutex_check.holds then
+    fail "deepen missed the unfenced violation the exact engine finds";
+  if deep.Verify.Mutex_check.deepen_levels = [] then
+    fail "deepen recorded no levels";
   print_endline "mc-smoke OK"

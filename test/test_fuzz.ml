@@ -1,4 +1,4 @@
-(* Differential fuzzing: the generator is deterministic, the four
+(* Differential fuzzing: the generator is deterministic, the five
    oracles hold on a capped corpus on every run, and the shrinker
    minimizes a deliberately broken oracle's counterexample to a
    litmus-sized program that replays from its seed. *)

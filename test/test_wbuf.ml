@@ -171,7 +171,7 @@ let prop_matches_reference_queue =
           && Wbuf.size b = List.length l
           && Wbuf.head b
              = Option.map
-                 (fun (r, v) -> { Wbuf.reg = r; value = v })
+                 (fun (r, v) -> { Wbuf.reg = r; value = v; overtaken = false })
                  (match l with [] -> None | x :: _ -> Some x)
           && List.for_all
                (fun r ->
