@@ -16,14 +16,22 @@ bench:
 # runtest; the binary also pins the bounded/deepening verdicts against
 # the exact engine), then the CLI bounded legs: a --reorder-bound 2
 # check on bakery/PSO (saturates, exact verdict) and one
-# iterative-deepening run (per-level records), each writing NDJSON
-# stats (uploaded as a CI artifact).
+# iterative-deepening run (per-level records), then the view-backend
+# legs: the 2+2W litmus cell under RA (weak outcome reachable) and
+# SRA (forbidden — the pinned RA/SRA separator) and a bakery check on
+# each. Every leg writes NDJSON stats (uploaded as CI artifacts).
 mc-smoke:
 	dune exec test/mc_smoke.exe
 	dune exec bin/fencelab_cli.exe -- check bakery -m PSO -n 2 \
 	--reorder-bound 2 --stats-out MC_smoke_bounded.ndjson
 	dune exec bin/fencelab_cli.exe -- check bakery -m PSO -n 2 \
 	--reorder-bound deepen --stats-out MC_smoke_deepen.ndjson
+	dune exec bin/fencelab_cli.exe -- litmus 2+2W -m RA \
+	--stats-out MC_smoke_ra.ndjson
+	dune exec bin/fencelab_cli.exe -- litmus 2+2W -m SRA \
+	--stats-out MC_smoke_sra.ndjson
+	dune exec bin/fencelab_cli.exe -- check bakery -m RA -n 2
+	dune exec bin/fencelab_cli.exe -- check bakery -m SRA -n 2
 
 # States/sec of the parallel engine by domain count; writes BENCH_mc.json
 mc-bench:
@@ -45,7 +53,7 @@ bench-smoke:
 	-j 1 --progress --interval 0.2 --stats-out BENCH_check.ndjson
 
 # Deterministic differential-fuzzing smoke run: FUZZ_COUNT generated
-# programs (default 250) through all five oracles; shrunk
+# programs (default 250) through all seven oracles; shrunk
 # counterexample artifacts land in _fuzz/ on failure
 fuzz-smoke:
 	dune exec bin/fencelab_cli.exe -- fuzz --count $${FUZZ_COUNT:-250} --len 7 --regs 3 --values 3

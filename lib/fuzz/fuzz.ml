@@ -4,13 +4,14 @@
 
     - {!Gen}: deterministic, seed-driven program generation over the
       full [Program.t] grammar;
-    - {!Oracle}: the four differential oracles (model nesting, engine
-      parity, fence saturation, random-schedule soundness);
+    - {!Oracle}: the differential oracles (model nesting across the
+      buffered and view-based halves of the zoo, engine parity, fence
+      saturation, random-schedule soundness, bounded saturation);
     - {!Shrink}: size-directed minimization of violating programs;
     - {!Render}: litmus renderings and replayable artifacts.
 
     {!run} drives a whole campaign: programs [seed, seed+1, ...,
-    seed+count-1] through all four oracles, shrinking every violation
+    seed+count-1] through all the oracles, shrinking every violation
     to a minimal counterexample. Fully deterministic for a fixed seed
     and configuration — same programs, same outcome sets, same summary
     line — which is what makes any failure a permanent regression
@@ -30,7 +31,7 @@ type finding = {
 type summary = {
   seed : int;
   count : int;
-  checked : int;  (** programs with all four oracles fully evaluated *)
+  checked : int;  (** programs with every oracle fully evaluated *)
   skipped : (int * string) list;  (** (seed, reason) for truncated runs *)
   findings : finding list;
 }

@@ -185,3 +185,17 @@ let saturate t =
           | i -> [ i ]))
         t.procs;
   }
+
+(* Full saturation: a fence before every instruction plus a trailing
+   one. Per-write fences are enough for the buffered models (only
+   writes reorder), but not for the view-based ones, where a read with
+   a stale view is itself a relaxation: collapsing RA onto SC needs
+   reads bracketed by fences too. *)
+let saturate_full t =
+  {
+    t with
+    procs =
+      Array.map
+        (fun instrs -> List.concat_map (fun i -> [ Fence; i ]) instrs @ [ Fence ])
+        t.procs;
+  }

@@ -52,6 +52,11 @@ val compile : t -> Litmus.Test.t
 (** Insert a fence after every plain write (oracle 3's transform). *)
 val saturate : t -> t
 
+(** Insert a fence before every instruction and a trailing one — the
+    stronger transform that also collapses the view-based models onto
+    SC (fenced reads, not just fenced writes). *)
+val saturate_full : t -> t
+
 (** Per-process counts of literal [Fence] instructions — the program's
     fence sites, numbered globally by prefix-sum offsets exactly as
     [Litmus.Test.with_fence_mask] numbers the compiled test. *)

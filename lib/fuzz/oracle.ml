@@ -1,4 +1,4 @@
-(** The five differential oracles, run per generated program.
+(** The seven differential oracles, run per generated program.
 
     Every oracle is an inclusion or agreement claim between two
     independent ways of enumerating behaviours, so a violation always
@@ -23,6 +23,15 @@
        it must certify saturation ([bound_exact]) and reproduce the
        unbounded outcome set byte-for-byte. This is the off-by-one
        trap in the budget accounting, fuzzed rather than unit-tested.
+    6. {b view-model nesting} — SC's outcome set is contained in SRA's
+       and SRA's in RA's: the view-based half of the model order, with
+       SRA's append-only discipline sitting strictly between SC and
+       unrestricted RA insertion.
+    7. {b full-fence collapse} — a fence before every instruction (and
+       a trailing one) collapses the RA and SRA outcome sets onto SC's.
+       Per-write saturation (oracle 3) is not enough here: a read with
+       a stale view is itself a relaxation, so the reads need fencing
+       too ({!Gen.saturate_full}).
 
     All claims are over total outcome sets, so they are only asserted
     when no exploration was truncated; a truncated program is reported
@@ -96,12 +105,19 @@ let check ?(config = default_config) prog : verdict =
     in
     nesting "SC⊆TSO" ~stronger:sc ~weaker:tso;
     nesting "TSO⊆PSO" ~stronger:tso ~weaker:pso;
+    (* oracle 6: the view-based half of the model order *)
+    let sra = run test ~model:Memory_model.Sra in
+    let ra = run test ~model:Memory_model.Ra in
+    nesting "SC⊆SRA" ~stronger:sc ~weaker:sra;
+    nesting "SRA⊆RA" ~stronger:sra ~weaker:ra;
     (* oracle 2: engine parity under the configured model *)
     let reference =
       match config.model with
       | Memory_model.Sc -> sc
       | Memory_model.Tso -> tso
       | Memory_model.Pso | Memory_model.Rmo -> pso
+      | Memory_model.Ra -> ra
+      | Memory_model.Sra -> sra
     in
     let parity tag r =
       if outcomes r <> outcomes reference then
@@ -128,6 +144,18 @@ let check ?(config = default_config) prog : verdict =
             "saturated %a %a vs SC %a" Memory_model.pp model pp_outcomes
             (outcomes r) pp_outcomes (outcomes sat_sc))
       [ Memory_model.Tso; Memory_model.Pso ];
+    (* oracle 7: full fencing collapses the view models onto SC *)
+    let sat_full = Gen.compile (Gen.saturate_full prog) in
+    let sat_full_sc = run sat_full ~model:Memory_model.Sc in
+    List.iter
+      (fun model ->
+        let r = run sat_full ~model in
+        if outcomes r <> outcomes sat_full_sc then
+          fail
+            (Fmt.str "saturation:%a" Memory_model.pp model)
+            "fully fenced %a %a vs SC %a" Memory_model.pp model pp_outcomes
+            (outcomes r) pp_outcomes (outcomes sat_full_sc))
+      [ Memory_model.Ra; Memory_model.Sra ];
     (* oracle 4: random schedules only reach exhaustive outcomes *)
     let regs, _ = Litmus.Test.configure test ~model:config.model in
     let observe final =
@@ -156,7 +184,13 @@ let check ?(config = default_config) prog : verdict =
                   seed Memory_model.pp model Litmus.Test.pp_outcome o
                   pp_outcomes (outcomes exh)
         done)
-      [ (Memory_model.Sc, sc); (Memory_model.Tso, tso); (Memory_model.Pso, pso) ];
+      [
+        (Memory_model.Sc, sc);
+        (Memory_model.Tso, tso);
+        (Memory_model.Pso, pso);
+        (Memory_model.Ra, ra);
+        (Memory_model.Sra, sra);
+      ];
     (* oracle 5: a reorder bound at least the max total buffer occupancy
        can never be charged past (every in-flight reordering is a
        pending entry), so the bounded run must certify saturation and

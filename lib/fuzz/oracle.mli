@@ -1,8 +1,10 @@
-(** The five differential oracles: model nesting (SC ⊆ TSO ⊆ PSO),
-    engine parity (dfs / parallel / POR), fence saturation (fences
-    after every write collapse buffered models onto SC),
-    random-schedule soundness, and bounded saturation (a reorder bound
-    at least the max buffer occupancy certifies saturation and matches
+(** The seven differential oracles: model nesting (SC ⊆ TSO ⊆ PSO and
+    SC ⊆ SRA ⊆ RA), engine parity (dfs / parallel / POR), fence
+    saturation (fences after every write collapse buffered models onto
+    SC; fences around every instruction collapse the view-based RA/SRA
+    models too), random-schedule soundness (under every model,
+    view-based included), and bounded saturation (a reorder bound at
+    least the max buffer occupancy certifies saturation and matches
     the unbounded outcome set byte-for-byte). See the implementation
     header for the precise claims. *)
 
@@ -29,7 +31,7 @@ type config = {
 val default_config : config
 val pp_violation : violation Fmt.t
 
-(** Run all four oracles on one program. Deterministic. *)
+(** Run all the oracles on one program. Deterministic. *)
 val check : ?config:config -> Gen.t -> verdict
 
 (** Does the program still violate an oracle with this tag prefix? The

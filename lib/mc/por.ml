@@ -54,10 +54,29 @@ let rw_fp r =
     local = false;
   }
 
+(* Sentinel footprint that conflicts with itself and with every other
+   global footprint: view-backend elements are never treated as
+   independent. The reasoning above is write-buffer reasoning — under
+   RA/SRA a "local-looking" step isn't: reads acquire message bases,
+   writes are globally visible the moment they land in the log, and a
+   fence touches the global SC view. The pseudo-register [-1] can
+   never collide with a real register id. *)
+let global_fp =
+  {
+    reads = Reg.Set.singleton (-1);
+    writes = Reg.Set.singleton (-1);
+    local = false;
+  }
+
 (** Footprint of the step element [(p, reg)] would produce at [cfg].
     Conservative for ops: a spin round reads its first register; a
-    fence or cas over a non-empty buffer is the forced commit. *)
+    fence or cas over a non-empty buffer is the forced commit. Under a
+    view-based model every element gets the conflicting {!global_fp}
+    (POR degrades to a sound no-op; see the module header reasoning,
+    which is buffer-specific). *)
 let footprint cfg ((p, reg) : Exec.elt) : footprint =
+  if Memory_model.view_based cfg.Config.model then global_fp
+  else
   let wb = Config.wbuf cfg p in
   let buffered = Memory_model.buffered cfg.Config.model in
   match reg with
@@ -99,6 +118,10 @@ let independent cfg (e1 : Exec.elt) (e2 : Exec.elt) =
     {!invisible_after} check. In increasing pid order, for determinism
     of the 1-domain engine. *)
 let ample_candidates cfg : Pid.t list =
+  if Memory_model.view_based cfg.Config.model then []
+    (* no view-backend step is fully local (see {!global_fp}): POR is a
+       sound no-op under RA/SRA *)
+  else
   let buffered = Memory_model.buffered cfg.Config.model in
   let n = Config.nprocs cfg in
   let rec go p acc =

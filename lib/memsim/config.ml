@@ -152,6 +152,15 @@ type pstate = {
           updated O(1) by {!observe} — the log itself never needs
           re-walking *)
   obs_hb : int;
+  view : View.t;
+      (** view-based models only: the process's current view — newest
+          message it knows per location. Always {!View.empty} under
+          write-buffer models, so the wbuf state-key stream is
+          byte-identical to before the view backend existed. *)
+  rel : View.t;
+      (** view-based models only: the release view — this process's
+          view at its last fence; the base every plain write attaches
+          to its message. *)
   obs_regs : (int * int) Reg.Map.t option;
       (** [None] (the default) on the simulator hot path. [Some m]
           once {!track_obs_regs} has been called on the initial
@@ -192,6 +201,13 @@ type t = {
   model : Memory_model.t;
   layout : Layout.t;
   mem : Mem.t;  (** committed values; unbound = initial value *)
+  store : Modlog.t option;
+      (** [Some] iff the model is view-based: the per-location
+          modification logs and the global SC-fence view. Under view
+          models, [mem] is kept materialized at each location's log
+          maximum (appends commit; RA mid-log insertions don't change
+          the maximum), so [read_mem] and final-state observation work
+          unchanged. *)
   procs : pstate array;
       (** index = pid (pids are dense [0 .. nprocs-1]). Copy-on-write,
           like [Mem] — an installed slot is never mutated, so sharing a
@@ -235,8 +251,21 @@ let refresh_lanes st =
       feed e.value)
     st.wb;
   feed st.obs_len;
-  st.lka <- Keyhash.mix_a !a st.obs_ha;
-  st.lkb <- Keyhash.mix_b !b st.obs_hb;
+  let la = Keyhash.mix_a !a st.obs_ha and lb = Keyhash.mix_b !b st.obs_hb in
+  (* view component, guarded so write-buffer pstates (both views always
+     empty) keep byte-identical lanes to the pre-view-backend key *)
+  if View.is_empty st.view && View.is_empty st.rel then begin
+    st.lka <- la;
+    st.lkb <- lb
+  end
+  else begin
+    st.lka <-
+      Keyhash.mix_a (Keyhash.mix_a la (View.digest_a st.view))
+        (View.digest_a st.rel);
+    st.lkb <-
+      Keyhash.mix_b (Keyhash.mix_b lb (View.digest_b st.view))
+        (View.digest_b st.rel)
+  end;
   st
 
 (** Recompute every cached lane from scratch — obs rolling lanes from
@@ -290,8 +319,20 @@ let mapped_lanes ~map_reg st =
       feed e.value)
     st.wb;
   feed st.obs_len;
+  (* view component: register ids inside view digests are NOT renamed —
+     symmetry reduction is rejected for view-based models ({!Mc}), so
+     here both views are always empty and identity reproduces
+     [lka]/[lkb], matching {!refresh_lanes}'s guard *)
+  let view_mix (x, y) =
+    if View.is_empty st.view && View.is_empty st.rel then (x, y)
+    else
+      ( Keyhash.mix_a (Keyhash.mix_a x (View.digest_a st.view))
+          (View.digest_a st.rel),
+        Keyhash.mix_b (Keyhash.mix_b y (View.digest_b st.view))
+          (View.digest_b st.rel) )
+  in
   match st.obs_regs with
-  | None -> (Keyhash.mix_a !a st.obs_ha, Keyhash.mix_b !b st.obs_hb)
+  | None -> view_mix (Keyhash.mix_a !a st.obs_ha, Keyhash.mix_b !b st.obs_hb)
   | Some m ->
       (* per-register observation digest, one token per register,
          xor-composed: invariant under the across-register reorderings
@@ -303,7 +344,7 @@ let mapped_lanes ~map_reg st =
           oa := !oa lxor Keyhash.token_a Keyhash.seed_a r' ha;
           ob := !ob lxor Keyhash.token_b Keyhash.seed_b r' hb)
         m;
-      (Keyhash.mix_a !a !oa, Keyhash.mix_b !b !ob)
+      view_mix (Keyhash.mix_a !a !oa, Keyhash.mix_b !b !ob)
 
 (* Label-mask maintenance: bit [min p 62] tracks whether [p] is poised
    at a [Label]. For p < 62 the bit is exact (set and cleared); 62 and
@@ -328,6 +369,8 @@ let initial_pstate prog =
       obs_len = 0;
       obs_ha = Keyhash.seed_a;
       obs_hb = Keyhash.seed_b;
+      view = View.empty;
+      rel = View.empty;
       obs_regs = None;
       lka = 0;
       lkb = 0;
@@ -349,6 +392,9 @@ let make ~model ~layout programs =
     model;
     layout;
     mem = Mem.make layout;
+    store =
+      (if Memory_model.view_based model then Some (Modlog.make ~layout)
+       else None);
     procs;
     last_committer = Array.make (Layout.nregs layout) (-1);
     label_mask = !label_mask;
@@ -431,27 +477,44 @@ let track_obs_regs t =
   in
   { t with procs }
 
-(** [step t p ?commit st bump] applies one execution step of [p] in a
-    single pass: installs [st] (lanes refreshed), bumps [p]'s counters
-    once, and — when [commit = Some (r, v)] — lands [v] in committed
-    memory and records [p] as [r]'s last committer. One process-map
-    update and one metrics-map update per step, where the old executor
-    rebuilt the configuration record up to four times. *)
-let step t p ?commit st bump =
+(** [step t p ?commit ?store st bump] applies one execution step of [p]
+    in a single pass: installs [st] (lanes refreshed), bumps [p]'s
+    counters once, installs the updated modification-log store when the
+    step touched it ([store], view-based models only), and — when
+    [commit = Some (r, v)] — lands [v] in committed memory and records
+    [p] as [r]'s last committer. One process-map update and one metrics-
+    map update per step, where the old executor rebuilt the
+    configuration record up to four times. *)
+let step t p ?commit ?store st bump =
   (* [st] is the caller's freshly built successor state: fill its
      counters and lanes in place rather than copying it again *)
   st.ctr <- bump st.ctr;
   let procs = with_proc t p (refresh_lanes st) in
   let label_mask = mask_with t.label_mask p st.prog in
+  let t =
+    match store with
+    | None -> { t with procs; label_mask }
+    | Some s -> { t with procs; label_mask; store = Some s }
+  in
   match commit with
-  | None -> { t with procs; label_mask }
+  | None -> t
   | Some (r, v) ->
       let last_committer = Array.copy t.last_committer in
       last_committer.(r) <- p;
-      { t with procs; label_mask; mem = Mem.set t.mem r v; last_committer }
+      { t with mem = Mem.set t.mem r v; last_committer }
 
-(** Committed value of register [r]. *)
+(** Committed value of register [r]. Under view-based models this is
+    each location's log maximum (kept materialized by the executor). *)
 let read_mem t r = Mem.get t.mem r
+
+let store t = t.store
+
+let store_exn t =
+  match t.store with
+  | Some s -> s
+  | None ->
+      Fmt.invalid_arg "Config.store_exn: %s is not view-based"
+        (Memory_model.to_string t.model)
 
 let wbuf t p = (pstate t p).wb
 let program t p = (pstate t p).prog
@@ -551,8 +614,14 @@ let pp_mem ppf t =
 
 let pp ppf t =
   Fmt.pf ppf "mem=%a@," pp_mem t;
+  (match t.store with
+  | Some s -> Fmt.pf ppf "store=%a@," Modlog.pp s
+  | None -> ());
   Array.iteri
     (fun p st ->
+      if not (View.is_empty st.view) then
+        Fmt.pf ppf "p%a: view=%a rel=%a@," Pid.pp p View.pp st.view View.pp
+          st.rel;
       Fmt.pf ppf "p%a: wb=%a %s@," Pid.pp p Wbuf.pp st.wb
         (match Program.next_kind st.prog with
         | Program.Op_done -> "final"

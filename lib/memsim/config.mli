@@ -63,6 +63,13 @@ type pstate = {
   obs_len : int;  (** [List.length obs], maintained by {!observe} *)
   obs_ha : int;  (** rolling lane over [obs], oldest first *)
   obs_hb : int;
+  view : View.t;
+      (** view-based models only: newest message known per location;
+          always {!View.empty} under write-buffer models (their key
+          stream is unchanged by the view backend) *)
+  rel : View.t;
+      (** view-based models only: the release view (this process's view
+          at its last fence) — the base plain writes attach *)
   obs_regs : (int * int) Reg.Map.t option;
       (** [Some]: per-register rolling lanes over each register's
           subsequence of observed values, for the symmetry
@@ -84,7 +91,12 @@ type pstate = {
 type t = {
   model : Memory_model.t;
   layout : Layout.t;
-  mem : Mem.t;  (** committed values; unbound = initial *)
+  mem : Mem.t;
+      (** committed values; unbound = initial. Under view-based models,
+          kept materialized at each location's log maximum. *)
+  store : Modlog.t option;
+      (** [Some] iff the model is view-based: per-location modification
+          logs plus the global SC-fence view *)
   procs : pstate array;
       (** index = pid (pids are dense [0 .. nprocs-1]); copy-on-write —
           an installed slot is never mutated *)
@@ -132,12 +144,13 @@ val obs_extend :
     cached lanes are unaffected. *)
 val track_obs_regs : t -> t
 
-(** [step t p ?commit st bump]: one execution step of [p] in a single
-    pass — install [st] (lanes refreshed), bump [p]'s counters with
-    [bump], and optionally commit [(r, v)] to memory, recording [p] as
-    last committer. *)
+(** [step t p ?commit ?store st bump]: one execution step of [p] in a
+    single pass — install [st] (lanes refreshed), bump [p]'s counters
+    with [bump], install the updated modification-log store when the
+    step touched it (view-based models only), and optionally commit
+    [(r, v)] to memory, recording [p] as last committer. *)
 val step :
-  t -> Pid.t -> ?commit:Reg.t * int -> pstate ->
+  t -> Pid.t -> ?commit:Reg.t * int -> ?store:Modlog.t -> pstate ->
   (Metrics.counters -> Metrics.counters) -> t
 
 (** Recompute every cached lane of a pstate from scratch (obs rolling
@@ -154,8 +167,15 @@ val scratch_lanes : pstate -> pstate
     registers). *)
 val mapped_lanes : map_reg:(Reg.t -> int) -> pstate -> int * int
 
-(** Committed value of a register. *)
+(** Committed value of a register (under view-based models: the
+    location's log maximum, kept materialized by the executor). *)
 val read_mem : t -> Reg.t -> int
+
+val store : t -> Modlog.t option
+
+(** The modification-log store; raises [Invalid_argument] unless the
+    model is view-based. *)
+val store_exn : t -> Modlog.t
 
 val wbuf : t -> Pid.t -> Wbuf.t
 val program : t -> Pid.t -> Program.t

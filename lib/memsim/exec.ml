@@ -156,6 +156,452 @@ let rmw_step cfg p (st : Config.pstate) r ~op ~arg ~k =
   in
   (Step.Rmw { p; reg = r; op; arg; read; wrote; loc }, cfg)
 
+(* ------------------------------------------------------------------ *)
+(* View-based execution (RA/SRA). See DESIGN.md §6f.
+
+   Under a view-based model a schedule element's register slot is
+   reinterpreted as a CHOICE INDEX: [(p, ⊥)] is choice 0 and
+   [(p, Some k)] the k-th alternative of [p]'s current operation,
+   ordered newest-first — choice 0 reads the newest eligible message /
+   appends at the log maximum, so the [(p, ⊥)]-only schedules every
+   wbuf-unaware caller (run_solo, drain_once, …) produces remain
+   meaningful. Reads choose among the messages at or above the
+   process's view; RA writes choose an insertion position strictly
+   above the writer's view (SRA has the append as its only choice);
+   everything else is deterministic (one choice). *)
+
+(* One alternative of the current operation. *)
+type vchoice =
+  | VDet  (** deterministic op: ret, fence, cas, swap, faa *)
+  | VRead of Modlog.msg * int  (** read this message (at this position) *)
+  | VSpinRead of Modlog.msg * int  (** productive spin read *)
+  | VWriteAt of int  (** insert the write at this log position *)
+  | VRound of (Reg.t * Modlog.msg) list
+      (** one atomic spinv round: per-register message picks, in
+          program order, each eligible under the view as updated by
+          the acquires before it *)
+
+(* Acquire message [m] read at [r]: join its base into [view], then
+   advance the [r] entry to [m] (sound: eligibility guarantees [m] is
+   at or above the view, and a base never contains the message
+   itself). *)
+let acquire store view (m : Modlog.msg) r =
+  View.set (Modlog.join store view m.Modlog.base) r m.Modlog.mid
+
+(* Messages of [r] readable under [view] — positions at or above the
+   view entry — newest first. *)
+let eligible_msgs store view r =
+  let n = Modlog.nmsgs store r in
+  let vp = Modlog.view_pos store r view in
+  List.init (n - vp) (fun i ->
+      let pos = n - 1 - i in
+      (Modlog.msg_at store r pos, pos))
+
+(* All executable spinv rounds: per-register picks threaded through
+   the acquires (a message eligible against the round's start view may
+   be below it once an earlier pick's base joined in), paired with the
+   view the round ends on. Newest-first lexicographic in program
+   order, so tuple 0 is the all-newest round. *)
+let rec round_tuples store view acc = function
+  | [] -> [ (List.rev acc, view) ]
+  | r :: rest ->
+      List.concat_map
+        (fun ((m : Modlog.msg), _pos) ->
+          round_tuples store (acquire store view m r) ((r, m) :: acc) rest)
+        (eligible_msgs store view r)
+
+(** The alternatives of [st]'s current operation (labels already
+    skipped), newest-first; [[]] iff the process is final or blocked.
+    Spins restrict to {e productive} reads — satisfying, or
+    view-advancing, or not a repeat of the last observation — which is
+    what makes spinning terminate within a fixed store: each
+    unproductive candidate is exactly a re-read the wbuf backend's
+    blocked rule would also suppress. *)
+let view_choices cfg (st : Config.pstate) : vchoice list =
+  let store = Config.store_exn cfg in
+  match (st.Config.prog : Program.t) with
+  | Program.Done _ -> []
+  | Label _ -> assert false
+  | Ret _ | Fence _ | Cas _ | Swap _ | Faa _ -> [ VDet ]
+  | Read (r, _) ->
+      List.map
+        (fun (m, pos) -> VRead (m, pos))
+        (eligible_msgs store st.Config.view r)
+  | Spin (r, pred, _) ->
+      let vp = Modlog.view_pos store r st.Config.view in
+      List.filter_map
+        (fun ((m : Modlog.msg), pos) ->
+          if
+            pred m.Modlog.value || pos > vp
+            || st.Config.last_read <> Some (r, m.Modlog.value)
+          then Some (VSpinRead (m, pos))
+          else None)
+        (eligible_msgs store st.Config.view r)
+  | Spinv (regs, prev, pred, _) ->
+      (* a round is productive when it satisfies the predicate, is the
+         first round, or advances the view — an unproductive round is
+         an exact replay of the previous one (same messages, same
+         values), the view-backend analogue of the wbuf blocked rule *)
+      List.filter_map
+        (fun (tuple, view') ->
+          let vs =
+            List.map (fun (_, (m : Modlog.msg)) -> m.Modlog.value) tuple
+          in
+          if pred vs || prev = None || not (View.equal view' st.Config.view)
+          then Some (VRound tuple)
+          else None)
+        (round_tuples store st.Config.view [] regs)
+  | Write (r, _, _) -> (
+      let n = Modlog.nmsgs store r in
+      match cfg.Config.model with
+      | Memory_model.Sra ->
+          (* strong RA: the write must take a timestamp above the
+             location's current maximum — append only *)
+          [ VWriteAt n ]
+      | Memory_model.Ra ->
+          (* RA: any position strictly above the writer's own view —
+             except directly below an RMW message, which is attached
+             to the message it read (RMW atomicity) *)
+          let vp = Modlog.view_pos store r st.Config.view in
+          List.filter_map
+            (fun i ->
+              let at = n - i in
+              if at < n && (Modlog.msg_at store r at).Modlog.rmw then None
+              else Some (VWriteAt at))
+            (List.init (n - vp) Fun.id)
+      | Sc | Tso | Pso | Rmo -> assert false)
+
+(** Number of alternatives of [p]'s current operation (labels skipped);
+    [0] iff final or blocked. The scheduler's draw range. *)
+let view_nchoices cfg p =
+  let st = Config.pstate cfg p in
+  let prog = Program.skip_labels ~emit:ignore st.Config.prog in
+  List.length (view_choices cfg { st with Config.prog = prog })
+
+(* Read message [m] at [r]: acquire its base, observe its value.
+   Mirrors {!read_step} (fused single-allocation update); locality is
+   the paper's read rule — view reads are never store-forwarded. *)
+let view_read_step cfg p (st : Config.pstate) r (m : Modlog.msg) ~prog' =
+  let store = Config.store_exn cfg in
+  let v = m.Modlog.value in
+  let loc = Config.read_locality cfg p st r v in
+  let view = acquire store st.Config.view m r in
+  let st =
+    Config.learn
+      {
+        st with
+        Config.prog = prog' v;
+        last_read = Some (r, v);
+        ops = st.Config.ops + 1;
+        obs = v :: st.Config.obs;
+        obs_len = st.Config.obs_len + 1;
+        obs_ha = Keyhash.mix_a st.Config.obs_ha v;
+        obs_hb = Keyhash.mix_b st.Config.obs_hb v;
+        obs_regs = Config.obs_extend st.Config.obs_regs r v;
+        view;
+      }
+      r v
+  in
+  let cfg =
+    Config.step cfg p st (fun c ->
+        Config.charge_rmr loc
+          {
+            c with
+            Metrics.reads = c.Metrics.reads + 1;
+            steps = c.Metrics.steps + 1;
+          })
+  in
+  (Step.Read { p; reg = r; value = v; from_wbuf = false; loc }, cfg)
+
+(* Write [v] to [r] at log position [at], base = the release view.
+   Appends are commits: they advance the location's log maximum, so
+   committed memory (kept materialized at the maximum) and the
+   last-committer table update; an RA mid-log insertion changes
+   neither. Either way the store changed, so the step is mem-dirty.
+   Commit locality is charged once, like the SC immediate-commit
+   write. *)
+let view_write_step cfg p (st : Config.pstate) r v ~at ~prog' =
+  let store = Config.store_exn cfg in
+  let appended = at = Modlog.nmsgs store r in
+  let loc = Config.commit_locality cfg p r in
+  let m, store = Modlog.insert store r ~at ~value:v ~base:st.Config.rel in
+  let st =
+    Config.learn
+      {
+        st with
+        Config.prog = prog' ();
+        last_read = None;
+        ops = st.Config.ops + 1;
+        view = View.set st.Config.view r m.Modlog.mid;
+      }
+      r v
+  in
+  let cfg =
+    Config.step cfg p
+      ?commit:(if appended then Some (r, v) else None)
+      ~store st
+      (fun c ->
+        Config.charge_rmr loc
+          {
+            c with
+            Metrics.writes = c.Metrics.writes + 1;
+            steps = c.Metrics.steps + 1;
+          })
+  in
+  (Step.Write { p; reg = r; value = v }, cfg)
+
+(* The SC fence: join the process's view into the global fence view
+   and adopt the join; the release view catches up. Fences are thereby
+   totally ordered (each adopts every earlier one's knowledge), which
+   is what collapses fully fenced programs onto SC. *)
+let view_fence_step cfg p (st : Config.pstate) ~prog' =
+  let store = Config.store_exn cfg in
+  let view = Modlog.join store st.Config.view (Modlog.sc store) in
+  let store = Modlog.with_sc store view in
+  let st =
+    {
+      st with
+      Config.prog = prog' ();
+      last_read = None;
+      ops = st.Config.ops + 1;
+      view;
+      rel = view;
+    }
+  in
+  let cfg =
+    Config.step cfg p ~store st (fun c ->
+        {
+          c with
+          Metrics.fences = c.Metrics.fences + 1;
+          steps = c.Metrics.steps + 1;
+        })
+  in
+  (Step.Fence { p }, cfg)
+
+(* Strong RMW (swap/faa): an SC fence, a read of the location's log
+   MAXIMUM, and an append, atomically; the new message's base is the
+   full post-read view and both the SC and release views adopt the
+   result — an RMW is a release and an acquire. Reading the maximum
+   (rather than any eligible message) is the "strong RMW"
+   simplification documented in DESIGN.md §6f: it keeps RMW chains
+   totally ordered per location, which the mutex algorithms rely on.
+   Billing mirrors the wbuf {!rmw_step}: rmw + fence + one step,
+   commit locality. *)
+let view_rmw_step cfg p (st : Config.pstate) r ~op ~arg ~k =
+  let store = Config.store_exn cfg in
+  let view = Modlog.join store st.Config.view (Modlog.sc store) in
+  let m = Modlog.max_msg store r in
+  let read = m.Modlog.value in
+  let view = acquire store view m r in
+  let wrote = match op with `Swap -> arg | `Faa -> read + arg in
+  let loc = Config.commit_locality cfg p r in
+  let wm, store =
+    Modlog.insert ~rmw:true store r ~at:(Modlog.nmsgs store r) ~value:wrote
+      ~base:view
+  in
+  let view = View.set view r wm.Modlog.mid in
+  let store = Modlog.with_sc store view in
+  let st = Config.learn (Config.learn st r read) r wrote in
+  let st =
+    {
+      st with
+      Config.prog = k read;
+      last_read = None;
+      ops = st.Config.ops + 1;
+      obs = read :: st.Config.obs;
+      obs_len = st.Config.obs_len + 1;
+      obs_ha = Keyhash.mix_a st.Config.obs_ha read;
+      obs_hb = Keyhash.mix_b st.Config.obs_hb read;
+      obs_regs = Config.obs_extend st.Config.obs_regs r read;
+      view;
+      rel = view;
+    }
+  in
+  let cfg =
+    Config.step cfg p ~commit:(r, wrote) ~store st (fun c ->
+        Config.charge_rmr loc
+          {
+            c with
+            Metrics.rmw = c.Metrics.rmw + 1;
+            fences = c.Metrics.fences + 1;
+            steps = c.Metrics.steps + 1;
+          })
+  in
+  (Step.Rmw { p; reg = r; op; arg; read; wrote; loc }, cfg)
+
+(* Cas: same barrier + read-the-maximum discipline as {!view_rmw_step};
+   on success the update appends and publishes, on failure only the
+   read-enriched view is published (the barrier still happened). *)
+let view_cas_step cfg p (st : Config.pstate) r ~expect ~update ~k =
+  let store = Config.store_exn cfg in
+  let view = Modlog.join store st.Config.view (Modlog.sc store) in
+  let m = Modlog.max_msg store r in
+  let read = m.Modlog.value in
+  let view = acquire store view m r in
+  let success = read = expect in
+  let loc = Config.commit_locality cfg p r in
+  let view, store =
+    if success then begin
+      let wm, store =
+        Modlog.insert ~rmw:true store r ~at:(Modlog.nmsgs store r)
+          ~value:update ~base:view
+      in
+      (View.set view r wm.Modlog.mid, store)
+    end
+    else (view, store)
+  in
+  let store = Modlog.with_sc store view in
+  let st = Config.learn st r read in
+  let st =
+    Config.observe
+      (Config.observe
+         {
+           st with
+           Config.prog = k success;
+           last_read = None;
+           ops = st.Config.ops + 1;
+           view;
+           rel = view;
+         }
+         r read)
+      r
+      (if success then 1 else 0)
+  in
+  let st = if success then Config.learn st r update else st in
+  let cfg =
+    Config.step cfg p
+      ?commit:(if success then Some (r, update) else None)
+      ~store st
+      (fun c ->
+        Config.charge_rmr loc
+          {
+            c with
+            Metrics.cas = c.Metrics.cas + 1;
+            fences = c.Metrics.fences + 1;
+            steps = c.Metrics.steps + 1;
+          })
+  in
+  (Step.Cas { p; reg = r; expect; update; read; success; loc }, cfg)
+
+(* One atomic spinv round: the per-register reads of [tuple] in
+   program order, each acquiring its message's base. Executing the
+   round whole is outcome-equivalent to unrolling it into reads (the
+   tuple was enumerated against the threaded view), and sidesteps the
+   unrolled form's unbounded unproductive interleavings. Bills one
+   read step per register. *)
+let view_round_step cfg p (st : Config.pstate) regs pred k tuple =
+  let store = Config.store_exn cfg in
+  let nreads = List.length tuple in
+  let steps, st, locs =
+    List.fold_left
+      (fun (steps, st, locs) (r, (m : Modlog.msg)) ->
+        let v = m.Modlog.value in
+        let loc = Config.read_locality cfg p st r v in
+        let st =
+          Config.learn
+            {
+              st with
+              Config.obs = v :: st.Config.obs;
+              obs_len = st.Config.obs_len + 1;
+              obs_ha = Keyhash.mix_a st.Config.obs_ha v;
+              obs_hb = Keyhash.mix_b st.Config.obs_hb v;
+              obs_regs = Config.obs_extend st.Config.obs_regs r v;
+              view = acquire store st.Config.view m r;
+            }
+            r v
+        in
+        ( Step.Read { p; reg = r; value = v; from_wbuf = false; loc } :: steps,
+          st,
+          loc :: locs ))
+      ([], st, []) tuple
+  in
+  let vs = List.map (fun (_, (m : Modlog.msg)) -> m.Modlog.value) tuple in
+  let prog =
+    if pred vs then k vs else Program.Spinv (regs, Some vs, pred, k)
+  in
+  let st =
+    {
+      st with
+      Config.prog = prog;
+      last_read = None;
+      ops = st.Config.ops + nreads;
+    }
+  in
+  let cfg =
+    Config.step cfg p st (fun c ->
+        let c =
+          {
+            c with
+            Metrics.reads = c.Metrics.reads + nreads;
+            steps = c.Metrics.steps + nreads;
+          }
+        in
+        List.fold_left (fun c loc -> Config.charge_rmr loc c) c locs)
+  in
+  (List.rev steps, cfg)
+
+(* One view-backend step of [p], taking alternative [idx] of its
+   current operation (labels already skipped). [None] when there is
+   nothing to do — final, or blocked — for [idx = 0]; an out-of-range
+   explicit alternative is a schedule bug and raises. *)
+let view_op_step cfg p (st : Config.pstate) idx :
+    (Step.t list * Config.t * bool) option =
+  let choices = view_choices cfg st in
+  match List.nth_opt choices idx with
+  | None ->
+      if idx = 0 then None
+      else
+        Fmt.invalid_arg "Exec: view choice %d out of range (%d available)" idx
+          (List.length choices)
+  | Some c -> (
+      match ((st.Config.prog : Program.t), c) with
+      | Program.Ret v, VDet ->
+          let st =
+            {
+              st with
+              Config.prog = Program.Done v;
+              last_read = None;
+              ops = st.Config.ops + 1;
+            }
+          in
+          let cfg =
+            Config.step cfg p st (fun c ->
+                {
+                  c with
+                  Metrics.returns = c.Metrics.returns + 1;
+                  steps = c.Metrics.steps + 1;
+                })
+          in
+          Some ([ Step.Return { p; value = v } ], cfg, false)
+      | Read (r, k), VRead (m, _) ->
+          let step, cfg = view_read_step cfg p st r m ~prog':k in
+          Some ([ step ], cfg, false)
+      | Spin (r, pred, k), VSpinRead (m, _) ->
+          let prog' =
+            if pred m.Modlog.value then k else fun _ -> st.Config.prog
+          in
+          let step, cfg = view_read_step cfg p st r m ~prog' in
+          Some ([ step ], cfg, false)
+      | Spinv (regs, _, pred, k), VRound tuple ->
+          let steps, cfg = view_round_step cfg p st regs pred k tuple in
+          Some (steps, cfg, false)
+      | Write (r, v, k), VWriteAt at ->
+          let step, cfg = view_write_step cfg p st r v ~at ~prog':k in
+          Some ([ step ], cfg, true)
+      | Fence k, VDet ->
+          let step, cfg = view_fence_step cfg p st ~prog':k in
+          Some ([ step ], cfg, true)
+      | Cas (r, expect, update, k), VDet ->
+          let step, cfg = view_cas_step cfg p st r ~expect ~update ~k in
+          Some ([ step ], cfg, true)
+      | Swap (r, arg, k), VDet ->
+          let step, cfg = view_rmw_step cfg p st r ~op:`Swap ~arg ~k in
+          Some ([ step ], cfg, true)
+      | Faa (r, arg, k), VDet ->
+          let step, cfg = view_rmw_step cfg p st r ~op:`Faa ~arg ~k in
+          Some ([ step ], cfg, true)
+      | _ -> assert false)
+
 (* One operation step of [p] (labels already skipped; [st] is [p]'s
    current state, [prog = st.prog]). Returns [None] when [p] has no
    step to take: it is final, or blocked on a spin whose register
@@ -417,11 +863,21 @@ let forced_commit_pending cfg p =
 let exec_elt_d cfg ((p, r) : elt) : Step.t list * Config.t * dirty =
   let notes, st, cfg = consume_labels cfg p in
   let labeled = notes <> [] in
-  let prog = st.Config.prog in
-  let wb = st.Config.wb in
   let noop () =
     (notes, cfg, { proc = (if labeled then Some p else None); mem = false })
   in
+  if Memory_model.view_based cfg.Config.model then begin
+    (* view backend: the register slot is a choice index (see the view
+       section header); there are no commits or buffers to overtake *)
+    let idx = match r with None -> 0 | Some k -> k in
+    match view_op_step cfg p st idx with
+    | None -> noop ()
+    | Some (steps, cfg, mem_dirty) ->
+        (notes @ steps, cfg, { proc = Some p; mem = mem_dirty })
+  end
+  else
+  let prog = st.Config.prog in
+  let wb = st.Config.wb in
   let with_commit r =
     (* commits are system steps: they remain possible even after the
        process reached its final state with a non-empty buffer (only
@@ -482,6 +938,11 @@ let exec cfg (sched : elt list) : Step.t list * Config.t =
     the op element plus one commit element per committable register. *)
 let enabled_elts cfg p : elt list =
   if Config.is_final cfg p then []
+  else if Memory_model.view_based cfg.Config.model then
+    (* one element per alternative of the current op, newest-first;
+       empty when blocked *)
+    List.init (view_nchoices cfg p) (fun i ->
+        (p, if i = 0 then None else Some i))
   else
     let commits =
       Memory_model.commit_candidates cfg.Config.model (Config.wbuf cfg p)
@@ -521,6 +982,9 @@ let terminates_solo ?fuel cfg p = Option.is_some (run_solo ?fuel cfg p)
     no-op until someone commits to the spun-on register. *)
 let is_blocked cfg p =
   let _, st, cfg = consume_labels cfg p in
+  if Memory_model.view_based cfg.Config.model then
+    (not (Program.is_done st.Config.prog)) && view_choices cfg st = []
+  else
   match (st.Config.prog : Program.t) with
   | Program.Spin (r, pred, _) -> (
       let v, _ = visible_value cfg st r in

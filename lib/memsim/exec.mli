@@ -4,7 +4,14 @@
     the commit of [p]'s buffered write to [R] when the model allows it;
     otherwise a forced commit if [p] is poised at a fence (or cas) over
     a non-empty buffer; otherwise [p]'s next operation step. See the
-    implementation header for the full rules. *)
+    implementation header for the full rules.
+
+    Under a view-based model ({!Memory_model.view_based}) the register
+    slot is reinterpreted as a {e choice index}: [(p, ⊥)] is
+    alternative 0 and [(p, Some k)] the k-th alternative of [p]'s
+    current operation, newest-first — reads choose an eligible
+    message, RA writes an insertion position ({!view_nchoices} is the
+    range). *)
 
 type elt = Pid.t * Reg.t option
 
@@ -29,8 +36,16 @@ val exec_elt_d : Config.t -> elt -> Step.t list * Config.t * dirty
 (** Run a whole schedule, accumulating the trace. *)
 val exec : Config.t -> elt list -> Step.t list * Config.t
 
-(** All elements that would produce a step for [p] right now. *)
+(** All elements that would produce a step for [p] right now. Under a
+    view-based model: one element per alternative of [p]'s current
+    operation, newest-first (empty when final or blocked). *)
 val enabled_elts : Config.t -> Pid.t -> elt list
+
+(** View-based models only: the number of alternatives of [p]'s
+    current operation (labels skipped) — the valid choice indices are
+    [0 .. n-1]. [0] iff [p] is final or blocked. Raises
+    [Invalid_argument] under write-buffer models. *)
+val view_nchoices : Config.t -> Pid.t -> int
 
 (** Consume pending labels of every process, returning the notes. The
     model checker normalizes states this way. *)

@@ -64,6 +64,15 @@ let state_key = Statekey.to_string
    per state — nothing accumulates across states.) *)
 let successor_elts cfg : Exec.elt list =
   let n = Config.nprocs cfg in
+  if Memory_model.view_based cfg.Config.model then
+    (* view backend: one element per alternative of each process's
+       current op (read message / insertion position choices), already
+       empty for final or blocked processes *)
+    let rec go p acc =
+      if p < 0 then acc else go (p - 1) (Exec.enabled_elts cfg p @ acc)
+    in
+    go (n - 1) []
+  else
   let rec go p acc =
     if p < 0 then acc
     else
@@ -105,6 +114,15 @@ let dfs (type m) ?tel ?(max_states = 1_000_000) ?(max_depth = 100_000)
     m result =
   (match reorder_bound with
   | Some k when k < 0 -> Fmt.invalid_arg "Explore.dfs: reorder_bound %d" k
+  | Some _ when Memory_model.view_based cfg0.Config.model ->
+      (* the budget counts overtaken write-buffer entries; view-based
+         models have no buffer, and their reordering freedom (mid-log
+         insertion) is not the quantity the bound meters — reject
+         rather than silently explore everything (DESIGN.md §6f) *)
+      Fmt.invalid_arg
+        "Explore.dfs: --reorder-bound is not supported under %s (view-based \
+         models have no write buffer to meter)"
+        (Memory_model.to_string cfg0.Config.model)
   | _ -> ());
   let visited : (_, unit) Hashtbl.t = Hashtbl.create 4096 in
   let states = ref 0 and transitions = ref 0 and truncated = ref false in

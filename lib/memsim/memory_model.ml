@@ -17,17 +17,36 @@
       PSO"), and its operational model is the PSO buffer; RMO's
       additional read reordering is not exercised by any algorithm or
       bound here. Kept as a distinct constructor so reports label runs
-      honestly. *)
+      honestly.
 
-type t = Sc | Tso | Pso | Rmo
+    {!Ra} and {!Sra} are not buffer disciplines at all: they run on the
+    view-based storage backend ({!View}/{!Modlog}) — per-location
+    timestamped modification logs and per-process views, with
+    release/acquire synchronization through message base views:
 
-let all = [ Sc; Tso; Pso; Rmo ]
+    - {!Ra}: release/acquire; a write may insert into the middle of a
+      location's log (anywhere above the writer's own view), which is
+      RA's extra write-reordering freedom.
+    - {!Sra}: strong release/acquire; writes must take a timestamp
+      above the location's current maximum (append-only logs), i.e.
+      per-location writes are totally ordered the moment they happen.
+
+    {!view_based} partitions the two families; the buffer-policy
+    functions below are never consulted for view-based models (the
+    executor dispatches on the storage discipline first), and the ones
+    that would be meaningless raise. *)
+
+type t = Sc | Tso | Pso | Rmo | Ra | Sra
+
+let all = [ Sc; Tso; Pso; Rmo; Ra; Sra ]
 
 let to_string = function
   | Sc -> "SC"
   | Tso -> "TSO"
   | Pso -> "PSO"
   | Rmo -> "RMO"
+  | Ra -> "RA"
+  | Sra -> "SRA"
 
 let pp = Fmt.of_to_string to_string
 
@@ -36,16 +55,28 @@ let of_string = function
   | "TSO" | "tso" -> Some Tso
   | "PSO" | "pso" -> Some Pso
   | "RMO" | "rmo" -> Some Rmo
+  | "RA" | "ra" -> Some Ra
+  | "SRA" | "sra" -> Some Sra
   | _ -> None
 
 let equal (a : t) b = a = b
 
-(** Does the model buffer writes at all? *)
-let buffered = function Sc -> false | Tso | Pso | Rmo -> true
+(** Does the model run on the view-based storage backend
+    ({!View}/{!Modlog}) rather than a write buffer? *)
+let view_based = function Ra | Sra -> true | Sc | Tso | Pso | Rmo -> false
 
-(** Does the model allow writes to different locations to commit out of
-    program order? This is the property the paper's tradeoff hinges on. *)
-let reorders_writes = function Sc | Tso -> false | Pso | Rmo -> true
+(** Does the model buffer writes at all? (View-based models don't —
+    their relaxations live in the log, not a buffer.) *)
+let buffered = function Sc | Ra | Sra -> false | Tso | Pso | Rmo -> true
+
+(** Does the model allow writes to different locations to be observed
+    out of program order? This is the property the paper's tradeoff
+    hinges on. For buffer models it is the commit discipline; for
+    view-based models it is advisory only (RA's mid-log insertion vs
+    SRA's append-only logs) — no buffer machinery consults it. *)
+let reorders_writes = function
+  | Sc | Tso | Sra -> false
+  | Pso | Rmo | Ra -> true
 
 (** Insert a write into the buffer under this model's discipline.
     Unused for [Sc] (the executor commits directly). *)
@@ -54,11 +85,14 @@ let buffer_write t wb r v =
   | Sc -> wb (* never called; Sc writes bypass the buffer *)
   | Tso -> Wbuf.write_fifo wb r v
   | Pso | Rmo -> Wbuf.write_replace wb r v
+  | Ra | Sra ->
+      Fmt.invalid_arg "Memory_model.buffer_write: %s has no write buffer"
+        (to_string t)
 
 (** Registers whose pending write may be committed right now. *)
 let commit_candidates t wb =
   match t with
-  | Sc -> []
+  | Sc | Ra | Sra -> []
   | Tso -> ( match Wbuf.head wb with None -> [] | Some e -> [ e.Wbuf.reg ])
   | Pso | Rmo -> Wbuf.distinct_regs_sorted wb
 
@@ -67,7 +101,7 @@ let commit_candidates t wb =
     candidate list on every schedule element. *)
 let may_commit t wb r =
   match t with
-  | Sc -> false
+  | Sc | Ra | Sra -> false
   | Tso -> (
       match Wbuf.head wb with
       | Some e -> Reg.equal e.Wbuf.reg r
@@ -84,7 +118,7 @@ let may_commit t wb r =
     under [Pso]/[Rmo]. *)
 let commit_reorders t wb r =
   match t with
-  | Sc | Tso -> false
+  | Sc | Tso | Ra | Sra -> false
   | Pso | Rmo -> (
       match Wbuf.head wb with
       | Some e -> not (Reg.equal e.Wbuf.reg r)
@@ -95,6 +129,6 @@ let commit_reorders t wb r =
     unordered buffers (the paper's rule), the FIFO head for TSO. *)
 let forced_commit_reg t wb =
   match t with
-  | Sc -> None
+  | Sc | Ra | Sra -> None
   | Tso -> Option.map (fun e -> e.Wbuf.reg) (Wbuf.head wb)
   | Pso | Rmo -> Wbuf.smallest_reg wb

@@ -8,9 +8,15 @@
     - {!Rmo}: treated identically to {!Pso} on the write side; the
       paper's lower bound needs only write reordering ("in RMO or even
       PSO") and its operational model is the PSO buffer. Kept distinct
-      so reports label runs honestly. *)
+      so reports label runs honestly.
+    - {!Ra} / {!Sra}: release/acquire and strong release/acquire — not
+      buffer disciplines but the view-based backend ({!View}/{!Modlog}):
+      per-location timestamped modification logs and per-process views.
+      SRA writes must append above the location's current maximum; RA
+      may insert into the middle of the log. The buffer-policy functions
+      below are never consulted for them. *)
 
-type t = Sc | Tso | Pso | Rmo
+type t = Sc | Tso | Pso | Rmo | Ra | Sra
 
 val all : t list
 val to_string : t -> string
@@ -18,14 +24,21 @@ val of_string : string -> t option
 val pp : t Fmt.t
 val equal : t -> t -> bool
 
-(** Does the model buffer writes at all? *)
+(** Does the model run on the view-based backend ({!View}/{!Modlog})
+    rather than a write buffer? *)
+val view_based : t -> bool
+
+(** Does the model buffer writes at all? ([false] for view-based
+    models — their relaxations live in the log, not a buffer.) *)
 val buffered : t -> bool
 
-(** May writes to different locations commit out of program order? The
-    property the paper's tradeoff hinges on. *)
+(** May writes to different locations be observed out of program order?
+    The property the paper's tradeoff hinges on. Advisory for
+    view-based models (RA mid-log insertion vs SRA append-only). *)
 val reorders_writes : t -> bool
 
-(** Insert a write under this model's discipline (unused for [Sc]). *)
+(** Insert a write under this model's discipline (unused for [Sc];
+    raises [Invalid_argument] for view-based models). *)
 val buffer_write : t -> Wbuf.t -> Reg.t -> int -> Wbuf.t
 
 (** Registers whose pending write may commit right now. *)

@@ -132,6 +132,17 @@ let random ?(seed = 0) ?(commit_bias = 0.3) ?(max_elts = 1_000_000) cfg :
         raise (Stuck (cfg, "random: all processes blocked (deadlock)"))
       else begin
         let p = actionable.(Random.State.int rng !k) in
+        if Memory_model.view_based cfg.Config.model then begin
+          (* view backend: draw a uniform alternative of [p]'s current
+             op (read message / insertion position). [p] is actionable,
+             so at least one alternative exists. The wbuf branch below
+             is untouched — its seeded draw sequence stays pinned. *)
+          let c = Random.State.int rng (Exec.view_nchoices cfg p) in
+          let elt = (p, if c = 0 then None else Some c) in
+          let steps, cfg = Exec.exec_elt cfg elt in
+          go (budget - 1) (List.rev_append steps acc) cfg
+        end
+        else begin
         let candidates =
           Array.of_list
             (Memory_model.commit_candidates cfg.Config.model (Config.wbuf cfg p))
@@ -146,6 +157,7 @@ let random ?(seed = 0) ?(commit_bias = 0.3) ?(max_elts = 1_000_000) cfg :
         in
         let steps, cfg = Exec.exec_elt cfg elt in
         go (budget - 1) (List.rev_append steps acc) cfg
+        end
       end
     end
   in

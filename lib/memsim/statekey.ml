@@ -49,6 +49,15 @@ let iter (cfg : Config.t) (f : int -> unit) =
       f r;
       f v)
     cfg.Config.mem;
+  (* view-based models: the exact modification-log store (per-location
+     logs in order, message bases, the SC-fence view). Mid-based, so
+     sound — two states with equal streams have identical stores — but
+     under-merging: stores equal up to a message-id renaming key
+     differently. Absent ([None]) under write-buffer models, keeping
+     their streams byte-identical to the pre-view-backend key. *)
+  (match cfg.Config.store with
+  | None -> ()
+  | Some s -> Modlog.iter_key s f);
   Array.iteri
     (fun p (st : Config.pstate) ->
       f p;
@@ -72,12 +81,31 @@ let proc_lanes (st : Config.pstate) = (st.Config.lka, st.Config.lkb)
 let proc_lanes_scratch (st : Config.pstate) =
   proc_lanes (Config.scratch_lanes st)
 
-(** The incrementally maintained committed-memory lanes. *)
-let mem_lanes (cfg : Config.t) = Config.Mem.lanes cfg.Config.mem
+(* Compose the committed-memory lanes with the modification-log store
+   lanes (view-based models; the store is part of shared memory as far
+   as dedup is concerned). Xor keeps the composition updatable: the
+   fingerprint update path recomputes mem lanes before/after any
+   mem-dirty element, which covers store changes too. *)
+let with_store_lanes (cfg : Config.t) (ha, hb) =
+  match cfg.Config.store with
+  | None -> (ha, hb)
+  | Some s ->
+      let sa, sb = Modlog.lanes s in
+      (ha lxor sa, hb lxor sb)
+
+(** The incrementally maintained shared-memory lanes: committed memory,
+    xor the modification-log store under view-based models. *)
+let mem_lanes (cfg : Config.t) =
+  with_store_lanes cfg (Config.Mem.lanes cfg.Config.mem)
 
 (** The same lanes recomputed from scratch (incrementality tests). *)
 let mem_lanes_scratch (cfg : Config.t) =
-  Config.Mem.lanes_scratch cfg.Config.mem
+  let mha, mhb = Config.Mem.lanes_scratch cfg.Config.mem in
+  match cfg.Config.store with
+  | None -> (mha, mhb)
+  | Some s ->
+      let sa, sb = Modlog.lanes_scratch s in
+      (mha lxor sa, mhb lxor sb)
 
 (** Per-pid lane extraction under a register renaming — the symmetry
     canonicalizer's building blocks (see [Mc.Symmetry]). A pid
@@ -93,4 +121,8 @@ let proc_lanes_mapped ~map_reg (st : Config.pstate) =
   Config.mapped_lanes ~map_reg st
 
 let mem_lanes_mapped ~map_reg (cfg : Config.t) =
-  Config.Mem.lanes_mapped ~map_reg cfg.Config.mem
+  (* store lanes are composed unmapped: symmetry reduction is rejected
+     for view-based models ([Mc]), so the store is always [None] when
+     a non-identity renaming reaches here, and identity must reproduce
+     {!mem_lanes} *)
+  with_store_lanes cfg (Config.Mem.lanes_mapped ~map_reg cfg.Config.mem)

@@ -1,0 +1,61 @@
+(** Per-process views for the release/acquire (RA/SRA) storage backend.
+
+    A view maps each location to the {e message id} of the newest
+    message of that location the owner is aware of. Views are the
+    backbone of the view-based operational semantics (see {!Modlog} and
+    DESIGN.md §6f): a process may never read a message older than its
+    view entry for that location, and reading a message joins the
+    message's base view into the reader's — that is how release/acquire
+    synchronization propagates.
+
+    Message id [0] is the per-location {e root} message (the layout
+    initial value), and is the default for locations a view does not
+    bind — so the empty map is the initial view of every process, and
+    maps are kept canonical by never binding a location to the root
+    explicitly. Note that message ids order messages by {e creation}
+    time, not by log position: under RA a later write may sit {e below}
+    an earlier one in a location's log, so any comparison of view
+    entries must go through the log positions ({!Modlog.join}) — this
+    module deliberately has no [leq]/[join] of its own. *)
+
+type t = int Reg.Map.t
+
+let empty = Reg.Map.empty
+let is_empty = Reg.Map.is_empty
+
+(** Message id the view holds for [r]; the root ([0]) when unbound. *)
+let mid t r = match Reg.Map.find_opt r t with Some m -> m | None -> 0
+
+(** Bind [r] to message [m], keeping the map canonical (binding the
+    root removes the entry). *)
+let set t r m = if m = 0 then Reg.Map.remove r t else Reg.Map.add r m t
+
+let equal = Reg.Map.equal Int.equal
+let fold f t acc = Reg.Map.fold f t acc
+let cardinal = Reg.Map.cardinal
+let iter = Reg.Map.iter
+
+(* Lane seeds decorrelated from {!Config.Mem}'s Zobrist tokens (which
+   use the raw seeds), so a view entry can never cancel a committed
+   (r, v) token in the xor-composed fingerprint. *)
+let seed_a = Keyhash.mix_a Keyhash.seed_a 0x7a56
+let seed_b = Keyhash.mix_b Keyhash.seed_b 0x7a56
+
+(** Xor-composed Zobrist digest over the bound [(location, mid)]
+    entries — order-free, [0] for the empty (initial) view. *)
+let digest_a t =
+  Reg.Map.fold (fun r m acc -> acc lxor Keyhash.token_a seed_a r m) t 0
+
+let digest_b t =
+  Reg.Map.fold (fun r m acc -> acc lxor Keyhash.token_b seed_b r m) t 0
+
+let pp ppf t =
+  let first = ref true in
+  Fmt.pf ppf "{";
+  Reg.Map.iter
+    (fun r m ->
+      if not !first then Fmt.comma ppf ();
+      first := false;
+      Fmt.pf ppf "%a@%d" Reg.pp r m)
+    t;
+  Fmt.pf ppf "}"

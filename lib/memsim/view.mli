@@ -1,0 +1,31 @@
+(** Per-process views for the release/acquire (RA/SRA) storage backend:
+    location → newest known message id, with id [0] the per-location
+    root message (the layout initial value) as the unbound default.
+    Message ids order messages by creation, not log position — comparing
+    or joining view entries must go through {!Modlog}. *)
+
+type t
+
+(** The initial view: every location at its root message. *)
+val empty : t
+
+val is_empty : t -> bool
+
+(** Message id held for a location; the root ([0]) when unbound. *)
+val mid : t -> Reg.t -> int
+
+(** Bind a location to a message id (canonical: binding the root
+    removes the entry). *)
+val set : t -> Reg.t -> int -> t
+
+val equal : t -> t -> bool
+val fold : (Reg.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Reg.t -> int -> unit) -> t -> unit
+val cardinal : t -> int
+
+(** Xor-composed Zobrist digests over bound entries, decorrelated from
+    {!Config.Mem}'s committed-value tokens; [0] for {!empty}. *)
+val digest_a : t -> int
+
+val digest_b : t -> int
+val pp : t Fmt.t

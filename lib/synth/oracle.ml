@@ -170,6 +170,14 @@ let lock_problem ?(rounds = 1) ?(max_states = 400_000) ?(prefilter = Some 2)
     ~model (fam : family) ~nprocs : problem =
   let nsites = fam.acquire_sites + fam.release_sites in
   Sites.check_nsites nsites;
+  (* View-based models: no write buffer, so the reorder-bounded
+     prefilter is rejected by the engine, and the stutter-insertion
+     argument behind relevance (a fence over an empty buffer is a
+     no-op) does not hold — an RA/SRA fence acquires from the global
+     fence view even when nothing is pending. Fall back to unbounded
+     checks and closure-only pruning. *)
+  let view = Memory_model.view_based model in
+  let prefilter = if view then None else prefilter in
   let check mask =
     let factory = masked_factory ~marker:Sites.marker fam mask in
     (* Reorder-bounded prefilter: most wrong placements already fail
@@ -209,13 +217,15 @@ let lock_problem ?(rounds = 1) ?(max_states = 400_000) ?(prefilter = Some 2)
       (* a bounded counterexample is an ordinary schedule — replay is
          oblivious to how it was found *)
       let relevant =
-        Option.map
-          (fun p ->
-            let trace, _ =
-              Verify.Mutex_check.replay ~model factory ~nprocs ~rounds p
-            in
-            relevant_of_trace ~nprocs trace)
-          path
+        if view then None
+        else
+          Option.map
+            (fun p ->
+              let trace, _ =
+                Verify.Mutex_check.replay ~model factory ~nprocs ~rounds p
+              in
+              relevant_of_trace ~nprocs trace)
+            path
       in
       { ok = false; states; relevant }
   in
@@ -255,6 +265,10 @@ let litmus_observe regs (test : Litmus.Test.t) final : Litmus.Test.outcome =
 
 let litmus_problem ?(max_states = 400_000) ?(prefilter = Some 2) ~model
     (test : Litmus.Test.t) : problem =
+  (* same gate as [lock_problem]: no reorder-bounded prefilter and no
+     occupancy-based relevance under the view-based models *)
+  let view = Memory_model.view_based model in
+  let prefilter = if view then None else prefilter in
   let counts = Litmus.Test.fence_sites test in
   let nsites = Array.fold_left ( + ) 0 counts in
   Sites.check_nsites nsites;
@@ -312,8 +326,13 @@ let litmus_problem ?(max_states = 400_000) ?(prefilter = Some 2) ~model
     match result.Explore.violations with
     | [] -> { ok = true; states; relevant = None }
     | v :: _ ->
-        let trace, _ = Mc.Replay.run cfg v.Explore.path in
-        { ok = false; states; relevant = Some (relevant_of_trace ~nprocs trace) }
+        let relevant =
+          if view then None
+          else
+            let trace, _ = Mc.Replay.run cfg v.Explore.path in
+            Some (relevant_of_trace ~nprocs trace)
+        in
+        { ok = false; states; relevant }
   in
   let cost mask =
     (* worst process over one drained sequential run — the litmus

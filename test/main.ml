@@ -29,6 +29,7 @@ let () =
       Test_frontier.suite;
       Test_symmetry.suite;
       Test_reorder.suite;
+      Test_ra.suite;
       Test_fuzz.suite;
       Test_stress.suite;
       Test_telemetry.suite;

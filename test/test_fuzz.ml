@@ -1,4 +1,4 @@
-(* Differential fuzzing: the generator is deterministic, the five
+(* Differential fuzzing: the generator is deterministic, the
    oracles hold on a capped corpus on every run, and the shrinker
    minimizes a deliberately broken oracle's counterexample to a
    litmus-sized program that replays from its seed. *)
@@ -34,6 +34,15 @@ let oracles_hold_on_corpus () =
 let oracles_hold_on_three_proc_corpus () =
   let params = { Fuzz.Gen.default_params with procs = 3; len = 4 } in
   let summary = Fuzz.run ~params ~seed:1_000 ~count:30 () in
+  Alcotest.(check int) "violations" 0 (List.length summary.Fuzz.findings);
+  Alcotest.(check int) "checked" 30
+    (summary.Fuzz.checked + List.length summary.Fuzz.skipped)
+
+let oracles_hold_with_ra_reference () =
+  (* engine parity and random-schedule soundness with the view-based
+     backend as the checked model (oracles 2 and 4's [config.model]) *)
+  let config = { Fuzz.Oracle.default_config with model = Memory_model.Ra } in
+  let summary = Fuzz.run ~config ~seed:2_000 ~count:30 () in
   Alcotest.(check int) "violations" 0 (List.length summary.Fuzz.findings);
   Alcotest.(check int) "checked" 30
     (summary.Fuzz.checked + List.length summary.Fuzz.skipped)
@@ -107,6 +116,36 @@ let saturation_is_sequentially_consistent () =
   Alcotest.(check bool) "saturated SB is not" false
     (pso_only_outcome (Fuzz.Gen.saturate sb))
 
+(* Oracle 7's transform, and why oracle 3's is not enough for the view
+   models: IRIW's weak outcome survives per-write fencing under RA (the
+   readers have no writes to fence), but full saturation kills it. *)
+let ra_only_outcome prog =
+  let test = Fuzz.Gen.compile prog in
+  let sc = Litmus.Test.run test ~model:Memory_model.Sc in
+  let ra = Litmus.Test.run test ~model:Memory_model.Ra in
+  Litmus.Test.separation ~stronger:sc ~weaker:ra <> []
+
+let full_saturation_collapses_ra () =
+  let iriw =
+    {
+      Fuzz.Gen.seed = 0;
+      params = { Fuzz.Gen.default_params with procs = 4 };
+      nregs = 2;
+      procs =
+        [|
+          [ Fuzz.Gen.Write (0, 1) ];
+          [ Fuzz.Gen.Write (1, 1) ];
+          [ Fuzz.Gen.Read 0; Fuzz.Gen.Read 1 ];
+          [ Fuzz.Gen.Read 1; Fuzz.Gen.Read 0 ];
+        |];
+    }
+  in
+  Alcotest.(check bool) "IRIW is weak under RA" true (ra_only_outcome iriw);
+  Alcotest.(check bool) "per-write saturation does not collapse it" true
+    (ra_only_outcome (Fuzz.Gen.saturate iriw));
+  Alcotest.(check bool) "full saturation does" false
+    (ra_only_outcome (Fuzz.Gen.saturate_full iriw))
+
 let artifact_is_self_contained () =
   let sb =
     {
@@ -145,6 +184,10 @@ let suite =
         `Quick oracles_hold_on_corpus;
       Alcotest.test_case "oracles hold on a 3-process corpus" `Quick
         oracles_hold_on_three_proc_corpus;
+      Alcotest.test_case "oracles hold with an RA reference model" `Quick
+        oracles_hold_with_ra_reference;
+      Alcotest.test_case "full saturation collapses IRIW under RA" `Quick
+        full_saturation_collapses_ra;
       Alcotest.test_case "broken oracle shrinks to a minimal witness" `Quick
         broken_oracle_shrinks_to_minimal;
       Alcotest.test_case "fence saturation collapses SB onto SC" `Quick
