@@ -19,7 +19,10 @@ bench:
 # iterative-deepening run (per-level records), then the view-backend
 # legs: the 2+2W litmus cell under RA (weak outcome reachable) and
 # SRA (forbidden — the pinned RA/SRA separator) and a bakery check on
-# each. Every leg writes NDJSON stats (uploaded as CI artifacts).
+# each, then the --no-compile escape hatch: the same bakery/PSO check
+# and the SB litmus cell on the raw closure interpreter (the flat
+# fast path is semantics-invisible, so verdicts and counts must not
+# change). Every leg writes NDJSON stats (uploaded as CI artifacts).
 mc-smoke:
 	dune exec test/mc_smoke.exe
 	dune exec bin/fencelab_cli.exe -- check bakery -m PSO -n 2 \
@@ -32,6 +35,9 @@ mc-smoke:
 	--stats-out MC_smoke_sra.ndjson
 	dune exec bin/fencelab_cli.exe -- check bakery -m RA -n 2
 	dune exec bin/fencelab_cli.exe -- check bakery -m SRA -n 2
+	dune exec bin/fencelab_cli.exe -- check bakery -m PSO -n 2 --no-compile \
+	--stats-out MC_smoke_nocompile.ndjson
+	dune exec bin/fencelab_cli.exe -- litmus SB -m TSO --no-compile
 
 # States/sec of the parallel engine by domain count; writes BENCH_mc.json
 mc-bench:

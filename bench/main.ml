@@ -503,20 +503,23 @@ let mc () =
       ("gt:2", 3, 1_356_589) ]
   in
   let engines =
-    ("dfs", `Dfs, false, false, None)
+    ("dfs", `Dfs, false, false, None, true)
     :: List.map
-         (fun j -> (Fmt.str "mc j=%d" j, `Parallel j, false, false, None))
+         (fun j -> (Fmt.str "mc j=%d" j, `Parallel j, false, false, None, true))
          jobs_sweep
     @ [
-        ("mc j=1 +por", `Parallel 1, true, false, None);
-        ("mc j=4 +por", `Parallel 4, true, false, None);
-        ("mc j=1 +sym", `Parallel 1, false, true, None);
-        ("mc j=1 +por+sym", `Parallel 1, true, true, None);
+        (* the --no-compile escape hatch: raw closure interpreter,
+           identical counts, the before-row of the compiled layer *)
+        ("mc j=1 no-compile", `Parallel 1, false, false, None, false);
+        ("mc j=1 +por", `Parallel 1, true, false, None, true);
+        ("mc j=4 +por", `Parallel 4, true, false, None, true);
+        ("mc j=1 +sym", `Parallel 1, false, true, None, true);
+        ("mc j=1 +por+sym", `Parallel 1, true, true, None, true);
         (* bounded rows: the reorder-budget under-approximation at K=2
            and the deepening driver, reading the same bound_hits counter
            `--stats-out` exports *)
-        ("mc j=1 rb=2", `Parallel 1, false, false, Some (`K 2));
-        ("mc j=1 deepen", `Parallel 1, false, false, Some `Deepen);
+        ("mc j=1 rb=2", `Parallel 1, false, false, Some (`K 2), true);
+        ("mc j=1 deepen", `Parallel 1, false, false, Some `Deepen, true);
       ]
   in
   let records = ref [] in
@@ -526,7 +529,7 @@ let mc () =
     List.concat_map
       (fun (name, nprocs, expected) ->
         List.map
-          (fun (label, engine, por, symmetry, bound) ->
+          (fun (label, engine, por, symmetry, bound, compile) ->
             let vstats = ref None in
             (* a fresh hub per run: counter totals are per-run, and the
                NDJSON columns below come straight off it — the same
@@ -537,15 +540,17 @@ let mc () =
                 ~workers:(match engine with `Dfs -> 1 | `Parallel j -> j)
                 ()
             in
+            let mw0 = Gc.minor_words () in
             let t0 = Unix.gettimeofday () in
             let v =
-              Verify.Mutex_check.check ~tel ~max_states:cap
+              Verify.Mutex_check.check ~tel ~compile ~max_states:cap
                 ~expected_states:(min cap expected)
                 ~report_visited:(fun s -> vstats := Some s)
                 ~engine ~por ~symmetry ?reorder_bound:bound
                 ~model:Memory_model.Pso (lock name) ~nprocs
             in
             let dt = Unix.gettimeofday () -. t0 in
+            let mw = Gc.minor_words () -. mw0 in
             let ctr n = Option.value ~default:0 (Telemetry.Hub.read_int tel n) in
             let steals = ctr "steals"
             and dedup = ctr "dedup_hits"
@@ -553,11 +558,15 @@ let mc () =
             and prunes = ctr "por_prunes" + ctr "sym_remaps" in
             let s = v.Verify.Mutex_check.stats in
             let rate = float_of_int s.Explore.states /. dt in
+            let mw_per_state =
+              if s.Explore.states = 0 then 0.
+              else mw /. float_of_int s.Explore.states
+            in
             let jobs = match engine with `Dfs -> 0 | `Parallel j -> j in
             (* a run racing j domains over fewer CPUs measures contention,
                not scaling: flag it and refuse to publish a speedup *)
             let underprovisioned = jobs > cpus in
-            if (not por) && (not symmetry) && bound = None then
+            if (not por) && (not symmetry) && bound = None && compile then
               Hashtbl.replace rates (name, jobs) rate;
             let speedup =
               if underprovisioned then Float.nan
@@ -575,12 +584,13 @@ let mc () =
               Fmt.str
                 {|  {"workload": %S, "nprocs": %d, "model": "PSO",
    "engine": %S, "jobs": %d, "por": %b, "symmetry": %b,
+   "compiled": %b, "minor_words_per_state": %.1f,
    "reorder_bound": %s, "bound_hits": %d, "bound_exact": %b,
    "states": %d, "transitions": %d, "truncated": %b,
    "seconds": %.3f, "states_per_sec": %.0f,
    "steals": %d, "dedup_hits": %d, "prunes": %d,
    "speedup_vs_j1": %s, "underprovisioned": %b, "visited_skew": %s}|}
-                name nprocs label jobs por symmetry
+                name nprocs label jobs por symmetry compile mw_per_state
                 (match v.Verify.Mutex_check.reorder_bound with
                 | Some k -> string_of_int k
                 | None -> "null")
@@ -600,6 +610,7 @@ let mc () =
               Report.icol s.Explore.transitions;
               Fmt.str "%.2f" dt;
               Fmt.str "%.0f" rate;
+              Fmt.str "%.0f" mw_per_state;
               Report.icol steals;
               Report.icol dedup;
               Report.icol prunes;
@@ -616,9 +627,99 @@ let mc () =
     ~headers:
       [
         "lock"; "n"; "engine"; "states"; "transitions"; "s"; "states/s";
-        "steals"; "dedup"; "prunes"; "bnd-hits"; "vs j=1"; "skew";
+        "mw/st"; "steals"; "dedup"; "prunes"; "bnd-hits"; "vs j=1"; "skew";
       ]
     rows;
+  (* Compiled execution layer: the flat fast path vs the raw closure
+     interpreter on a generated workload whose every process compiles
+     to Instr code, under the buffered reference model and — first
+     throughput rows for the view-based backend — under RA and SRA.
+     The bakery no-compile row above is the honest fallback
+     comparison: its computed writes and data spins reject
+     flattening, so its delta measures continuation sharing alone. *)
+  let fuzz_params = { Fuzz.Gen.default_params with procs = 3; len = 9 } in
+  let fuzz_prog = Fuzz.Gen.generate ~seed:29 fuzz_params in
+  let fuzz_name = Fuzz.Gen.name fuzz_prog in
+  (* model-name -> closure-path rate, for the vs-closure column and
+     the bench-smoke guard *)
+  let comp_rates : (string * bool, float) Hashtbl.t = Hashtbl.create 8 in
+  let comp_rows =
+    List.concat_map
+      (fun model ->
+        let mname = Memory_model.to_string model in
+        List.map
+          (fun compile ->
+            let test = Fuzz.Gen.compile ~flat:compile fuzz_prog in
+            (* best of two passes: the second runs with warm memo tables
+               on the closure path, so neither side pays one-off costs
+               and a single noisy pass cannot trip the guard below *)
+            let best = ref Float.neg_infinity in
+            let best_run = ref None in
+            for _ = 1 to 2 do
+              let mw0 = Gc.minor_words () in
+              let t0 = Unix.gettimeofday () in
+              let r =
+                Litmus.Test.run ~compile ~max_states:cap
+                  ~engine:(`Parallel 1) test ~model
+              in
+              let dt = Unix.gettimeofday () -. t0 in
+              let mw = Gc.minor_words () -. mw0 in
+              let rate =
+                float_of_int r.Litmus.Test.stats.Explore.states /. dt
+              in
+              if rate > !best then begin
+                best := rate;
+                best_run := Some (r, dt, mw)
+              end
+            done;
+            let r, dt, mw = Option.get !best_run in
+            let s = r.Litmus.Test.stats in
+            let rate = !best in
+            let mw_per_state =
+              if s.Explore.states = 0 then 0.
+              else mw /. float_of_int s.Explore.states
+            in
+            Hashtbl.replace comp_rates (mname, compile) rate;
+            let vs_closure =
+              match Hashtbl.find_opt comp_rates (mname, false) with
+              | Some rr when rr > 0. && compile -> Fmt.str "%.2f" (rate /. rr)
+              | _ -> "--"
+            in
+            records :=
+              Fmt.str
+                {|  {"workload": %S, "nprocs": %d, "model": %S,
+   "engine": "mc j=1", "jobs": 1, "por": false, "symmetry": false,
+   "compiled": %b, "minor_words_per_state": %.1f,
+   "reorder_bound": null, "bound_hits": 0, "bound_exact": true,
+   "states": %d, "transitions": %d, "truncated": %b,
+   "seconds": %.3f, "states_per_sec": %.0f,
+   "steals": 0, "dedup_hits": 0, "prunes": 0,
+   "speedup_vs_j1": null, "underprovisioned": false, "visited_skew": null}|}
+                fuzz_name fuzz_params.Fuzz.Gen.procs mname compile mw_per_state
+                s.Explore.states s.Explore.transitions s.Explore.truncated dt
+                rate
+              :: !records;
+            [
+              fuzz_name;
+              mname;
+              (if compile then "compiled" else "closure");
+              Report.icol s.Explore.states;
+              Report.icol s.Explore.transitions;
+              Fmt.str "%.2f" dt;
+              Fmt.str "%.0f" rate;
+              Fmt.str "%.0f" mw_per_state;
+              vs_closure;
+            ])
+          [ false; true ])
+      [ Memory_model.Pso; Memory_model.Ra; Memory_model.Sra ]
+  in
+  Report.print
+    ~headers:
+      [
+        "workload"; "model"; "path"; "states"; "transitions"; "s"; "states/s";
+        "mw/st"; "vs closure";
+      ]
+    comp_rows;
   if capped then
     Fmt.pr
       "@.Smoke run (BENCH_MC_CAP=%d): rates are noisy and BENCH_mc.json \
@@ -689,7 +790,33 @@ let mc () =
           r1 r0;
         exit 1
       end
-    end
+    end;
+    (* compiled-layer floor. Measured honestly, the flat fast path is
+       a 1.0-1.25x win on model-checking workloads, not the 2x a
+       dispatch-only argument would promise: ~450 minor words/state go
+       to state keying, copy-on-write config updates and step records,
+       and program-node dispatch is a sliver of that (see EXPERIMENTS
+       E14). So this is a no-regression guard with measured headroom —
+       the compiled path must never fall behind the raw closure
+       interpreter beyond noise. *)
+    match
+      ( Hashtbl.find_opt comp_rates ("PSO", true),
+        Hashtbl.find_opt comp_rates ("PSO", false) )
+    with
+    | Some rc, Some rr when rr > 0. ->
+        let ratio = rc /. rr in
+        Fmt.pr "@.guard: compiled / closure on %s (PSO) = %.2f (floor 0.90)@."
+          fuzz_name ratio;
+        if ratio < 0.9 then begin
+          Fmt.epr
+            "guard: compiled-layer regression — compiled %.0f st/s vs \
+             closure %.0f st/s@."
+            rc rr;
+          exit 1
+        end
+    | _, _ ->
+        Fmt.epr "guard: missing compiled-layer PSO rows@.";
+        exit 1
   end
 
 let timings () =

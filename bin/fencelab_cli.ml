@@ -71,6 +71,17 @@ let por_t =
           "Partial-order reduction (safe-step persistent sets); implies the \
            parallel engine (1 domain unless $(b,--jobs) says otherwise).")
 
+let no_compile_t =
+  Arg.(
+    value
+    & flag
+    & info [ "no-compile" ]
+        ~doc:
+          "Run programs on the raw closure interpreter — skip the flat-code \
+           translation and continuation sharing of the compiled execution \
+           layer. Semantics-identical (same outcomes, counts and verdicts); \
+           the escape hatch that keeps the uncompiled path exercised.")
+
 let symmetry_t =
   Arg.(
     value
@@ -292,14 +303,15 @@ let check_cmd =
       & info [ "max-states" ] ~docv:"K" ~doc:"State cap for exploration.")
   in
   let run (name, factory) model nprocs rounds max_states trace jobs por
-      symmetry reorder_bound progress interval stats_out =
+      symmetry reorder_bound no_compile progress interval stats_out =
    protect @@ fun () ->
     let engine = engine_of ~symmetry ~jobs ~por () in
     with_telemetry ~progress ~interval ~stats_out ~workers:jobs ~label:"check"
     @@ fun tel finish ->
     let v =
-      Verify.Mutex_check.check ~tel ~rounds ~max_states ~engine ~por ~symmetry
-        ?reorder_bound ~model factory ~nprocs
+      Verify.Mutex_check.check ~tel ~compile:(not no_compile) ~rounds
+        ~max_states ~engine ~por ~symmetry ?reorder_bound ~model factory
+        ~nprocs
     in
     let level_records =
       List.map
@@ -358,8 +370,8 @@ let check_cmd =
     Term.(
       ret
         (const run $ lock_t $ model_t $ nprocs_t $ rounds_t $ max_states_t
-       $ trace_t $ jobs_t $ por_t $ symmetry_t $ reorder_bound_t $ progress_t
-       $ interval_t $ stats_out_t))
+       $ trace_t $ jobs_t $ por_t $ symmetry_t $ reorder_bound_t
+       $ no_compile_t $ progress_t $ interval_t $ stats_out_t))
 
 let stress_cmd =
   let seeds_t =
@@ -414,7 +426,8 @@ let litmus_cmd =
                when $(b,--reorder-bound) is set — they have no write \
                buffer to meter; naming one explicitly is an error)."))
   in
-  let run test model jobs por reorder_bound progress interval stats_out =
+  let run test model jobs por reorder_bound no_compile progress interval
+      stats_out =
    protect @@ fun () ->
     (* no --symmetry here: litmus verdicts project per-pid outcomes,
        which orbit merging would conflate *)
@@ -457,7 +470,10 @@ let litmus_cmd =
         (fun t ->
           List.iter
             (fun model ->
-              let r = Litmus.Test.run ~tel ~engine ~por ?reorder_bound t ~model in
+              let r =
+                Litmus.Test.run ~tel ~compile:(not no_compile) ~engine ~por
+                  ?reorder_bound t ~model
+              in
               incr runs;
               states := !states + r.Litmus.Test.stats.Explore.states;
               transitions :=
@@ -482,7 +498,7 @@ let litmus_cmd =
     Term.(
       ret
         (const run $ test_t $ one_model_t $ jobs_t $ por_t $ reorder_bound_t
-       $ progress_t $ interval_t $ stats_out_t))
+       $ no_compile_t $ progress_t $ interval_t $ stats_out_t))
 
 let fuzz_cmd =
   let seed_t =

@@ -46,8 +46,13 @@ val generate : seed:int -> params -> t
 val name : t -> string
 
 (** Close the program into a litmus test whose outcomes are the packed
-    per-process observation logs plus every register's final value. *)
-val compile : t -> Litmus.Test.t
+    per-process observation logs plus every register's final value.
+    [flat] (default [true]) emits {!Memsim.Instr} flat code directly —
+    the AST is first-order, so the translation is constructive;
+    [~flat:false] builds the closure tree instead (the reference side
+    of the compiled-vs-closure parity suite). The two builds are
+    observation-identical by construction. *)
+val compile : ?flat:bool -> t -> Litmus.Test.t
 
 (** Insert a fence after every plain write (oracle 3's transform). *)
 val saturate : t -> t

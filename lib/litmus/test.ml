@@ -45,11 +45,11 @@ type run = {
           true unbounded. *)
 }
 
-let configure test ~model =
+let configure ?compile test ~model =
   let nprocs = Array.length (test.programs (Array.init test.nregs Fun.id)) in
   let layout = Layout.flat ~nprocs ~nregs:test.nregs in
   let regs = Array.init test.nregs Fun.id in
-  (regs, Config.make ~model ~layout (test.programs regs))
+  (regs, Config.make ?compile ~model ~layout (test.programs regs))
 
 (** Enumerate all reachable outcomes of [test] under [model]. [engine]
     selects the explorer ([`Dfs] default, [`Parallel j] for the
@@ -57,8 +57,9 @@ let configure test ~model =
     preserves the outcome set (all quiescent states are still reached)
     while visiting fewer states. [tel] plugs a {!Telemetry.Hub.t} into
     the exploration for live progress and stats (see {!Mc.run}). *)
-let run ?tel ?max_states ?engine ?por ?reorder_bound test ~model : run =
-  let regs, cfg = configure test ~model in
+let run ?tel ?compile ?max_states ?engine ?por ?reorder_bound test ~model : run
+    =
+  let regs, cfg = configure ?compile test ~model in
   let observe final =
     {
       returns =

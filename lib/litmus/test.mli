@@ -29,7 +29,12 @@ type run = {
           {!pp_run} flags it as ["reorder-bound K subset"]. *)
 }
 
-val configure : t -> model:Memory_model.t -> Reg.t array * Config.t
+(** [compile] (default [true]) is {!Memsim.Config.make}'s flag: flat
+    translation / continuation sharing on, or the raw
+    closure-interpreter path ([--no-compile], and the parity suite's
+    reference side). Semantics-invisible either way. *)
+val configure :
+  ?compile:bool -> t -> model:Memory_model.t -> Reg.t array * Config.t
 
 (** Enumerate all reachable outcomes under the model. [engine] selects
     the explorer ([`Dfs] default, [`Parallel j] for the multicore
@@ -40,7 +45,7 @@ val configure : t -> model:Memory_model.t -> Reg.t array * Config.t
     iteratively deepens until the set saturates ([`Deepen], which
     under [`Dfs] deepens on one domain). *)
 val run :
-  ?tel:Telemetry.Hub.t ->
+  ?tel:Telemetry.Hub.t -> ?compile:bool ->
   ?max_states:int -> ?engine:Mc.engine -> ?por:bool ->
   ?reorder_bound:[ `K of int | `Deepen ] ->
   t -> model:Memory_model.t -> run

@@ -327,7 +327,7 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
                   List.fold_left
                     (fun fp p ->
                       Fingerprint.update fp ~before:cfg' ~after:ncfg
-                        { Exec.proc = Some p; mem = false })
+                        (Exec.dirty_of p ~mem:false))
                     fp dirtied
                 in
                 match monitor_steps monitor m notes with
@@ -418,20 +418,27 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
                 []
               end
           | _ ->
-              let arr = Array.of_list candidates in
-              let won = Visited.add_batch visited (Array.map (key w) arr) in
-              let claimed = ref [] and nclaimed = ref 0 in
-              for i = Array.length arr - 1 downto 0 do
-                if won.(i) then begin
-                  claimed := arr.(i) :: !claimed;
-                  incr nclaimed
-                end
-              done;
+              (* per-candidate adds: {!Visited.add} is atomic per
+                 fingerprint (racy pre-check, locked re-check), so a
+                 duplicate within the same expansion still wins at most
+                 once — same claim semantics as the former array batch,
+                 without materializing candidate and key arrays *)
+              let ntotal = ref 0 and nclaimed = ref 0 in
+              let claimed =
+                List.filter
+                  (fun c ->
+                    incr ntotal;
+                    Visited.add visited (key w c)
+                    && begin
+                         incr nclaimed;
+                         true
+                       end)
+                  candidates
+              in
               if !nclaimed > 0 then
                 ignore (Atomic.fetch_and_add states !nclaimed);
-              Telemetry.Cells.add c_dedup ~worker:w
-                (Array.length arr - !nclaimed);
-              !claimed
+              Telemetry.Cells.add c_dedup ~worker:w (!ntotal - !nclaimed);
+              claimed
         end
       end
     end
@@ -480,7 +487,7 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
           List.fold_left
             (fun fp p ->
               Fingerprint.update fp ~before:cfg0 ~after:cfg
-                { Exec.proc = Some p; mem = false })
+                (Exec.dirty_of p ~mem:false))
             (Fingerprint.of_config cfg0)
             dirtied
         in

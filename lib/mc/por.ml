@@ -88,7 +88,7 @@ let footprint cfg ((p, reg) : Exec.elt) : footprint =
         | Some r -> write_fp r
         | None -> local_fp
       in
-      match Program.skip_labels ~emit:ignore (Config.program cfg p) with
+      match Program.reify (Config.skipped cfg p) with
       | Program.Done _ | Ret _ -> local_fp
       | Read (r, _) | Spin (r, _, _) -> if forwarded r then local_fp else read_fp r
       | Spinv (r :: _, _, _, _) -> if forwarded r then local_fp else read_fp r
@@ -97,7 +97,7 @@ let footprint cfg ((p, reg) : Exec.elt) : footprint =
       | Fence _ -> if Wbuf.is_empty wb then local_fp else forced ()
       | Cas (r, _, _, _) | Swap (r, _, _) | Faa (r, _, _) ->
           if Wbuf.is_empty wb then rw_fp r else forced ()
-      | Label _ -> assert false)
+      | Label _ | Flat _ -> assert false)
 
 let conflict a b =
   (not (Reg.Set.disjoint a.writes b.writes))
@@ -145,6 +145,4 @@ let ample_candidates cfg : Pid.t list =
     mask a monitor violation, so such steps are treated as visible and
     the reduction falls back to full expansion. *)
 let invisible_after cfg p =
-  match (Config.pstate cfg p).Config.prog with
-  | Program.Label _ -> false
-  | _ -> true
+  not (Program.at_label (Config.pstate cfg p).Config.prog)

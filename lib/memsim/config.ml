@@ -22,6 +22,60 @@
 
 module Int_set = Set.Make (Int)
 
+(** Per-process CC cache: which values the process has written to, or
+    read from, each register. Consulted on every read step (the
+    read-locality rule) but {e never} a state-key component, so the
+    representation is free to favor the membership test: a copy-on-write
+    array indexed by dense register id, each cell a direct 63-bit
+    bitmask over small non-negative values plus a spill set for values
+    outside [0, 62]. Bakery tickets, flags and fuzz immediates all live
+    in the bitmask; the spill set stays physically the shared empty set
+    on those paths. The array grows on demand (registers are dense
+    layout ids, so it tops out at nregs cells). *)
+module Known = struct
+  type cell = { mask : int; rest : Int_set.t }
+  type t = cell array
+
+  let empty_cell = { mask = 0; rest = Int_set.empty }
+  let empty : t = [||]
+
+  let[@inline] cell t r =
+    if r < Array.length t then Array.unsafe_get t (r : Reg.t :> int)
+    else empty_cell
+
+  let[@inline] mem t r v =
+    let c = cell t r in
+    if v >= 0 && v < 63 then c.mask land (1 lsl v) <> 0
+    else Int_set.mem v c.rest
+
+  (* Copy-on-write insert; the caller ({!map_learn}) has already
+     filtered out present values, so no same-map fast path here. *)
+  let add t r v =
+    let n = Array.length t in
+    let t' =
+      if r < n then Array.copy t
+      else begin
+        let a = Array.make (r + 1) empty_cell in
+        Array.blit t 0 a 0 n;
+        a
+      end
+    in
+    let c = cell t r in
+    t'.(r) <-
+      (if v >= 0 && v < 63 then { c with mask = c.mask lor (1 lsl v) }
+       else { c with rest = Int_set.add v c.rest });
+    t'
+
+  (** The cell's contents as a plain set (introspection, tests). *)
+  let values t r =
+    let c = cell t r in
+    let s = ref c.rest in
+    for v = 0 to 62 do
+      if c.mask land (1 lsl v) <> 0 then s := Int_set.add v !s
+    done;
+    !s
+end
+
 (** Committed memory: a copy-on-write int array behind the historical
     map-like interface. [bound] distinguishes "committed at least once"
     from "still at the layout initial value" — the distinction is part
@@ -126,8 +180,17 @@ end
 
 type pstate = {
   prog : Program.t;
+  skipped : Program.t;
+      (** [prog] with leading labels consumed — physically [== prog]
+          when there are none, which is the exact pending-label test
+          the executor and the label mask use. Every dispatch-side
+          query (next_kind, is_final, POR footprints, blocked checks)
+          reads this field, so label continuations are forced once per
+          program install instead of once per query. Derived from
+          [prog]; never a key component (state keys see [prog] only
+          through [Program.Done]). *)
   wb : Wbuf.t;
-  known : Int_set.t Reg.Map.t;
+  known : Known.t;
       (** CC cache: values this process has written to, or read from,
           each register. A read of [r] returning a known value is a
           cache hit (the paper's read-locality rule). *)
@@ -221,37 +284,49 @@ type t = {
           62nd bit, once set, stays). Lets label flushing skip the
           per-process map lookups in the (overwhelmingly common)
           no-label case. Derived from [procs]; not a key component. *)
+  buffered : bool;
+      (** {!Memory_model.buffered} of [model], hoisted so the executor
+          branches on a field instead of re-dispatching per step *)
+  view_based : bool;  (** {!Memory_model.view_based} of [model], hoisted *)
+  op_elts : (Pid.t * Reg.t option) array;
+      (** [op_elts.(p) = (p, None)] — preallocated schedule elements,
+          so successor enumeration allocates no tuples. Derived. *)
+  commit_elts : (Pid.t * Reg.t option) array array;
+      (** [commit_elts.(p).(r) = (p, Some r)] — ditto for commit (and
+          view choice-index) elements, for [r < nregs]. Derived. *)
 }
 
 (* Refresh the cached local-state lanes from the other fields. The obs
    component enters through its rolling lanes, so this is O(|wb| + 1)
    regardless of how long the observation log is. *)
 let refresh_lanes st =
-  let a = ref Keyhash.seed_a and b = ref Keyhash.seed_b in
-  let feed x =
-    a := Keyhash.mix_a !a x;
-    b := Keyhash.mix_b !b x
+  (* straight-line accumulation (no closure, no refs) of exactly the
+     historical feed sequence — byte-identical lanes *)
+  let a = Keyhash.mix_a Keyhash.seed_a st.ops
+  and b = Keyhash.mix_b Keyhash.seed_b st.ops in
+  let a, b =
+    match st.last_read with
+    | None -> (Keyhash.mix_a a 0, Keyhash.mix_b b 0)
+    | Some (r, v) ->
+        ( Keyhash.mix_a (Keyhash.mix_a (Keyhash.mix_a a 1) r) v,
+          Keyhash.mix_b (Keyhash.mix_b (Keyhash.mix_b b 1) r) v )
   in
-  feed st.ops;
-  (match st.last_read with
-  | None -> feed 0
-  | Some (r, v) ->
-      feed 1;
-      feed r;
-      feed v);
-  (match st.prog with
-  | Program.Done v ->
-      feed 1;
-      feed v
-  | _ -> feed 0);
-  feed (Wbuf.size st.wb);
-  Wbuf.iter
-    (fun (e : Wbuf.entry) ->
-      feed e.reg;
-      feed e.value)
-    st.wb;
-  feed st.obs_len;
-  let la = Keyhash.mix_a !a st.obs_ha and lb = Keyhash.mix_b !b st.obs_hb in
+  let a, b =
+    match st.prog with
+    | Program.Done v ->
+        (Keyhash.mix_a (Keyhash.mix_a a 1) v, Keyhash.mix_b (Keyhash.mix_b b 1) v)
+    | _ -> (Keyhash.mix_a a 0, Keyhash.mix_b b 0)
+  in
+  let a = ref (Keyhash.mix_a a (Wbuf.size st.wb))
+  and b = ref (Keyhash.mix_b b (Wbuf.size st.wb)) in
+  if not (Wbuf.is_empty st.wb) then
+    Wbuf.iter
+      (fun (e : Wbuf.entry) ->
+        a := Keyhash.mix_a (Keyhash.mix_a !a e.reg) e.value;
+        b := Keyhash.mix_b (Keyhash.mix_b !b e.reg) e.value)
+      st.wb;
+  let a = Keyhash.mix_a !a st.obs_len and b = Keyhash.mix_b !b st.obs_len in
+  let la = Keyhash.mix_a a st.obs_ha and lb = Keyhash.mix_b b st.obs_hb in
   (* view component, guarded so write-buffer pstates (both views always
      empty) keep byte-identical lanes to the pre-view-backend key *)
   if View.is_empty st.view && View.is_empty st.rel then begin
@@ -353,16 +428,17 @@ let mapped_lanes ~map_reg st =
 let label_bit p = 1 lsl (if p >= 62 then 62 else p)
 
 let mask_with mask p (prog : Program.t) =
-  match prog with
-  | Program.Label _ -> mask lor label_bit p
-  | _ -> if p >= 62 then mask else mask land lnot (label_bit p)
+  if Program.at_label prog then mask lor label_bit p
+  else if p >= 62 then mask
+  else mask land lnot (label_bit p)
 
 let initial_pstate prog =
   refresh_lanes
     {
       prog;
+      skipped = Program.post_labels prog;
       wb = Wbuf.empty;
-      known = Reg.Map.empty;
+      known = Known.empty;
       last_read = None;
       obs = [];
       ops = 0;
@@ -379,15 +455,27 @@ let initial_pstate prog =
 
 (** [make ~model ~layout programs] builds the initial configuration
     [C_init]: process [p] runs [programs.(p)], all buffers empty, all
-    registers at their layout-declared initial values. *)
-let make ~model ~layout programs =
+    registers at their layout-declared initial values.
+
+    [compile] (default [true]) runs each program through
+    {!Compile.program} — continuation sharing for closure trees, a
+    pass-through for flat code — which is the identity up to
+    observation; [~compile:false] keeps the raw closure interpreter
+    path (the [--no-compile] escape hatch, and the reference side of
+    the compiled-vs-closure parity suite). *)
+let make ?(compile = true) ~model ~layout programs =
   let nprocs = Layout.nprocs layout in
   if Array.length programs <> nprocs then
     Fmt.invalid_arg "Config.make: %d programs for %d processes"
       (Array.length programs) nprocs;
+  let programs =
+    if compile then Array.map (fun p -> Compile.program p) programs
+    else programs
+  in
   let procs = Array.map initial_pstate programs in
   let label_mask = ref 0 in
   Array.iteri (fun p st -> label_mask := mask_with !label_mask p st.prog) procs;
+  let nregs = Layout.nregs layout in
   {
     model;
     layout;
@@ -396,8 +484,13 @@ let make ~model ~layout programs =
       (if Memory_model.view_based model then Some (Modlog.make ~layout)
        else None);
     procs;
-    last_committer = Array.make (Layout.nregs layout) (-1);
+    last_committer = Array.make nregs (-1);
     label_mask = !label_mask;
+    buffered = Memory_model.buffered model;
+    view_based = Memory_model.view_based model;
+    op_elts = Array.init nprocs (fun p -> (p, None));
+    commit_elts =
+      Array.init nprocs (fun p -> Array.init nregs (fun r -> (p, Some r)));
   }
 
 (** Per-process complexity counters, assembled from the process states
@@ -422,6 +515,13 @@ let with_proc t p st =
   procs
 
 let set_pstate t p st =
+  (* cold-path installer for hand-built pstates: recompute the cached
+     post-label program, so callers may update [prog] alone (the hot
+     path, {!step}, trusts the executor to maintain [skipped]) *)
+  let st =
+    if st.skipped == st.prog && not (Program.at_label st.prog) then st
+    else { st with skipped = Program.post_labels st.prog }
+  in
   {
     t with
     procs = with_proc t p (refresh_lanes st);
@@ -477,31 +577,32 @@ let track_obs_regs t =
   in
   { t with procs }
 
-(** [step t p ?commit ?store st bump] applies one execution step of [p]
-    in a single pass: installs [st] (lanes refreshed), bumps [p]'s
-    counters once, installs the updated modification-log store when the
-    step touched it ([store], view-based models only), and — when
-    [commit = Some (r, v)] — lands [v] in committed memory and records
-    [p] as [r]'s last committer. One process-map update and one metrics-
-    map update per step, where the old executor rebuilt the
-    configuration record up to four times. *)
-let step t p ?commit ?store st bump =
+(** [step t p ?commit ?store st ctr] applies one execution step of [p]
+    in a single pass: installs [st] (lanes refreshed, counters set to
+    the caller-prebuilt [ctr] — built once at the call site instead of
+    through a per-step bump closure), installs the updated
+    modification-log store when the step touched it ([store],
+    view-based models only), and — when [commit = Some (r, v)] — lands
+    [v] in committed memory and records [p] as [r]'s last committer.
+    One configuration-record build per step ([commit] adds one more);
+    the executor maintains [st.skipped], which this trusts. *)
+let step t p ?commit ?store st ctr =
   (* [st] is the caller's freshly built successor state: fill its
      counters and lanes in place rather than copying it again *)
-  st.ctr <- bump st.ctr;
+  st.ctr <- ctr;
   let procs = with_proc t p (refresh_lanes st) in
   let label_mask = mask_with t.label_mask p st.prog in
-  let t =
-    match store with
-    | None -> { t with procs; label_mask }
-    | Some s -> { t with procs; label_mask; store = Some s }
-  in
-  match commit with
-  | None -> t
-  | Some (r, v) ->
+  match (commit, store) with
+  | None, None -> { t with procs; label_mask }
+  | None, Some s -> { t with procs; label_mask; store = Some s }
+  | Some (r, v), _ ->
       let last_committer = Array.copy t.last_committer in
       last_committer.(r) <- p;
-      { t with mem = Mem.set t.mem r v; last_committer }
+      let mem = Mem.set t.mem r v in
+      (match store with
+      | None -> { t with procs; label_mask; mem; last_committer }
+      | Some s ->
+          { t with procs; label_mask; mem; last_committer; store = Some s })
 
 (** Committed value of register [r]. Under view-based models this is
     each location's log maximum (kept materialized by the executor). *)
@@ -518,11 +619,14 @@ let store_exn t =
 
 let wbuf t p = (pstate t p).wb
 let program t p = (pstate t p).prog
-let next_kind t p = Program.next_kind (program t p)
-let is_final t p = Program.is_done (Program.skip_labels ~emit:ignore (program t p))
 
-let final_value t p =
-  Program.final_value (Program.skip_labels ~emit:ignore (program t p))
+(** [p]'s program with leading labels consumed — the cached
+    [pstate.skipped], what every dispatch-side query should inspect. *)
+let skipped t p = (pstate t p).skipped
+
+let next_kind t p = Program.next_kind (skipped t p)
+let is_final t p = Program.is_done (pstate t p).skipped
+let final_value t p = Program.final_value (pstate t p).skipped
 
 (** Number of processes in a final state — [NbFinal(C)] in the paper,
     which gates return steps in the decoder. *)
@@ -560,32 +664,42 @@ let quiescent t =
 let reorders_in_flight t =
   Array.fold_left (fun acc st -> acc + Wbuf.overtaken st.wb) 0 t.procs
 
-let known_values st r =
-  match Reg.Map.find_opt r st.known with
-  | Some s -> s
-  | None -> Int_set.empty
+let known_values st r = Known.values st.known r
+
+(** The known-cache with [v] recorded at [r] — physically the same
+    value when already known. Exposed so the executor can fuse learning
+    into its single-allocation pstate updates. *)
+let[@inline] map_learn known r v =
+  if Known.mem known r v then known else Known.add known r v
 
 let learn st r v =
-  let s = known_values st r in
-  if Int_set.mem v s then st
-  else { st with known = Reg.Map.add r (Int_set.add v s) st.known }
+  if Known.mem st.known r v then st
+  else { st with known = Known.add st.known r v }
 
 (** Locality of a read of [r] by [p] (whose state is [st]) returning
     [v] from shared memory. The caller passes the pstate it already
     holds — the executor calls this once per read step. *)
 let read_locality t p st r v =
-  {
-    Step.dsm_local = Layout.is_local t.layout p r;
-    cc_local = Int_set.mem v (known_values st r);
-  }
+  Step.locality
+    ~dsm_local:(Layout.is_local t.layout p r)
+    ~cc_local:(Known.mem st.known r v)
+
+(** Read locality fused with the CC-cache learn: one cache probe serves
+    both the [cc_local] membership test and the update. Returns the
+    interned locality and the learned cache — physically the same value
+    when [v] was already known (the common case, since [cc_local]
+    {e means} known). *)
+let read_learn t p st r v =
+  let cc_local = Known.mem st.known r v in
+  let known = if cc_local then st.known else Known.add st.known r v in
+  (Step.locality ~dsm_local:(Layout.is_local t.layout p r) ~cc_local, known)
 
 (** Locality of a commit to [r] by [p]: local on the CC side iff [p] was
     the last process to commit to [r]. *)
 let commit_locality t p r =
-  {
-    Step.dsm_local = Layout.is_local t.layout p r;
-    cc_local = Pid.equal t.last_committer.(r) p;
-  }
+  Step.locality
+    ~dsm_local:(Layout.is_local t.layout p r)
+    ~cc_local:(Pid.equal t.last_committer.(r) p)
 
 (* Counters are not key components, so the cached lanes stay valid:
    update the pstate directly, no refresh. *)

@@ -8,6 +8,26 @@
 
 module Int_set : Set.S with type elt = int
 
+(** Per-process CC cache (values written to / read from each register).
+    A copy-on-write array of per-register cells — a 63-bit direct
+    bitmask over small non-negative values plus a spill set — tuned for
+    the hot membership probe. Never a state-key component. *)
+module Known : sig
+  type t
+
+  val empty : t
+
+  (** Has the process written/read value [v] at [r]? *)
+  val mem : t -> Reg.t -> int -> bool
+
+  (** The cache with [v] recorded at [r] (no presence check — callers
+      go through {!val-map_learn}). *)
+  val add : t -> Reg.t -> int -> t
+
+  (** The recorded values at [r] as a plain set. *)
+  val values : t -> Reg.t -> Int_set.t
+end
+
 (** Committed memory: copy-on-write int array with O(1) reads and
     incrementally maintained key lanes. "Bound" = committed at least
     once; an unbound register reads as its layout initial value, and
@@ -48,8 +68,16 @@ end
 
 type pstate = {
   prog : Program.t;
+  skipped : Program.t;
+      (** [prog] with leading labels consumed — physically [== prog]
+          when there are none. Dispatch-side queries (next_kind,
+          is_final, POR footprints, blocked checks) read this field, so
+          label continuations are forced once per program install, not
+          once per query. The executor maintains it at every install;
+          {!set_pstate} recomputes it for hand-built pstates. Derived
+          from [prog], never a key component. *)
   wb : Wbuf.t;
-  known : Int_set.t Reg.Map.t;
+  known : Known.t;
       (** CC cache: values this process has written to, or read from,
           each register (the paper's read-locality rule) *)
   last_read : (Reg.t * int) option;
@@ -108,11 +136,25 @@ type t = {
           [Label]; exact below 62, sticky-conservative above. An
           accounting accelerator for label flushing — derived from
           [procs], never part of the state key. *)
+  buffered : bool;
+      (** {!Memory_model.buffered} of [model], hoisted so hot paths
+          branch on a field instead of re-dispatching per step *)
+  view_based : bool;  (** {!Memory_model.view_based} of [model], hoisted *)
+  op_elts : (Pid.t * Reg.t option) array;
+      (** [op_elts.(p) = (p, None)] — preallocated schedule elements
+          for tuple-free successor enumeration. Derived. *)
+  commit_elts : (Pid.t * Reg.t option) array array;
+      (** [commit_elts.(p).(r) = (p, Some r)] for [r < nregs]. Derived. *)
 }
 
 (** [make ~model ~layout programs] is the initial configuration
-    [C_init]. *)
-val make : model:Memory_model.t -> layout:Layout.t -> Program.t array -> t
+    [C_init]. [compile] (default [true]) runs each program through
+    {!Compile.program} — semantics-invisible continuation sharing;
+    [~compile:false] keeps the raw closure-interpreter path (the
+    [--no-compile] escape hatch and the parity suite's reference). *)
+val make :
+  ?compile:bool -> model:Memory_model.t -> layout:Layout.t ->
+  Program.t array -> t
 
 (** Per-process complexity counters, assembled from the process states
     (where they live, so an execution step updates one map, not two). *)
@@ -144,14 +186,15 @@ val obs_extend :
     cached lanes are unaffected. *)
 val track_obs_regs : t -> t
 
-(** [step t p ?commit ?store st bump]: one execution step of [p] in a
-    single pass — install [st] (lanes refreshed), bump [p]'s counters
-    with [bump], install the updated modification-log store when the
-    step touched it (view-based models only), and optionally commit
-    [(r, v)] to memory, recording [p] as last committer. *)
+(** [step t p ?commit ?store st ctr]: one execution step of [p] in a
+    single pass — install [st] (lanes refreshed, counters set to the
+    caller-prebuilt [ctr]), install the updated modification-log store
+    when the step touched it (view-based models only), and optionally
+    commit [(r, v)] to memory, recording [p] as last committer. Trusts
+    the caller to have maintained [st.skipped]. *)
 val step :
   t -> Pid.t -> ?commit:Reg.t * int -> ?store:Modlog.t -> pstate ->
-  (Metrics.counters -> Metrics.counters) -> t
+  Metrics.counters -> t
 
 (** Recompute every cached lane of a pstate from scratch (obs rolling
     lanes from the raw list, then [lka]/[lkb]) — the reference for the
@@ -179,6 +222,11 @@ val store_exn : t -> Modlog.t
 
 val wbuf : t -> Pid.t -> Wbuf.t
 val program : t -> Pid.t -> Program.t
+
+(** [p]'s program with leading labels consumed — the cached
+    [pstate.skipped]. What dispatch-side queries should inspect. *)
+val skipped : t -> Pid.t -> Program.t
+
 val next_kind : t -> Pid.t -> Program.op_kind
 val is_final : t -> Pid.t -> bool
 val final_value : t -> Pid.t -> int option
@@ -202,6 +250,12 @@ val reorders_in_flight : t -> int
 
 val known_values : pstate -> Reg.t -> Int_set.t
 
+(** The known-cache with [v] recorded at [r] — physically the same
+    value when already known. For fusing learning into
+    single-allocation pstate updates; callers outside the executor want
+    {!learn}. *)
+val map_learn : Known.t -> Reg.t -> int -> Known.t
+
 (** Record that the process has observed/produced value [v] at [r]. *)
 val learn : pstate -> Reg.t -> int -> pstate
 
@@ -209,6 +263,12 @@ val learn : pstate -> Reg.t -> int -> pstate
     [v] from shared memory; the caller passes the pstate it already
     holds. *)
 val read_locality : t -> Pid.t -> pstate -> Reg.t -> int -> Step.locality
+
+(** Read locality fused with the CC-cache learn: one cache probe serves
+    both. The returned cache is physically the input when [v] was
+    already known at [r]. *)
+val read_learn :
+  t -> Pid.t -> pstate -> Reg.t -> int -> Step.locality * Known.t
 
 (** Locality of a commit to [r] by [p]. *)
 val commit_locality : t -> Pid.t -> Reg.t -> Step.locality

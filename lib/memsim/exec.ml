@@ -48,6 +48,24 @@ let pp_elt ppf ((p, r) : elt) =
   | None -> Fmt.pf ppf "(p%a,⊥)" Pid.pp p
   | Some r -> Fmt.pf ppf "(p%a,%a)" Pid.pp p Reg.pp r
 
+(* Preallocated hot-path records: dirty reports are structurally
+   determined by (pid, mem-bit), and a store-forwarded read's locality
+   is always fully local — share one immutable record per case instead
+   of allocating per element. Initialized at module load (before any
+   domain spawns); read-only thereafter, so cross-domain sharing is
+   safe. *)
+let local_loc = Step.locality ~dsm_local:true ~cc_local:true
+let dirty_none = { proc = None; mem = false }
+let dirty_clean = Array.init 64 (fun p -> { proc = Some p; mem = false })
+let dirty_mem = Array.init 64 (fun p -> { proc = Some p; mem = true })
+
+(** The dirty report for process [p]; allocation-free for [p < 64]. *)
+let dirty_of p ~mem =
+  if p < 64 then if mem then dirty_mem.(p) else dirty_clean.(p)
+  else { proc = Some p; mem }
+
+let[@inline] b2i b = if b then 1 else 0
+
 (* Commit the pending write to [r] from [p]'s buffer ([st] is [p]'s
    current state, passed so the dispatcher's lookup is reused).
    [Wbuf.commit] marks entries older than the committed one as
@@ -58,83 +76,101 @@ let commit_write cfg p (st : Config.pstate) r =
   | None -> Fmt.invalid_arg "Exec.commit_write: no pending write to %d" r
   | Some (v, wb') ->
       let loc = Config.commit_locality cfg p r in
+      let c = st.Config.ctr in
+      let ctr =
+        {
+          c with
+          Metrics.commits = c.Metrics.commits + 1;
+          steps = c.Metrics.steps + 1;
+          rmr = c.Metrics.rmr + b2i (Step.is_rmr loc);
+          rmr_dsm = c.Metrics.rmr_dsm + b2i (not loc.Step.dsm_local);
+          rmr_cc = c.Metrics.rmr_cc + b2i (not loc.Step.cc_local);
+        }
+      in
       let cfg =
         Config.step cfg p ~commit:(r, v)
           { st with Config.wb = wb'; last_read = None }
-          (fun c ->
-            Config.charge_rmr loc
-              {
-                c with
-                Metrics.commits = c.Metrics.commits + 1;
-                steps = c.Metrics.steps + 1;
-              })
+          ctr
       in
       (Step.Commit { p; reg = r; value = v; loc }, cfg)
 
 (* The value a read of [r] by [p] would return right now: store
    forwarding from [p]'s own buffer under a buffered model, committed
-   memory otherwise. *)
-let visible_value cfg (st : Config.pstate) r =
-  let buffered = Memory_model.buffered cfg.Config.model in
-  match (if buffered then Wbuf.find st.Config.wb r else None) with
-  | Some v -> (v, true)
-  | None -> (Config.read_mem cfg r, false)
+   memory otherwise. No option or tuple allocated; read steps that also
+   need the forwarding flag probe [Wbuf.find_entry] inline. *)
+let visible_only cfg (st : Config.pstate) r =
+  if cfg.Config.buffered then begin
+    let e = Wbuf.find_entry st.Config.wb r in
+    if e != Wbuf.no_entry then e.Wbuf.value else Config.read_mem cfg r
+  end
+  else Config.read_mem cfg r
 
-(* Execute a read of [r] returning [v]; [from_wbuf] tells where it was
-   served. [prog'] is the continuation to install. *)
-let read_step cfg p (st : Config.pstate) r ~prog' =
-  let v, from_wbuf = visible_value cfg st r in
-  let loc =
-    if from_wbuf then { Step.dsm_local = true; cc_local = true }
-    else Config.read_locality cfg p st r v
+(* Execute a read of [r] returning [v] served as [from_wbuf] tells
+   (the caller already resolved visibility, so the value is computed
+   once and the continuation applied at the call site — no per-step
+   closure). [prog] is the successor program to install; [wb] the
+   buffer to install (the caller's overtake-marked view of [st]'s). *)
+let read_step cfg p (st : Config.pstate) ~wb r v from_wbuf ~prog =
+  let loc, known =
+    if from_wbuf then (local_loc, Config.map_learn st.Config.known r v)
+    else Config.read_learn cfg p st r v
   in
-  (* the record update and the observation-log append are fused into
-     one allocation (cf. {!Config.observe}, which this mirrors) *)
+  (* the record update, the observation-log append, the buffer install
+     and the CC-cache learn are fused into one allocation *)
   let st =
-    Config.learn
+    {
+      st with
+      Config.prog;
+      skipped = Program.post_labels prog;
+      known;
+      wb;
+      last_read = Some (r, v);
+      ops = st.Config.ops + 1;
+      obs = v :: st.Config.obs;
+      obs_len = st.Config.obs_len + 1;
+      obs_ha = Keyhash.mix_a st.Config.obs_ha v;
+      obs_hb = Keyhash.mix_b st.Config.obs_hb v;
+      obs_regs = Config.obs_extend st.Config.obs_regs r v;
+    }
+  in
+  let c = st.Config.ctr in
+  let ctr =
+    if from_wbuf then
       {
-        st with
-        Config.prog = prog' v;
-        last_read = Some (r, v);
-        ops = st.Config.ops + 1;
-        obs = v :: st.Config.obs;
-        obs_len = st.Config.obs_len + 1;
-        obs_ha = Keyhash.mix_a st.Config.obs_ha v;
-        obs_hb = Keyhash.mix_b st.Config.obs_hb v;
-        obs_regs = Config.obs_extend st.Config.obs_regs r v;
+        c with
+        Metrics.reads = c.Metrics.reads + 1;
+        reads_from_wbuf = c.Metrics.reads_from_wbuf + 1;
+        steps = c.Metrics.steps + 1;
       }
-      r v
+    else
+      {
+        c with
+        Metrics.reads = c.Metrics.reads + 1;
+        steps = c.Metrics.steps + 1;
+        rmr = c.Metrics.rmr + b2i (Step.is_rmr loc);
+        rmr_dsm = c.Metrics.rmr_dsm + b2i (not loc.Step.dsm_local);
+        rmr_cc = c.Metrics.rmr_cc + b2i (not loc.Step.cc_local);
+      }
   in
-  let cfg =
-    Config.step cfg p st (fun c ->
-        let c =
-          {
-            c with
-            Metrics.reads = c.Metrics.reads + 1;
-            steps = c.Metrics.steps + 1;
-          }
-        in
-        if from_wbuf then
-          { c with Metrics.reads_from_wbuf = c.Metrics.reads_from_wbuf + 1 }
-        else Config.charge_rmr loc c)
-  in
-  (Step.Read { p; reg = r; value = v; from_wbuf; loc }, cfg)
+  (Step.Read { p; reg = r; value = v; from_wbuf; loc }, Config.step cfg p st ctr)
 
 (* Strong read-modify-write primitives (swap, faa): like cas, they act
    on committed memory behind an implicit barrier (the executor forces
    the buffer empty before dispatching here) and charge commit
    locality. Billed to the [rmw] counter — the [cas] counter is for
-   cas steps only, so swap/faa-based locks report honest censuses. *)
-let rmw_step cfg p (st : Config.pstate) r ~op ~arg ~k =
+   cas steps only, so swap/faa-based locks report honest censuses.
+   [read] is the committed value (the caller already fetched it to
+   build [prog], the successor program continuing on it). *)
+let rmw_op cfg p (st : Config.pstate) r ~op ~arg ~read ~prog =
   assert (Wbuf.is_empty st.Config.wb);
-  let read = Config.read_mem cfg r in
   let wrote = match op with `Swap -> arg | `Faa -> read + arg in
   let loc = Config.commit_locality cfg p r in
-  let st = Config.learn (Config.learn st r read) r wrote in
   let st =
     {
       st with
-      Config.prog = k read;
+      Config.prog;
+      skipped = Program.post_labels prog;
+      known = Config.map_learn (Config.map_learn st.Config.known r read) r wrote;
       last_read = None;
       ops = st.Config.ops + 1;
       obs = read :: st.Config.obs;
@@ -144,16 +180,19 @@ let rmw_step cfg p (st : Config.pstate) r ~op ~arg ~k =
       obs_regs = Config.obs_extend st.Config.obs_regs r read;
     }
   in
-  let cfg =
-    Config.step cfg p ~commit:(r, wrote) st (fun c ->
-        Config.charge_rmr loc
-          {
-            c with
-            Metrics.rmw = c.Metrics.rmw + 1;
-            fences = c.Metrics.fences + 1;
-            steps = c.Metrics.steps + 1;
-          })
+  let c = st.Config.ctr in
+  let ctr =
+    {
+      c with
+      Metrics.rmw = c.Metrics.rmw + 1;
+      fences = c.Metrics.fences + 1;
+      steps = c.Metrics.steps + 1;
+      rmr = c.Metrics.rmr + b2i (Step.is_rmr loc);
+      rmr_dsm = c.Metrics.rmr_dsm + b2i (not loc.Step.dsm_local);
+      rmr_cc = c.Metrics.rmr_cc + b2i (not loc.Step.cc_local);
+    }
   in
+  let cfg = Config.step cfg p ~commit:(r, wrote) st ctr in
   (Step.Rmw { p; reg = r; op; arg; read; wrote; loc }, cfg)
 
 (* ------------------------------------------------------------------ *)
@@ -219,9 +258,9 @@ let rec round_tuples store view acc = function
     blocked rule would also suppress. *)
 let view_choices cfg (st : Config.pstate) : vchoice list =
   let store = Config.store_exn cfg in
-  match (st.Config.prog : Program.t) with
+  match (Program.reify st.Config.prog : Program.t) with
   | Program.Done _ -> []
-  | Label _ -> assert false
+  | Label _ | Flat _ -> assert false
   | Ret _ | Fence _ | Cas _ | Swap _ | Faa _ -> [ VDet ]
   | Read (r, _) ->
       List.map
@@ -275,42 +314,48 @@ let view_choices cfg (st : Config.pstate) : vchoice list =
     [0] iff final or blocked. The scheduler's draw range. *)
 let view_nchoices cfg p =
   let st = Config.pstate cfg p in
-  let prog = Program.skip_labels ~emit:ignore st.Config.prog in
-  List.length (view_choices cfg { st with Config.prog = prog })
+  let st =
+    if st.Config.prog == st.Config.skipped then st
+    else { st with Config.prog = st.Config.skipped }
+  in
+  List.length (view_choices cfg st)
 
 (* Read message [m] at [r]: acquire its base, observe its value.
    Mirrors {!read_step} (fused single-allocation update); locality is
    the paper's read rule — view reads are never store-forwarded. *)
-let view_read_step cfg p (st : Config.pstate) r (m : Modlog.msg) ~prog' =
+let view_read_step cfg p (st : Config.pstate) r (m : Modlog.msg) ~prog =
   let store = Config.store_exn cfg in
   let v = m.Modlog.value in
-  let loc = Config.read_locality cfg p st r v in
+  let loc, known = Config.read_learn cfg p st r v in
   let view = acquire store st.Config.view m r in
   let st =
-    Config.learn
-      {
-        st with
-        Config.prog = prog' v;
-        last_read = Some (r, v);
-        ops = st.Config.ops + 1;
-        obs = v :: st.Config.obs;
-        obs_len = st.Config.obs_len + 1;
-        obs_ha = Keyhash.mix_a st.Config.obs_ha v;
-        obs_hb = Keyhash.mix_b st.Config.obs_hb v;
-        obs_regs = Config.obs_extend st.Config.obs_regs r v;
-        view;
-      }
-      r v
+    {
+      st with
+      Config.prog;
+      skipped = Program.post_labels prog;
+      known;
+      last_read = Some (r, v);
+      ops = st.Config.ops + 1;
+      obs = v :: st.Config.obs;
+      obs_len = st.Config.obs_len + 1;
+      obs_ha = Keyhash.mix_a st.Config.obs_ha v;
+      obs_hb = Keyhash.mix_b st.Config.obs_hb v;
+      obs_regs = Config.obs_extend st.Config.obs_regs r v;
+      view;
+    }
   in
-  let cfg =
-    Config.step cfg p st (fun c ->
-        Config.charge_rmr loc
-          {
-            c with
-            Metrics.reads = c.Metrics.reads + 1;
-            steps = c.Metrics.steps + 1;
-          })
+  let c = st.Config.ctr in
+  let ctr =
+    {
+      c with
+      Metrics.reads = c.Metrics.reads + 1;
+      steps = c.Metrics.steps + 1;
+      rmr = c.Metrics.rmr + b2i (Step.is_rmr loc);
+      rmr_dsm = c.Metrics.rmr_dsm + b2i (not loc.Step.dsm_local);
+      rmr_cc = c.Metrics.rmr_cc + b2i (not loc.Step.cc_local);
+    }
   in
+  let cfg = Config.step cfg p st ctr in
   (Step.Read { p; reg = r; value = v; from_wbuf = false; loc }, cfg)
 
 (* Write [v] to [r] at log position [at], base = the release view.
@@ -320,33 +365,37 @@ let view_read_step cfg p (st : Config.pstate) r (m : Modlog.msg) ~prog' =
    neither. Either way the store changed, so the step is mem-dirty.
    Commit locality is charged once, like the SC immediate-commit
    write. *)
-let view_write_step cfg p (st : Config.pstate) r v ~at ~prog' =
+let view_write_step cfg p (st : Config.pstate) r v ~at ~prog =
   let store = Config.store_exn cfg in
   let appended = at = Modlog.nmsgs store r in
   let loc = Config.commit_locality cfg p r in
   let m, store = Modlog.insert store r ~at ~value:v ~base:st.Config.rel in
   let st =
-    Config.learn
-      {
-        st with
-        Config.prog = prog' ();
-        last_read = None;
-        ops = st.Config.ops + 1;
-        view = View.set st.Config.view r m.Modlog.mid;
-      }
-      r v
+    {
+      st with
+      Config.prog;
+      skipped = Program.post_labels prog;
+      known = Config.map_learn st.Config.known r v;
+      last_read = None;
+      ops = st.Config.ops + 1;
+      view = View.set st.Config.view r m.Modlog.mid;
+    }
+  in
+  let c = st.Config.ctr in
+  let ctr =
+    {
+      c with
+      Metrics.writes = c.Metrics.writes + 1;
+      steps = c.Metrics.steps + 1;
+      rmr = c.Metrics.rmr + b2i (Step.is_rmr loc);
+      rmr_dsm = c.Metrics.rmr_dsm + b2i (not loc.Step.dsm_local);
+      rmr_cc = c.Metrics.rmr_cc + b2i (not loc.Step.cc_local);
+    }
   in
   let cfg =
     Config.step cfg p
       ?commit:(if appended then Some (r, v) else None)
-      ~store st
-      (fun c ->
-        Config.charge_rmr loc
-          {
-            c with
-            Metrics.writes = c.Metrics.writes + 1;
-            steps = c.Metrics.steps + 1;
-          })
+      ~store st ctr
   in
   (Step.Write { p; reg = r; value = v }, cfg)
 
@@ -354,28 +403,30 @@ let view_write_step cfg p (st : Config.pstate) r v ~at ~prog' =
    and adopt the join; the release view catches up. Fences are thereby
    totally ordered (each adopts every earlier one's knowledge), which
    is what collapses fully fenced programs onto SC. *)
-let view_fence_step cfg p (st : Config.pstate) ~prog' =
+let view_fence_step cfg p (st : Config.pstate) ~prog =
   let store = Config.store_exn cfg in
   let view = Modlog.join store st.Config.view (Modlog.sc store) in
   let store = Modlog.with_sc store view in
   let st =
     {
       st with
-      Config.prog = prog' ();
+      Config.prog;
+      skipped = Program.post_labels prog;
       last_read = None;
       ops = st.Config.ops + 1;
       view;
       rel = view;
     }
   in
-  let cfg =
-    Config.step cfg p ~store st (fun c ->
-        {
-          c with
-          Metrics.fences = c.Metrics.fences + 1;
-          steps = c.Metrics.steps + 1;
-        })
+  let c = st.Config.ctr in
+  let ctr =
+    {
+      c with
+      Metrics.fences = c.Metrics.fences + 1;
+      steps = c.Metrics.steps + 1;
+    }
   in
+  let cfg = Config.step cfg p ~store st ctr in
   (Step.Fence { p }, cfg)
 
 (* Strong RMW (swap/faa): an SC fence, a read of the location's log
@@ -401,11 +452,13 @@ let view_rmw_step cfg p (st : Config.pstate) r ~op ~arg ~k =
   in
   let view = View.set view r wm.Modlog.mid in
   let store = Modlog.with_sc store view in
-  let st = Config.learn (Config.learn st r read) r wrote in
+  let prog = k read in
   let st =
     {
       st with
-      Config.prog = k read;
+      Config.prog;
+      skipped = Program.post_labels prog;
+      known = Config.map_learn (Config.map_learn st.Config.known r read) r wrote;
       last_read = None;
       ops = st.Config.ops + 1;
       obs = read :: st.Config.obs;
@@ -417,16 +470,19 @@ let view_rmw_step cfg p (st : Config.pstate) r ~op ~arg ~k =
       rel = view;
     }
   in
-  let cfg =
-    Config.step cfg p ~commit:(r, wrote) ~store st (fun c ->
-        Config.charge_rmr loc
-          {
-            c with
-            Metrics.rmw = c.Metrics.rmw + 1;
-            fences = c.Metrics.fences + 1;
-            steps = c.Metrics.steps + 1;
-          })
+  let c = st.Config.ctr in
+  let ctr =
+    {
+      c with
+      Metrics.rmw = c.Metrics.rmw + 1;
+      fences = c.Metrics.fences + 1;
+      steps = c.Metrics.steps + 1;
+      rmr = c.Metrics.rmr + b2i (Step.is_rmr loc);
+      rmr_dsm = c.Metrics.rmr_dsm + b2i (not loc.Step.dsm_local);
+      rmr_cc = c.Metrics.rmr_cc + b2i (not loc.Step.cc_local);
+    }
   in
+  let cfg = Config.step cfg p ~commit:(r, wrote) ~store st ctr in
   (Step.Rmw { p; reg = r; op; arg; read; wrote; loc }, cfg)
 
 (* Cas: same barrier + read-the-maximum discipline as {!view_rmw_step};
@@ -451,35 +507,44 @@ let view_cas_step cfg p (st : Config.pstate) r ~expect ~update ~k =
     else (view, store)
   in
   let store = Modlog.with_sc store view in
-  let st = Config.learn st r read in
+  let ok = b2i success in
+  let prog = k success in
+  let known = Config.map_learn st.Config.known r read in
+  let known = if success then Config.map_learn known r update else known in
   let st =
-    Config.observe
-      (Config.observe
-         {
-           st with
-           Config.prog = k success;
-           last_read = None;
-           ops = st.Config.ops + 1;
-           view;
-           rel = view;
-         }
-         r read)
-      r
-      (if success then 1 else 0)
+    {
+      st with
+      Config.prog;
+      skipped = Program.post_labels prog;
+      known;
+      last_read = None;
+      ops = st.Config.ops + 1;
+      obs = ok :: read :: st.Config.obs;
+      obs_len = st.Config.obs_len + 2;
+      obs_ha = Keyhash.mix_a (Keyhash.mix_a st.Config.obs_ha read) ok;
+      obs_hb = Keyhash.mix_b (Keyhash.mix_b st.Config.obs_hb read) ok;
+      obs_regs =
+        Config.obs_extend (Config.obs_extend st.Config.obs_regs r read) r ok;
+      view;
+      rel = view;
+    }
   in
-  let st = if success then Config.learn st r update else st in
+  let c = st.Config.ctr in
+  let ctr =
+    {
+      c with
+      Metrics.cas = c.Metrics.cas + 1;
+      fences = c.Metrics.fences + 1;
+      steps = c.Metrics.steps + 1;
+      rmr = c.Metrics.rmr + b2i (Step.is_rmr loc);
+      rmr_dsm = c.Metrics.rmr_dsm + b2i (not loc.Step.dsm_local);
+      rmr_cc = c.Metrics.rmr_cc + b2i (not loc.Step.cc_local);
+    }
+  in
   let cfg =
     Config.step cfg p
       ?commit:(if success then Some (r, update) else None)
-      ~store st
-      (fun c ->
-        Config.charge_rmr loc
-          {
-            c with
-            Metrics.cas = c.Metrics.cas + 1;
-            fences = c.Metrics.fences + 1;
-            steps = c.Metrics.steps + 1;
-          })
+      ~store st ctr
   in
   (Step.Cas { p; reg = r; expect; update; read; success; loc }, cfg)
 
@@ -492,28 +557,29 @@ let view_cas_step cfg p (st : Config.pstate) r ~expect ~update ~k =
 let view_round_step cfg p (st : Config.pstate) regs pred k tuple =
   let store = Config.store_exn cfg in
   let nreads = List.length tuple in
-  let steps, st, locs =
+  let steps, st, nrmr, ndsm, ncc =
     List.fold_left
-      (fun (steps, st, locs) (r, (m : Modlog.msg)) ->
+      (fun (steps, st, nrmr, ndsm, ncc) (r, (m : Modlog.msg)) ->
         let v = m.Modlog.value in
-        let loc = Config.read_locality cfg p st r v in
+        let loc, known = Config.read_learn cfg p st r v in
         let st =
-          Config.learn
-            {
-              st with
-              Config.obs = v :: st.Config.obs;
-              obs_len = st.Config.obs_len + 1;
-              obs_ha = Keyhash.mix_a st.Config.obs_ha v;
-              obs_hb = Keyhash.mix_b st.Config.obs_hb v;
-              obs_regs = Config.obs_extend st.Config.obs_regs r v;
-              view = acquire store st.Config.view m r;
-            }
-            r v
+          {
+            st with
+            Config.known = known;
+            obs = v :: st.Config.obs;
+            obs_len = st.Config.obs_len + 1;
+            obs_ha = Keyhash.mix_a st.Config.obs_ha v;
+            obs_hb = Keyhash.mix_b st.Config.obs_hb v;
+            obs_regs = Config.obs_extend st.Config.obs_regs r v;
+            view = acquire store st.Config.view m r;
+          }
         in
         ( Step.Read { p; reg = r; value = v; from_wbuf = false; loc } :: steps,
           st,
-          loc :: locs ))
-      ([], st, []) tuple
+          nrmr + b2i (Step.is_rmr loc),
+          ndsm + b2i (not loc.Step.dsm_local),
+          ncc + b2i (not loc.Step.cc_local) ))
+      ([], st, 0, 0, 0) tuple
   in
   let vs = List.map (fun (_, (m : Modlog.msg)) -> m.Modlog.value) tuple in
   let prog =
@@ -522,23 +588,24 @@ let view_round_step cfg p (st : Config.pstate) regs pred k tuple =
   let st =
     {
       st with
-      Config.prog = prog;
+      Config.prog;
+      skipped = Program.post_labels prog;
       last_read = None;
       ops = st.Config.ops + nreads;
     }
   in
-  let cfg =
-    Config.step cfg p st (fun c ->
-        let c =
-          {
-            c with
-            Metrics.reads = c.Metrics.reads + nreads;
-            steps = c.Metrics.steps + nreads;
-          }
-        in
-        List.fold_left (fun c loc -> Config.charge_rmr loc c) c locs)
+  let c = st.Config.ctr in
+  let ctr =
+    {
+      c with
+      Metrics.reads = c.Metrics.reads + nreads;
+      steps = c.Metrics.steps + nreads;
+      rmr = c.Metrics.rmr + nrmr;
+      rmr_dsm = c.Metrics.rmr_dsm + ndsm;
+      rmr_cc = c.Metrics.rmr_cc + ncc;
+    }
   in
-  (List.rev steps, cfg)
+  (List.rev steps, Config.step cfg p st ctr)
 
 (* One view-backend step of [p], taking alternative [idx] of its
    current operation (labels already skipped). [None] when there is
@@ -554,42 +621,47 @@ let view_op_step cfg p (st : Config.pstate) idx :
         Fmt.invalid_arg "Exec: view choice %d out of range (%d available)" idx
           (List.length choices)
   | Some c -> (
-      match ((st.Config.prog : Program.t), c) with
+      match ((Program.reify st.Config.prog : Program.t), c) with
       | Program.Ret v, VDet ->
+          let d = Program.Done v in
           let st =
             {
               st with
-              Config.prog = Program.Done v;
+              Config.prog = d;
+              skipped = d;
               last_read = None;
               ops = st.Config.ops + 1;
             }
           in
-          let cfg =
-            Config.step cfg p st (fun c ->
-                {
-                  c with
-                  Metrics.returns = c.Metrics.returns + 1;
-                  steps = c.Metrics.steps + 1;
-                })
+          let c = st.Config.ctr in
+          let ctr =
+            {
+              c with
+              Metrics.returns = c.Metrics.returns + 1;
+              steps = c.Metrics.steps + 1;
+            }
           in
-          Some ([ Step.Return { p; value = v } ], cfg, false)
+          Some
+            ([ Step.Return { p; value = v } ], Config.step cfg p st ctr, false)
       | Read (r, k), VRead (m, _) ->
-          let step, cfg = view_read_step cfg p st r m ~prog':k in
+          let step, cfg =
+            view_read_step cfg p st r m ~prog:(k m.Modlog.value)
+          in
           Some ([ step ], cfg, false)
       | Spin (r, pred, k), VSpinRead (m, _) ->
-          let prog' =
-            if pred m.Modlog.value then k else fun _ -> st.Config.prog
+          let prog =
+            if pred m.Modlog.value then k m.Modlog.value else st.Config.prog
           in
-          let step, cfg = view_read_step cfg p st r m ~prog' in
+          let step, cfg = view_read_step cfg p st r m ~prog in
           Some ([ step ], cfg, false)
       | Spinv (regs, _, pred, k), VRound tuple ->
           let steps, cfg = view_round_step cfg p st regs pred k tuple in
           Some (steps, cfg, false)
       | Write (r, v, k), VWriteAt at ->
-          let step, cfg = view_write_step cfg p st r v ~at ~prog':k in
+          let step, cfg = view_write_step cfg p st r v ~at ~prog:(k ()) in
           Some ([ step ], cfg, true)
       | Fence k, VDet ->
-          let step, cfg = view_fence_step cfg p st ~prog':k in
+          let step, cfg = view_fence_step cfg p st ~prog:(k ()) in
           Some ([ step ], cfg, true)
       | Cas (r, expect, update, k), VDet ->
           let step, cfg = view_cas_step cfg p st r ~expect ~update ~k in
@@ -602,41 +674,275 @@ let view_op_step cfg p (st : Config.pstate) idx :
           Some ([ step ], cfg, true)
       | _ -> assert false)
 
+(* The return step: the process becomes [Done v]. *)
+let ret_op cfg p (st : Config.pstate) ~wb v =
+  let d = Program.Done v in
+  let st =
+    {
+      st with
+      Config.prog = d;
+      skipped = d;
+      wb;
+      last_read = None;
+      ops = st.Config.ops + 1;
+    }
+  in
+  let c = st.Config.ctr in
+  let ctr =
+    {
+      c with
+      Metrics.returns = c.Metrics.returns + 1;
+      steps = c.Metrics.steps + 1;
+    }
+  in
+  Some ([ Step.Return { p; value = v } ], Config.step cfg p st ctr, false)
+
+(* The write step: buffered models enqueue into [wb] (the caller's
+   overtake-marked view of [st]'s buffer); SC commits immediately —
+   two model steps (the write and its commit) from one element, as
+   the module header promises. *)
+let write_op cfg p (st : Config.pstate) ~wb r v ~prog =
+  if cfg.Config.buffered then begin
+    let wb = Memory_model.buffer_write cfg.Config.model wb r v in
+    let st =
+      {
+        st with
+        Config.prog;
+        skipped = Program.post_labels prog;
+        known = Config.map_learn st.Config.known r v;
+        wb;
+        last_read = None;
+        ops = st.Config.ops + 1;
+      }
+    in
+    let c = st.Config.ctr in
+    let ctr =
+      {
+        c with
+        Metrics.writes = c.Metrics.writes + 1;
+        steps = c.Metrics.steps + 1;
+      }
+    in
+    Some
+      ([ Step.Write { p; reg = r; value = v } ], Config.step cfg p st ctr, false)
+  end
+  else begin
+    (* SC: the write is immediately committed. Commit locality is
+       charged (once), so SC algorithms still pay DSM RMRs for writing
+       remote registers, as in the classical literature. *)
+    let loc = Config.commit_locality cfg p r in
+    let st =
+      {
+        st with
+        Config.prog;
+        skipped = Program.post_labels prog;
+        known = Config.map_learn st.Config.known r v;
+        last_read = None;
+        ops = st.Config.ops + 1;
+      }
+    in
+    let c = st.Config.ctr in
+    let ctr =
+      {
+        c with
+        Metrics.writes = c.Metrics.writes + 1;
+        commits = c.Metrics.commits + 1;
+        steps = c.Metrics.steps + 2;
+        rmr = c.Metrics.rmr + b2i (Step.is_rmr loc);
+        rmr_dsm = c.Metrics.rmr_dsm + b2i (not loc.Step.dsm_local);
+        rmr_cc = c.Metrics.rmr_cc + b2i (not loc.Step.cc_local);
+      }
+    in
+    Some
+      ( [
+          Step.Write { p; reg = r; value = v };
+          Step.Commit { p; reg = r; value = v; loc };
+        ],
+        Config.step cfg p ~commit:(r, v) st ctr,
+        true )
+  end
+
+(* The fence step: the dispatcher already forced the buffer empty. *)
+let fence_op cfg p (st : Config.pstate) ~prog =
+  assert (Wbuf.is_empty st.Config.wb);
+  let st =
+    {
+      st with
+      Config.prog;
+      skipped = Program.post_labels prog;
+      last_read = None;
+      ops = st.Config.ops + 1;
+    }
+  in
+  let c = st.Config.ctr in
+  let ctr =
+    {
+      c with
+      Metrics.fences = c.Metrics.fences + 1;
+      steps = c.Metrics.steps + 1;
+    }
+  in
+  Some ([ Step.Fence { p } ], Config.step cfg p st ctr, false)
+
+(* The cas step: [read]/[success] precomputed by the caller (it needed
+   them to build [prog]), barrier semantics as documented on the
+   metrics below. *)
+let cas_op cfg p (st : Config.pstate) r ~expect ~update ~read ~success ~prog =
+  assert (Wbuf.is_empty st.Config.wb);
+  let loc = Config.commit_locality cfg p r in
+  let ok = b2i success in
+  let known = Config.map_learn st.Config.known r read in
+  let known = if success then Config.map_learn known r update else known in
+  let st =
+    {
+      st with
+      Config.prog;
+      skipped = Program.post_labels prog;
+      known;
+      last_read = None;
+      ops = st.Config.ops + 1;
+      obs = ok :: read :: st.Config.obs;
+      obs_len = st.Config.obs_len + 2;
+      obs_ha = Keyhash.mix_a (Keyhash.mix_a st.Config.obs_ha read) ok;
+      obs_hb = Keyhash.mix_b (Keyhash.mix_b st.Config.obs_hb read) ok;
+      obs_regs =
+        Config.obs_extend (Config.obs_extend st.Config.obs_regs r read) r ok;
+    }
+  in
+  let c = st.Config.ctr in
+  let ctr =
+    {
+      c with
+      Metrics.cas = c.Metrics.cas + 1;
+      (* a cas carries an implicit full barrier; counting it as a
+         fence keeps comparisons with read/write algorithms fair
+         and matches the paper's remark that strong primitives
+         "also incur significant overhead". *)
+      fences = c.Metrics.fences + 1;
+      steps = c.Metrics.steps + 1;
+      rmr = c.Metrics.rmr + b2i (Step.is_rmr loc);
+      rmr_dsm = c.Metrics.rmr_dsm + b2i (not loc.Step.dsm_local);
+      rmr_cc = c.Metrics.rmr_cc + b2i (not loc.Step.cc_local);
+    }
+  in
+  let cfg =
+    Config.step cfg p
+      ?commit:(if success then Some (r, update) else None)
+      st ctr
+  in
+  Some
+    ( [ Step.Cas { p; reg = r; expect; update; read; success; loc } ],
+      cfg,
+      success )
+
 (* One operation step of [p] (labels already skipped; [st] is [p]'s
    current state, [prog = st.prog]). Returns [None] when [p] has no
    step to take: it is final, or blocked on a spin whose register
    still holds the value it last observed. Otherwise the steps
-   produced, the successor, and whether committed memory changed. *)
-let op_step cfg p (st : Config.pstate) prog :
+   produced, the successor, and whether committed memory changed.
+
+   The [Flat] case is the compiled fast path: opcodes dispatch
+   straight into the helpers above, and the successor program is the
+   advanced frame — per step, one frame and one [Flat] box, no tree
+   node and no closure. Every other constructor is the closure
+   interpreter; {!Program.reify} bridges any flat instruction the fast
+   path declines (defensive only — labels are pre-consumed and jumps
+   pre-resolved, so it should be unreachable). *)
+let rec op_step cfg p (st : Config.pstate) ~wb prog :
     (Step.t list * Config.t * bool) option =
   match (prog : Program.t) with
   | Program.Done _ -> None
   | Label _ -> assert false
-  | Ret v ->
-      let st =
-        {
-          st with
-          Config.prog = Program.Done v;
-          last_read = None;
-          ops = st.Config.ops + 1;
-        }
-      in
-      let cfg =
-        Config.step cfg p st (fun c ->
-            {
-              c with
-              Metrics.returns = c.Metrics.returns + 1;
-              steps = c.Metrics.steps + 1;
-            })
-      in
-      Some ([ Step.Return { p; value = v } ], cfg, false)
+  | Flat fr ->
+      let tag = Instr.opcode fr in
+      if tag = Instr.t_read then begin
+        let r = Instr.arg_a fr in
+        let e =
+          if cfg.Config.buffered then Wbuf.find_entry st.Config.wb r
+          else Wbuf.no_entry
+        in
+        let fw = e != Wbuf.no_entry in
+        let v = if fw then e.Wbuf.value else Config.read_mem cfg r in
+        let step, cfg =
+          read_step cfg p st ~wb r v fw
+            ~prog:(Program.Flat (Instr.advance_obs fr v))
+        in
+        Some ([ step ], cfg, false)
+      end
+      else if tag = Instr.t_write then
+        write_op cfg p st ~wb (Instr.arg_a fr) (Instr.arg_b fr)
+          ~prog:(Program.Flat (Instr.advance fr))
+      else if tag = Instr.t_spin then begin
+        let r = Instr.arg_a fr in
+        let e =
+          if cfg.Config.buffered then Wbuf.find_entry st.Config.wb r
+          else Wbuf.no_entry
+        in
+        let fw = e != Wbuf.no_entry in
+        let v = if fw then e.Wbuf.value else Config.read_mem cfg r in
+        if Program.flat_spin_pred v then
+          let step, cfg =
+            read_step cfg p st ~wb r v fw
+              ~prog:(Program.Flat (Instr.advance_obs fr v))
+          in
+          Some ([ step ], cfg, false)
+        else begin
+          match st.Config.last_read with
+          | Some (r', v') when Reg.equal r r' && v = v' -> None
+          | Some _ | None ->
+              let step, cfg = read_step cfg p st ~wb r v fw ~prog in
+              Some ([ step ], cfg, false)
+        end
+      end
+      else if tag = Instr.t_ret then ret_op cfg p st ~wb (Instr.ret_value fr)
+      else if tag = Instr.t_fence then
+        fence_op cfg p st ~prog:(Program.Flat (Instr.advance fr))
+      else if tag = Instr.t_cas then begin
+        let r = Instr.arg_a fr in
+        let expect = Instr.arg_b fr and update = Instr.arg_c fr in
+        let read = Config.read_mem cfg r in
+        let success = read = expect in
+        cas_op cfg p st r ~expect ~update ~read ~success
+          ~prog:(Program.Flat (Instr.advance_obs fr (b2i success)))
+      end
+      else if tag = Instr.t_swap then begin
+        let r = Instr.arg_a fr in
+        let read = Config.read_mem cfg r in
+        let step, cfg =
+          rmw_op cfg p st r ~op:`Swap ~arg:(Instr.arg_b fr) ~read
+            ~prog:(Program.Flat (Instr.advance_obs fr read))
+        in
+        Some ([ step ], cfg, true)
+      end
+      else if tag = Instr.t_faa then begin
+        let r = Instr.arg_a fr in
+        let read = Config.read_mem cfg r in
+        let step, cfg =
+          rmw_op cfg p st r ~op:`Faa ~arg:(Instr.arg_b fr) ~read
+            ~prog:(Program.Flat (Instr.advance_obs fr read))
+        in
+        Some ([ step ], cfg, true)
+      end
+      else op_step cfg p st ~wb (Program.reify prog)
+  | Ret v -> ret_op cfg p st ~wb v
   | Read (r, k) ->
-      let step, cfg = read_step cfg p st r ~prog':k in
+      let e =
+        if cfg.Config.buffered then Wbuf.find_entry st.Config.wb r
+        else Wbuf.no_entry
+      in
+      let fw = e != Wbuf.no_entry in
+      let v = if fw then e.Wbuf.value else Config.read_mem cfg r in
+      let step, cfg = read_step cfg p st ~wb r v fw ~prog:(k v) in
       Some ([ step ], cfg, false)
   | Spin (r, pred, k) ->
-      let v, _ = visible_value cfg st r in
+      let e =
+        if cfg.Config.buffered then Wbuf.find_entry st.Config.wb r
+        else Wbuf.no_entry
+      in
+      let fw = e != Wbuf.no_entry in
+      let v = if fw then e.Wbuf.value else Config.read_mem cfg r in
       if pred v then
-        let step, cfg = read_step cfg p st r ~prog':k in
+        let step, cfg = read_step cfg p st ~wb r v fw ~prog:(k v) in
         Some ([ step ], cfg, false)
       else begin
         match st.Config.last_read with
@@ -647,11 +953,11 @@ let op_step cfg p (st : Config.pstate) prog :
         | Some _ | None ->
             (* observe the (new) unsatisfying value: a real read step
                that leaves the process poised at the same spin *)
-            let step, cfg = read_step cfg p st r ~prog':(fun _ -> prog) in
+            let step, cfg = read_step cfg p st ~wb r v fw ~prog in
             Some ([ step ], cfg, false)
       end
   | Spinv (regs, prev, pred, k) ->
-      let visible = List.map (fun r -> fst (visible_value cfg st r)) regs in
+      let visible = List.map (fun r -> visible_only cfg st r) regs in
       if prev = Some visible then None (* blocked: a round would replay *)
       else begin
         (* unroll one round into ordinary fine-grained reads; execute
@@ -664,148 +970,50 @@ let op_step cfg p (st : Config.pstate) prog :
         in
         match round [] regs with
         | Program.Read (r, k') ->
-            let step, cfg = read_step cfg p st r ~prog':k' in
+            let e =
+              if cfg.Config.buffered then Wbuf.find_entry st.Config.wb r
+              else Wbuf.no_entry
+            in
+            let fw = e != Wbuf.no_entry in
+            let v = if fw then e.Wbuf.value else Config.read_mem cfg r in
+            let step, cfg = read_step cfg p st ~wb r v fw ~prog:(k' v) in
             Some ([ step ], cfg, false)
         | _ -> invalid_arg "Exec: Spinv over no registers"
       end
-  | Write (r, v, k) ->
-      if Memory_model.buffered cfg.Config.model then begin
-        let wb = Memory_model.buffer_write cfg.Config.model st.Config.wb r v in
-        let st =
-          Config.learn
-            {
-              st with
-              Config.prog = k ();
-              wb;
-              last_read = None;
-              ops = st.Config.ops + 1;
-            }
-            r v
-        in
-        let cfg =
-          Config.step cfg p st (fun c ->
-              {
-                c with
-                Metrics.writes = c.Metrics.writes + 1;
-                steps = c.Metrics.steps + 1;
-              })
-        in
-        Some ([ Step.Write { p; reg = r; value = v } ], cfg, false)
-      end
-      else begin
-        (* SC: the write is immediately committed — the element yields
-           the write step and its commit back to back, as the module
-           doc promises: two model steps in the trace and the census,
-           one write and one commit. Commit locality is charged (once),
-           so SC algorithms still pay DSM RMRs for writing remote
-           registers, as in the classical literature. *)
-        let loc = Config.commit_locality cfg p r in
-        let st =
-          Config.learn
-            {
-              st with
-              Config.prog = k ();
-              last_read = None;
-              ops = st.Config.ops + 1;
-            }
-            r v
-        in
-        let cfg =
-          Config.step cfg p ~commit:(r, v) st (fun c ->
-              Config.charge_rmr loc
-                {
-                  c with
-                  Metrics.writes = c.Metrics.writes + 1;
-                  commits = c.Metrics.commits + 1;
-                  steps = c.Metrics.steps + 2;
-                })
-        in
-        Some
-          ( [
-              Step.Write { p; reg = r; value = v };
-              Step.Commit { p; reg = r; value = v; loc };
-            ],
-            cfg,
-            true )
-      end
-  | Fence k ->
-      assert (Wbuf.is_empty st.Config.wb);
-      let st =
-        { st with Config.prog = k (); last_read = None; ops = st.Config.ops + 1 }
-      in
-      let cfg =
-        Config.step cfg p st (fun c ->
-            {
-              c with
-              Metrics.fences = c.Metrics.fences + 1;
-              steps = c.Metrics.steps + 1;
-            })
-      in
-      Some ([ Step.Fence { p } ], cfg, false)
+  | Write (r, v, k) -> write_op cfg p st ~wb r v ~prog:(k ())
+  | Fence k -> fence_op cfg p st ~prog:(k ())
   | Cas (r, expect, update, k) ->
-      assert (Wbuf.is_empty st.Config.wb);
       let read = Config.read_mem cfg r in
       let success = read = expect in
-      let loc = Config.commit_locality cfg p r in
-      let st = Config.learn st r read in
-      let st =
-        Config.observe
-          (Config.observe
-             {
-               st with
-               Config.prog = k success;
-               last_read = None;
-               ops = st.Config.ops + 1;
-             }
-             r read)
-          r
-          (if success then 1 else 0)
-      in
-      let st = if success then Config.learn st r update else st in
-      let cfg =
-        Config.step cfg p
-          ?commit:(if success then Some (r, update) else None)
-          st
-          (fun c ->
-            Config.charge_rmr loc
-              {
-                c with
-                Metrics.cas = c.Metrics.cas + 1;
-                (* a cas carries an implicit full barrier; counting it as a
-                   fence keeps comparisons with read/write algorithms fair
-                   and matches the paper's remark that strong primitives
-                   "also incur significant overhead". *)
-                fences = c.Metrics.fences + 1;
-                steps = c.Metrics.steps + 1;
-              })
-      in
-      Some
-        ( [ Step.Cas { p; reg = r; expect; update; read; success; loc } ],
-          cfg,
-          success )
+      cas_op cfg p st r ~expect ~update ~read ~success ~prog:(k success)
   | Swap (r, arg, k) ->
-      let step, cfg = rmw_step cfg p st r ~op:`Swap ~arg ~k in
+      let read = Config.read_mem cfg r in
+      let step, cfg = rmw_op cfg p st r ~op:`Swap ~arg ~read ~prog:(k read) in
       Some ([ step ], cfg, true)
   | Faa (r, arg, k) ->
-      let step, cfg = rmw_step cfg p st r ~op:`Faa ~arg ~k in
+      let read = Config.read_mem cfg r in
+      let step, cfg = rmw_op cfg p st r ~op:`Faa ~arg ~read ~prog:(k read) in
       Some ([ step ], cfg, true)
 
 (* Skip labels of [p], collecting costless note steps. Fast-pathed: no
    closure or ref is allocated unless [p] is actually poised at a
-   label. *)
+   label — [prog == skipped] is an exact pending-label test, since
+   [Program.post_labels] returns its argument physically when there is
+   nothing to skip. The walk below is for note emission only; the
+   installed program is the cached [skipped], so continuations past a
+   label are never re-forced here. *)
 let consume_labels cfg p =
   let st = Config.pstate cfg p in
-  match st.Config.prog with
-  | Program.Label _ ->
-      let notes = ref [] in
-      let prog =
-        Program.skip_labels
-          ~emit:(fun s -> notes := Step.Note { p; text = s } :: !notes)
-          st.Config.prog
-      in
-      let st = { st with Config.prog = prog } in
-      (List.rev !notes, st, Config.set_pstate cfg p st)
-  | _ -> ([], st, cfg)
+  if st.Config.prog == st.Config.skipped then ([], st, cfg)
+  else begin
+    let notes = ref [] in
+    ignore
+      (Program.skip_labels
+         ~emit:(fun s -> notes := Step.Note { p; text = s } :: !notes)
+         st.Config.prog);
+    let st = { st with Config.prog = st.Config.skipped } in
+    (List.rev !notes, st, Config.set_pstate cfg p st)
+  end
 
 (** Consume pending labels of every process, returning the notes and
     the processes whose state changed. The model checker normalizes
@@ -840,10 +1048,10 @@ let flush_labels cfg : Step.t list * Config.t =
 (** Whether [p] must commit before doing anything else: poised at a
     fence (or cas) with a non-empty buffer. *)
 let forced_commit_pending cfg p =
-  let _, st, _ = consume_labels cfg p in
-  (not (Wbuf.is_empty (Config.wbuf cfg p)))
+  let st = Config.pstate cfg p in
+  (not (Wbuf.is_empty st.Config.wb))
   &&
-  match Program.next_kind st.Config.prog with
+  match Program.next_kind st.Config.skipped with
   | Program.Op_fence | Program.Op_cas -> true
   | Op_read | Op_write | Op_spin | Op_return _ | Op_done -> false
 
@@ -860,36 +1068,39 @@ let forced_commit_pending cfg p =
     |steps|), both O(1)-ish; callers that accumulate whole traces
     ({!exec}, the schedulers, the explorers) all use rev-append with a
     single final reverse. *)
+(* No-op element result: notes only (static helpers, so the hot path
+   allocates no closures). *)
+let elt_noop notes cfg p =
+  (notes, cfg, match notes with [] -> dirty_none | _ :: _ -> dirty_of p ~mem:false)
+
+(* Commit element result: commits are system steps — they remain
+   possible even after the process reached its final state with a
+   non-empty buffer (only programs that fence before returning are
+   guaranteed an empty buffer at return, and our ablations deliberately
+   break that). *)
+let elt_commit notes cfg p st r =
+  let step, cfg = commit_write cfg p st r in
+  (notes @ [ step ], cfg, dirty_of p ~mem:true)
+
 let exec_elt_d cfg ((p, r) : elt) : Step.t list * Config.t * dirty =
   let notes, st, cfg = consume_labels cfg p in
-  let labeled = notes <> [] in
-  let noop () =
-    (notes, cfg, { proc = (if labeled then Some p else None); mem = false })
-  in
-  if Memory_model.view_based cfg.Config.model then begin
+  if cfg.Config.view_based then begin
     (* view backend: the register slot is a choice index (see the view
        section header); there are no commits or buffers to overtake *)
     let idx = match r with None -> 0 | Some k -> k in
     match view_op_step cfg p st idx with
-    | None -> noop ()
+    | None -> elt_noop notes cfg p
     | Some (steps, cfg, mem_dirty) ->
-        (notes @ steps, cfg, { proc = Some p; mem = mem_dirty })
+        (notes @ steps, cfg, dirty_of p ~mem:mem_dirty)
   end
   else
   let prog = st.Config.prog in
   let wb = st.Config.wb in
-  let with_commit r =
-    (* commits are system steps: they remain possible even after the
-       process reached its final state with a non-empty buffer (only
-       programs that fence before returning are guaranteed an empty
-       buffer at return, and our ablations deliberately break that) *)
-    let step, cfg = commit_write cfg p st r in
-    (notes @ [ step ], cfg, { proc = Some p; mem = true })
-  in
   match r with
-  | Some r when Memory_model.may_commit cfg.Config.model wb r -> with_commit r
+  | Some r when Memory_model.may_commit cfg.Config.model wb r ->
+      elt_commit notes cfg p st r
   | Some _ | None -> (
-      if Program.is_done prog then noop ()
+      if Program.is_done prog then elt_noop notes cfg p
       else
         let forced =
           match Program.next_kind prog with
@@ -899,23 +1110,22 @@ let exec_elt_d cfg ((p, r) : elt) : Step.t list * Config.t * dirty =
           | Op_read | Op_write | Op_spin | Op_return _ | Op_done -> None
         in
         match forced with
-        | Some r -> with_commit r
+        | Some r -> elt_commit notes cfg p st r
         | None -> (
             (* The op is about to execute while [p]'s buffered writes
                are still uncommitted: mark them overtaken (the
                write→op half of the reorder-budget accounting — under
-               SC those writes would already have committed). A
-               blocked op returns [None] below and the marking is
-               discarded with [st], so no-ops never charge. No-op when
-               the buffer is empty or already fully marked. *)
-            let st =
-              if Wbuf.is_empty wb then st
-              else { st with Config.wb = Wbuf.overtake_all wb }
-            in
-            match op_step cfg p st prog with
-            | None -> noop ()
+               SC those writes would already have committed). The
+               marked buffer is threaded into [op_step]'s fused record
+               builds — no intermediate pstate copy — and a blocked op
+               returns [None] below, discarding the marking, so no-ops
+               never charge. No-op when the buffer is empty or already
+               fully marked. *)
+            let owb = if Wbuf.is_empty wb then wb else Wbuf.overtake_all wb in
+            match op_step cfg p st ~wb:owb prog with
+            | None -> elt_noop notes cfg p
             | Some (steps, cfg, mem_dirty) ->
-                (notes @ steps, cfg, { proc = Some p; mem = mem_dirty })))
+                (notes @ steps, cfg, dirty_of p ~mem:mem_dirty)))
 
 (** Execute one schedule element. Returns the steps it produced (empty
     when the element is a no-op, e.g. names a finished process) and the
@@ -938,17 +1148,23 @@ let exec cfg (sched : elt list) : Step.t list * Config.t =
     the op element plus one commit element per committable register. *)
 let enabled_elts cfg p : elt list =
   if Config.is_final cfg p then []
-  else if Memory_model.view_based cfg.Config.model then
+  else if cfg.Config.view_based then
     (* one element per alternative of the current op, newest-first;
-       empty when blocked *)
+       empty when blocked. Choice indices reuse the preallocated
+       element tables; an index beyond [nregs] (deep modification
+       logs) allocates. *)
+    let elts = cfg.Config.commit_elts.(p) in
+    let nregs = Array.length elts in
     List.init (view_nchoices cfg p) (fun i ->
-        (p, if i = 0 then None else Some i))
+        if i = 0 then cfg.Config.op_elts.(p)
+        else if i < nregs then elts.(i)
+        else (p, Some i))
   else
     let commits =
       Memory_model.commit_candidates cfg.Config.model (Config.wbuf cfg p)
-      |> List.map (fun r -> (p, Some r))
+      |> List.map (fun r -> cfg.Config.commit_elts.(p).(r))
     in
-    (p, None) :: commits
+    cfg.Config.op_elts.(p) :: commits
 
 (** Run process [p] alone until it reaches a final state, with forced
     commits at fences per the executor rule. Returns [Some (steps,
@@ -980,19 +1196,42 @@ let terminates_solo ?fuel cfg p = Option.is_some (run_solo ?fuel cfg p)
     still holds the unsatisfying value [p] already observed, with no
     forced commit pending? A blocked process's [(p, ⊥)] element is a
     no-op until someone commits to the spun-on register. *)
-let is_blocked cfg p =
-  let _, st, cfg = consume_labels cfg p in
-  if Memory_model.view_based cfg.Config.model then
-    (not (Program.is_done st.Config.prog)) && view_choices cfg st = []
+let blocked cfg (st : Config.pstate) =
+  if cfg.Config.view_based then
+    (not (Program.is_done st.Config.skipped))
+    && view_choices cfg
+         (if st.Config.prog == st.Config.skipped then st
+          else { st with Config.prog = st.Config.skipped })
+       = []
   else
-  match (st.Config.prog : Program.t) with
+    match st.Config.skipped with
+    | Program.Flat fr ->
+        (* compiled fast path: only a spin can block, and flat spins all
+           use {!Program.flat_spin_pred} — no reification needed *)
+        Instr.opcode fr = Instr.t_spin
+        && begin
+             let r = Instr.arg_a fr in
+             let v = visible_only cfg st r in
+             (not (Program.flat_spin_pred v))
+             &&
+             match st.Config.last_read with
+             | Some (r', v') -> Reg.equal r r' && v = v'
+             | None -> false
+           end
+    | _ -> (
+  (* dispatch on the cached post-label program directly; the spin
+     probes below read only [wb]/[last_read], which labels don't touch *)
+  match (Program.reify st.Config.skipped : Program.t) with
   | Program.Spin (r, pred, _) -> (
-      let v, _ = visible_value cfg st r in
+      let v = visible_only cfg st r in
       (not (pred v))
       &&
       match st.Config.last_read with
       | Some (r', v') -> Reg.equal r r' && v = v'
       | None -> false)
   | Program.Spinv (regs, prev, _, _) ->
-      prev = Some (List.map (fun r -> fst (visible_value cfg st r)) regs)
-  | Done _ | Ret _ | Read _ | Write _ | Fence _ | Cas _ | Swap _ | Faa _ | Label _ -> false
+      prev = Some (List.map (fun r -> visible_only cfg st r) regs)
+  | Done _ | Ret _ | Read _ | Write _ | Fence _ | Cas _ | Swap _ | Faa _
+  | Label _ | Flat _ -> false)
+
+let is_blocked cfg p = blocked cfg (Config.pstate cfg p)

@@ -22,6 +22,10 @@ type elt = Pid.t * Reg.t option
     means the element was a no-op. *)
 type dirty = { proc : Pid.t option; mem : bool }
 
+(** The dirty report for process [p]; returns a preallocated shared
+    record for [p < 64] — hot loops should prefer this over a literal. *)
+val dirty_of : Pid.t -> mem:bool -> dirty
+
 val pp_elt : elt Fmt.t
 
 (** Execute one element. Returns the steps produced (empty when the
@@ -70,3 +74,7 @@ val terminates_solo : ?fuel:int -> Config.t -> Pid.t -> bool
     [(p, ⊥)] element is a no-op until someone commits to a spun-on
     register. *)
 val is_blocked : Config.t -> Pid.t -> bool
+
+(** {!is_blocked} on an already-fetched process state — for enumeration
+    loops that hold the pstate in hand. *)
+val blocked : Config.t -> Config.pstate -> bool

@@ -76,15 +76,24 @@ let successor_elts cfg : Exec.elt list =
   let rec go p acc =
     if p < 0 then acc
     else
-      let commits =
-        Memory_model.commit_candidates cfg.Config.model (Config.wbuf cfg p)
-        |> List.map (fun r -> (p, Some r))
+      (* one pstate fetch per process serves the buffer, final and
+         blocked probes *)
+      let st = Config.pstate cfg p in
+      let wb = st.Config.wb in
+      let acc =
+        if Wbuf.is_empty wb then acc
+        else
+          let elts = cfg.Config.commit_elts.(p) in
+          List.map
+            (fun r -> elts.(r))
+            (Memory_model.commit_candidates cfg.Config.model wb)
+          @ acc
       in
-      let ops =
-        if Config.is_final cfg p || Exec.is_blocked cfg p then []
-        else [ (p, None) ]
+      let acc =
+        if Program.is_done st.Config.skipped || Exec.blocked cfg st then acc
+        else cfg.Config.op_elts.(p) :: acc
       in
-      go (p - 1) (ops @ commits @ acc)
+      go (p - 1) acc
   in
   go (n - 1) []
 

@@ -1,0 +1,206 @@
+(** Flat compiled code: packed int-coded instructions in an array.
+
+    The free-monad {!Program.t} pays a closure-tree tax on every step:
+    advancing a process allocates the next tree node by calling a
+    continuation. For the first-order program sources (fuzz ASTs,
+    straight-line litmus threads) the whole program is known up front,
+    so it can be compiled once into an [int array] of packed opcodes
+    and a process position becomes a [(code, pc, acc)] triple — no
+    closure calls, no node allocation, O(1) advance.
+
+    Encoding: one instruction per array slot,
+    [tag (4 bits) | a (20 bits) | b (20 bits) | c (19 bits)], all
+    fields non-negative. Jump targets are explicit pcs; {!resolve}
+    short-circuits [IJmp] chains so an installed pc always points at a
+    real instruction. Labels live in a side table of strings indexed
+    by the [a] field.
+
+    The accumulator [acc] threads the packed observation log exactly
+    as {!Fuzz.Gen} does ([pack acc v = acc*64 + (v land 63)]): a
+    process's return value is [acc] at its [IRet]. Spins are encoded
+    as always-satisfiable observes ([ISpin r] reads and packs like a
+    generated [Spin] instruction); data-dependent control (predicates,
+    multi-register rounds) is out of scope — such programs stay on the
+    closure interpreter (see {!Compile}). *)
+
+(* Field widths. 4+20+20+19 = 63 bits: fits a native int. *)
+let tag_bits = 4
+let a_bits = 20
+let b_bits = 20
+let c_bits = 19
+let a_shift = tag_bits
+let b_shift = tag_bits + a_bits
+let c_shift = tag_bits + a_bits + b_bits
+let a_max = (1 lsl a_bits) - 1
+let b_max = (1 lsl b_bits) - 1
+let c_max = (1 lsl c_bits) - 1
+
+(* Opcode tags. *)
+let t_ret = 0 (* a = mode: 0 returns acc, 1 returns the constant b *)
+let t_read = 1 (* a = reg; packs the value *)
+let t_write = 2 (* a = reg, b = value *)
+let t_fence = 3
+let t_cas = 4 (* a = reg, b = expect, c = update; packs the outcome *)
+let t_swap = 5 (* a = reg, b = value; packs the old value *)
+let t_faa = 6 (* a = reg, b = addend; packs the old value *)
+let t_spin = 7 (* a = reg; always-satisfiable observe, packs the value *)
+let t_label = 8 (* a = label-table index *)
+let t_jmp = 9 (* a = target pc; resolved away before execution *)
+
+type code = {
+  ops : int array;  (** packed instructions *)
+  labels : string array;  (** label table, indexed by [ILabel]'s [a] *)
+}
+
+type frame = { code : code; pc : int; acc : int }
+(** A process position in compiled code. [pc] always points at a
+    non-[IJmp] instruction (jump chains are resolved at install time);
+    [acc] is the packed observation log so far. *)
+
+(** Observation packing, byte-compatible with [Fuzz.Gen.pack]. *)
+let pack acc v = (acc * 64) + (v land 63)
+
+let[@inline] op_at code pc = code.ops.(pc)
+let[@inline] tag_of op = op land ((1 lsl tag_bits) - 1)
+let[@inline] a_of op = (op lsr a_shift) land a_max
+let[@inline] b_of op = (op lsr b_shift) land b_max
+let[@inline] c_of op = op lsr c_shift
+
+let[@inline] opcode fr = tag_of (op_at fr.code fr.pc)
+let[@inline] arg_a fr = a_of (op_at fr.code fr.pc)
+let[@inline] arg_b fr = b_of (op_at fr.code fr.pc)
+let[@inline] arg_c fr = c_of (op_at fr.code fr.pc)
+let label_text fr = fr.code.labels.(arg_a fr)
+
+(** The value an [IRet] returns: the packed log [acc] in mode 0 (fuzz
+    programs — the log {e is} the result), the constant [b] in mode 1
+    (lock passages and litmus threads return fixed codes). *)
+let[@inline] ret_value fr =
+  let op = op_at fr.code fr.pc in
+  if a_of op = 0 then fr.acc else b_of op
+
+(* Follow jump chains from [pc] to the first real instruction. Raises
+   on out-of-range pcs and on jump cycles (both are compiler bugs, not
+   program behaviours — {!finish} checks the last instruction, and the
+   builders below never emit a cycle). *)
+let resolve code pc =
+  let n = Array.length code.ops in
+  let rec go pc fuel =
+    if pc < 0 || pc >= n then
+      Fmt.invalid_arg "Instr.resolve: pc %d out of range (%d ops)" pc n
+    else
+      let op = code.ops.(pc) in
+      if tag_of op <> t_jmp then pc
+      else if fuel = 0 then invalid_arg "Instr.resolve: jump cycle"
+      else go (a_of op) (fuel - 1)
+  in
+  go pc (n + 1)
+
+(** Initial frame: pc at the first real instruction, empty log. *)
+let frame code = { code; pc = resolve code 0; acc = 0 }
+
+(** Advance past the current instruction without observing. *)
+let[@inline] advance fr = { fr with pc = resolve fr.code (fr.pc + 1) }
+
+(** Advance past the current instruction, packing observation [v]. *)
+let[@inline] advance_obs fr v =
+  { code = fr.code; pc = resolve fr.code (fr.pc + 1); acc = pack fr.acc v }
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  mutable ops : int array;
+  mutable len : int;
+  mutable labels : string list;  (** reversed *)
+  mutable nlabels : int;
+}
+
+let create () = { ops = Array.make 16 0; len = 0; labels = []; nlabels = 0 }
+let here b = b.len
+
+let field name max v =
+  if v < 0 || v > max then
+    Fmt.invalid_arg "Instr: %s operand %d out of range (max %d)" name v max
+  else v
+
+let push b op =
+  if b.len = Array.length b.ops then begin
+    let ops = Array.make (2 * b.len) 0 in
+    Array.blit b.ops 0 ops 0 b.len;
+    b.ops <- ops
+  end;
+  b.ops.(b.len) <- op;
+  b.len <- b.len + 1
+
+let emit0 b tag = push b tag
+
+let emit1 b tag a = push b (tag lor (field "a" a_max a lsl a_shift))
+
+let emit2 b tag a v =
+  push b
+    (tag
+    lor (field "a" a_max a lsl a_shift)
+    lor (field "b" b_max v lsl b_shift))
+
+let emit3 b tag a v c =
+  push b
+    (tag
+    lor (field "a" a_max a lsl a_shift)
+    lor (field "b" b_max v lsl b_shift)
+    lor (field "c" c_max c lsl c_shift))
+
+let emit_ret b = emit0 b t_ret
+let emit_ret_const b v = emit2 b t_ret 1 v
+let emit_read b r = emit1 b t_read r
+let emit_write b r v = emit2 b t_write r v
+let emit_fence b = emit0 b t_fence
+let emit_cas b r ~expect ~update = emit3 b t_cas r expect update
+let emit_swap b r v = emit2 b t_swap r v
+let emit_faa b r ~add = emit2 b t_faa r add
+let emit_spin b r = emit1 b t_spin r
+
+let emit_label b s =
+  emit1 b t_label b.nlabels;
+  b.labels <- s :: b.labels;
+  b.nlabels <- b.nlabels + 1
+
+let emit_jmp b target = emit1 b t_jmp target
+
+(** Patch a previously emitted [IJmp] (e.g. emitted with a placeholder
+    target of 0) to point at [target]. *)
+let patch_jmp b at target =
+  if at < 0 || at >= b.len || tag_of b.ops.(at) <> t_jmp then
+    Fmt.invalid_arg "Instr.patch_jmp: no jmp at %d" at;
+  b.ops.(at) <- t_jmp lor (field "a" a_max target lsl a_shift)
+
+let finish b =
+  if b.len = 0 then invalid_arg "Instr.finish: empty code";
+  (match tag_of b.ops.(b.len - 1) with
+  | t when t = t_ret || t = t_jmp -> ()
+  | _ -> invalid_arg "Instr.finish: code must end in ret or jmp");
+  {
+    ops = Array.sub b.ops 0 b.len;
+    labels = Array.of_list (List.rev b.labels);
+  }
+
+let pp_op labels ppf op =
+  let tag = tag_of op and a = a_of op and bb = b_of op and c = c_of op in
+  if tag = t_ret then
+    if a = 0 then Fmt.pf ppf "ret" else Fmt.pf ppf "ret =%d" bb
+  else if tag = t_read then Fmt.pf ppf "read r%d" a
+  else if tag = t_write then Fmt.pf ppf "write r%d %d" a bb
+  else if tag = t_fence then Fmt.pf ppf "fence"
+  else if tag = t_cas then Fmt.pf ppf "cas r%d %d %d" a bb c
+  else if tag = t_swap then Fmt.pf ppf "swap r%d %d" a bb
+  else if tag = t_faa then Fmt.pf ppf "faa r%d %d" a bb
+  else if tag = t_spin then Fmt.pf ppf "spin r%d" a
+  else if tag = t_label then Fmt.pf ppf "label %S" labels.(a)
+  else if tag = t_jmp then Fmt.pf ppf "jmp %d" a
+  else Fmt.pf ppf "?%d" tag
+
+let pp ppf (code : code) =
+  Array.iteri
+    (fun i op -> Fmt.pf ppf "%3d: %a@," i (pp_op code.labels) op)
+    code.ops

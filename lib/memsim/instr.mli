@@ -1,0 +1,106 @@
+(** Flat compiled code: packed int-coded instructions in an array.
+
+    A compiled process position is a [(code, pc, acc)] triple
+    ({!frame}); advancing is O(1) with no closure calls and no tree
+    allocation. The accumulator packs observed values exactly as
+    [Fuzz.Gen] does, so a compiled fuzz program returns the same
+    packed observation log as its closure build. Labels live in a
+    side table; jumps are explicit pcs resolved away before execution.
+    See {!Compile} for which program sources compile to this IR and
+    the fallback contract for the rest. *)
+
+type code = {
+  ops : int array;  (** packed instructions *)
+  labels : string array;  (** label table, indexed by [ILabel]'s [a] field *)
+}
+
+type frame = { code : code; pc : int; acc : int }
+(** [pc] always points at a non-jump instruction; [acc] is the packed
+    observation log so far (= the return value at [IRet]). *)
+
+(** Observation packing, byte-compatible with [Fuzz.Gen.pack]:
+    [pack acc v = acc*64 + (v land 63)]. *)
+val pack : int -> int -> int
+
+(** {2 Opcode tags} — compared against {!opcode}. *)
+
+val t_ret : int
+val t_read : int
+val t_write : int
+val t_fence : int
+val t_cas : int
+val t_swap : int
+val t_faa : int
+val t_spin : int
+val t_label : int
+val t_jmp : int
+
+(** {2 Decoding} — allocation-free accessors on the current pc. *)
+
+val opcode : frame -> int
+val arg_a : frame -> int  (** register for ops, label index, jmp target *)
+
+val arg_b : frame -> int  (** value / expect / addend *)
+
+val arg_c : frame -> int  (** cas update *)
+
+val label_text : frame -> string
+
+(** The value an [IRet] returns: the packed log [acc] (mode 0) or the
+    instruction's constant (mode 1, see {!emit_ret_const}). *)
+val ret_value : frame -> int
+
+(** First non-jump pc reachable from [pc] (short-circuits [IJmp]
+    chains). Raises [Invalid_argument] on out-of-range pcs or cycles. *)
+val resolve : code -> int -> int
+
+(** Initial frame: first real instruction, empty log. *)
+val frame : code -> frame
+
+(** Advance past the current instruction without observing. *)
+val advance : frame -> frame
+
+(** Advance past the current instruction, packing observation [v]. *)
+val advance_obs : frame -> int -> frame
+
+(** {2 Builder} *)
+
+type builder
+
+val create : unit -> builder
+
+(** Next pc to be emitted — forward-jump bookkeeping. *)
+val here : builder -> int
+
+val emit_ret : builder -> unit
+
+(** Return the given constant instead of the packed log — lock
+    passages and litmus threads return fixed codes, not observations. *)
+val emit_ret_const : builder -> int -> unit
+
+(** All emit functions raise [Invalid_argument] when an operand does
+    not fit its packed field (registers and jump targets: 20 bits;
+    values: 20 bits; cas updates: 19 bits) — the caller falls back to
+    the closure interpreter. *)
+val emit_read : builder -> int -> unit
+
+val emit_write : builder -> int -> int -> unit
+val emit_fence : builder -> unit
+val emit_cas : builder -> int -> expect:int -> update:int -> unit
+val emit_swap : builder -> int -> int -> unit
+val emit_faa : builder -> int -> add:int -> unit
+
+(** Always-satisfiable observe: reads the register, packs the value. *)
+val emit_spin : builder -> int -> unit
+
+val emit_label : builder -> string -> unit
+val emit_jmp : builder -> int -> unit
+
+(** Re-target a previously emitted jump (forward-jump patching). *)
+val patch_jmp : builder -> int -> int -> unit
+
+(** Close the builder. Raises unless the code is non-empty and ends in
+    [ret] or [jmp] (so a pc can never run off the end). *)
+val finish : builder -> code
+
+val pp : code Fmt.t

@@ -32,6 +32,9 @@ type t =
           observations (carried in the [int list option]) *)
   | Label of string * (unit -> t)
       (** zero-cost annotation, consumed transparently by the executor *)
+  | Flat of Instr.frame
+      (** compiled position in flat code (see {!Instr}); never [Done] —
+          a process at [IRet] still owes its observable return step *)
 
 (** Direct-style fragments: ['a m] produces an ['a]. *)
 type 'a m = ('a -> t) -> t
@@ -72,6 +75,22 @@ val run : int m -> t
 
 val run_unit : unit m -> returns:int -> t
 
+(** A program running compiled flat code from its entry point. *)
+val flat : Instr.code -> t
+
+(** The predicate of a flat spin ([fun v -> v >= 0]): truth-table
+    identical to the one generated spins use, and the {e only}
+    predicate the flat translator accepts (compared physically), so
+    flat and closure builds block and observe identically. *)
+val flat_spin_pred : int -> bool
+
+(** Expand the single instruction a {!Flat} program is poised at into
+    the equivalent tree node (continuations produce [Flat] frames
+    again); the identity on every other constructor. Lets
+    constructor-dispatching paths (view backend, POR footprints, fence
+    masking) handle flat code without duplicating its logic. *)
+val reify : t -> t
+
 type op_kind =
   | Op_read
   | Op_write
@@ -86,6 +105,13 @@ val next_kind : t -> op_kind
 
 (** Skip leading labels, feeding each to [emit]. *)
 val skip_labels : emit:(string -> unit) -> t -> t
+
+(** Is the program poised at a (pending) label? *)
+val at_label : t -> bool
+
+(** [skip_labels] without emission. Physically the argument itself
+    when there is no leading label. *)
+val post_labels : t -> t
 
 val is_done : t -> bool
 val final_value : t -> int option

@@ -15,6 +15,20 @@ type locality = {
 (** Combined-model locality: remote only if remote in both senses. *)
 let is_rmr l = (not l.dsm_local) && not l.cc_local
 
+(* The four locality values, shared: localities decorate every read,
+   commit and RMW step, so hot paths fetch a preallocated record
+   instead of allocating one per step. *)
+let loc_ll = { dsm_local = true; cc_local = true }
+let loc_lr = { dsm_local = true; cc_local = false }
+let loc_rl = { dsm_local = false; cc_local = true }
+let loc_rr = { dsm_local = false; cc_local = false }
+
+(** The interned locality record for a (dsm, cc) pair. *)
+let[@inline] locality ~dsm_local ~cc_local =
+  if dsm_local then if cc_local then loc_ll else loc_lr
+  else if cc_local then loc_rl
+  else loc_rr
+
 type t =
   | Read of { p : Pid.t; reg : Reg.t; value : int; from_wbuf : bool; loc : locality }
   | Write of { p : Pid.t; reg : Reg.t; value : int }

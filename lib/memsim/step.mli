@@ -11,6 +11,10 @@ type locality = {
     RMR). *)
 val is_rmr : locality -> bool
 
+(** The interned (preallocated) locality record for a (dsm, cc) pair —
+    hot paths should prefer this over a record literal. *)
+val locality : dsm_local:bool -> cc_local:bool -> locality
+
 type t =
   | Read of { p : Pid.t; reg : Reg.t; value : int; from_wbuf : bool; loc : locality }
   | Write of { p : Pid.t; reg : Reg.t; value : int }

@@ -79,24 +79,34 @@ let overtake_all t =
       ot = t.size;
     }
 
+(** Sentinel for {!find_entry}: physically unique, never stored in a
+    buffer (register ids are non-negative). *)
+let no_entry = { reg = -1; value = 0; overtaken = false }
+
+(** Newest pending entry for [r], or (physically) {!no_entry} — the
+    allocation-free probe behind {!find}, for hot paths that run once
+    per read/spin step. *)
+let find_entry t r =
+  let rec first = function
+    | [] -> no_entry
+    | e :: rest -> if Reg.equal e.reg r then e else first rest
+  in
+  let e = first t.rback in
+  if e != no_entry then e
+  else
+    let rec last acc = function
+      | [] -> acc
+      | e :: rest -> last (if Reg.equal e.reg r then e else acc) rest
+    in
+    last no_entry t.front
+
 (** Newest pending value for [r], if any — the value a read by the owner
     must return (store forwarding), under every buffered model. *)
 let find t r =
-  let rec first = function
-    | [] -> None
-    | e :: rest -> if Reg.equal e.reg r then Some e.value else first rest
-  in
-  match first t.rback with
-  | Some _ as v -> v
-  | None ->
-      let rec last acc = function
-        | [] -> acc
-        | e :: rest ->
-            last (if Reg.equal e.reg r then Some e.value else acc) rest
-      in
-      last None t.front
+  let e = find_entry t r in
+  if e == no_entry then None else Some e.value
 
-let mem t r = Option.is_some (find t r)
+let mem t r = find_entry t r != no_entry
 
 (** Unordered-buffer write: replace any pending write to the same
     register (the paper's [WB_p - {(R,_)} ∪ {(R,x)}]); the entry moves

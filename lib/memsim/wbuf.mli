@@ -39,6 +39,15 @@ val overtake_all : t -> t
     return (store forwarding). *)
 val find : t -> Reg.t -> int option
 
+(** Sentinel returned by {!find_entry} on a miss; physically unique,
+    never stored in a buffer. *)
+val no_entry : entry
+
+(** Newest pending entry for the register, or (physically) {!no_entry}
+    — the allocation-free probe behind {!find}, for paths that run once
+    per read/spin step. Compare against {!no_entry} with [==]. *)
+val find_entry : t -> Reg.t -> entry
+
 val mem : t -> Reg.t -> bool
 
 (** Unordered-buffer write: replaces any pending write to the register. *)

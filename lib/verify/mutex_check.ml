@@ -85,7 +85,7 @@ let cs_monitor occupancy (step : Step.t) =
     exclusion holds, the counter's final value is exactly the total
     number of passages; a lost update betrays an overlap even if the
     label monitor were blind to it. *)
-let workload ~model (factory : Locks.Lock.factory) ~nprocs ~rounds =
+let workload ?compile ~model (factory : Locks.Lock.factory) ~nprocs ~rounds =
   let builder = Layout.Builder.create ~nprocs in
   let lock = factory builder ~nprocs in
   let counter =
@@ -109,14 +109,14 @@ let workload ~model (factory : Locks.Lock.factory) ~nprocs ~rounds =
     run (go rounds)
   in
   let programs = Array.init nprocs program in
-  (lock, counter, Config.make ~model ~layout programs)
+  (lock, counter, Config.make ?compile ~model ~layout programs)
 
-let check ?tel ?(rounds = 1) ?max_states ?max_depth ?expected_states
+let check ?tel ?compile ?(rounds = 1) ?max_states ?max_depth ?expected_states
     ?report_visited ?(engine = `Dfs) ?(por = false) ?(symmetry = false)
     ?reorder_bound ~model factory ~nprocs : verdict =
   if symmetry && reorder_bound <> None then
     invalid_arg "Mutex_check.check: ~symmetry and ~reorder_bound are exclusive";
-  let lock, counter, cfg = workload ~model factory ~nprocs ~rounds in
+  let lock, counter, cfg = workload ?compile ~model factory ~nprocs ~rounds in
   let lost_update = ref false in
   let on_final final _ =
     if Config.read_mem final counter <> nprocs * rounds then

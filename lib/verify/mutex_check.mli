@@ -46,8 +46,8 @@ val cs_monitor : Pid.Set.t -> Step.t -> (Pid.Set.t, string) result
     critical section incrementing a shared counter. Returns the lock,
     the counter register, and the initial configuration. *)
 val workload :
-  model:Memory_model.t -> Locks.Lock.factory -> nprocs:int -> rounds:int ->
-  Locks.Lock.t * Reg.t * Config.t
+  ?compile:bool -> model:Memory_model.t -> Locks.Lock.factory -> nprocs:int ->
+  rounds:int -> Locks.Lock.t * Reg.t * Config.t
 
 (** [engine] selects the explorer: [`Dfs] (default) is the historical
     sequential {!Memsim.Explore.dfs}; [`Parallel j] runs the [Mc]
@@ -73,7 +73,7 @@ val workload :
     domain). Mutually exclusive with [symmetry] (raises
     [Invalid_argument]). *)
 val check :
-  ?tel:Telemetry.Hub.t ->
+  ?tel:Telemetry.Hub.t -> ?compile:bool ->
   ?rounds:int -> ?max_states:int -> ?max_depth:int ->
   ?expected_states:int -> ?report_visited:(Mc.Visited.stats -> unit) ->
   ?engine:Mc.engine -> ?por:bool ->

@@ -10,6 +10,7 @@ let () =
       Test_wbuf.suite;
       Test_layout.suite;
       Test_exec.suite;
+      Test_compile.suite;
       Test_statekey.suite;
       Test_semantics.suite;
       Test_metrics.suite;
