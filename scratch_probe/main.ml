@@ -1,0 +1,28 @@
+let () =
+  let open Memsim in
+  (* T0 writes 100 to r0; T1 reads r0 and branches at >= 64 *)
+  let test =
+    {
+      Litmus.Test.name = "probe-hole";
+      description = "";
+      nregs = 1;
+      programs =
+        (fun regs ->
+          [|
+            Program.Write (regs.(0), 100, fun () -> Program.Ret 0);
+            Program.Read (regs.(0), fun v ->
+                if v >= 64 then Program.Ret 1 else Program.Ret 0);
+          |]);
+      observed = (fun regs -> Array.to_list regs);
+    }
+  in
+  let show compile =
+    let run = Litmus.Test.run ~compile test ~model:Memsim.Memory_model.sc in
+    List.iter
+      (fun (o : Litmus.Test.outcome) ->
+        Fmt.pr "compile=%b returns=%a@." compile
+          Fmt.(Dump.array int) o.returns)
+      run.Litmus.Test.outcomes
+  in
+  show true;
+  show false
