@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke mc-smoke mc-bench fuzz-smoke synth-smoke doc examples clean
+.PHONY: all build test bench bench-smoke mc-smoke mc-bench fuzz-smoke synth-smoke serve-smoke doc examples clean
 
 all: build
 
@@ -75,6 +75,36 @@ synth-smoke:
 	--frontier-out SYNTH_frontier.json
 	dune exec bin/fencelab_cli.exe -- synth --family bakery -m PSO -n 2 \
 	--strategy exhaustive -j 2 --stats-out SYNTH_stats_exhaustive.ndjson
+
+# Serve daemon smoke (<5s): a 3-job spool — a bakery/PSO check with a
+# small checkpoint interval, one litmus cell, and the full GT_f/Count
+# atlas sweep over n in {2..64} — through `fencelab serve` twice.
+# Leg 1 kills itself (exit 70, asserted) right after the check job's
+# first checkpoint is persisted, orphaning c1.ckpt; leg 2 restarts on
+# the same spool, skips the jobs whose .done markers exist, resumes
+# the check from the cut, and must land the same verdict and exact
+# state/transition counts as an uninterrupted run (the equivalence is
+# pinned by test/test_serve.ml; here we assert the resume record and
+# clean completion). The two NDJSON streams and the atlas JSON are CI
+# artifacts.
+serve-smoke:
+	rm -rf _serve && mkdir -p _serve
+	printf '%s\n' \
+	'{"job":"check","id":"c1","lock":"bakery","model":"PSO","nprocs":2}' \
+	'{"job":"litmus","id":"l1","test":"SB","model":"TSO"}' \
+	'{"job":"atlas","id":"a1","model":"PSO","nprocs":[2,4,8,16,32,64],"out":"SERVE_atlas.json"}' \
+	> _serve/batch.job
+	dune exec bin/fencelab_cli.exe -- serve --spool _serve --window 2 \
+	--checkpoint-every 400 --crash-after-checkpoints 1 \
+	--stats-out SERVE_smoke_leg1.ndjson; test $$? -eq 70
+	test -f _serve/c1.ckpt
+	dune exec bin/fencelab_cli.exe -- serve --spool _serve --window 2 \
+	--checkpoint-every 400 --stats-out SERVE_smoke_leg2.ndjson
+	grep -q '"type":"resume","job_id":"c1"' SERVE_smoke_leg2.ndjson
+	grep '"type":"job_done","job_id":"c1"' SERVE_smoke_leg2.ndjson \
+	| grep -q '"ok":true'
+	grep -q '"type":"atlas"' SERVE_atlas.json
+	test ! -f _serve/c1.ckpt
 
 doc:
 	dune build @doc

@@ -819,6 +819,13 @@ let mc () =
         exit 1
   end
 
+let e15 () =
+  section
+    "E15: GT_f / Count atlas — measured (fences, RMR) Pareto frontier per n \
+     under combined / pure-CC / pure-DSM accounting (serve atlas job)";
+  let atlas = Serve.Atlas.run ~nprocs:[ 2; 4; 8; 16; 32; 64 ] () in
+  Fmt.pr "%a@." Serve.Atlas.pp atlas
+
 let timings () =
   section "T1: Bechamel micro-benchmarks (simulator throughput)";
   let open Bechamel in
@@ -880,7 +887,7 @@ let all =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("MC", mc); ("T1", timings);
+    ("E15", e15); ("MC", mc); ("T1", timings);
   ]
 
 let () =

@@ -9,7 +9,9 @@
      litmus           reachable litmus outcomes per memory model
      fuzz             differential fuzzing of programs, models, engines
      synth            counterexample-guided fence synthesis + Pareto frontier
-     encode           run the Section 5 encoder on a permutation        *)
+     encode           run the Section 5 encoder on a permutation
+     serve            job-queue daemon: check/litmus/fuzz/synth/atlas specs
+                      over a worker pool, with checkpoint/resume         *)
 
 open Cmdliner
 open Memsim
@@ -422,9 +424,10 @@ let litmus_cmd =
       & info [ "m"; "model" ] ~docv:"MODEL"
           ~doc:
             (model_doc
-            ^ " Default: sweep every model (skipping the view-based ones \
-               when $(b,--reorder-bound) is set — they have no write \
-               buffer to meter; naming one explicitly is an error)."))
+            ^ " Default: sweep every model; when $(b,--reorder-bound) is \
+               set, view-based cells print an explicit skipped marker — \
+               they have no write buffer to meter — and naming one \
+               explicitly is an error."))
   in
   let run test model jobs por reorder_bound no_compile progress interval
       stats_out =
@@ -432,17 +435,13 @@ let litmus_cmd =
     (* no --symmetry here: litmus verdicts project per-pid outcomes,
        which orbit merging would conflate *)
     let engine = engine_of ~jobs ~por () in
-    let models =
+    let models, sweeping =
       match model with
       | Some m ->
           (* an explicit view model under a reorder bound falls through
              to the engine's Invalid_argument, surfaced by [protect] *)
-          [ m ]
-      | None when reorder_bound <> None ->
-          List.filter
-            (fun m -> not (Memory_model.view_based m))
-            Memory_model.all
-      | None -> Memory_model.all
+          ([ m ], false)
+      | None -> (Memory_model.all, true)
     in
     let tests =
       match test with
@@ -466,28 +465,50 @@ let litmus_cmd =
          each exploration, so samples always show the live run *)
       let states = ref 0 and transitions = ref 0 and runs = ref 0 in
       let hits = ref 0 in
+      (* skipped cells ship as explicit "skip" NDJSON records ahead of
+         the final "run" record, mirroring the human per-cell marker —
+         a bounded sweep never silently drops a row *)
+      let skips = ref [] in
       List.iter
         (fun t ->
           List.iter
             (fun model ->
-              let r =
-                Litmus.Test.run ~tel ~compile:(not no_compile) ~engine ~por
-                  ?reorder_bound t ~model
-              in
-              incr runs;
-              states := !states + r.Litmus.Test.stats.Explore.states;
-              transitions :=
-                !transitions + r.Litmus.Test.stats.Explore.transitions;
-              hits := !hits + r.Litmus.Test.stats.Explore.bound_hits;
-              Fmt.pr "%a@." Litmus.Test.pp_run r)
+              match
+                if sweeping then Litmus.Test.skip_reason ?reorder_bound model
+                else None
+              with
+              | Some reason ->
+                  Fmt.pr "%s under %a: skipped (%s)@." t.Litmus.Test.name
+                    Memory_model.pp model reason;
+                  skips :=
+                    ( "skip",
+                      Telemetry.Sink.
+                        [
+                          ("test", S t.Litmus.Test.name);
+                          ("model", S (Fmt.str "%a" Memory_model.pp model));
+                          ("reason", S reason);
+                        ] )
+                    :: !skips
+              | None ->
+                  let r =
+                    Litmus.Test.run ~tel ~compile:(not no_compile) ~engine
+                      ~por ?reorder_bound t ~model
+                  in
+                  incr runs;
+                  states := !states + r.Litmus.Test.stats.Explore.states;
+                  transitions :=
+                    !transitions + r.Litmus.Test.stats.Explore.transitions;
+                  hits := !hits + r.Litmus.Test.stats.Explore.bound_hits;
+                  Fmt.pr "%a@." Litmus.Test.pp_run r)
             models)
         tests;
-      finish
+      finish ~records:(List.rev !skips)
         Telemetry.Sink.
           [
             ("cmd", S "litmus");
             ("tests", I (List.length tests));
             ("runs", I !runs);
+            ("skipped", I (List.length !skips));
             ("states", I !states);
             ("transitions", I !transitions);
             ("bound_hits", I !hits);
@@ -747,6 +768,90 @@ let synth_cmd =
        $ max_states_t $ strategy_t $ jobs_t $ progress_t $ interval_t
        $ stats_out_t $ frontier_out_t))
 
+let serve_cmd =
+  let spool_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "Serve jobs from $(docv): every $(b,*.job) file, one JSON spec \
+             per line. Completed jobs leave $(b,<id>.done) markers and are \
+             skipped on restart; an in-flight check job's \
+             $(b,<id>.ckpt) checkpoint is resumed. Without $(b,--spool), \
+             specs are read from stdin (one per line) until EOF.")
+  in
+  let window_t =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "window" ] ~docv:"W"
+          ~doc:
+            "In-flight window: $(docv) worker domains, and at most $(docv) \
+             queued jobs — submission backpressures instead of growing the \
+             queue, so the daemon never spawns unboundedly.")
+  in
+  let checkpoint_every_t =
+    Arg.(
+      value
+      & opt int 25_000
+      & info [ "checkpoint-every" ] ~docv:"STATES"
+          ~doc:
+            "States between checkpoint cuts for check jobs (atomic \
+             write-then-rename; a killed daemon resumes from the last cut \
+             with identical verdict and counts).")
+  in
+  let checkpoint_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Where checkpoint files live (default: the spool directory; \
+             stdin mode has no checkpointing unless this is set).")
+  in
+  let crash_after_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-after-checkpoints" ] ~docv:"N"
+          ~doc:
+            "Testing hook: exit(70) immediately after the N-th checkpoint \
+             is persisted — simulates a daemon killed mid-job for the \
+             kill/resume smoke leg.")
+  in
+  let watch_t =
+    Arg.(
+      value
+      & flag
+      & info [ "watch" ]
+          ~doc:
+            "Keep polling the spool for new job files instead of exiting \
+             once the backlog drains.")
+  in
+  let run spool window checkpoint_every checkpoint_dir crash_after watch
+      stats_out =
+   protect @@ fun () ->
+    let source = match spool with Some d -> `Spool d | None -> `Stdin in
+    let r =
+      Serve.Daemon.run ~window ~checkpoint_every ?checkpoint_dir ?stats_out
+        ?crash_after_checkpoints:crash_after ~watch source
+    in
+    if Serve.Daemon.exit_code r = 0 then `Ok ()
+    else `Error (false, "serve: rejected or failed jobs")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Job-queue daemon: JSON job specs (check/litmus/fuzz/synth/atlas) \
+          from stdin or a spool directory, executed across a bounded pool \
+          of domains with per-job NDJSON telemetry and checkpoint/resume \
+          for long explorations")
+    Term.(
+      ret
+        (const run $ spool_t $ window_t $ checkpoint_every_t
+       $ checkpoint_dir_t $ crash_after_t $ watch_t $ stats_out_t))
+
 let encode_cmd =
   let pi_t =
     Arg.(
@@ -787,4 +892,5 @@ let () =
           [
             locks_cmd; passage_cmd; sweep_cmd; check_cmd; stress_cmd;
             obstruction_cmd; litmus_cmd; fuzz_cmd; synth_cmd; encode_cmd;
+            serve_cmd;
           ]))

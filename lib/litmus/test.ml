@@ -118,6 +118,19 @@ let run ?tel ?compile ?max_states ?engine ?por ?reorder_bound test ~model : run
 (** Does [model] admit [outcome] for this test? *)
 let admits run outcome = List.mem outcome run.outcomes
 
+(** Why a model sweep must skip this cell, if it must: the reorder
+    budget meters overtaken write-buffer entries, and view-based
+    models (RA/SRA) have no write buffer to meter. Sweeps print/emit
+    this marker per cell instead of silently dropping the row, so
+    bounded sweep tables stay honest about their coverage. (Naming a
+    view model explicitly together with a bound remains an error —
+    this is only for implicit all-model sweeps.) *)
+let skip_reason ?reorder_bound model =
+  match reorder_bound with
+  | Some _ when Memory_model.view_based model ->
+      Some "reorder bound undefined on view models"
+  | Some _ | None -> None
+
 let pp_run ppf r =
   Fmt.pf ppf "@[<v2>%s under %a (%d states%s%s):@,%a@]" r.test.name
     Memory_model.pp r.model r.stats.Explore.states

@@ -53,6 +53,14 @@ val run :
 val admits : run -> outcome -> bool
 val pp_run : run Fmt.t
 
+(** Why an all-model sweep must skip this cell, if it must:
+    [Some "reorder bound undefined on view models"] when a reorder
+    bound is set and the model is view-based (no write buffer to
+    meter), [None] otherwise. Sweeps mark the cell explicitly instead
+    of dropping the row. *)
+val skip_reason :
+  ?reorder_bound:[ `K of int | `Deepen ] -> Memory_model.t -> string option
+
 (** Outcomes of [weaker] not reachable under [stronger]. *)
 val separation : stronger:run -> weaker:run -> outcome list
 

@@ -120,6 +120,16 @@ let pop t =
       else None
     end
 
+(** Owner only, and only with no thief running (a 1-worker frontier):
+    the live cells in the owner's pop order — bottom (newest) first.
+    Non-destructive; the j=1 engine's checkpoint snapshot, where
+    determinism of the resumed pop order is the point. *)
+let snapshot t =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  let buf = Atomic.get t.buf in
+  let mask = Array.length buf - 1 in
+  List.init (max 0 (b - tp)) (fun i -> buf.((b - 1 - i) land mask))
+
 (** Thief side: FIFO steal at the top. [None] means empty {e or} lost
     a race — callers treat both as "try elsewhere". *)
 let steal t =

@@ -18,6 +18,11 @@ val push : 'a t -> 'a -> unit
 (** Owner only: most recently pushed element. *)
 val pop : 'a t -> 'a option
 
+(** Owner only, single-domain runs only (no live thief): the live
+    cells in the owner's pop order, bottom/newest first.
+    Non-destructive; the j=1 checkpoint snapshot. *)
+val snapshot : 'a t -> 'a list
+
 (** Thief side: oldest element, or [None] when empty or on a lost
     race (callers treat both as "try elsewhere"). *)
 val steal : 'a t -> 'a option

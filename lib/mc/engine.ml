@@ -70,14 +70,101 @@ let rec monitor_steps monitor m = function
       | Ok m -> monitor_steps monitor m rest
       | Error _ as e -> e)
 
+(** A frontier-consistent cut of a running j=1 exploration, in plain
+    data (no closures, no monitor values): everything a killed run
+    needs to restart from where it was. [ck_visited] holds the claim
+    keys verbatim (canonical under symmetry, budget-mixed under a
+    bound — whatever the run was keying on); [ck_pending] holds the
+    {e paths} of the claimed-but-unexpanded tasks, in-hand task first
+    and then the deque in pop order, so a resume reconstructs tasks by
+    deterministic replay and continues in the exact exploration order
+    of the uninterrupted run. Violations and deadlocks found so far
+    travel as (message, path) / path — their monitor values are
+    rebuilt by replay on resume. *)
+type checkpoint = {
+  ck_states : int;
+  ck_transitions : int;
+  ck_bound_hits : int;
+  ck_pending : Exec.elt list list;
+  ck_visited : Fingerprint.t list;
+  ck_violations : (string * Exec.elt list) list;
+  ck_deadlocks : Exec.elt list list;
+}
+
+(** Rebuild the task a schedule-element path leads to, mirroring the
+    engine's root and child construction step for step (same label
+    flushing, same incremental fingerprints, same monitor threading) —
+    checkpoint resume reconstructs pending tasks from their recorded
+    paths. Raises [Invalid_argument] if the monitor rejects along the
+    way: a checkpoint never stores a violating pending path, so that
+    means the checkpoint does not belong to this workload. *)
+let replay_task (type m)
+    ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
+    (cfg0 : Config.t) (path : Exec.elt list) : m task =
+  let fail msg = Fmt.invalid_arg "Mc.replay_task: monitor rejects: %s" msg in
+  let root =
+    let notes, cfg, dirtied = Exec.flush_labels_d cfg0 in
+    let fp =
+      List.fold_left
+        (fun fp p ->
+          Fingerprint.update fp ~before:cfg0 ~after:cfg
+            (Exec.dirty_of p ~mem:false))
+        (Fingerprint.of_config cfg0)
+        dirtied
+    in
+    match monitor_steps monitor init notes with
+    | Error msg -> fail msg
+    | Ok m -> { cfg; fp; m; rev_path = []; depth = 0 }
+  in
+  List.fold_left
+    (fun t elt ->
+      let steps, cfg', d = Exec.exec_elt_d t.cfg elt in
+      match monitor_steps monitor t.m steps with
+      | Error msg -> fail msg
+      | Ok m -> (
+          let fp = Fingerprint.update t.fp ~before:t.cfg ~after:cfg' d in
+          let notes, ncfg, dirtied = Exec.flush_labels_d cfg' in
+          let fp =
+            List.fold_left
+              (fun fp p ->
+                Fingerprint.update fp ~before:cfg' ~after:ncfg
+                  (Exec.dirty_of p ~mem:false))
+              fp dirtied
+          in
+          match monitor_steps monitor m notes with
+          | Error msg -> fail msg
+          | Ok m ->
+              {
+                cfg = ncfg;
+                fp;
+                m;
+                rev_path = elt :: t.rev_path;
+                depth = t.depth + 1;
+              }))
+    root path
+
 let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
     ~report_visited ~max_states ~max_depth ~max_violations ~max_deadlocks
     ~(bound : int option) ~(on_boundary : (m task -> unit) option)
     ~(visited_in : Visited.t option) ~(seeds : m task list option)
-    ~(check : Config.t -> string option)
+    ~(checkpoint : (int * (checkpoint -> unit)) option)
+    ~(resume : checkpoint option) ~(check : Config.t -> string option)
     ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
     ~(on_final : Config.t -> m -> unit) (cfg0 : Config.t) : m Explore.result =
   if jobs < 1 then Fmt.invalid_arg "Mc.run: `Parallel %d" jobs;
+  (match checkpoint with
+  | Some _ when jobs <> 1 ->
+      (* a checkpoint is a frontier-consistent cut: at j=1 the cut is
+         simply "in-hand task + own deque", exact and deterministic;
+         with thieves in flight no such cut exists without stopping
+         the world *)
+      invalid_arg "Mc.run: ~checkpoint requires `Parallel 1"
+  | Some (every, _) when every < 1 ->
+      Fmt.invalid_arg "Mc.run: checkpoint interval %d" every
+  | _ -> ());
+  (match (resume, seeds) with
+  | Some _, Some _ -> invalid_arg "Mc.run: ~resume and ~seeds are exclusive"
+  | _ -> ());
   if symmetry && Memory_model.view_based cfg0.Config.model then
     (* the canonicalizer would have to rename register and message ids
        inside views, message bases and logs under a pid permutation —
@@ -139,10 +226,24 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
      untouched; without symmetry nothing changes at all. *)
   let cfg0 = if symmetry then Config.track_obs_regs cfg0 else cfg0 in
   let sym = if symmetry then Some (Symmetry.create cfg0) else None in
+  (* A resume restarts mid-run: counters continue from the cut (so
+     caps and final totals match the uninterrupted run), the visited
+     set gets the recorded claims back verbatim, and the recorded
+     verdicts are reconstructed below. *)
+  (match resume with
+  | None -> ()
+  | Some c ->
+      List.iter (fun fp -> ignore (Visited.add visited fp)) c.ck_visited);
   let frontier : m task Frontier.t = Frontier.create ~workers:jobs in
-  let states = Atomic.make 0 and transitions = Atomic.make 0 in
+  let states =
+    Atomic.make (match resume with Some c -> c.ck_states | None -> 0)
+  and transitions =
+    Atomic.make (match resume with Some c -> c.ck_transitions | None -> 0)
+  in
   let truncated = Atomic.make false in
-  let bound_hits = Atomic.make 0 in
+  let bound_hits =
+    Atomic.make (match resume with Some c -> c.ck_bound_hits | None -> 0)
+  in
   let note_boundary =
     match on_boundary with None -> fun (_ : m task) -> () | Some f -> f
   in
@@ -164,8 +265,32 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
   (* one mutex serializes the mutating hooks and verdict stores; they
      fire far less often than states are expanded *)
   let sync = Mutex.create () in
-  let violations = ref [] and nviolations = Atomic.make 0 in
-  let deadlocks = ref [] and ndeadlocks = ref 0 in
+  (* Reconstruct recorded verdicts: the checkpoint carries plain
+     (message, path) pairs; the monitor value at failure time is the
+     state just before the violating element, rebuilt by replay. *)
+  let restored_violations =
+    match resume with
+    | None -> []
+    | Some c ->
+        List.map
+          (fun (message, path) ->
+            let m =
+              match path with
+              | [] -> init
+              | _ ->
+                  let n = List.length path - 1 in
+                  let prefix = List.filteri (fun i _ -> i < n) path in
+                  (replay_task ~monitor ~init cfg0 prefix).m
+            in
+            { Explore.message; path; monitor = m })
+          c.ck_violations
+  in
+  let violations = ref restored_violations
+  and nviolations = Atomic.make (List.length restored_violations) in
+  let deadlocks =
+    ref (match resume with Some c -> c.ck_deadlocks | None -> [])
+  in
+  let ndeadlocks = ref (List.length !deadlocks) in
   let worker_exn = Atomic.make None in
   let record_violation v =
     Mutex.lock sync;
@@ -230,14 +355,17 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
           | p :: ps ->
               let e : Exec.elt = (p, None) in
               let ((_, cfg', _) as res) = exec e in
-              (* an over-budget ample candidate cannot stand for its
-                 siblings — fall back to the full (filtered) expansion,
-                 where it is pruned like any other inadmissible edge *)
+              (* the budget-aware filter already vouches for the
+                 candidate's admissibility; the successor check stays
+                 as defense in depth — an over-budget ample candidate
+                 cannot stand for its siblings and falls back to the
+                 full (filtered) expansion, where it is pruned like any
+                 other inadmissible edge *)
               if Por.invisible_after cfg' p && admissible cfg' then
                 `Ample (e, res)
               else probe ((e, res) :: probed) ps
         in
-       match probe [] (Por.ample_candidates cfg) with
+       match probe [] (Por.ample_candidates ?bound cfg) with
        | `Ample (e, res) -> [ (e, res) ]
        | `Full probed ->
            List.filter_map
@@ -451,7 +579,42 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
      explicit sharing heuristic is needed. Children are registered
      before their parent completes, so [pending] reaches zero only
      when the whole graph is drained. *)
+  (* Checkpoint emission (j=1 only, enforced above): fires at drive
+     entry, where the cut is exact — [t] is in hand and not yet
+     expanded, everything else pending sits in our own deque, and all
+     other registered tasks have completed. Interval is measured in
+     claimed states since the last emission. *)
+  let emit_checkpoint =
+    match checkpoint with
+    | None -> fun (_ : m task) -> ()
+    | Some (every, emit) ->
+        let last = ref (match resume with Some c -> c.ck_states | None -> 0) in
+        fun (t : m task) ->
+          let s = Atomic.get states in
+          if s - !last >= every then begin
+            last := s;
+            let pending = t :: Frontier.snapshot frontier ~worker:0 in
+            let fps = ref [] in
+            Visited.iter visited (fun fp -> fps := fp :: !fps);
+            emit
+              {
+                ck_states = s;
+                ck_transitions = Atomic.get transitions;
+                ck_bound_hits = Atomic.get bound_hits;
+                ck_pending =
+                  List.map (fun (t : m task) -> List.rev t.rev_path) pending;
+                ck_visited = !fps;
+                ck_violations =
+                  List.map
+                    (fun (v : m Explore.violation) ->
+                      (v.Explore.message, v.Explore.path))
+                    !violations;
+                ck_deadlocks = !deadlocks;
+              }
+          end
+  in
   let rec drive w (t : m task) =
+    emit_checkpoint t;
     let children = expand w t in
     match children with
     | [] ->
@@ -479,9 +642,14 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
      [seeds] (a deepening resume) the root was claimed at level 0 —
      the seeds are already-claimed boundary tasks to re-expand. *)
   let tasks =
-    match seeds with
-    | Some tasks -> tasks
-    | None -> (
+    match (seeds, resume) with
+    | Some tasks, _ -> tasks
+    | None, Some c ->
+        (* the recorded pending tasks, rebuilt by deterministic replay
+           in the recorded (pop) order — already claimed, so they are
+           re-expanded like deepening seeds, not re-counted *)
+        List.map (replay_task ~monitor ~init cfg0) c.ck_pending
+    | None, None -> (
         let notes, cfg, dirtied = Exec.flush_labels_d cfg0 in
         let fp =
           List.fold_left
@@ -557,7 +725,7 @@ let run_parallel (type m) ~tel ~jobs ~por ~symmetry ~expected_states
 let run (type m) ?tel ?(engine : engine = `Dfs) ?(por = false)
     ?(symmetry = false) ?expected_states ?report_visited
     ?(max_states = 1_000_000) ?(max_depth = 100_000) ?(max_violations = 3)
-    ?(max_deadlocks = max_int) ?reorder_bound
+    ?(max_deadlocks = max_int) ?reorder_bound ?checkpoint ?resume
     ?(check = fun (_ : Config.t) -> None)
     ~(monitor : m -> Step.t -> (m, string) Stdlib.result) ~(init : m)
     ?(on_final = fun (_ : Config.t) (_ : m) -> ()) (cfg0 : Config.t) :
@@ -569,13 +737,15 @@ let run (type m) ?tel ?(engine : engine = `Dfs) ?(por = false)
          sequential exploration) *)
       if symmetry then
         Fmt.invalid_arg "Mc.run: ~symmetry:true requires `Parallel";
+      if checkpoint <> None || resume <> None then
+        invalid_arg "Mc.run: ~checkpoint/~resume require `Parallel 1";
       Explore.dfs ?tel ~max_states ~max_depth ~max_violations ~max_deadlocks
         ?reorder_bound ~check ~monitor ~init ~on_final cfg0
   | `Parallel jobs ->
       run_parallel ~tel ~jobs ~por ~symmetry ~expected_states ~report_visited
         ~max_states ~max_depth ~max_violations ~max_deadlocks
         ~bound:reorder_bound ~on_boundary:None ~visited_in:None ~seeds:None
-        ~check ~monitor ~init ~on_final cfg0
+        ~checkpoint ~resume ~check ~monitor ~init ~on_final cfg0
 
 (** Exploration without a monitor: just reachability. *)
 let run_plain ?tel ?engine ?por ?symmetry ?expected_states ?max_states
@@ -673,7 +843,7 @@ let deepen (type m) ?tel ?(jobs = 1) ?(por = false) ?expected_states
         ~report_visited:None ~max_states:(max_states - !cum_states) ~max_depth
         ~max_violations ~max_deadlocks ~bound:(Some k)
         ~on_boundary:(Some on_boundary) ~visited_in:(Some visited) ~seeds
-        ~check ~monitor ~init ~on_final cfg0
+        ~checkpoint:None ~resume:None ~check ~monitor ~init ~on_final cfg0
     in
     cum_states := !cum_states + r.Explore.stats.Explore.states;
     cum_transitions := !cum_transitions + r.Explore.stats.Explore.transitions;
@@ -713,10 +883,25 @@ let deepen (type m) ?tel ?(jobs = 1) ?(por = false) ?expected_states
     else if r.Explore.stats.Explore.bound_hits = 0 then finish ~saturated:true
     else if k >= max_bound then finish ~saturated:false
     else
-      (* deterministic resume order at jobs = 1: sort boundary tasks by
-         discovery-independent criteria is unnecessary — the list order
-         is the (reversed) prune order, deterministic for one domain *)
-      go (min max_bound (k + bound_step)) (Some (List.rev !boundary))
+      (* Deterministic resume at any [jobs]: the mutex-guarded
+         collection order is racy under work stealing, so seed the
+         next level in sorted bounded-key order. Tasks noted at one
+         level carry distinct bounded keys (the claim key: canonical
+         fingerprint mixed with the budget term), so the order is
+         total and discovery-independent — level records become
+         reproducible across [--jobs] (pinned by the j∈{1,4}
+         byte-identity test). At jobs = 1 the sort is a permutation of
+         the already-deterministic prune order, changing counts not at
+         all (the explored closure per level is order-independent). *)
+      let bounded_key (t : m task) =
+        Fingerprint.mix t.fp (Fingerprint.budget_term t.cfg)
+      in
+      let seeds =
+        List.sort
+          (fun a b -> Fingerprint.compare (bounded_key a) (bounded_key b))
+          !boundary
+      in
+      go (min max_bound (k + bound_step)) (Some seeds)
   in
   go bound_from None
 

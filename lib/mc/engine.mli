@@ -11,6 +11,25 @@ open Memsim
 
 type engine = [ `Dfs | `Parallel of int ]
 
+(** A frontier-consistent cut of a [`Parallel 1] exploration, as plain
+    data: every pending task as its path from the root (in pop order,
+    in-hand task first), the visited set's fingerprints, the counters
+    at the cut, and the violations/deadlocks found so far (as
+    message/path pairs). Resuming from a checkpoint replays each
+    pending path deterministically and continues with identical
+    exploration order, so a resumed run finishes with the same verdict
+    and the {e exact} same cumulative state/transition counts as the
+    uninterrupted run. *)
+type checkpoint = {
+  ck_states : int;
+  ck_transitions : int;
+  ck_bound_hits : int;
+  ck_pending : Exec.elt list list;
+  ck_visited : Fingerprint.t list;
+  ck_violations : (string * Exec.elt list) list;
+  ck_deadlocks : Exec.elt list list;
+}
+
 (** Drop-in counterpart of {!Memsim.Explore.dfs} (same hooks, bounds
     and result type). [por] and [symmetry] apply only to [`Parallel];
     [check] and [monitor] must be pure under [`Parallel]; [on_final]
@@ -50,7 +69,18 @@ type engine = [ `Dfs | `Parallel of int ]
     saturation certificate ([bound_hits = 0] on a completed run) is
     still exact. [reorder_bound] and [symmetry] are mutually exclusive
     (raises [Invalid_argument]): the budget term is keyed by raw pids,
-    which orbit canonicalization scrambles. *)
+    which orbit canonicalization scrambles.
+
+    [checkpoint:(every, emit)] calls [emit] with a
+    frontier-consistent {!checkpoint} each time roughly [every] more
+    states have been claimed since the last cut; [resume] restores one
+    and continues the exploration exactly where it stopped. Both
+    require [`Parallel 1] (the only configuration where the pending
+    cut is exact) and raise [Invalid_argument] otherwise; [resume] is
+    exclusive with internal seeding, and the checkpoint must have been
+    taken from a run with the same configuration, bounds and
+    reductions — restored visited fingerprints are only valid under
+    the same keying. *)
 val run :
   ?tel:Telemetry.Hub.t ->
   ?engine:engine ->
@@ -63,6 +93,8 @@ val run :
   ?max_violations:int ->
   ?max_deadlocks:int ->
   ?reorder_bound:int ->
+  ?checkpoint:int * (checkpoint -> unit) ->
+  ?resume:checkpoint ->
   ?check:(Config.t -> string option) ->
   monitor:('m -> Step.t -> ('m, string) Stdlib.result) ->
   init:'m ->

@@ -127,6 +127,13 @@ let is_stopped t = Atomic.get t.stopped
 (** Owner pop from [worker]'s own deque — the fast path. *)
 let pop t ~worker = Deque.pop t.deques.(worker)
 
+(** Owner-only, single-worker frontiers only: [worker]'s queued tasks
+    in pop order (non-destructive). The j=1 engine's checkpoint
+    snapshot of its own pending work. *)
+let snapshot t ~worker =
+  assert (Array.length t.deques = 1);
+  Deque.snapshot t.deques.(worker)
+
 (* One sweep over the other workers' deques, starting just after our
    own (spreads thieves across victims). *)
 let try_steal t ~worker =

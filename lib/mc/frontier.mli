@@ -54,6 +54,11 @@ val is_stopped : 'a t -> bool
     blocks). *)
 val pop : 'a t -> worker:int -> 'a option
 
+(** [worker]'s queued tasks in pop order, non-destructively. Owner
+    only, and only on a 1-worker frontier (asserted) — the j=1
+    engine's checkpoint snapshot. *)
+val snapshot : 'a t -> worker:int -> 'a list
+
 (** Next task for [worker]: own deque, then stealing, then sleeping.
     [None] when exploration is over (drained or stopped). *)
 val next : 'a t -> worker:int -> 'a option

@@ -111,29 +111,82 @@ let independent cfg (e1 : Exec.elt) (e2 : Exec.elt) =
   (not (Pid.equal (fst e1) (fst e2)))
   && not (conflict (footprint cfg e1) (footprint cfg e2))
 
-(** Processes whose only enabled element is a fully local op step:
-    empty buffer (so no commit elements, no forced commit) and poised
-    at a buffered write, a fence, or a return. Candidates for a
-    persistent singleton, pending the post-execution
+(** Budget charge of [p]'s op element over buffer [wb]: executing an
+    op while pending writes sit in the buffer marks every still-unflagged
+    entry overtaken ({!Wbuf.overtake_all} in the executor), so the
+    charge is the unflagged count. Candidates poised at a fence are
+    only considered over an empty buffer (a fence over a non-empty
+    buffer is a forced — visible — commit), so the forced-commit case
+    never reaches this accounting. *)
+let op_charge wb = if Wbuf.is_empty wb then 0 else Wbuf.size wb - Wbuf.overtaken wb
+
+(** Budget charge of committing register [r] from [wb]: the unflagged
+    entries strictly older than the oldest pending [r] entry — exactly
+    what {!Wbuf.commit} would newly mark. Zero for the buffer's oldest
+    entry (equivalently the TSO head): draining oldest-first is always
+    budget-free. *)
+let commit_charge wb r =
+  let rec older n = function
+    | [] -> n
+    | (e : Wbuf.entry) :: rest ->
+        if Reg.equal e.reg r then n
+        else older (n + if e.overtaken then 0 else 1) rest
+  in
+  older 0 (Wbuf.entries wb)
+
+(** Processes whose only enabled element is a fully local op step —
+    candidates for a persistent singleton, pending the post-execution
     {!invisible_after} check. In increasing pid order, for determinism
-    of the 1-domain engine. *)
-let ample_candidates cfg : Pid.t list =
+    of the 1-domain engine.
+
+    Unbounded ([bound = None]): empty buffer (so no commit elements,
+    no forced commit) and poised at a buffered write, a fence, or a
+    return.
+
+    Bounded ([bound = Some k]): candidacy is judged against the
+    {e bounded} transition system, whose enabled set at a state is the
+    admissible-edge set — [p] qualifies when its op is fully local and
+    admissible and {e every} commit element of [p] is over-budget. On
+    the current charging rules this is provably extensionally equal to
+    the unbounded filter: an empty-buffer local op never charges (its
+    step cannot flip any overtaken flag), and a non-empty buffer always
+    retains an admissible commit, because committing the globally
+    oldest entry (TSO's head; one of PSO/RMO's per-register fronts)
+    marks nothing and can only {e retire} flags. The filter computes
+    admissibility anyway rather than assuming that theorem, so the
+    reduction stays correct — and automatically strengthens — if a
+    model's charging rules ever make oldest-first draining non-free. *)
+let ample_candidates ?bound cfg : Pid.t list =
   if Memory_model.view_based cfg.Config.model then []
     (* no view-backend step is fully local (see {!global_fp}): POR is a
        sound no-op under RA/SRA *)
   else
   let buffered = Memory_model.buffered cfg.Config.model in
   let n = Config.nprocs cfg in
+  let in_flight =
+    match bound with Some _ -> Config.reorders_in_flight cfg | None -> 0
+  in
   let rec go p acc =
     if p < 0 then acc
     else
-      let ok =
-        Wbuf.is_empty (Config.wbuf cfg p)
-        &&
+      let wb = Config.wbuf cfg p in
+      let ok_kind =
         match Config.next_kind cfg p with
         | Program.Op_write -> buffered
-        | Op_fence | Op_return _ -> true
+        | Op_fence -> Wbuf.is_empty wb (* non-empty: forced commit, visible *)
+        | Op_return _ -> true
         | Op_read | Op_cas | Op_spin | Op_done -> false
+      in
+      let ok =
+        ok_kind
+        &&
+        match bound with
+        | None -> Wbuf.is_empty wb
+        | Some k ->
+            in_flight + op_charge wb <= k
+            && List.for_all
+                 (fun r -> in_flight + commit_charge wb r > k)
+                 (Memory_model.commit_candidates cfg.Config.model wb)
       in
       go (p - 1) (if ok then p :: acc else acc)
   in

@@ -20,8 +20,12 @@ val footprint : Config.t -> Exec.elt -> footprint
 val independent : Config.t -> Exec.elt -> Exec.elt -> bool
 
 (** Processes whose sole enabled element is a fully local op step
-    (empty buffer; buffered write, fence, or return), in pid order. *)
-val ample_candidates : Config.t -> Pid.t list
+    (empty buffer; buffered write, fence, or return), in pid order.
+    With [?bound] the filter is budget-aware: candidacy is judged
+    against the bounded system's admissible elements (see the
+    implementation note on why this coincides with the unbounded
+    filter under the current charging rules). *)
+val ample_candidates : ?bound:int -> Config.t -> Pid.t list
 
 (** Post-execution visibility check: [p] must be left with no pending
     label, else the step is visible and the reduction must not pick

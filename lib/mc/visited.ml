@@ -220,6 +220,29 @@ let mem t fp =
    Mutex.unlock s.lock;
    r)
 
+(** Iterate over every stored fingerprint, shard by shard under each
+    shard's lock. Exact (and stable across calls) only when no domain
+    is inserting — the j=1 checkpoint serialization path. Order is the
+    internal shard/bucket/chain order: deterministic for a given
+    insertion history, not sorted. *)
+let iter (t : t) f =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      let arr = Atomic.get s.buckets in
+      Array.iter
+        (fun c ->
+          let rec walk = function
+            | Nil -> ()
+            | Cons { fp; next } ->
+                f fp;
+                walk next
+          in
+          walk c)
+        arr;
+      Mutex.unlock s.lock)
+    t.shards
+
 (** Total entries; takes each shard lock in turn, so only exact when
     quiesced. *)
 let size (t : t) =

@@ -35,6 +35,10 @@ val add_batch : t -> Fingerprint.t array -> bool array
 
 val mem : t -> Fingerprint.t -> bool
 
+(** Iterate every stored fingerprint (shard locks taken in turn; exact
+    only when no domain is inserting) — checkpoint serialization. *)
+val iter : t -> (Fingerprint.t -> unit) -> unit
+
 (** Total entries (exact only when no domain is inserting). *)
 val size : t -> int
 

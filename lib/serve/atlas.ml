@@ -1,0 +1,153 @@
+(** The atlas run: GT_f x Count over n, three accounting rules per
+    point (combined, pure-CC, pure-DSM), measured against the analytic
+    curve. Pure measurement — sequential executions via
+    {!Fencelab.Experiment.passage_cost} and the same worst-process
+    discipline for [Count] — so an atlas is reproducible byte for byte
+    and two daemons sweeping the same spec agree exactly. *)
+
+open Memsim
+
+type point = {
+  nprocs : int;
+  height : int;
+  fences : int;
+  rmr : int;
+  rmr_dsm : int;
+  rmr_cc : int;
+  product : float;
+  predicted_rmr : float;
+  count_fences : int;
+  count_rmr : int;
+  count_rmr_dsm : int;
+  count_rmr_cc : int;
+}
+
+type t = {
+  model : Memory_model.t;
+  points : point list;
+  frontier : (int * point list) list;
+}
+
+(* Worst-process cost of one full Count run per process over the given
+   lock — the object-level counterpart of Experiment.passage_cost
+   (Count is one passage plus O(1) work, Theorem 4.2's shape). *)
+let count_cost ~model factory ~nprocs =
+  let _, cfg = Objects.Count.configure factory ~model ~nprocs in
+  let _, final = Scheduler.sequential cfg in
+  List.fold_left
+    (fun (f, r, rd, rc) p ->
+      let c = Metrics.of_pid (Config.metrics final) p in
+      ( max f c.Metrics.fences,
+        max r c.Metrics.rmr,
+        max rd c.Metrics.rmr_dsm,
+        max rc c.Metrics.rmr_cc ))
+    (0, 0, 0, 0)
+    (List.init nprocs Fun.id)
+
+let point ~model ~nprocs ~height : point =
+  let factory = Locks.Gt.lock ~height in
+  let c = Fencelab.Experiment.passage_cost ~model factory ~nprocs in
+  let count_fences, count_rmr, count_rmr_dsm, count_rmr_cc =
+    count_cost ~model factory ~nprocs
+  in
+  {
+    nprocs;
+    height;
+    fences = c.Fencelab.Experiment.fences;
+    rmr = c.Fencelab.Experiment.rmr;
+    rmr_dsm = c.Fencelab.Experiment.rmr_dsm;
+    rmr_cc = c.Fencelab.Experiment.rmr_cc;
+    product = c.Fencelab.Experiment.product;
+    predicted_rmr = Fencelab.Tradeoff.gt_rmrs ~nprocs ~height;
+    count_fences;
+    count_rmr;
+    count_rmr_dsm;
+    count_rmr_cc;
+  }
+
+(* Pareto filter under (fences, combined rmr), both minimized: a point
+   survives iff no other strictly dominates it. *)
+let pareto pts =
+  List.filter
+    (fun p ->
+      not
+        (List.exists
+           (fun q ->
+             q.fences <= p.fences && q.rmr <= p.rmr
+             && (q.fences < p.fences || q.rmr < p.rmr))
+           pts))
+    pts
+
+let heights_for n =
+  let max_f =
+    max 1 (int_of_float (ceil (Fencelab.Tradeoff.floor_log_n ~nprocs:n)))
+  in
+  List.init max_f (fun i -> i + 1)
+
+let run ?(model = Memory_model.Pso) ~nprocs () : t =
+  let points =
+    List.concat_map
+      (fun n ->
+        if n < 2 then
+          Fmt.invalid_arg "Atlas.run: nprocs %d (the sweep starts at 2)" n;
+        List.map (fun f -> point ~model ~nprocs:n ~height:f) (heights_for n))
+      nprocs
+  in
+  let frontier =
+    List.map
+      (fun n -> (n, pareto (List.filter (fun p -> p.nprocs = n) points)))
+      nprocs
+  in
+  { model; points; frontier }
+
+let point_to_json p =
+  Json.Obj
+    [
+      ("nprocs", Json.Int p.nprocs);
+      ("height", Json.Int p.height);
+      ("fences", Json.Int p.fences);
+      ("rmr", Json.Int p.rmr);
+      ("rmr_dsm", Json.Int p.rmr_dsm);
+      ("rmr_cc", Json.Int p.rmr_cc);
+      ("product", Json.Float p.product);
+      ("predicted_rmr", Json.Float p.predicted_rmr);
+      ("count_fences", Json.Int p.count_fences);
+      ("count_rmr", Json.Int p.count_rmr);
+      ("count_rmr_dsm", Json.Int p.count_rmr_dsm);
+      ("count_rmr_cc", Json.Int p.count_rmr_cc);
+    ]
+
+let to_json (t : t) =
+  Json.Obj
+    [
+      ("type", Json.String "atlas");
+      ("model", Json.String (Memory_model.to_string t.model));
+      ("points", Json.List (List.map point_to_json t.points));
+      ( "frontier",
+        Json.List
+          (List.map
+             (fun (n, pts) ->
+               Json.Obj
+                 [
+                   ("nprocs", Json.Int n);
+                   ( "log2_n",
+                     Json.Float (Fencelab.Tradeoff.floor_log_n ~nprocs:n) );
+                   ("points", Json.List (List.map point_to_json pts));
+                 ])
+             t.frontier) );
+    ]
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "atlas under %a: %d points@." Memory_model.pp t.model
+    (List.length t.points);
+  List.iter
+    (fun (n, pts) ->
+      Fmt.pf ppf "n=%-3d log2(n)=%.2f frontier:" n
+        (Fencelab.Tradeoff.floor_log_n ~nprocs:n);
+      List.iter
+        (fun p ->
+          Fmt.pf ppf " (f=%d r=%d cc=%d dsm=%d prod=%.2f)" p.fences p.rmr
+            p.rmr_cc p.rmr_dsm p.product)
+        pts;
+      Fmt.pf ppf "@.")
+    t.frontier

@@ -1,0 +1,41 @@
+(** The atlas run (E15): sweep the [GT_f] family and the [Count]
+    ordering object over process counts, recording measured
+    (fences, RMRs) per point under the paper's combined accounting
+    {e and} separately under pure-CC and pure-DSM accounting (the
+    Golab separation), next to the analytic [f·(log2(r/f)+1)] product
+    and the Equation (2) RMR prediction — one self-contained JSON
+    document. *)
+
+open Memsim
+
+type point = {
+  nprocs : int;
+  height : int;  (** f *)
+  fences : int;  (** GT_f lock passage, worst process *)
+  rmr : int;  (** combined accounting (the paper's r) *)
+  rmr_dsm : int;
+  rmr_cc : int;
+  product : float;  (** measured [f·(log2(r/f)+1)] *)
+  predicted_rmr : float;  (** Equation (2): [f·n^(1/f)] *)
+  count_fences : int;  (** Count object over the same GT_f *)
+  count_rmr : int;
+  count_rmr_dsm : int;
+  count_rmr_cc : int;
+}
+
+type t = {
+  model : Memory_model.t;
+  points : point list;  (** by nprocs, then height *)
+  frontier : (int * point list) list;
+      (** per nprocs: Pareto-optimal points under (fences, combined
+          RMR) — the measured frontier E15 tables against [log2 n] *)
+}
+
+(** Sweep [nprocs], heights [1 .. ceil(log2 n)] each. Deterministic
+    (sequential executions only). *)
+val run : ?model:Memory_model.t -> nprocs:int list -> unit -> t
+
+val to_json : t -> Json.t
+
+(** Frontier table for E15: one row per (n, Pareto point). *)
+val pp : t Fmt.t

@@ -1,0 +1,17 @@
+(** Checkpoint persistence: {!Mc.checkpoint} as a single JSON object,
+    written atomically so a daemon killed mid-checkpoint leaves either
+    the previous cut or the new one on disk — never a torn file. *)
+
+(** Wire encoding of a cut: schedule elements as [[pid, reg|null]]
+    pairs, fingerprints as [[a, b]] lanes ({!Mc.Fingerprint.t} is a
+    concrete record, read directly). *)
+val to_json : Mc.checkpoint -> Json.t
+
+val of_json : Json.t -> (Mc.checkpoint, string) result
+
+(** Write-to-temp + rename; the rename is atomic on POSIX, so readers
+    (and a restarted daemon) only ever see complete checkpoints. *)
+val save : path:string -> Mc.checkpoint -> unit
+
+(** [Error] on missing file, unreadable bytes or schema mismatch. *)
+val load : path:string -> (Mc.checkpoint, string) result

@@ -1,0 +1,118 @@
+(** Bounded job pool over OCaml 5 domains.
+
+    One mutex + three condition variables: [nonempty] parks starved
+    workers, [nonfull] parks backpressured submitters, [idle] parks
+    {!drain} callers. The queue is capped at [window] — the submitter
+    blocks rather than queueing unboundedly, which is the daemon's
+    backpressure story (ISSUE 10): a thousand-line spool file costs
+    [window] queued jobs of memory, not a thousand.
+
+    Exceptions are contained per job: a job that raises reports to its
+    [on_error] callback and the worker domain survives — a daemon
+    worker must outlive any single bad job spec. *)
+
+type job = { run : unit -> unit; on_error : exn -> unit }
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  idle : Condition.t;
+  queue : job Queue.t;
+  window : int;
+  mutable active : int;  (** jobs currently executing *)
+  mutable max_depth : int;  (** queue-depth high-water mark *)
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.nonempty t.lock
+    done;
+    match Queue.take_opt t.queue with
+    | None ->
+        (* closed and drained *)
+        Mutex.unlock t.lock;
+        ()
+    | Some job ->
+        t.active <- t.active + 1;
+        Condition.signal t.nonfull;
+        Mutex.unlock t.lock;
+        (try job.run () with e -> ( try job.on_error e with _ -> ()));
+        Mutex.lock t.lock;
+        t.active <- t.active - 1;
+        if t.active = 0 && Queue.is_empty t.queue then
+          Condition.broadcast t.idle;
+        Mutex.unlock t.lock;
+        next ()
+  in
+  next ()
+
+let create ~window =
+  if window < 1 then Fmt.invalid_arg "Pool.create: window %d" window;
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      nonfull = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      window;
+      active = 0;
+      max_depth = 0;
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init window (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let window t = t.window
+
+let submit t ?(on_error = fun _ -> ()) run =
+  Mutex.lock t.lock;
+  while Queue.length t.queue >= t.window && not t.closed do
+    Condition.wait t.nonfull t.lock
+  done;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push { run; on_error } t.queue;
+  if Queue.length t.queue > t.max_depth then
+    t.max_depth <- Queue.length t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+let in_flight t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue + t.active in
+  Mutex.unlock t.lock;
+  n
+
+let max_queue_depth t =
+  Mutex.lock t.lock;
+  let n = t.max_depth in
+  Mutex.unlock t.lock;
+  n
+
+let drain t =
+  Mutex.lock t.lock;
+  while not (Queue.is_empty t.queue && t.active = 0) do
+    Condition.wait t.idle t.lock
+  done;
+  Mutex.unlock t.lock
+
+let shutdown t =
+  drain t;
+  Mutex.lock t.lock;
+  let ws = t.workers in
+  t.workers <- [];
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Condition.broadcast t.nonfull;
+  Mutex.unlock t.lock;
+  List.iter Domain.join ws

@@ -1,0 +1,33 @@
+(** Bounded job pool: [window] worker domains pulling from a queue
+    whose depth is itself capped at [window] — {!submit} blocks when
+    the queue is full, so a fast producer (stdin, a large spool) is
+    backpressured instead of ballooning memory, and the daemon never
+    spawns a domain per job. *)
+
+type t
+
+(** Spawns [window] worker domains immediately (>= 1, checked). *)
+val create : window:int -> t
+
+val window : t -> int
+
+(** Enqueue a job; blocks while the queue holds [window] jobs.
+    Raises [Invalid_argument] after {!shutdown}. Jobs run at most
+    [window] at a time, in submission order (pickup order; completions
+    may interleave). A job that raises is contained: the exception is
+    swallowed after {!on_error} sees it, and the worker moves on. *)
+val submit : t -> ?on_error:(exn -> unit) -> (unit -> unit) -> unit
+
+(** Queued + executing jobs right now (racy gauge). *)
+val in_flight : t -> int
+
+(** High-water mark of the queue depth (excluding executing jobs) —
+    the backpressure witness: never exceeds the window, by
+    construction. *)
+val max_queue_depth : t -> int
+
+(** Block until every submitted job has finished. *)
+val drain : t -> unit
+
+(** Drain, then stop and join the workers. Idempotent. *)
+val shutdown : t -> unit

@@ -113,9 +113,11 @@ let workload ?compile ~model (factory : Locks.Lock.factory) ~nprocs ~rounds =
 
 let check ?tel ?compile ?(rounds = 1) ?max_states ?max_depth ?expected_states
     ?report_visited ?(engine = `Dfs) ?(por = false) ?(symmetry = false)
-    ?reorder_bound ~model factory ~nprocs : verdict =
+    ?reorder_bound ?checkpoint ?resume ~model factory ~nprocs : verdict =
   if symmetry && reorder_bound <> None then
     invalid_arg "Mutex_check.check: ~symmetry and ~reorder_bound are exclusive";
+  if (checkpoint <> None || resume <> None) && reorder_bound = Some `Deepen then
+    invalid_arg "Mutex_check.check: ~checkpoint/~resume do not apply to `Deepen";
   let lock, counter, cfg = workload ?compile ~model factory ~nprocs ~rounds in
   let lost_update = ref false in
   let on_final final _ =
@@ -140,15 +142,16 @@ let check ?tel ?compile ?(rounds = 1) ?max_states ?max_depth ?expected_states
     | None ->
         let r =
           Mc.run ?tel ~engine ~por ~symmetry ?expected_states ?report_visited
-            ?max_states ?max_depth ~max_violations:1 ~monitor:cs_monitor
-            ~init:Pid.Set.empty ~on_final cfg
+            ?max_states ?max_depth ~max_violations:1 ?checkpoint ?resume
+            ~monitor:cs_monitor ~init:Pid.Set.empty ~on_final cfg
         in
         (r, None, true, [])
     | Some (`K k) ->
         let r =
           Mc.run ?tel ~engine ~por ~symmetry ?expected_states ?report_visited
             ?max_states ?max_depth ~max_violations:1 ~reorder_bound:k
-            ~monitor:cs_monitor ~init:Pid.Set.empty ~on_final cfg
+            ?checkpoint ?resume ~monitor:cs_monitor ~init:Pid.Set.empty
+            ~on_final cfg
         in
         let exact =
           r.Explore.violations <> []

@@ -71,13 +71,21 @@ val workload :
     certified saturation and is therefore exact), [`Deepen] with
     iterative deepening from 0 ({!Mc.deepen}; [`Dfs] deepens on one
     domain). Mutually exclusive with [symmetry] (raises
-    [Invalid_argument]). *)
+    [Invalid_argument]).
+
+    [checkpoint]/[resume] pass through to {!Mc.run} (periodic
+    frontier-consistent cuts and exact continuation; [`Parallel 1]
+    only) — the serve daemon's long-check lifeline. Not available
+    under [`Deepen] (raises [Invalid_argument]): deepen re-seeds its
+    own boundary between levels. *)
 val check :
   ?tel:Telemetry.Hub.t -> ?compile:bool ->
   ?rounds:int -> ?max_states:int -> ?max_depth:int ->
   ?expected_states:int -> ?report_visited:(Mc.Visited.stats -> unit) ->
   ?engine:Mc.engine -> ?por:bool ->
-  ?symmetry:bool -> ?reorder_bound:bound_mode -> model:Memory_model.t ->
+  ?symmetry:bool -> ?reorder_bound:bound_mode ->
+  ?checkpoint:int * (Mc.checkpoint -> unit) -> ?resume:Mc.checkpoint ->
+  model:Memory_model.t ->
   Locks.Lock.factory -> nprocs:int -> verdict
 
 (** Replay a counterexample schedule into a step trace (pending labels

@@ -34,4 +34,5 @@ let () =
       Test_fuzz.suite;
       Test_stress.suite;
       Test_telemetry.suite;
+      Test_serve.suite;
     ]

@@ -190,6 +190,53 @@ let separation_helper () =
   let extra = Litmus.Test.separation ~stronger:tso ~weaker:pso in
   Alcotest.(check int) "MP: exactly one PSO-only outcome" 1 (List.length extra)
 
+let bounded_sweep_skip_marker () =
+  (* bounded sweeps mark view-model cells instead of dropping them:
+     the reason string is pinned here (the CLI prints it per cell and
+     ships it as a "skip" NDJSON record), and buffered models never
+     skip *)
+  let reason = "reorder bound undefined on view models" in
+  List.iter
+    (fun m ->
+      let expect =
+        if Memory_model.view_based m then Some reason else None
+      in
+      Alcotest.(check (option string))
+        (Fmt.str "K=1 sweep cell for %a" Memory_model.pp m)
+        expect
+        (Litmus.Test.skip_reason ~reorder_bound:(`K 1) m);
+      Alcotest.(check (option string))
+        (Fmt.str "deepen sweep cell for %a" Memory_model.pp m)
+        expect
+        (Litmus.Test.skip_reason ~reorder_bound:`Deepen m);
+      (* no bound: nothing skips *)
+      Alcotest.(check (option string))
+        (Fmt.str "unbounded sweep cell for %a" Memory_model.pp m)
+        None
+        (Litmus.Test.skip_reason m))
+    Memory_model.all;
+  (* the NDJSON marker, exact bytes as the sink writes them *)
+  let path = Filename.temp_file "fencelab_skip" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let s = Telemetry.Sink.create path in
+      Telemetry.Sink.emit s ~kind:"skip"
+        Telemetry.Sink.
+          [
+            ("test", S "SB");
+            ("model", S (Fmt.str "%a" Memory_model.pp Memory_model.Ra));
+            ("reason", S reason);
+          ];
+      Telemetry.Sink.close s;
+      let ic = open_in path in
+      let line = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "skip record bytes"
+        ({|{"type":"skip","test":"SB","model":"RA","reason":"reorder |}
+        ^ {|bound undefined on view models"}|})
+        line)
+
 let suite =
   ( "litmus",
     [
@@ -214,4 +261,6 @@ let suite =
         iriw_forbidden_multi_copy_atomic;
       Alcotest.test_case "CoRR coherence holds" `Quick corr_coherence_holds;
       Alcotest.test_case "separation helper" `Quick separation_helper;
+      Alcotest.test_case "bounded sweeps mark skipped view-model cells"
+        `Quick bounded_sweep_skip_marker;
     ] )

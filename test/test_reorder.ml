@@ -25,12 +25,12 @@ let contains s sub =
 
 (* Monitor-free reachability of the standard checking workload — the
    metric the states-vs-K pins are stated over. *)
-let reach ?reorder_bound ?(max_states = cap) ~nprocs factory =
+let reach ?reorder_bound ?(por = false) ?(max_states = cap) ~nprocs factory =
   let _, _, cfg =
     Verify.Mutex_check.workload ~model:Memory_model.Pso factory ~nprocs
       ~rounds:1
   in
-  Mc.run_plain ~engine:(`Parallel 1) ~max_states ?reorder_bound cfg
+  Mc.run_plain ~engine:(`Parallel 1) ~por ~max_states ?reorder_bound cfg
 
 (* --- the states-vs-K ladder -------------------------------------------- *)
 
@@ -58,6 +58,45 @@ let unfenced_ladder_pin () =
   let unb = reach ~nprocs:2 (variant "unfenced") in
   Alcotest.(check int) "K=4 = unbounded exactly" unb.Explore.stats.Explore.states
     43_498
+
+let bounded_por_regression () =
+  (* the budget-aware ample filter (Por.ample_candidates ?bound):
+     bounded+POR explores no more states than bounded-alone at every K
+     of the ladder. The POR counts equal the pre-fix values — not
+     strictly fewer — because the budget-aware filter is extensionally
+     identical to the budget-oblivious one under the current charging
+     rules: an empty-buffer local op never flips an overtaken flag, and
+     a non-empty buffer always retains an admissible commit (draining
+     oldest-first is budget-free), so bound-pruning can never shrink a
+     process's admissible set to a fresh local singleton. The filter
+     computes admissibility instead of assuming that theorem; these
+     pins hold it in place if the charging rules ever change. *)
+  let expect =
+    [
+      (0, 753, 1_040);
+      (1, 7_234, 8_883);
+      (2, 25_272, 29_440);
+      (3, 35_954, 41_131);
+      (4, 38_343, 43_498);
+    ]
+  in
+  List.iter
+    (fun (k, por_states, plain_states) ->
+      let r = reach ~reorder_bound:k ~por:true ~nprocs:2 (variant "unfenced") in
+      Alcotest.(check bool) (Fmt.str "K=%d+por completes" k) false
+        r.Explore.stats.Explore.truncated;
+      Alcotest.(check int) (Fmt.str "K=%d+por states" k) por_states
+        r.Explore.stats.Explore.states;
+      Alcotest.(check bool) (Fmt.str "K=%d: por <= bounded-alone" k) true
+        (r.Explore.stats.Explore.states <= plain_states))
+    expect;
+  (* unbounded POR is byte-identical to its pre-fix behavior: the
+     [?bound:None] path of the filter is the original computation *)
+  let u = reach ~por:true ~nprocs:2 (variant "unfenced") in
+  Alcotest.(check int) "unbounded+por states" 38_343
+    u.Explore.stats.Explore.states;
+  Alcotest.(check int) "unbounded+por transitions" 93_423
+    u.Explore.stats.Explore.transitions
 
 let bounded_explores_a_fifth_at_n3 () =
   (* the acceptance pin, in its sound form: at n=3 the K=0 run completes
@@ -242,6 +281,47 @@ let prop_outcomes_monotone_in_k =
       let smaller = at k and larger = at (k + 1) in
       List.for_all (fun o -> List.mem o larger) smaller)
 
+let prop_deepen_levels_jobs_invariant =
+  (* satellite pin: deepen's level records are deterministic at any
+     --jobs — the boundary reseed is sorted by bounded key, so the
+     per-level NDJSON (rendered through the same sink the CLI uses)
+     is byte-identical across j ∈ {1, 4} *)
+  QCheck.Test.make ~name:"deepen level NDJSON is byte-identical at j=1 and j=4"
+    ~count:15
+    QCheck.(int_bound 9_999)
+    (fun seed ->
+      let test = Fuzz.Gen.compile (Fuzz.Gen.generate ~seed gen_params) in
+      let _, cfg = Litmus.Test.configure test ~model:Memory_model.Pso in
+      let ndjson jobs =
+        let _, (d : unit Mc.deepen_result) =
+          Mc.deepen_outcomes ~jobs ~observe:(fun _ -> ()) cfg
+        in
+        let path = Filename.temp_file "fencelab_deepen" ".ndjson" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let s = Telemetry.Sink.create path in
+            List.iter
+              (fun (l : Mc.deepen_level) ->
+                Telemetry.Sink.emit s ~kind:"deepen_level"
+                  Telemetry.Sink.
+                    [
+                      ("bound", I l.Mc.bound);
+                      ("states", I l.Mc.states);
+                      ("transitions", I l.Mc.transitions);
+                      ("bound_hits", I l.Mc.bound_hits);
+                      ("violations", I l.Mc.violations);
+                    ])
+              d.Mc.levels;
+            Telemetry.Sink.close s;
+            let ic = open_in_bin path in
+            let n = in_channel_length ic in
+            let bytes = really_input_string ic n in
+            close_in ic;
+            bytes)
+      in
+      ndjson 1 = ndjson 4)
+
 let prop_k0_equals_sc =
   QCheck.Test.make
     ~name:"K=0 outcome set = SC on buffered models (generated programs)"
@@ -282,6 +362,8 @@ let suite =
     [
       Alcotest.test_case "unfenced bakery n=2: states-vs-K ladder" `Quick
         unfenced_ladder_pin;
+      Alcotest.test_case "bounded+POR: budget-aware ample regression" `Quick
+        bounded_por_regression;
       Alcotest.test_case "unfenced bakery n=3: K=0 explores <= 20%" `Slow
         bounded_explores_a_fifth_at_n3;
       Alcotest.test_case "fenced bakery saturates at K=0 (exact OK)" `Quick
@@ -297,6 +379,7 @@ let suite =
       Alcotest.test_case "violations are monotone in K" `Quick
         violation_monotone_in_k;
       QCheck_alcotest.to_alcotest prop_outcomes_monotone_in_k;
+      QCheck_alcotest.to_alcotest prop_deepen_levels_jobs_invariant;
       QCheck_alcotest.to_alcotest prop_k0_equals_sc;
       Alcotest.test_case "site masks: old 30-site boundary, new 62 cap" `Quick
         sites_boundary_after_widening;
